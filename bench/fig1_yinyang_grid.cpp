@@ -1,0 +1,72 @@
+/// Fig. 1 reproduction — "Basic Yin-Yang grid.  The Yin grid and Yang
+/// grid are combined to cover a spherical surface with partial overlap."
+///
+/// Prints the geometric facts the figure illustrates (coverage,
+/// identical panels, ~6% overlap) across resolutions, and exports the
+/// two component grids as CSV point clouds (yinyang_grid_{yin,yang}.csv,
+/// global Cartesian coordinates) for plotting Fig. 1 directly.
+#include <cstdio>
+
+#include "common/csv.hpp"
+#include "yinyang/geometry.hpp"
+#include "yinyang/interpolator.hpp"
+#include "yinyang/transform.hpp"
+
+using namespace yy;
+using yinyang::Angles;
+using yinyang::ComponentGeometry;
+using yinyang::Panel;
+
+namespace {
+
+void export_grid(const ComponentGeometry& g, Panel panel, const char* path) {
+  CsvWriter csv(path, {"x", "y", "z", "theta", "phi"});
+  for (int jt = 0; jt < g.nt(); ++jt) {
+    for (int jp = 0; jp < g.np(); ++jp) {
+      const Angles a{g.t_min() + jt * g.dt(), g.p_min() + jp * g.dp()};
+      Vec3 pos = yinyang::position(a);
+      if (panel == Panel::yang) pos = yinyang::axis_swap(pos);
+      csv.row({pos.x, pos.y, pos.z, a.theta, a.phi});
+    }
+  }
+  std::printf("  wrote %s (%d x %d nodes)\n", path, g.nt(), g.np());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Fig. 1: the basic Yin-Yang grid =============================\n");
+  std::printf("Component grid core span: colatitude [45deg, 135deg] (90deg),\n");
+  std::printf("longitude [-135deg, 135deg] (270deg)  — paper Section II.\n\n");
+
+  std::printf("Analytic minimal overlap ratio (infinitesimal mesh): %.4f  (paper: ~6%%)\n",
+              ComponentGeometry::minimal_overlap_ratio());
+  std::printf("Two core rectangles cover the sphere: %s (2e5 Monte-Carlo rays)\n\n",
+              ComponentGeometry::covers_sphere(200000) ? "yes" : "NO — BUG");
+
+  std::printf("%-12s %-10s %-10s %-12s %-12s %-14s\n", "nt x np", "margin_t",
+              "margin_p", "overlap", "ghost cols", "donors interior");
+  for (int nt : {13, 17, 25, 33, 65}) {
+    const int np = 3 * nt - 2;  // matched angular resolution
+    const ComponentGeometry g = ComponentGeometry::with_auto_margin(nt, np);
+    const yinyang::OversetInterpolator interp(g);
+    bool donors_ok = true;
+    for (const auto& e : interp.entries()) {
+      if (e.donor_jt < g.ghost() || e.donor_jp < g.ghost()) donors_ok = false;
+    }
+    char label[32];
+    std::snprintf(label, sizeof label, "%dx%d", nt, np);
+    std::printf("%-12s %-10d %-10d %-12.4f %-12zu %-14s\n", label, g.margin_t(),
+                g.margin_p(), g.extended_overlap_ratio(), interp.entries().size(),
+                donors_ok ? "yes" : "NO");
+  }
+
+  std::printf("\nThe two component grids are identical (same shape, size and\n");
+  std::printf("metric); eq. (1) is an involution, so one interpolation table\n");
+  std::printf("serves both directions (verified by the yinyang test suite).\n\n");
+
+  const ComponentGeometry g = ComponentGeometry::with_auto_margin(17, 49);
+  export_grid(g, Panel::yin, "yinyang_grid_yin.csv");
+  export_grid(g, Panel::yang, "yinyang_grid_yang.csv");
+  return 0;
+}

@@ -1,0 +1,30 @@
+/// Table I reproduction — "Specifications of the Earth Simulator."
+/// The constants drive the performance model; this binary prints them
+/// in the paper's layout together with the derived totals.
+#include <cstdio>
+
+#include "perf/es_spec.hpp"
+
+int main() {
+  const yy::perf::EarthSimulatorSpec spec;
+  std::printf("== Table I: Specifications of the Earth Simulator ==============\n");
+  std::printf("Peak performance of arithmetic processor (AP)  %g Gflops\n",
+              spec.ap_peak_gflops);
+  std::printf("Number of AP in a processor node (PN)          %d\n",
+              spec.aps_per_node);
+  std::printf("Total number of PN                             %d\n",
+              spec.total_nodes);
+  std::printf("Total number of AP                             %d AP x %d PN = %d\n",
+              spec.aps_per_node, spec.total_nodes, spec.total_aps());
+  std::printf("Shared memory size of PN                       %g GB\n",
+              spec.node_memory_gb);
+  std::printf("Total peak performance                         %g Gflops x %d AP = %.0f Tflops\n",
+              spec.ap_peak_gflops, spec.total_aps(), spec.total_peak_tflops());
+  std::printf("Total main memory                              %.0f TB\n",
+              spec.total_memory_tb());
+  std::printf("Inter-node data transfer rate                  %g GB/s x 2\n",
+              spec.internode_bw_gbs);
+  std::printf("Vector register length                         %d elements\n",
+              spec.vector_register_length);
+  return 0;
+}

@@ -1,0 +1,62 @@
+/// §V scenario — "it is necessary to follow the time development of the
+/// MHD system until the thermal convection flow and the dynamo-
+/// generated magnetic field are both sufficiently developed":
+/// integrates a rotating convective dynamo from a negligible seed and
+/// records the kinetic/magnetic energy history to dynamo_growth.csv,
+/// reporting the convection onset and the seed-field behaviour.
+#include <cmath>
+#include <cstdio>
+
+#include "common/csv.hpp"
+#include "core/serial_solver.hpp"
+
+int main(int argc, char** argv) {
+  using namespace yy;
+  // An optional argument scales the run length (default modest so the
+  // example finishes in about a minute on one core).
+  const int bursts = argc > 1 ? std::atoi(argv[1]) : 24;
+
+  core::SimulationConfig cfg;
+  cfg.nr = 13;
+  cfg.nt_core = 17;
+  cfg.np_core = 49;
+  cfg.eq.mu = 1.5e-3;
+  cfg.eq.kappa = 1.5e-3;
+  cfg.eq.eta = 1.5e-3;
+  cfg.eq.g0 = 3.0;
+  cfg.eq.omega = {0.0, 0.0, 15.0};
+  cfg.thermal = {2.5, 1.0};
+  cfg.ic.perturb_amp = 2e-2;
+  cfg.ic.seed_b_amp = 1e-4;
+
+  core::SerialYinYangSolver solver(cfg);
+  solver.initialize();
+
+  CsvWriter csv("dynamo_growth.csv",
+                {"time", "step", "kinetic", "magnetic", "thermal", "mass"});
+  const mhd::EnergyBudget e0 = solver.energies();
+  csv.row({0.0, 0.0, e0.kinetic, e0.magnetic, e0.thermal, e0.mass});
+
+  std::printf("== Dynamo growth (paper SV, scaled down) ======================\n");
+  std::printf("%10s %8s %14s %14s\n", "time", "steps", "kinetic", "magnetic");
+  double ke_peak = 0.0;
+  for (int b = 0; b < bursts; ++b) {
+    solver.run_steps(25);
+    const mhd::EnergyBudget e = solver.energies();
+    csv.row({solver.time(), static_cast<double>(solver.steps_taken()),
+             e.kinetic, e.magnetic, e.thermal, e.mass});
+    ke_peak = std::max(ke_peak, e.kinetic);
+    std::printf("%10.4f %8lld %14.4e %14.4e\n", solver.time(),
+                solver.steps_taken(), e.kinetic, e.magnetic);
+  }
+
+  const mhd::EnergyBudget e1 = solver.energies();
+  std::printf("\nconvection:  kinetic energy grew from 0 to %.3e\n", e1.kinetic);
+  std::printf("seed field:  magnetic energy %.3e -> %.3e (%s)\n", e0.magnetic,
+              e1.magnetic,
+              e1.magnetic > e0.magnetic
+                  ? "amplifying — dynamo action"
+                  : "still resistively decaying — run longer / lower eta");
+  std::printf("wrote dynamo_growth.csv (%zu samples)\n", csv.rows_written());
+  return 0;
+}

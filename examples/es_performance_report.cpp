@@ -1,0 +1,46 @@
+/// Earth Simulator what-if tool: measure this machine's yycore kernel,
+/// then ask the ES model for any (processors, grid) configuration —
+/// the generalization of the paper's Table II / List 1 numbers.
+///
+/// Usage: es_performance_report [processors nr nt np]
+///        (defaults to the paper's flagship 4096 x 511x514x1538x2)
+#include <cstdio>
+#include <cstdlib>
+
+#include "perf/kernel_profile.hpp"
+#include "perf/proginf.hpp"
+
+using namespace yy::perf;
+
+int main(int argc, char** argv) {
+  RunConfig rc = kTable2Configs[0];
+  if (argc == 5) {
+    rc.processors = std::atoi(argv[1]);
+    rc.nr = std::atoi(argv[2]);
+    rc.nt = std::atoi(argv[3]);
+    rc.np = std::atoi(argv[4]);
+  }
+
+  std::printf("measuring the local yycore kernel profile...\n");
+  const KernelProfile prof = KernelProfile::measure();
+  std::printf("  %.0f flops/gridpoint/step, %.2f Gflops sustained here\n\n",
+              prof.flops_per_point_per_step, prof.local_gflops);
+
+  const EsPerformanceModel model(EarthSimulatorSpec{}, EsCostParams{},
+                                 prof.flops_per_point_per_step);
+  const ModelResult m = model.predict(rc);
+
+  std::printf("Earth Simulator projection for %d processes, grid %dx%dx%dx2:\n",
+              rc.processors, rc.nr, rc.nt, rc.np);
+  std::printf("  panel decomposition      : %d x %d processes, patch <= %dx%d\n",
+              m.pt, m.pp, m.ntl, m.npl);
+  std::printf("  sustained performance    : %.2f Tflops (%.0f%% of peak)\n",
+              m.tflops, m.efficiency * 100.0);
+  std::printf("  time per RK4 step        : %.3f s\n", m.time_per_step_s);
+  std::printf("  communication share      : %.0f%%\n", m.comm_fraction * 100.0);
+  std::printf("  average vector length    : %.1f\n", m.avg_vector_length);
+  std::printf("  vector operation ratio   : %.2f%%\n\n", m.vec_op_ratio * 100.0);
+
+  std::printf("%s\n", format_proginf(model, rc).c_str());
+  return 0;
+}

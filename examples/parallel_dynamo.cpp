@@ -1,0 +1,77 @@
+/// The full flat-MPI structure of paper §IV in action: a world of
+/// 2 x pt x pp ranks (threads standing in for the Earth Simulator's
+/// processes) runs the distributed yycore solver — panel split, 2-D
+/// cartesian halo exchange and inter-panel overset interpolation — and
+/// the result is verified against the single-process reference solver.
+///
+/// Usage: parallel_dynamo [pt pp steps]   (default 2 x 2, 10 steps)
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "comm/runtime.hpp"
+#include "common/timer.hpp"
+#include "core/distributed_solver.hpp"
+#include "core/serial_solver.hpp"
+
+using namespace yy;
+using yinyang::Panel;
+
+int main(int argc, char** argv) {
+  const int pt = argc > 1 ? std::atoi(argv[1]) : 2;
+  const int pp = argc > 2 ? std::atoi(argv[2]) : 2;
+  const int steps = argc > 3 ? std::atoi(argv[3]) : 10;
+
+  core::SimulationConfig cfg;
+  cfg.nr = 13;
+  cfg.nt_core = 17;
+  cfg.np_core = 49;
+  cfg.eq.g0 = 2.0;
+  cfg.eq.omega = {0, 0, 10.0};
+  cfg.ic.perturb_amp = 1e-2;
+  cfg.ic.seed_b_amp = 1e-4;
+
+  const int world = 2 * pt * pp;
+  std::printf("== Distributed yycore: %d ranks = 2 panels x (%d x %d) ========\n\n",
+              world, pt, pp);
+
+  mhd::EnergyBudget dist_energy;
+  double dist_dt = 0.0;
+  std::mutex mu;
+  comm::Runtime rt(world);
+  WallTimer timer;
+  rt.run([&](comm::Communicator& w) {
+    core::DistributedSolver solver(cfg, w, pt, pp);
+    solver.initialize();
+    const double dt = solver.stable_dt();
+    for (int i = 0; i < steps; ++i) solver.step(dt);
+    const mhd::EnergyBudget e = solver.energies();
+    if (w.rank() == 0) {
+      std::lock_guard lock(mu);
+      dist_energy = e;
+      dist_dt = dt;
+    }
+  });
+  const double wall = timer.seconds();
+  const auto traffic = rt.traffic_total();
+
+  std::printf("%d RK4 steps on %d ranks: %.2f s wall\n", steps, world, wall);
+  std::printf("message traffic: %llu messages, %.2f MB\n",
+              static_cast<unsigned long long>(traffic.messages),
+              traffic.bytes / 1048576.0);
+  std::printf("global energies: KE %.5e  ME %.5e  mass %.6f\n\n",
+              dist_energy.kinetic, dist_energy.magnetic, dist_energy.mass);
+
+  // Cross-check against the serial reference.
+  core::SerialYinYangSolver ref(cfg);
+  ref.initialize();
+  for (int i = 0; i < steps; ++i) ref.step(dist_dt);
+  const mhd::EnergyBudget re = ref.energies();
+  const double rel =
+      std::abs(re.kinetic - dist_energy.kinetic) / (re.kinetic + 1e-30);
+  std::printf("serial reference KE %.5e -> relative difference %.2e %s\n",
+              re.kinetic, rel,
+              rel < 1e-9 ? "(trajectories match)" : "(MISMATCH!)");
+  return 0;
+}

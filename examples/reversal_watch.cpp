@@ -1,0 +1,88 @@
+/// Dipole-moment watch — the diagnostic behind the paper's scientific
+/// motivation ("spontaneous and repeated reversals of the dipole moment
+/// (north-south polarity)", §I, refs [5, 11, 13]).  Tracks the Gauss
+/// coefficients of the dynamo field: the axial dipole g10, the dipole
+/// tilt, and the Lowes spectrum, writing reversal_watch.csv.
+///
+/// At workstation scale the field decays resistively rather than
+/// reversing (the paper needed 4096 processors and hours of wall clock
+/// to reach developed dynamo states) — but the full analysis pipeline
+/// this example exercises is exactly what reversal hunting requires.
+#include <cmath>
+#include <cstdio>
+
+#include "common/csv.hpp"
+#include "core/serial_solver.hpp"
+#include "grid/fd_ops.hpp"
+#include "io/gauss.hpp"
+#include "mhd/derived.hpp"
+
+using namespace yy;
+using core::SerialYinYangSolver;
+using yinyang::Panel;
+
+namespace {
+
+io::GaussCoefficients analyze(SerialYinYangSolver& s, Field3* b[6]) {
+  const SphericalGrid& g = s.grid();
+  const IndexBox ext = g.interior().grown(1);
+  mhd::magnetic_field(g, s.panel(Panel::yin), *b[0], *b[1], *b[2], ext);
+  mhd::magnetic_field(g, s.panel(Panel::yang), *b[3], *b[4], *b[5], ext);
+  io::SphereSampler sampler(g, s.geometry());
+  const double r_s = 0.5 * (s.config().shell.r_inner + s.config().shell.r_outer);
+  return io::analyze_gauss_coefficients(sampler, {b[0], b[1], b[2]},
+                                        {b[3], b[4], b[5]}, r_s, 4, 32, 64);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int bursts = argc > 1 ? std::atoi(argv[1]) : 10;
+
+  core::SimulationConfig cfg;
+  cfg.nr = 13;
+  cfg.nt_core = 17;
+  cfg.np_core = 49;
+  cfg.eq.mu = 1.5e-3;
+  cfg.eq.kappa = 1.5e-3;
+  cfg.eq.eta = 1.5e-3;
+  cfg.eq.g0 = 3.0;
+  cfg.eq.omega = {0.0, 0.0, 15.0};
+  cfg.thermal = {2.5, 1.0};
+  cfg.ic.perturb_amp = 2e-2;
+  cfg.ic.seed_b_amp = 1e-3;
+
+  SerialYinYangSolver solver(cfg);
+  solver.initialize();
+  const SphericalGrid& g = solver.grid();
+  Field3 store[6];
+  Field3* b[6];
+  for (int i = 0; i < 6; ++i) {
+    store[i] = Field3(g.Nr(), g.Nt(), g.Np());
+    b[i] = &store[i];
+  }
+
+  CsvWriter csv("reversal_watch.csv",
+                {"time", "g10", "g11", "h11", "tilt_deg", "dipole_power",
+                 "quadrupole_power"});
+
+  std::printf("== Dipole watch (Gauss coefficients of the dynamo field) =======\n");
+  std::printf("%10s %12s %12s %10s %12s\n", "time", "g10", "|dipole|",
+              "tilt", "R2/R1");
+  for (int k = 0; k < bursts; ++k) {
+    const io::GaussCoefficients gc = analyze(solver, b);
+    const auto spec = gc.lowes_spectrum();
+    const double tilt_deg = gc.dipole_tilt() * 180.0 / 3.14159265358979;
+    csv.row({solver.time(), gc.g_lm(1, 0), gc.g_lm(1, 1), gc.h_lm(1, 1),
+             tilt_deg, spec[1], spec[2]});
+    std::printf("%10.4f %12.3e %12.3e %9.1f° %12.3f\n", solver.time(),
+                gc.g_lm(1, 0), gc.dipole().norm(), tilt_deg,
+                spec[1] > 0 ? spec[2] / spec[1] : 0.0);
+    solver.run_steps(30);
+  }
+
+  std::printf("\nA polarity reversal would appear as g10 crossing zero with\n");
+  std::printf("the tilt sweeping through 90 deg (paper refs [5,11,13]).\n");
+  std::printf("wrote reversal_watch.csv\n");
+  return 0;
+}

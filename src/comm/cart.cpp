@@ -1,0 +1,64 @@
+#include "comm/cart.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace yy::comm {
+
+int CartComm::check_dim(int d) {
+  YY_REQUIRE(d == 0 || d == 1);
+  return d;
+}
+
+CartComm::CartComm(Communicator c, int d0, int d1, bool p0, bool p1)
+    : comm_(std::move(c)) {
+  dims_[0] = d0;
+  dims_[1] = d1;
+  periodic_[0] = p0;
+  periodic_[1] = p1;
+  coords_[0] = comm_.rank() / d1;
+  coords_[1] = comm_.rank() % d1;
+}
+
+CartComm CartComm::create(const Communicator& parent, int dims0, int dims1,
+                          bool periodic0, bool periodic1) {
+  YY_REQUIRE(dims0 >= 1 && dims1 >= 1);
+  YY_REQUIRE(dims0 * dims1 == parent.size());
+  // Row-major rank order is already the parent's order; a real MPI may
+  // reorder ranks for locality — purely a performance concern that the
+  // perf model captures, so identity order is used here.
+  Communicator c = parent.split(0, parent.rank());
+  return CartComm(std::move(c), dims0, dims1, periodic0, periodic1);
+}
+
+std::pair<int, int> CartComm::choose_dims(int nranks) {
+  YY_REQUIRE(nranks >= 1);
+  int best = 1;
+  for (int d = 1; d * d <= nranks; ++d)
+    if (nranks % d == 0) best = d;
+  return {best, nranks / best};
+}
+
+int CartComm::rank_at(int c0, int c1) const {
+  int c[2] = {c0, c1};
+  for (int d = 0; d < 2; ++d) {
+    if (periodic_[d]) {
+      c[d] = ((c[d] % dims_[d]) + dims_[d]) % dims_[d];
+    } else if (c[d] < 0 || c[d] >= dims_[d]) {
+      return proc_null;
+    }
+  }
+  return c[0] * dims_[1] + c[1];
+}
+
+std::pair<int, int> CartComm::shift(int d, int displacement) const {
+  check_dim(d);
+  int cs[2] = {coords_[0], coords_[1]};
+  int cd[2] = {coords_[0], coords_[1]};
+  cs[d] -= displacement;
+  cd[d] += displacement;
+  return {rank_at(cs[0], cs[1]), rank_at(cd[0], cd[1])};
+}
+
+}  // namespace yy::comm

@@ -1,0 +1,50 @@
+/// \file cart.hpp
+/// Two-dimensional cartesian process topology, mirroring the
+/// MPI_CART_CREATE / MPI_CART_SHIFT pair the paper uses to decompose
+/// each Yin-Yang panel in (colatitude, longitude).
+#pragma once
+
+#include <utility>
+
+#include "comm/communicator.hpp"
+
+namespace yy::comm {
+
+/// A communicator with 2-D cartesian structure; dimension 0 is the
+/// colatitude direction, dimension 1 the longitude direction.
+class CartComm {
+ public:
+  /// Collective over `parent`; requires dims0*dims1 == parent.size().
+  /// Rank order is row-major: rank = coord0 * dims1 + coord1.
+  static CartComm create(const Communicator& parent, int dims0, int dims1,
+                         bool periodic0, bool periodic1);
+
+  /// Pick a near-square factorization of `nranks` (MPI_Dims_create).
+  static std::pair<int, int> choose_dims(int nranks);
+
+  const Communicator& comm() const { return comm_; }
+  int rank() const { return comm_.rank(); }
+  int size() const { return comm_.size(); }
+  int dim(int d) const { return dims_[check_dim(d)]; }
+  int coord(int d) const { return coords_[check_dim(d)]; }
+  bool periodic(int d) const { return periodic_[check_dim(d)]; }
+
+  /// MPI_Cart_shift: ranks of (source, destination) for a displacement
+  /// along dimension `d`; proc_null where the topology ends.
+  std::pair<int, int> shift(int d, int displacement) const;
+
+  /// Rank holding the given coordinates (wraps periodic dimensions);
+  /// proc_null if out of range on a non-periodic dimension.
+  int rank_at(int c0, int c1) const;
+
+ private:
+  CartComm(Communicator c, int d0, int d1, bool p0, bool p1);
+  static int check_dim(int d);
+
+  Communicator comm_;
+  int dims_[2] = {0, 0};
+  int coords_[2] = {0, 0};
+  bool periodic_[2] = {false, false};
+};
+
+}  // namespace yy::comm

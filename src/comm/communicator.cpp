@@ -1,0 +1,279 @@
+#include "comm/communicator.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "comm/fabric.hpp"
+#include "common/error.hpp"
+
+namespace yy::comm {
+
+namespace {
+// Collectives run inside the communicator's own context but on reserved
+// negative tags; user point-to-point traffic must use tags >= 0.
+constexpr int sys_barrier_up = -1;
+constexpr int sys_barrier_down = -2;
+constexpr int sys_reduce_up = -3;
+constexpr int sys_reduce_down = -4;
+constexpr int sys_gather = -5;
+constexpr int sys_bcast = -6;
+constexpr int sys_split_up = -7;
+constexpr int sys_split_down = -8;
+}  // namespace
+
+void Fabric::deliver(int dest_world, Envelope env) {
+  YY_REQUIRE(dest_world >= 0 && dest_world < nranks());
+  auto& t = traffic_[static_cast<std::size_t>(env.src_world)];
+  t.messages.fetch_add(1, std::memory_order_relaxed);
+  t.bytes.fetch_add(env.data.size() * sizeof(double), std::memory_order_relaxed);
+  auto& box = boxes_[static_cast<std::size_t>(dest_world)];
+  {
+    std::lock_guard lock(box.mu);
+    box.queue.push_back(std::move(env));
+  }
+  box.cv.notify_all();
+}
+
+Envelope Fabric::take(int self_world, int ctx, int src_world, int tag) {
+  auto& box = boxes_[static_cast<std::size_t>(self_world)];
+  std::unique_lock lock(box.mu);
+  for (;;) {
+    auto it = std::find_if(box.queue.begin(), box.queue.end(),
+                           [&](const Envelope& e) {
+                             return e.ctx == ctx && e.src_world == src_world &&
+                                    e.tag == tag;
+                           });
+    if (it != box.queue.end()) {
+      Envelope env = std::move(*it);
+      box.queue.erase(it);
+      return env;
+    }
+    box.cv.wait(lock);
+  }
+}
+
+TrafficStats Fabric::traffic(int world_rank) const {
+  YY_REQUIRE(world_rank >= 0 && world_rank < nranks());
+  const auto& t = traffic_[static_cast<std::size_t>(world_rank)];
+  return {t.messages.load(std::memory_order_relaxed),
+          t.bytes.load(std::memory_order_relaxed)};
+}
+
+TrafficStats Fabric::traffic_total() const {
+  TrafficStats sum;
+  for (int r = 0; r < nranks(); ++r) {
+    const TrafficStats t = traffic(r);
+    sum.messages += t.messages;
+    sum.bytes += t.bytes;
+  }
+  return sum;
+}
+
+void Communicator::send(int dest, int tag, std::span<const double> data) const {
+  if (dest == proc_null) return;
+  YY_REQUIRE(fabric_ != nullptr);
+  YY_REQUIRE(dest >= 0 && dest < size());
+  Envelope env{ctx_, group_[static_cast<std::size_t>(rank_)], tag,
+               std::vector<double>(data.begin(), data.end())};
+  fabric_->deliver(group_[static_cast<std::size_t>(dest)], std::move(env));
+}
+
+Request Communicator::irecv(int src, int tag, std::span<double> buf) const {
+  Request req;
+  if (src == proc_null) {
+    req.null_ = true;
+    return req;
+  }
+  YY_REQUIRE(fabric_ != nullptr);
+  YY_REQUIRE(src >= 0 && src < size());
+  req.fabric_ = fabric_.get();
+  req.ctx_ = ctx_;
+  req.src_world_ = group_[static_cast<std::size_t>(src)];
+  req.self_world_ = group_[static_cast<std::size_t>(rank_)];
+  req.tag_ = tag;
+  req.buf_ = buf;
+  return req;
+}
+
+void Communicator::wait(Request& req) const {
+  YY_REQUIRE(req.valid());
+  if (req.null_) {
+    req.null_ = false;
+    return;
+  }
+  Envelope env =
+      req.fabric_->take(req.self_world_, req.ctx_, req.src_world_, req.tag_);
+  YY_REQUIRE(env.data.size() == req.buf_.size());
+  std::copy(env.data.begin(), env.data.end(), req.buf_.begin());
+  req.fabric_ = nullptr;
+}
+
+void Communicator::recv(int src, int tag, std::span<double> buf) const {
+  Request req = irecv(src, tag, buf);
+  wait(req);
+}
+
+void Communicator::sendrecv(int dest, int send_tag,
+                            std::span<const double> send_buf, int src,
+                            int recv_tag, std::span<double> recv_buf) const {
+  Request req = irecv(src, recv_tag, recv_buf);
+  send(dest, send_tag, send_buf);
+  wait(req);
+}
+
+void Communicator::barrier() const {
+  const double token = 0.0;
+  double sink = 0.0;
+  if (rank_ == 0) {
+    for (int r = 1; r < size(); ++r) recv(r, sys_barrier_up, {&sink, 1});
+    for (int r = 1; r < size(); ++r) send(r, sys_barrier_down, {&token, 1});
+  } else {
+    send(0, sys_barrier_up, {&token, 1});
+    recv(0, sys_barrier_down, {&sink, 1});
+  }
+}
+
+namespace {
+template <typename Op>
+double allreduce_impl(const Communicator& c, double v, Op op) {
+  if (c.size() == 1) return v;
+  double acc = v;
+  if (c.rank() == 0) {
+    double incoming = 0.0;
+    for (int r = 1; r < c.size(); ++r) {
+      c.recv(r, sys_reduce_up, {&incoming, 1});
+      acc = op(acc, incoming);
+    }
+    for (int r = 1; r < c.size(); ++r) c.send(r, sys_reduce_down, {&acc, 1});
+  } else {
+    c.send(0, sys_reduce_up, {&acc, 1});
+    c.recv(0, sys_reduce_down, {&acc, 1});
+  }
+  return acc;
+}
+}  // namespace
+
+double Communicator::allreduce_sum(double v) const {
+  return allreduce_impl(*this, v, [](double a, double b) { return a + b; });
+}
+double Communicator::allreduce_min(double v) const {
+  return allreduce_impl(*this, v, [](double a, double b) { return std::min(a, b); });
+}
+double Communicator::allreduce_max(double v) const {
+  return allreduce_impl(*this, v, [](double a, double b) { return std::max(a, b); });
+}
+
+void Communicator::allreduce_sum(std::span<double> inout) const {
+  if (size() == 1) return;
+  if (rank_ == 0) {
+    std::vector<double> incoming(inout.size());
+    for (int r = 1; r < size(); ++r) {
+      recv(r, sys_reduce_up, incoming);
+      for (std::size_t i = 0; i < inout.size(); ++i) inout[i] += incoming[i];
+    }
+    for (int r = 1; r < size(); ++r) send(r, sys_reduce_down, inout);
+  } else {
+    send(0, sys_reduce_up, inout);
+    recv(0, sys_reduce_down, inout);
+  }
+}
+
+std::vector<double> Communicator::gather(std::span<const double> v, int root) const {
+  YY_REQUIRE(root >= 0 && root < size());
+  if (rank_ != root) {
+    send(root, sys_gather, v);
+    return {};
+  }
+  std::vector<double> all(v.size() * static_cast<std::size_t>(size()));
+  for (int r = 0; r < size(); ++r) {
+    std::span<double> slot{all.data() + v.size() * static_cast<std::size_t>(r),
+                           v.size()};
+    if (r == root) {
+      std::copy(v.begin(), v.end(), slot.begin());
+    } else {
+      recv(r, sys_gather, slot);
+    }
+  }
+  return all;
+}
+
+void Communicator::broadcast(std::span<double> buf, int root) const {
+  YY_REQUIRE(root >= 0 && root < size());
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r)
+      if (r != root) send(r, sys_bcast, buf);
+  } else {
+    recv(root, sys_bcast, buf);
+  }
+}
+
+Communicator Communicator::split(int color, int key) const {
+  YY_REQUIRE(fabric_ != nullptr);
+  // Every rank reports (color, key) to rank 0, which forms the groups,
+  // allocates one fresh context per color, and answers each rank with
+  // its new (ctx, new_rank, group membership) — the MPI_COMM_SPLIT
+  // contract: groups ordered by (key, old rank).
+  const double report[2] = {static_cast<double>(color), static_cast<double>(key)};
+  if (rank_ != 0) send(0, sys_split_up, report);
+
+  std::vector<double> reply;
+  if (rank_ == 0) {
+    struct Entry {
+      int color, key, old_rank;
+    };
+    std::vector<Entry> entries;
+    entries.push_back({color, key, 0});
+    double in[2];
+    for (int r = 1; r < size(); ++r) {
+      recv(r, sys_split_up, in);
+      entries.push_back({static_cast<int>(in[0]), static_cast<int>(in[1]), r});
+    }
+    std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+      if (a.color != b.color) return a.color < b.color;
+      if (a.key != b.key) return a.key < b.key;
+      return a.old_rank < b.old_rank;
+    });
+    // Contiguous runs of equal color are the new groups.
+    std::vector<std::vector<Entry>> groups;
+    for (const Entry& e : entries) {
+      if (groups.empty() || groups.back().front().color != e.color)
+        groups.emplace_back();
+      groups.back().push_back(e);
+    }
+    const int ctx0 = fabric_->allocate_contexts(static_cast<int>(groups.size()));
+    // Reply layout: [ctx, new_rank, group_size, world_ranks...]
+    std::vector<std::vector<double>> replies(static_cast<std::size_t>(size()));
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      std::vector<double> worlds;
+      for (const Entry& e : groups[g])
+        worlds.push_back(
+            static_cast<double>(group_[static_cast<std::size_t>(e.old_rank)]));
+      for (std::size_t i = 0; i < groups[g].size(); ++i) {
+        auto& rep = replies[static_cast<std::size_t>(groups[g][i].old_rank)];
+        rep = {static_cast<double>(ctx0 + static_cast<int>(g)),
+               static_cast<double>(i), static_cast<double>(groups[g].size())};
+        rep.insert(rep.end(), worlds.begin(), worlds.end());
+      }
+    }
+    for (int r = 1; r < size(); ++r) send(r, sys_split_down, replies[static_cast<std::size_t>(r)]);
+    reply = std::move(replies[0]);
+  } else {
+    // Size of the reply is 3 + my-group size, unknown here; receive the
+    // group size first via a fixed-size header?  Instead rank 0 sends a
+    // single message and we rely on envelope length: fetch it raw.
+    Envelope env = fabric_->take(group_[static_cast<std::size_t>(rank_)], ctx_,
+                                 group_[0], sys_split_down);
+    reply = std::move(env.data);
+  }
+
+  const int new_ctx = static_cast<int>(reply.at(0));
+  const int new_rank = static_cast<int>(reply.at(1));
+  const int group_size = static_cast<int>(reply.at(2));
+  YY_ASSERT(static_cast<int>(reply.size()) == 3 + group_size);
+  std::vector<int> group(static_cast<std::size_t>(group_size));
+  for (int i = 0; i < group_size; ++i)
+    group[static_cast<std::size_t>(i)] = static_cast<int>(reply[static_cast<std::size_t>(3 + i)]);
+  return Communicator(fabric_, new_ctx, std::move(group), new_rank);
+}
+
+}  // namespace yy::comm

@@ -1,0 +1,59 @@
+/// \file fabric.hpp
+/// Shared mailbox state behind a world of ranks (internal header).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "comm/communicator.hpp"
+
+namespace yy::comm {
+
+struct Envelope {
+  int ctx;
+  int src_world;
+  int tag;
+  std::vector<double> data;
+};
+
+/// One mailbox per world rank; senders push, receivers match and pop.
+class Fabric {
+ public:
+  explicit Fabric(int nranks)
+      : boxes_(static_cast<std::size_t>(nranks)),
+        traffic_(static_cast<std::size_t>(nranks)) {}
+
+  int nranks() const { return static_cast<int>(boxes_.size()); }
+
+  void deliver(int dest_world, Envelope env);
+
+  /// Blocks until an envelope matching (ctx, src, tag) arrives at
+  /// `self_world`'s mailbox, then moves it out.
+  Envelope take(int self_world, int ctx, int src_world, int tag);
+
+  int allocate_contexts(int n) { return next_ctx_.fetch_add(n); }
+
+  TrafficStats traffic(int world_rank) const;
+  TrafficStats traffic_total() const;
+
+ private:
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Envelope> queue;
+  };
+  struct PerRankTraffic {
+    std::atomic<std::uint64_t> messages{0};
+    std::atomic<std::uint64_t> bytes{0};
+  };
+
+  std::vector<Mailbox> boxes_;
+  std::vector<PerRankTraffic> traffic_;  // indexed by sender world rank
+  std::atomic<int> next_ctx_{1};
+};
+
+}  // namespace yy::comm

@@ -1,0 +1,59 @@
+#include "comm/runtime.hpp"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "comm/fabric.hpp"
+#include "common/error.hpp"
+
+namespace yy::comm {
+
+namespace {
+// Grants Runtime access to the private Communicator constructor.
+}  // namespace
+
+struct CommTestAccess {
+  static Communicator make_world(std::shared_ptr<Fabric> f, int rank) {
+    std::vector<int> group(static_cast<std::size_t>(f->nranks()));
+    for (std::size_t i = 0; i < group.size(); ++i) group[i] = static_cast<int>(i);
+    return Communicator(std::move(f), /*ctx=*/0, std::move(group),
+                        rank);
+  }
+};
+
+Runtime::Runtime(int nranks) : fabric_(std::make_shared<Fabric>(nranks)) {
+  YY_REQUIRE(nranks >= 1);
+}
+
+Runtime::~Runtime() = default;
+
+int Runtime::nranks() const { return fabric_->nranks(); }
+
+void Runtime::run(const std::function<void(Communicator&)>& fn) {
+  const int n = nranks();
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([this, r, &fn, &errors] {
+      try {
+        Communicator world = CommTestAccess::make_world(fabric_, r);
+        fn(world);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+TrafficStats Runtime::traffic(int world_rank) const {
+  return fabric_->traffic(world_rank);
+}
+
+TrafficStats Runtime::traffic_total() const { return fabric_->traffic_total(); }
+
+}  // namespace yy::comm

@@ -1,0 +1,36 @@
+/// \file runtime.hpp
+/// Spawns a world of ranks on threads and runs a rank function on each,
+/// the in-process stand-in for `mpirun -np N`.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "comm/communicator.hpp"
+
+namespace yy::comm {
+
+class Runtime {
+ public:
+  explicit Runtime(int nranks);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  int nranks() const;
+
+  /// Runs `fn(world)` on every rank concurrently and joins them all.
+  /// The first exception thrown by any rank is rethrown here after all
+  /// ranks complete.  May be called repeatedly (counters accumulate).
+  void run(const std::function<void(Communicator&)>& fn);
+
+  /// Traffic sent by one world rank / by everyone since construction.
+  TrafficStats traffic(int world_rank) const;
+  TrafficStats traffic_total() const;
+
+ private:
+  std::shared_ptr<Fabric> fabric_;
+};
+
+}  // namespace yy::comm

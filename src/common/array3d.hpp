@@ -1,0 +1,77 @@
+/// \file array3d.hpp
+/// Contiguous 3-D array with the radial index fastest.
+///
+/// The storage order mirrors the paper's vectorization strategy: the
+/// Earth Simulator code vectorizes along the radial dimension, so the
+/// radial index `i` is the unit-stride index here and inner loops run
+/// over r.  Indexing is (ir, it, ip) = (radius, colatitude, longitude).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace yy {
+
+template <typename T>
+class Array3D {
+ public:
+  Array3D() = default;
+
+  Array3D(int nr, int nt, int np, T fill = T{})
+      : nr_(nr), nt_(nt), np_(np),
+        data_(static_cast<std::size_t>(nr) * nt * np, fill) {
+    YY_REQUIRE(nr >= 0 && nt >= 0 && np >= 0);
+  }
+
+  int nr() const { return nr_; }
+  int nt() const { return nt_; }
+  int np() const { return np_; }
+  std::size_t size() const { return data_.size(); }
+
+  /// Flat index of (ir, it, ip); radial index is unit stride.
+  std::size_t index(int ir, int it, int ip) const {
+    YY_ASSERT_DBG(ir >= 0 && ir < nr_);
+    YY_ASSERT_DBG(it >= 0 && it < nt_);
+    YY_ASSERT_DBG(ip >= 0 && ip < np_);
+    return static_cast<std::size_t>(ir) +
+           static_cast<std::size_t>(nr_) *
+               (static_cast<std::size_t>(it) +
+                static_cast<std::size_t>(nt_) * static_cast<std::size_t>(ip));
+  }
+
+  T& operator()(int ir, int it, int ip) { return data_[index(ir, it, ip)]; }
+  const T& operator()(int ir, int it, int ip) const {
+    return data_[index(ir, it, ip)];
+  }
+
+  /// Radial line at (it, ip) — the contiguous, "vectorized" direction.
+  std::span<T> line(int it, int ip) {
+    return {data_.data() + index(0, it, ip), static_cast<std::size_t>(nr_)};
+  }
+  std::span<const T> line(int it, int ip) const {
+    return {data_.data() + index(0, it, ip), static_cast<std::size_t>(nr_)};
+  }
+
+  std::span<T> flat() { return data_; }
+  std::span<const T> flat() const { return data_; }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  bool same_shape(const Array3D& o) const {
+    return nr_ == o.nr_ && nt_ == o.nt_ && np_ == o.np_;
+  }
+
+ private:
+  int nr_ = 0, nt_ = 0, np_ = 0;
+  std::vector<T> data_;
+};
+
+using Field3 = Array3D<double>;
+
+}  // namespace yy

@@ -1,0 +1,35 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace yy {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
+    : out_(path), ncols_(columns.size()) {
+  YY_REQUIRE(!columns.empty());
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    out_ << columns[i] << (i + 1 < columns.size() ? "," : "\n");
+  }
+}
+
+void CsvWriter::write_row(const double* v, std::size_t n) {
+  YY_REQUIRE(n == ncols_);
+  char buf[32];
+  for (std::size_t i = 0; i < n; ++i) {
+    std::snprintf(buf, sizeof buf, "%.10g", v[i]);
+    out_ << buf << (i + 1 < n ? "," : "\n");
+  }
+  ++rows_;
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+  write_row(values.begin(), values.size());
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  write_row(values.data(), values.size());
+}
+
+}  // namespace yy

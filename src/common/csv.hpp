@@ -1,0 +1,35 @@
+/// \file csv.hpp
+/// Minimal CSV table writer used by examples and benchmark harnesses to
+/// export plot-ready data (grid coverage maps, energy time series,
+/// equatorial slices).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace yy {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, std::vector<std::string> columns);
+
+  /// True if the file opened successfully.
+  bool ok() const { return static_cast<bool>(out_); }
+
+  /// Writes one data row; the number of values must match the header.
+  void row(std::initializer_list<double> values);
+  void row(const std::vector<double>& values);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  void write_row(const double* v, std::size_t n);
+  std::ofstream out_;
+  std::size_t ncols_ = 0;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace yy

@@ -1,0 +1,35 @@
+/// \file error.hpp
+/// Contract-checking macros used across the library.
+///
+/// Following the C++ Core Guidelines (I.6 / E.12), preconditions are
+/// expressed with YY_REQUIRE and internal invariants with YY_ASSERT.
+/// Violations abort with a message; hot inner loops use YY_ASSERT_DBG,
+/// which compiles away unless YY_DEBUG_CHECKS is defined.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace yy {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "[yy] %s failed: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace yy
+
+#define YY_REQUIRE(expr)                                                \
+  ((expr) ? static_cast<void>(0)                                        \
+          : ::yy::contract_failure("precondition", #expr, __FILE__, __LINE__))
+
+#define YY_ASSERT(expr)                                                 \
+  ((expr) ? static_cast<void>(0)                                        \
+          : ::yy::contract_failure("assertion", #expr, __FILE__, __LINE__))
+
+#if defined(YY_DEBUG_CHECKS)
+#define YY_ASSERT_DBG(expr) YY_ASSERT(expr)
+#else
+#define YY_ASSERT_DBG(expr) static_cast<void>(0)
+#endif

@@ -1,0 +1,44 @@
+#include "common/flops.hpp"
+
+#include <atomic>
+
+namespace yy::flops {
+namespace {
+
+std::atomic<std::uint64_t> g_retired{0};  // drained counters of all threads
+
+struct Counter {
+  std::uint64_t local = 0;
+  ~Counter() { g_retired.fetch_add(local, std::memory_order_relaxed); }
+};
+
+thread_local Counter t_counter;
+
+// Registry of live thread counters is intentionally avoided (it would
+// need locking on every hot-path add).  Instead global_count() is the
+// retired total plus the calling thread's live counter; tests that
+// need cross-thread totals join their workers first, which drains the
+// per-thread counters into g_retired.
+}  // namespace
+
+void add(std::uint64_t n) { t_counter.local += n; }
+
+std::uint64_t count() { return t_counter.local; }
+
+void reset() {
+  g_retired.fetch_add(t_counter.local, std::memory_order_relaxed);
+  t_counter.local = 0;
+  // Note: reset() folds the discarded amount into the retired pool so
+  // global accounting never loses flops; use global_reset() to zero both.
+}
+
+std::uint64_t global_count() {
+  return g_retired.load(std::memory_order_relaxed) + t_counter.local;
+}
+
+void global_reset() {
+  g_retired.store(0, std::memory_order_relaxed);
+  t_counter.local = 0;
+}
+
+}  // namespace yy::flops

@@ -1,0 +1,44 @@
+/// \file flops.hpp
+/// Per-thread floating-point operation accounting.
+///
+/// The Earth Simulator reported FLOP counts from a hardware counter
+/// (paper List 1, env MPIPROGINF).  We reproduce that capability in
+/// software: every numerical kernel declares its flop cost per grid
+/// point as a documented constant and charges
+///   flops::add(points * COST)
+/// once per loop nest.  The perf model (src/perf) reads these counters
+/// to obtain the real "flops per grid point per step" of this code,
+/// the quantity that drives the Table II / List 1 reproduction.
+#pragma once
+
+#include <cstdint>
+
+namespace yy::flops {
+
+/// Add `n` floating point operations to this thread's counter.
+void add(std::uint64_t n);
+
+/// This thread's accumulated count.
+std::uint64_t count();
+
+/// Reset this thread's counter to zero.
+void reset();
+
+/// Sum of the counters of all threads that ever charged flops,
+/// including finished ones.  Thread-safe.
+std::uint64_t global_count();
+
+/// Reset the global aggregate (and this thread's counter).
+void global_reset();
+
+/// RAII scope that reports the flops charged while it was alive.
+class Scope {
+ public:
+  Scope() : start_(count()) {}
+  std::uint64_t elapsed() const { return count() - start_; }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace yy::flops

@@ -1,0 +1,36 @@
+/// \file noise.hpp
+/// Decomposition-independent random fields.
+///
+/// Initial perturbations (paper §III: "a random temperature
+/// perturbation ... and an infinitesimally small, random seed of the
+/// magnetic field") must be identical whether the shell is computed on
+/// 1 rank or 64, so noise is a pure hash of the *global* node identity
+/// rather than a sequential RNG stream.
+#pragma once
+
+#include <cstdint>
+
+namespace yy {
+
+/// Deterministic hash noise in [-1, 1) for a global node id.
+inline double hash_noise(std::uint64_t seed, int channel, int panel, int ir,
+                         int it, int ip) {
+  std::uint64_t x = seed;
+  auto mix = [&x](std::uint64_t v) {
+    x ^= v + 0x9e3779b97f4a7c15ull + (x << 6) + (x >> 2);
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+  };
+  mix(static_cast<std::uint64_t>(channel) + 1);
+  mix(static_cast<std::uint64_t>(panel) + 0x51ull);
+  mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(ir)) + 0x9e1ull);
+  mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(it)) + 0x1234ull);
+  mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(ip)) + 0xbeefull);
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  // Map the top 53 bits to [0,1), then to [-1,1).
+  const double u = static_cast<double>(x >> 11) * 0x1.0p-53;
+  return 2.0 * u - 1.0;
+}
+
+}  // namespace yy

@@ -1,0 +1,62 @@
+#include "common/ppm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace yy {
+
+namespace {
+unsigned char to_byte(double v) {
+  return static_cast<unsigned char>(std::clamp(v, 0.0, 1.0) * 255.0 + 0.5);
+}
+}  // namespace
+
+Rgb diverging_color(double t) {
+  t = std::clamp(t, -1.0, 1.0);
+  // Blue (-1) -> white (0) -> red (+1), perceptually gentle ramp.
+  double a = std::abs(t);
+  double r = t > 0 ? 1.0 : 1.0 - 0.75 * a;
+  double g = 1.0 - 0.80 * a;
+  double b = t < 0 ? 1.0 : 1.0 - 0.75 * a;
+  return {to_byte(r), to_byte(g), to_byte(b)};
+}
+
+Rgb sequential_color(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  // Black -> red -> yellow -> white.
+  double r = std::min(1.0, 3.0 * t);
+  double g = std::clamp(3.0 * t - 1.0, 0.0, 1.0);
+  double b = std::clamp(3.0 * t - 2.0, 0.0, 1.0);
+  return {to_byte(r), to_byte(g), to_byte(b)};
+}
+
+PpmImage::PpmImage(int width, int height, Rgb fill)
+    : w_(width), h_(height),
+      pix_(static_cast<std::size_t>(width) * height, fill) {
+  YY_REQUIRE(width > 0 && height > 0);
+}
+
+void PpmImage::set(int x, int y, Rgb c) {
+  YY_ASSERT_DBG(x >= 0 && x < w_ && y >= 0 && y < h_);
+  pix_[static_cast<std::size_t>(y) * w_ + x] = c;
+}
+
+Rgb PpmImage::get(int x, int y) const {
+  YY_ASSERT_DBG(x >= 0 && x < w_ && y >= 0 && y < h_);
+  return pix_[static_cast<std::size_t>(y) * w_ + x];
+}
+
+bool PpmImage::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::fprintf(f, "P6\n%d %d\n255\n", w_, h_);
+  std::fwrite(pix_.data(), sizeof(Rgb), pix_.size(), f);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace yy

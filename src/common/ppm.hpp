@@ -1,0 +1,41 @@
+/// \file ppm.hpp
+/// False-colour PPM image writer for field slices (the visualization
+/// path behind the paper's Fig. 2 renderings).  A symmetric diverging
+/// colormap maps cyclonic (positive) and anti-cyclonic (negative)
+/// vorticity to two colours, matching the paper's two-colour convention.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace yy {
+
+struct Rgb {
+  unsigned char r = 0, g = 0, b = 0;
+};
+
+/// Diverging blue–white–red colormap over [-1, 1] (input is clamped).
+Rgb diverging_color(double t);
+
+/// Sequential black-body-style colormap over [0, 1] (input is clamped).
+Rgb sequential_color(double t);
+
+class PpmImage {
+ public:
+  PpmImage(int width, int height, Rgb fill = {0, 0, 0});
+
+  int width() const { return w_; }
+  int height() const { return h_; }
+
+  void set(int x, int y, Rgb c);
+  Rgb get(int x, int y) const;
+
+  /// Writes a binary P6 PPM; returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  int w_, h_;
+  std::vector<Rgb> pix_;
+};
+
+}  // namespace yy

@@ -1,0 +1,25 @@
+/// \file timer.hpp
+/// Monotonic wall-clock timer for benchmarks and diagnostics.
+#pragma once
+
+#include <chrono>
+
+namespace yy {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace yy

@@ -1,0 +1,74 @@
+/// \file decomposition.hpp
+/// Two-dimensional horizontal domain decomposition of one Yin-Yang
+/// panel (paper §IV: "two-dimensional decomposition in the horizontal
+/// space, colatitude θ and longitude φ, in each panel").  The radial
+/// dimension is never decomposed — it is the vectorized direction.
+#pragma once
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace yy::core {
+
+/// One patch's extent in panel-interior node indices.
+struct PatchExtent {
+  int t0 = 0, nt = 0;  ///< first θ node and count
+  int p0 = 0, np = 0;  ///< first φ node and count
+};
+
+class PanelDecomposition {
+ public:
+  /// Splits panel_nt × panel_np interior nodes over pt × pp ranks,
+  /// near-evenly (remainders go to the lower coordinates).
+  PanelDecomposition(int panel_nt, int panel_np, int pt, int pp)
+      : nt_(panel_nt), np_(panel_np), pt_(pt), pp_(pp) {
+    YY_REQUIRE(pt >= 1 && pp >= 1);
+    YY_REQUIRE(panel_nt >= pt && panel_np >= pp);
+  }
+
+  int pt() const { return pt_; }
+  int pp() const { return pp_; }
+  int panel_nt() const { return nt_; }
+  int panel_np() const { return np_; }
+
+  PatchExtent patch(int ct, int cp) const {
+    YY_REQUIRE(ct >= 0 && ct < pt_ && cp >= 0 && cp < pp_);
+    PatchExtent e;
+    split(nt_, pt_, ct, e.t0, e.nt);
+    split(np_, pp_, cp, e.p0, e.np);
+    return e;
+  }
+
+  /// The θ-coordinate of the rank owning panel-interior node `jt`.
+  int owner_t(int jt) const { return owner(nt_, pt_, jt); }
+  /// The φ-coordinate of the rank owning panel-interior node `jp`.
+  int owner_p(int jp) const { return owner(np_, pp_, jp); }
+
+  /// Smallest patch extent in either direction (halo-validity check).
+  int min_patch_span() const {
+    int m = nt_;
+    for (int c = 0; c < pt_; ++c) m = std::min(m, patch(c, 0).nt);
+    for (int c = 0; c < pp_; ++c) m = std::min(m, patch(0, c).np);
+    return m;
+  }
+
+ private:
+  static void split(int n, int parts, int idx, int& start, int& count) {
+    const int base = n / parts;
+    const int rem = n % parts;
+    count = base + (idx < rem ? 1 : 0);
+    start = idx * base + std::min(idx, rem);
+  }
+  static int owner(int n, int parts, int j) {
+    YY_REQUIRE(j >= 0 && j < n);
+    const int base = n / parts;
+    const int rem = n % parts;
+    const int fat = rem * (base + 1);  // nodes held by the first rem parts
+    return j < fat ? j / (base + 1) : rem + (j - fat) / base;
+  }
+
+  int nt_, np_, pt_, pp_;
+};
+
+}  // namespace yy::core

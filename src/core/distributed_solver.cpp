@@ -1,0 +1,143 @@
+#include "core/distributed_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/ownership.hpp"
+#include "mhd/init.hpp"
+
+namespace yy::core {
+
+using yinyang::Panel;
+
+namespace {
+
+GridSpec patch_spec(const yinyang::ComponentGeometry& geom,
+                    const PatchExtent& e, int nr, double r0, double r1) {
+  GridSpec s;
+  s.nr = nr;
+  s.nt = e.nt;
+  s.np = e.np;
+  s.r0 = r0;
+  s.r1 = r1;
+  s.t0 = geom.t_min() + e.t0 * geom.dt();
+  s.t1 = geom.t_min() + (e.t0 + e.nt - 1) * geom.dt();
+  s.p0 = geom.p_min() + e.p0 * geom.dp();
+  s.p1 = geom.p_min() + (e.p0 + e.np - 1) * geom.dp();
+  s.ghost = geom.ghost();
+  s.phi_periodic = false;
+  return s;
+}
+
+}  // namespace
+
+DistributedSolver::DistributedSolver(const SimulationConfig& cfg,
+                                     const comm::Communicator& world, int pt,
+                                     int pp)
+    : cfg_(cfg),
+      geom_(yinyang::ComponentGeometry::with_auto_margin(cfg.nt_core,
+                                                         cfg.np_core)),
+      runner_(std::make_unique<Runner>(world, pt, pp)),
+      decomp_(geom_.nt(), geom_.np(), pt, pp),
+      extent_(decomp_.patch(runner_->cart().coord(0), runner_->cart().coord(1))),
+      bc_(cfg.thermal),
+      eq_(runner_->panel() == Panel::yin ? cfg.eq : cfg.eq.for_partner_panel()) {
+  grid_ = std::make_unique<SphericalGrid>(
+      patch_spec(geom_, extent_, cfg.nr, cfg.shell.r_inner, cfg.shell.r_outer));
+  interp_ = std::make_unique<yinyang::OversetInterpolator>(geom_);
+  halo_ = std::make_unique<HaloExchanger>(*grid_, runner_->cart());
+  overset_ = std::make_unique<OversetExchanger>(*interp_, decomp_, *runner_,
+                                                *grid_, extent_);
+  state_ = std::make_unique<mhd::Fields>(*grid_);
+  ws_ = std::make_unique<mhd::Workspace>(*grid_);
+  integrator_ = std::make_unique<mhd::Integrator>(
+      cfg.scheme, std::vector<const SphericalGrid*>{grid_.get()});
+  weights_ = std::make_unique<mhd::ColumnWeights>(
+      ownership_weights(geom_, *grid_, extent_.t0, extent_.p0));
+}
+
+void DistributedSolver::fill_ghosts(mhd::Fields& s) {
+  bc_.enforce_walls(*grid_, s);
+  halo_->exchange(s);
+  overset_->exchange(s);
+  bc_.fill_ghosts(*grid_, s);
+}
+
+void DistributedSolver::initialize() {
+  mhd::initialize_state(*grid_, cfg_.shell, cfg_.thermal, cfg_.eq.g0, cfg_.ic,
+                        static_cast<int>(runner_->panel()),
+                        {extent_.t0, extent_.p0}, *state_);
+  fill_ghosts(*state_);
+  time_ = 0.0;
+}
+
+void DistributedSolver::step(double dt) {
+  std::vector<mhd::PatchDef> patches{{grid_.get(), eq_, state_.get()}};
+  integrator_->step(patches, dt, [this](const std::vector<mhd::Fields*>& s) {
+    fill_ghosts(*s[0]);
+  });
+  time_ += dt;
+}
+
+double DistributedSolver::stable_dt() {
+  const double local = mhd::stable_timestep(*grid_, eq_, *state_, *ws_,
+                                            grid_->interior());
+  return cfg_.cfl_safety * runner_->world().allreduce_min(local);
+}
+
+mhd::EnergyBudget DistributedSolver::energies() {
+  mhd::EnergyBudget e = mhd::integrate_energies(
+      *grid_, eq_, *state_, *ws_, *weights_, grid_->interior());
+  double vals[4] = {e.mass, e.kinetic, e.magnetic, e.thermal};
+  runner_->world().allreduce_sum(vals);
+  return {vals[0], vals[1], vals[2], vals[3]};
+}
+
+Field3 DistributedSolver::gather_field(int field_index, Panel p) {
+  const comm::Communicator& world = runner_->world();
+  const int gh = grid_->ghost();
+  const bool mine = runner_->panel() == p;
+  constexpr int tag_gather = 300;
+
+  // Every rank of panel `p` ships its interior block (header + data)
+  // to world rank 0, which assembles the global panel field.
+  if (mine) {
+    const Field3& f = *state_->all()[static_cast<std::size_t>(field_index)];
+    std::vector<double> msg;
+    msg.reserve(4 + static_cast<std::size_t>(cfg_.nr) * extent_.nt * extent_.np);
+    msg.push_back(extent_.t0);
+    msg.push_back(extent_.nt);
+    msg.push_back(extent_.p0);
+    msg.push_back(extent_.np);
+    for (int ip = 0; ip < extent_.np; ++ip)
+      for (int it = 0; it < extent_.nt; ++it)
+        for (int ir = 0; ir < cfg_.nr; ++ir)
+          msg.push_back(f(gh + ir, gh + it, gh + ip));
+    world.send(0, tag_gather, msg);
+  }
+
+  Field3 out;
+  if (world.rank() == 0) {
+    out = Field3(cfg_.nr, geom_.nt(), geom_.np());
+    const int nranks_panel = runner_->pt() * runner_->pp();
+    for (int pr = 0; pr < nranks_panel; ++pr) {
+      const int src = runner_->world_rank(p, pr);
+      const auto pe = decomp_.patch(pr / runner_->pp(), pr % runner_->pp());
+      std::vector<double> msg(4 + static_cast<std::size_t>(cfg_.nr) * pe.nt *
+                                      pe.np);
+      world.recv(src, tag_gather, msg);
+      const int t0 = static_cast<int>(msg[0]);
+      const int nt = static_cast<int>(msg[1]);
+      const int p0 = static_cast<int>(msg[2]);
+      const int np = static_cast<int>(msg[3]);
+      std::size_t k = 4;
+      for (int ip = 0; ip < np; ++ip)
+        for (int it = 0; it < nt; ++it)
+          for (int ir = 0; ir < cfg_.nr; ++ir)
+            out(ir, t0 + it, p0 + ip) = msg[k++];
+    }
+  }
+  return out;
+}
+
+}  // namespace yy::core

@@ -1,0 +1,142 @@
+#include "core/halo.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace yy::core {
+
+namespace {
+constexpr int tag_theta_to_low = 100;
+constexpr int tag_theta_to_high = 101;
+constexpr int tag_phi_to_low = 102;
+constexpr int tag_phi_to_high = 103;
+}  // namespace
+
+HaloExchanger::HaloExchanger(const SphericalGrid& local,
+                             const comm::CartComm& cart)
+    : grid_(&local), cart_(&cart) {
+  // Halo strips must come from the neighbour's interior: each patch
+  // needs at least `ghost` interior nodes in a decomposed direction.
+  if (cart.dim(0) > 1) YY_REQUIRE(local.spec().nt >= local.ghost());
+  if (cart.dim(1) > 1) YY_REQUIRE(local.spec().np >= local.ghost());
+  const std::size_t theta_strip = static_cast<std::size_t>(grid_->Nr()) *
+                                  grid_->ghost() * grid_->Np() *
+                                  mhd::Fields::kNumFields;
+  const std::size_t phi_strip = static_cast<std::size_t>(grid_->Nr()) *
+                                grid_->Nt() * grid_->ghost() *
+                                mhd::Fields::kNumFields;
+  const std::size_t cap = std::max(theta_strip, phi_strip);
+  send_low_.resize(cap);
+  send_high_.resize(cap);
+  recv_low_.resize(cap);
+  recv_high_.resize(cap);
+}
+
+void HaloExchanger::exchange_dim(mhd::Fields& s, int dim) const {
+  const auto [low, high] = cart_->shift(dim, 1);  // (source, dest)
+  if (low == comm::proc_null && high == comm::proc_null) return;
+
+  const SphericalGrid& g = *grid_;
+  const int gh = g.ghost();
+  const int Nr = g.Nr();
+  // θ phase (dim 0): strips are gh rows × full φ range.
+  // φ phase (dim 1): strips are gh columns × full θ range (corners ride
+  // along, completing the diagonal ghosts).
+  const int t_lo_int = gh, t_hi_int = gh + g.spec().nt - gh;   // dim 0 strips
+  const int p_lo_int = gh, p_hi_int = gh + g.spec().np - gh;   // dim 1 strips
+
+  auto pack = [&](std::vector<double>& buf, int it0, int it1, int ip0,
+                  int ip1) {
+    std::size_t k = 0;
+    for (const Field3* f : const_cast<const mhd::Fields&>(s).all())
+      for (int ip = ip0; ip < ip1; ++ip)
+        for (int it = it0; it < it1; ++it) {
+          auto line = f->line(it, ip);
+          std::copy(line.begin(), line.end(), buf.begin() + static_cast<std::ptrdiff_t>(k));
+          k += static_cast<std::size_t>(Nr);
+        }
+    return k;
+  };
+  auto unpack = [&](const std::vector<double>& buf, int it0, int it1, int ip0,
+                    int ip1) {
+    std::size_t k = 0;
+    for (Field3* f : s.all())
+      for (int ip = ip0; ip < ip1; ++ip)
+        for (int it = it0; it < it1; ++it) {
+          auto line = f->line(it, ip);
+          std::copy(buf.begin() + static_cast<std::ptrdiff_t>(k),
+                    buf.begin() + static_cast<std::ptrdiff_t>(k + static_cast<std::size_t>(Nr)),
+                    line.begin());
+          k += static_cast<std::size_t>(Nr);
+        }
+    return k;
+  };
+
+  const comm::Communicator& c = cart_->comm();
+  const int tag_to_low = dim == 0 ? tag_theta_to_low : tag_phi_to_low;
+  const int tag_to_high = dim == 0 ? tag_theta_to_high : tag_phi_to_high;
+
+  std::size_t n = 0;
+  if (dim == 0) {
+    n = static_cast<std::size_t>(Nr) * gh * g.Np() * mhd::Fields::kNumFields;
+    // Receive into ghosts, send interior edge strips.
+    auto rl = c.irecv(low, tag_to_high, {recv_low_.data(), n});
+    auto rh = c.irecv(high, tag_to_low, {recv_high_.data(), n});
+    if (low != comm::proc_null) {
+      const std::size_t k = pack(send_low_, t_lo_int, t_lo_int + gh, 0, g.Np());
+      YY_ASSERT(k == n);
+      c.send(low, tag_to_low, {send_low_.data(), n});
+    }
+    if (high != comm::proc_null) {
+      const std::size_t k = pack(send_high_, t_hi_int, t_hi_int + gh, 0, g.Np());
+      YY_ASSERT(k == n);
+      c.send(high, tag_to_high, {send_high_.data(), n});
+    }
+    c.wait(rl);
+    c.wait(rh);
+    if (low != comm::proc_null) unpack(recv_low_, 0, gh, 0, g.Np());
+    if (high != comm::proc_null)
+      unpack(recv_high_, gh + g.spec().nt, gh + g.spec().nt + gh, 0, g.Np());
+  } else {
+    n = static_cast<std::size_t>(Nr) * g.Nt() * gh * mhd::Fields::kNumFields;
+    auto rl = c.irecv(low, tag_to_high, {recv_low_.data(), n});
+    auto rh = c.irecv(high, tag_to_low, {recv_high_.data(), n});
+    if (low != comm::proc_null) {
+      const std::size_t k = pack(send_low_, 0, g.Nt(), p_lo_int, p_lo_int + gh);
+      YY_ASSERT(k == n);
+      c.send(low, tag_to_low, {send_low_.data(), n});
+    }
+    if (high != comm::proc_null) {
+      const std::size_t k = pack(send_high_, 0, g.Nt(), p_hi_int, p_hi_int + gh);
+      YY_ASSERT(k == n);
+      c.send(high, tag_to_high, {send_high_.data(), n});
+    }
+    c.wait(rl);
+    c.wait(rh);
+    if (low != comm::proc_null) unpack(recv_low_, 0, g.Nt(), 0, gh);
+    if (high != comm::proc_null)
+      unpack(recv_high_, 0, g.Nt(), gh + g.spec().np, gh + g.spec().np + gh);
+  }
+}
+
+void HaloExchanger::exchange(mhd::Fields& s) const {
+  exchange_dim(s, 0);  // θ strips
+  exchange_dim(s, 1);  // φ strips (full θ range → corners complete)
+}
+
+std::uint64_t HaloExchanger::bytes_per_exchange() const {
+  const SphericalGrid& g = *grid_;
+  std::uint64_t bytes = 0;
+  for (int dim = 0; dim < 2; ++dim) {
+    const auto [low, high] = cart_->shift(dim, 1);
+    const std::uint64_t strip =
+        static_cast<std::uint64_t>(g.Nr()) * g.ghost() *
+        (dim == 0 ? g.Np() : g.Nt()) * mhd::Fields::kNumFields * sizeof(double);
+    if (low != comm::proc_null) bytes += 2 * strip;   // send + recv
+    if (high != comm::proc_null) bytes += 2 * strip;
+  }
+  return bytes;
+}
+
+}  // namespace yy::core

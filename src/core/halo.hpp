@@ -1,0 +1,40 @@
+/// \file halo.hpp
+/// Intra-panel nearest-neighbour halo exchange (paper §IV: "MPI_SEND
+/// and MPI_IRECV are called between nearest neighbor processes.  Each
+/// process has four neighbors (north, east, south, and west)").
+///
+/// The exchange is two-phase — θ strips first, then φ strips spanning
+/// the *full* (ghost-inclusive) θ range — so the diagonal ghost
+/// corners needed by the composite second-derivative stencils arrive
+/// without explicit corner messages.
+#pragma once
+
+#include <vector>
+
+#include "comm/cart.hpp"
+#include "grid/spherical_grid.hpp"
+#include "mhd/state.hpp"
+
+namespace yy::core {
+
+class HaloExchanger {
+ public:
+  HaloExchanger(const SphericalGrid& local, const comm::CartComm& cart);
+
+  /// Refreshes the θ/φ ghost layers of `s` shared with cart neighbours;
+  /// panel-boundary ghosts (proc_null sides) are left for the overset.
+  void exchange(mhd::Fields& s) const;
+
+  /// Bytes moved per exchange by this rank (both directions, all
+  /// fields); feeds the perf model's communication volumes.
+  std::uint64_t bytes_per_exchange() const;
+
+ private:
+  void exchange_dim(mhd::Fields& s, int dim) const;
+
+  const SphericalGrid* grid_;
+  const comm::CartComm* cart_;
+  mutable std::vector<double> send_low_, send_high_, recv_low_, recv_high_;
+};
+
+}  // namespace yy::core

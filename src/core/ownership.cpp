@@ -1,0 +1,28 @@
+#include "core/ownership.hpp"
+
+#include "yinyang/transform.hpp"
+
+namespace yy::core {
+
+mhd::ColumnWeights ownership_weights(const yinyang::ComponentGeometry& geom,
+                                     const SphericalGrid& patch,
+                                     int it0_panel, int ip0_panel) {
+  using yinyang::Angles;
+  using yinyang::ComponentGeometry;
+  mhd::ColumnWeights w(patch.Nt(), patch.Np(), 0.0);
+  const IndexBox in = patch.interior();
+  for (int it = in.t0; it < in.t1; ++it) {
+    for (int ip = in.p0; ip < in.p1; ++ip) {
+      const int pt = it0_panel + (it - in.t0);  // panel interior indices
+      const int pp = ip0_panel + (ip - in.p0);
+      const Angles a{geom.t_min() + pt * geom.dt(),
+                     geom.p_min() + pp * geom.dp()};
+      if (!ComponentGeometry::in_core(a)) continue;  // margin: partner owns
+      const Angles b = yinyang::partner_angles(a);
+      w.at(it, ip) = ComponentGeometry::in_core(b) ? 0.5 : 1.0;
+    }
+  }
+  return w;
+}
+
+}  // namespace yy::core

@@ -1,0 +1,25 @@
+/// \file ownership.hpp
+/// Ownership weights for global integrals on the overlapping Yin-Yang
+/// grid.  The two core rectangles cover the sphere with ~6% counted
+/// twice (paper §II); a column contributes
+///   1   if only this panel's core rectangle covers it,
+///   1/2 if both cores cover it (the overlap's "double solution"),
+///   0   if it lies in the margin/ghost region (the partner's core
+///       covers it, so the partner accounts for it).
+#pragma once
+
+#include "grid/spherical_grid.hpp"
+#include "mhd/diagnostics.hpp"
+#include "yinyang/geometry.hpp"
+
+namespace yy::core {
+
+/// Weights for one patch of a panel.  (it0_panel, ip0_panel) locate the
+/// patch's first interior node in panel-interior indices; pass (0, 0)
+/// for a whole-panel grid.  Columns outside the patch's own interior
+/// get weight 0 (they are accounted by the owning patch).
+mhd::ColumnWeights ownership_weights(const yinyang::ComponentGeometry& geom,
+                                     const SphericalGrid& patch,
+                                     int it0_panel, int ip0_panel);
+
+}  // namespace yy::core

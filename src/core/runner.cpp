@@ -1,0 +1,22 @@
+#include "core/runner.hpp"
+
+#include "common/error.hpp"
+
+namespace yy::core {
+
+Runner::Runner(const comm::Communicator& world, int pt, int pp)
+    : world_(world), pt_(pt), pp_(pp) {
+  YY_REQUIRE(world.size() == 2 * pt * pp);
+  const int half = world.size() / 2;
+  panel_ = world.rank() < half ? yinyang::Panel::yin : yinyang::Panel::yang;
+  // MPI_COMM_SPLIT by panel colour, keeping world order within a panel.
+  comm::Communicator panel_comm =
+      world_.split(static_cast<int>(panel_), world.rank());
+  YY_ASSERT(panel_comm.size() == half);
+  // 2-D cartesian topology inside the panel; neither direction is
+  // periodic (a panel is a bounded rectangle in (θ, φ)).
+  cart_ = std::make_unique<comm::CartComm>(
+      comm::CartComm::create(panel_comm, pt, pp, false, false));
+}
+
+}  // namespace yy::core

@@ -1,0 +1,49 @@
+/// \file runner.hpp
+/// The nested communicator structure of paper §IV, mirroring the
+/// original code's `gRunner` derived type:
+///  * gRunner%world%communicator — all processes;
+///  * MPI_COMM_SPLIT divides them into the Yin panel group and the
+///    Yang panel group (total process count is even);
+///  * MPI_CART_CREATE builds a 2-D (θ × φ) process grid per panel,
+///    whose MPI_CART_SHIFT neighbours carry the halo exchange;
+///  * inter-panel overset traffic flows under the world communicator.
+#pragma once
+
+#include <memory>
+
+#include "comm/cart.hpp"
+#include "comm/communicator.hpp"
+#include "yinyang/geometry.hpp"
+
+namespace yy::core {
+
+class Runner {
+ public:
+  /// Collective over `world`; world size must equal 2 * pt * pp.
+  /// Ranks [0, n/2) become the Yin panel, [n/2, n) the Yang panel.
+  Runner(const comm::Communicator& world, int pt, int pp);
+
+  const comm::Communicator& world() const { return world_; }
+  yinyang::Panel panel() const { return panel_; }
+  const comm::Communicator& panel_comm() const { return cart_->comm(); }
+  const comm::CartComm& cart() const { return *cart_; }
+  int pt() const { return pt_; }
+  int pp() const { return pp_; }
+
+  /// World rank backing a panel rank of either panel.
+  int world_rank(yinyang::Panel p, int panel_rank) const {
+    const int half = world_.size() / 2;
+    return (p == yinyang::Panel::yin ? 0 : half) + panel_rank;
+  }
+
+  /// This rank's panel rank (its rank within the panel communicator).
+  int panel_rank() const { return cart_->rank(); }
+
+ private:
+  comm::Communicator world_;
+  yinyang::Panel panel_;
+  std::unique_ptr<comm::CartComm> cart_;
+  int pt_, pp_;
+};
+
+}  // namespace yy::core

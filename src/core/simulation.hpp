@@ -1,0 +1,51 @@
+/// \file simulation.hpp
+/// Production-run orchestration around the serial solver: adaptive CFL
+/// stepping with a growth limiter (fast-developing convection can
+/// outrun a stale timestep between CFL re-evaluations), wall-clock
+/// budgets, and simulated-time snapshot scheduling — the workflow of
+/// paper §V, where one 6-hour run saved 3-D data 127 times.
+#pragma once
+
+#include <functional>
+
+#include "core/serial_solver.hpp"
+
+namespace yy::core {
+
+struct RunControl {
+  double t_end = 0.1;          ///< stop at this simulated time...
+  long long max_steps = 1u << 20;  ///< ...or after this many steps
+  double max_wall_seconds = 1e30;  ///< ...or this much wall clock
+  double snapshot_interval = 0.0;  ///< simulated time between snapshots
+                                   ///< (0 = no snapshots)
+  /// dt may grow at most this factor per step (the CFL estimate is
+  /// re-evaluated every step, but the limiter damps the jumps a
+  /// rapidly stiffening state can cause).
+  double max_dt_growth = 1.1;
+};
+
+struct RunSummary {
+  long long steps = 0;
+  double t_final = 0.0;
+  int snapshots = 0;
+  double wall_seconds = 0.0;
+  bool hit_step_limit = false;
+  bool hit_wall_limit = false;
+  bool diverged = false;  ///< a non-finite energy was detected
+};
+
+class Simulation {
+ public:
+  using SnapshotFn = std::function<void(SerialYinYangSolver&, int snapshot_id)>;
+
+  explicit Simulation(SerialYinYangSolver& solver) : solver_(&solver) {}
+
+  /// Runs until t_end (or a limit trips); invokes `on_snapshot` at
+  /// t = k·snapshot_interval boundaries (after the crossing step).
+  RunSummary run(const RunControl& ctl, const SnapshotFn& on_snapshot = {});
+
+ private:
+  SerialYinYangSolver* solver_;
+};
+
+}  // namespace yy::core

@@ -1,0 +1,50 @@
+#include "grid/spherical_grid.hpp"
+
+#include <cmath>
+
+namespace yy {
+
+SphericalGrid::SphericalGrid(const GridSpec& spec) : spec_(spec) {
+  YY_REQUIRE(spec.nr >= 2 && spec.nt >= 2 && spec.np >= 2);
+  YY_REQUIRE(spec.ghost >= 0);
+  YY_REQUIRE(spec.r1 > spec.r0 && spec.t1 > spec.t0 && spec.p1 > spec.p0);
+
+  dr_ = (spec.r1 - spec.r0) / (spec.nr - 1);
+  dt_ = (spec.t1 - spec.t0) / (spec.nt - 1);
+  dp_ = spec.phi_periodic ? (spec.p1 - spec.p0) / spec.np
+                          : (spec.p1 - spec.p0) / (spec.np - 1);
+
+  // Ghost nodes must not cross the coordinate origin: operators never
+  // evaluate metrics there, but 1/r tables are built for all indices.
+  YY_REQUIRE(spec.r0 - spec.ghost * dr_ > 0.0);
+
+  inv_r_.resize(static_cast<std::size_t>(Nr()));
+  for (int i = 0; i < Nr(); ++i) inv_r_[static_cast<std::size_t>(i)] = 1.0 / r(i);
+
+  sin_t_.resize(static_cast<std::size_t>(Nt()));
+  cos_t_.resize(static_cast<std::size_t>(Nt()));
+  cot_t_.resize(static_cast<std::size_t>(Nt()));
+  inv_sin_t_.resize(static_cast<std::size_t>(Nt()));
+  for (int j = 0; j < Nt(); ++j) {
+    const double th = theta(j);
+    const double s = std::sin(th);
+    const double c = std::cos(th);
+    sin_t_[static_cast<std::size_t>(j)] = s;
+    cos_t_[static_cast<std::size_t>(j)] = c;
+    // Ghost colatitudes may sit on/near a pole (lat-lon baseline);
+    // metric tables there are never consumed by interior stencils, so
+    // park a zero instead of an Inf.
+    const bool degenerate = std::abs(s) < 1e-12;
+    cot_t_[static_cast<std::size_t>(j)] = degenerate ? 0.0 : c / s;
+    inv_sin_t_[static_cast<std::size_t>(j)] = degenerate ? 0.0 : 1.0 / s;
+  }
+
+  sin_p_.resize(static_cast<std::size_t>(Np()));
+  cos_p_.resize(static_cast<std::size_t>(Np()));
+  for (int k = 0; k < Np(); ++k) {
+    sin_p_[static_cast<std::size_t>(k)] = std::sin(phi(k));
+    cos_p_[static_cast<std::size_t>(k)] = std::cos(phi(k));
+  }
+}
+
+}  // namespace yy

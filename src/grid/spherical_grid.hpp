@@ -1,0 +1,116 @@
+/// \file spherical_grid.hpp
+/// Structured (r, θ, φ) grid patch with ghost layers.
+///
+/// Both the Yin-Yang component grids and the latitude-longitude
+/// baseline are instances of this class: a uniform node-centred box in
+/// spherical coordinates.  The paper's discretization is 2nd-order
+/// central finite differences (§III), which needs one ghost layer per
+/// first-derivative application; composite operators such as ∇×(∇×A)
+/// consume two, so patches carry `ghost` layers (default 2) on every
+/// face.  Coordinates extend smoothly into the ghost region.
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace yy {
+
+/// Half-open index box [r0,r1) × [t0,t1) × [p0,p1) in patch indices.
+struct IndexBox {
+  int r0 = 0, r1 = 0, t0 = 0, t1 = 0, p0 = 0, p1 = 0;
+
+  long long volume() const {
+    return static_cast<long long>(r1 - r0) * (t1 - t0) * (p1 - p0);
+  }
+  /// Box grown by `n` on every face.
+  IndexBox grown(int n) const {
+    return {r0 - n, r1 + n, t0 - n, t1 + n, p0 - n, p1 + n};
+  }
+  bool contains(int ir, int it, int ip) const {
+    return ir >= r0 && ir < r1 && it >= t0 && it < t1 && ip >= p0 && ip < p1;
+  }
+};
+
+struct GridSpec {
+  int nr = 0, nt = 0, np = 0;  ///< interior node counts
+  double r0 = 0, r1 = 0;       ///< radial span (inclusive nodes)
+  double t0 = 0, t1 = 0;       ///< colatitude span (inclusive nodes)
+  double p0 = 0, p1 = 0;       ///< longitude span (see phi_periodic)
+  int ghost = 2;               ///< ghost layers on each face
+  /// If true, longitude nodes are p0 + i*dp with dp = (p1-p0)/np
+  /// (exclusive right endpoint, full circle); otherwise nodes span
+  /// [p0, p1] inclusively like r and θ.
+  bool phi_periodic = false;
+};
+
+class SphericalGrid {
+ public:
+  explicit SphericalGrid(const GridSpec& spec);
+
+  const GridSpec& spec() const { return spec_; }
+
+  // Total (interior + ghost) node counts: array dimensions of fields.
+  int Nr() const { return spec_.nr + 2 * spec_.ghost; }
+  int Nt() const { return spec_.nt + 2 * spec_.ghost; }
+  int Np() const { return spec_.np + 2 * spec_.ghost; }
+  int ghost() const { return spec_.ghost; }
+
+  double dr() const { return dr_; }
+  double dt() const { return dt_; }
+  double dp() const { return dp_; }
+
+  /// Node coordinates by patch index (ghost indices extrapolate).
+  double r(int ir) const { return spec_.r0 + (ir - spec_.ghost) * dr_; }
+  double theta(int it) const { return spec_.t0 + (it - spec_.ghost) * dt_; }
+  double phi(int ip) const { return spec_.p0 + (ip - spec_.ghost) * dp_; }
+
+  // Precomputed metric tables over all patch indices.
+  double inv_r(int ir) const { return inv_r_[idx(ir, Nr())]; }
+  double sin_t(int it) const { return sin_t_[idx(it, Nt())]; }
+  double cos_t(int it) const { return cos_t_[idx(it, Nt())]; }
+  double cot_t(int it) const { return cot_t_[idx(it, Nt())]; }
+  double inv_sin_t(int it) const { return inv_sin_t_[idx(it, Nt())]; }
+  double sin_p(int ip) const { return sin_p_[idx(ip, Np())]; }
+  double cos_p(int ip) const { return cos_p_[idx(ip, Np())]; }
+
+  /// The interior (owned, non-ghost) region.
+  IndexBox interior() const {
+    const int g = spec_.ghost;
+    return {g, g + spec_.nr, g, g + spec_.nt, g, g + spec_.np};
+  }
+
+  /// Full patch including ghosts.
+  IndexBox full() const { return {0, Nr(), 0, Nt(), 0, Np()}; }
+
+  /// Volume element r² sinθ dr dθ dφ at a node (trapezoid end-weights
+  /// are the integrator's concern).
+  double volume_element(int ir, int it) const {
+    const double rr = r(ir);
+    return rr * rr * sin_t(it) * dr_ * dt_ * dp_;
+  }
+
+ private:
+  static std::size_t idx(int i, int n) {
+    YY_ASSERT_DBG(i >= 0 && i < n);
+    (void)n;
+    return static_cast<std::size_t>(i);
+  }
+
+  GridSpec spec_;
+  double dr_, dt_, dp_;
+  std::vector<double> inv_r_;
+  std::vector<double> sin_t_, cos_t_, cot_t_, inv_sin_t_;
+  std::vector<double> sin_p_, cos_p_;
+};
+
+/// Visits every index of `box` with the radial index innermost
+/// (unit stride), mirroring the code's radial vectorization.
+template <typename F>
+void for_box(const IndexBox& box, F&& f) {
+  for (int ip = box.p0; ip < box.p1; ++ip)
+    for (int it = box.t0; it < box.t1; ++it)
+      for (int ir = box.r0; ir < box.r1; ++ir) f(ir, it, ip);
+}
+
+}  // namespace yy

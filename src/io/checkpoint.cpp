@@ -1,0 +1,57 @@
+#include "io/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace yy::io {
+
+namespace {
+constexpr char kMagic[8] = {'Y', 'Y', 'C', 'O', 'R', 'E', '0', '1'};
+
+bool write_fields(std::FILE* f, const mhd::Fields& s) {
+  for (const Field3* fld : s.all()) {
+    const auto flat = fld->flat();
+    if (std::fwrite(flat.data(), sizeof(double), flat.size(), f) != flat.size())
+      return false;
+  }
+  return true;
+}
+
+bool read_fields(std::FILE* f, mhd::Fields& s) {
+  for (Field3* fld : s.all()) {
+    auto flat = fld->flat();
+    if (std::fread(flat.data(), sizeof(double), flat.size(), f) != flat.size())
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool save_checkpoint(const std::string& path, const CheckpointHeader& hdr,
+                     const mhd::Fields* panel0, const mhd::Fields* panel1) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = std::fwrite(kMagic, 1, sizeof kMagic, f) == sizeof kMagic &&
+            std::fwrite(&hdr, sizeof hdr, 1, f) == 1;
+  if (ok && panel0 != nullptr) ok = write_fields(f, *panel0);
+  if (ok && hdr.panels > 1 && panel1 != nullptr) ok = write_fields(f, *panel1);
+  std::fclose(f);
+  return ok;
+}
+
+bool load_checkpoint(const std::string& path, CheckpointHeader& hdr,
+                     mhd::Fields* panel0, mhd::Fields* panel1) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char magic[8];
+  bool ok = std::fread(magic, 1, sizeof magic, f) == sizeof magic &&
+            std::memcmp(magic, kMagic, sizeof magic) == 0 &&
+            std::fread(&hdr, sizeof hdr, 1, f) == 1;
+  if (ok && panel0 != nullptr) ok = read_fields(f, *panel0);
+  if (ok && hdr.panels > 1 && panel1 != nullptr) ok = read_fields(f, *panel1);
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace yy::io

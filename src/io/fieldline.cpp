@@ -1,0 +1,77 @@
+#include "io/fieldline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace yy::io {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+/// Samples the global-Cartesian field at a global Cartesian point.
+Vec3 sample_at(const SphereSampler& sampler, const PanelVectorView& yin,
+               const PanelVectorView& yang, const Vec3& pos) {
+  const double r = pos.norm();
+  if (r == 0.0) return {};
+  const double theta = std::acos(std::clamp(pos.z / r, -1.0, 1.0));
+  const double phi = std::atan2(pos.y, pos.x);
+  return sampler.sample_vector(yin, yang, r, theta, phi);
+}
+}  // namespace
+
+Streamline trace_streamline(const SphereSampler& sampler,
+                            const PanelVectorView& yin,
+                            const PanelVectorView& yang, const Vec3& start,
+                            const TraceOptions& opt) {
+  YY_REQUIRE(opt.step > 0.0 && opt.max_steps >= 1);
+  Streamline line;
+  line.points.push_back(start);
+  Vec3 x = start;
+  for (int i = 0; i < opt.max_steps; ++i) {
+    auto rhs = [&](const Vec3& p) {
+      Vec3 v = sample_at(sampler, yin, yang, p);
+      if (opt.normalize) {
+        const double n = v.norm();
+        if (n > 1e-14) v = v * (1.0 / n);
+      }
+      return v;
+    };
+    const Vec3 k1 = rhs(x);
+    if (k1.norm() < 1e-14) break;  // stagnation point
+    const double h = opt.step;
+    const Vec3 k2 = rhs(x + k1 * (h / 2));
+    const Vec3 k3 = rhs(x + k2 * (h / 2));
+    const Vec3 k4 = rhs(x + k3 * h);
+    const Vec3 dx = (k1 + 2.0 * k2 + 2.0 * k3 + k4) * (h / 6.0);
+    x = x + dx;
+    const double r = x.norm();
+    if (r < opt.r_inner || r > opt.r_outer) {
+      line.exited_shell = true;
+      break;
+    }
+    line.points.push_back(x);
+    line.length += dx.norm();
+  }
+  return line;
+}
+
+bool trace_ring_to_csv(const SphereSampler& sampler,
+                       const PanelVectorView& yin,
+                       const PanelVectorView& yang, double r, int count,
+                       const TraceOptions& opt, const std::string& path) {
+  CsvWriter csv(path, {"line", "x", "y", "z"});
+  if (!csv.ok()) return false;
+  for (int i = 0; i < count; ++i) {
+    const double phi = -kPi + 2.0 * kPi * i / count;
+    const Vec3 seed{r * std::cos(phi), r * std::sin(phi), 0.0};
+    const Streamline line = trace_streamline(sampler, yin, yang, seed, opt);
+    for (const Vec3& p : line.points)
+      csv.row({static_cast<double>(i), p.x, p.y, p.z});
+  }
+  return true;
+}
+
+}  // namespace yy::io

@@ -1,0 +1,48 @@
+/// \file fieldline.hpp
+/// Field-line / streamline tracing through a two-panel Yin-Yang vector
+/// field — the machinery behind the paper group's signature
+/// visualizations (flow lines and magnetic field lines of the dynamo;
+/// the paper's §I highlights "advanced visualization technology").
+///
+/// Integration runs in global Cartesian coordinates with classical RK4;
+/// every evaluation samples whichever panel covers the point, so lines
+/// cross the Yin-Yang internal border seamlessly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "io/sphere_sampler.hpp"
+
+namespace yy::io {
+
+struct Streamline {
+  std::vector<Vec3> points;   ///< traced positions, global Cartesian
+  bool exited_shell = false;  ///< hit r < r_inner or r > r_outer
+  double length = 0.0;        ///< arc length actually traced
+};
+
+struct TraceOptions {
+  double step = 0.01;        ///< arc-length step
+  int max_steps = 2000;
+  double r_inner = 0.0;      ///< stop below this radius
+  double r_outer = 1e30;     ///< stop above this radius
+  bool normalize = true;     ///< follow direction only (unit speed)
+};
+
+/// Traces from `start` along the sampled field.  A zero field at the
+/// start produces a single-point line.
+Streamline trace_streamline(const SphereSampler& sampler,
+                            const PanelVectorView& yin,
+                            const PanelVectorView& yang, const Vec3& start,
+                            const TraceOptions& opt);
+
+/// Convenience: seeds a ring of `count` streamlines at radius r on the
+/// equator and writes them as a single CSV (line_id, x, y, z).
+bool trace_ring_to_csv(const SphereSampler& sampler,
+                       const PanelVectorView& yin,
+                       const PanelVectorView& yang, double r, int count,
+                       const TraceOptions& opt, const std::string& path);
+
+}  // namespace yy::io

@@ -1,0 +1,160 @@
+#include "io/gauss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/error.hpp"
+
+namespace yy::io {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+/// Unnormalized associated Legendre P_l^m(x), no Condon-Shortley phase.
+double plm_raw(int l, int m, double x) {
+  // P_m^m = (2m−1)!! (1−x²)^{m/2}
+  double pmm = 1.0;
+  if (m > 0) {
+    const double s = std::sqrt(std::max(0.0, 1.0 - x * x));
+    double fact = 1.0;
+    for (int i = 1; i <= m; ++i) {
+      pmm *= fact * s;
+      fact += 2.0;
+    }
+  }
+  if (l == m) return pmm;
+  double pmmp1 = x * (2.0 * m + 1.0) * pmm;  // P_{m+1}^m
+  if (l == m + 1) return pmmp1;
+  double pll = 0.0;
+  for (int ll = m + 2; ll <= l; ++ll) {
+    pll = (x * (2.0 * ll - 1.0) * pmmp1 - (ll + m - 1.0) * pmm) / (ll - m);
+    pmm = pmmp1;
+    pmmp1 = pll;
+  }
+  return pll;
+}
+
+double factorial_ratio(int l, int m) {
+  // (l−m)! / (l+m)!
+  double r = 1.0;
+  for (int k = l - m + 1; k <= l + m; ++k) r /= k;
+  return r;
+}
+
+/// Gauss-Legendre nodes/weights on [-1, 1] by Newton iteration on the
+/// Legendre polynomial (standard Golub-free construction; n <= 128).
+void gauss_legendre(int n, std::vector<double>& x, std::vector<double>& w) {
+  x.resize(static_cast<std::size_t>(n));
+  w.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    // Initial guess (Chebyshev-like), then Newton on P_n.
+    double xi = std::cos(kPi * (i + 0.75) / (n + 0.5));
+    for (int iter = 0; iter < 100; ++iter) {
+      double p0 = 1.0, p1 = xi;
+      for (int l = 2; l <= n; ++l) {
+        const double p2 = ((2.0 * l - 1.0) * xi * p1 - (l - 1.0) * p0) / l;
+        p0 = p1;
+        p1 = p2;
+      }
+      const double dp = n * (xi * p1 - p0) / (xi * xi - 1.0);
+      const double dx = p1 / dp;
+      xi -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    double p0 = 1.0, p1 = xi;
+    for (int l = 2; l <= n; ++l) {
+      const double p2 = ((2.0 * l - 1.0) * xi * p1 - (l - 1.0) * p0) / l;
+      p0 = p1;
+      p1 = p2;
+    }
+    const double dp = n * (xi * p1 - p0) / (xi * xi - 1.0);
+    x[static_cast<std::size_t>(i)] = xi;
+    w[static_cast<std::size_t>(i)] = 2.0 / ((1.0 - xi * xi) * dp * dp);
+  }
+}
+
+}  // namespace
+
+double schmidt_plm(int l, int m, double x) {
+  YY_REQUIRE(l >= 0 && m >= 0 && m <= l && l <= 10);
+  const double norm =
+      std::sqrt((m == 0 ? 1.0 : 2.0) * factorial_ratio(l, m));
+  return norm * plm_raw(l, m, x);
+}
+
+double GaussCoefficients::dipole_tilt() const {
+  const Vec3 d = dipole();
+  const double n = d.norm();
+  if (n == 0.0) return 0.0;
+  return std::acos(std::clamp(d.z / n, -1.0, 1.0));
+}
+
+std::vector<double> GaussCoefficients::lowes_spectrum() const {
+  std::vector<double> r(static_cast<std::size_t>(lmax) + 1, 0.0);
+  for (int l = 1; l <= lmax; ++l) {
+    double sum = 0.0;
+    for (int m = 0; m <= l; ++m)
+      sum += g_lm(l, m) * g_lm(l, m) + h_lm(l, m) * h_lm(l, m);
+    r[static_cast<std::size_t>(l)] = (l + 1) * sum;
+  }
+  return r;
+}
+
+GaussCoefficients analyze_gauss_of(
+    const std::function<double(double, double)>& br, int lmax, int nth,
+    int nph) {
+  YY_REQUIRE(lmax >= 1 && lmax <= 10);
+  YY_REQUIRE(nth >= 2 * lmax + 2 && nph >= 2 * lmax + 2);
+  GaussCoefficients gc;
+  gc.lmax = lmax;
+  const std::size_t ncoef = GaussCoefficients::index(lmax, lmax) + 1;
+  gc.g.assign(ncoef, 0.0);
+  gc.h.assign(ncoef, 0.0);
+
+  // Gauss-Legendre quadrature in x = cosθ (exact for polynomial
+  // latitudinal structure up to degree 2·nth−1) × uniform φ (exact for
+  // trigonometric structure below the Nyquist wavenumber).  With
+  // Schmidt normalization ∫ (P_lm trig)² dΩ = 4π/(2l+1), so
+  //   g_lm = (2l+1) / (4π (l+1)) ∫ B_r P_lm cos(mφ) dΩ.
+  std::vector<double> gx, gw;
+  gauss_legendre(nth, gx, gw);
+  const double dph = 2.0 * kPi / nph;
+  for (int i = 0; i < nth; ++i) {
+    const double x = gx[static_cast<std::size_t>(i)];
+    const double th = std::acos(x);
+    const double w = gw[static_cast<std::size_t>(i)] * dph;
+    for (int k = 0; k < nph; ++k) {
+      const double ph = -kPi + (k + 0.5) * dph;
+      const double b = br(th, ph);
+      for (int l = 1; l <= lmax; ++l) {
+        for (int m = 0; m <= l; ++m) {
+          const double basis = schmidt_plm(l, m, x);
+          const double c = (2.0 * l + 1.0) / (4.0 * kPi * (l + 1.0)) * w * b *
+                           basis;
+          gc.g[GaussCoefficients::index(l, m)] += c * std::cos(m * ph);
+          if (m > 0) gc.h[GaussCoefficients::index(l, m)] += c * std::sin(m * ph);
+        }
+      }
+    }
+  }
+  return gc;
+}
+
+GaussCoefficients analyze_gauss_coefficients(const SphereSampler& sampler,
+                                             const PanelVectorView& yin_b,
+                                             const PanelVectorView& yang_b,
+                                             double r_s, int lmax, int nth,
+                                             int nph) {
+  return analyze_gauss_of(
+      [&](double th, double ph) {
+        // Radial component = global-Cartesian field dotted with r̂.
+        const Vec3 b = sampler.sample_vector(yin_b, yang_b, r_s, th, ph);
+        const Vec3 rhat{std::sin(th) * std::cos(ph), std::sin(th) * std::sin(ph),
+                        std::cos(th)};
+        return b.dot(rhat);
+      },
+      lmax, nth, nph);
+}
+
+}  // namespace yy::io

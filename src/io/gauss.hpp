@@ -1,0 +1,67 @@
+/// \file gauss.hpp
+/// Gauss-coefficient analysis of the dynamo field — the classical
+/// geomagnetism decomposition behind the paper's framing of the
+/// geodynamo ("the magnetic compass points to the north since the
+/// Earth is surrounded by a dipolar magnetic field", §I) and behind the
+/// dipole-reversal studies the group built on this code [5, 11, 13].
+///
+/// The radial field B_r on a sphere r = r_s expands in Schmidt
+/// semi-normalized real spherical harmonics:
+///   B_r(θ, φ) = Σ_{l≥1} Σ_{m=0..l} (l+1) (g_lm cos mφ + h_lm sin mφ)
+///               · P_lm(cosθ) · (a/r_s)^{l+2}
+/// With the reference radius a = r_s the (a/r_s) factor drops and the
+/// coefficients follow from surface quadrature against the harmonics.
+/// g_10 is the axial dipole; its sign flip is a polarity reversal.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "io/sphere_sampler.hpp"
+
+namespace yy::io {
+
+/// Schmidt semi-normalized associated Legendre function P_lm(x)
+/// (geomagnetism convention, no Condon-Shortley phase), l ≤ 10.
+double schmidt_plm(int l, int m, double x);
+
+struct GaussCoefficients {
+  int lmax = 0;
+  std::vector<double> g;  ///< g_lm, packed by index(l, m)
+  std::vector<double> h;  ///< h_lm (h_l0 is identically 0)
+
+  static std::size_t index(int l, int m) {
+    // l = 1..lmax, m = 0..l packed triangularly.
+    return static_cast<std::size_t>(l * (l + 1) / 2 - 1 + m);
+  }
+  double g_lm(int l, int m) const { return g[index(l, m)]; }
+  double h_lm(int l, int m) const { return h[index(l, m)]; }
+
+  /// Dipole vector (g11, h11, g10) — its direction is the magnetic
+  /// dipole axis in global Cartesian coordinates.
+  Vec3 dipole() const { return {g_lm(1, 1), h_lm(1, 1), g_lm(1, 0)}; }
+
+  /// Tilt of the dipole axis from the rotation (z) axis, in radians.
+  double dipole_tilt() const;
+
+  /// Power per degree l: R_l = (l+1) Σ_m (g_lm² + h_lm²)
+  /// (Mauersberger–Lowes spectrum at the reference radius).
+  std::vector<double> lowes_spectrum() const;
+};
+
+/// Expands B_r sampled from a two-panel solution on the sphere of
+/// radius `r_s` (must lie inside the shell) up to degree `lmax`.
+/// Quadrature resolution: `nth` colatitude × `nph` longitude samples.
+GaussCoefficients analyze_gauss_coefficients(const SphereSampler& sampler,
+                                             const PanelVectorView& yin_b,
+                                             const PanelVectorView& yang_b,
+                                             double r_s, int lmax,
+                                             int nth = 48, int nph = 96);
+
+/// Expands a caller-supplied B_r(θ, φ) function (testing hook).
+GaussCoefficients analyze_gauss_of(
+    const std::function<double(double, double)>& br, int lmax, int nth = 48,
+    int nph = 96);
+
+}  // namespace yy::io

@@ -1,0 +1,197 @@
+#include "io/slice.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/ppm.hpp"
+
+namespace yy::io {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+double EquatorialSlice::max_abs() const {
+  double m = 0.0;
+  for (double v : values) m = std::max(m, std::abs(v));
+  return m;
+}
+
+EquatorialSlice sample_equatorial_z(const SphereSampler& sampler,
+                                    const PanelVectorView& yin,
+                                    const PanelVectorView& yang,
+                                    double r_inner, double r_outer, int rings,
+                                    int spokes) {
+  YY_REQUIRE(rings >= 2 && spokes >= 4);
+  EquatorialSlice s;
+  s.rings = rings;
+  s.spokes = spokes;
+  s.r_inner = r_inner;
+  s.r_outer = r_outer;
+  s.values.resize(static_cast<std::size_t>(rings) * spokes);
+  for (int i = 0; i < rings; ++i) {
+    const double r = r_inner + (r_outer - r_inner) * i / (rings - 1);
+    for (int k = 0; k < spokes; ++k) {
+      double phi = -kPi + 2.0 * kPi * k / spokes;
+      const Vec3 v = sampler.sample_vector(yin, yang, r, kPi / 2.0, phi);
+      s.values[static_cast<std::size_t>(i) * spokes + k] = v.z;
+    }
+  }
+  return s;
+}
+
+bool write_equatorial_ppm(const EquatorialSlice& slice, const std::string& path,
+                          int image_size) {
+  PpmImage img(image_size, image_size, {24, 24, 24});
+  const double scale = slice.max_abs();
+  const double half = image_size / 2.0;
+  for (int y = 0; y < image_size; ++y) {
+    for (int x = 0; x < image_size; ++x) {
+      const double dx = (x - half) / half;
+      const double dy = (half - y) / half;  // north-up view
+      const double r = std::sqrt(dx * dx + dy * dy) * slice.r_outer;
+      if (r < slice.r_inner || r > slice.r_outer) continue;
+      const double phi = std::atan2(dy, dx);
+      const double fr = (r - slice.r_inner) / (slice.r_outer - slice.r_inner) *
+                        (slice.rings - 1);
+      const double fp = (phi + kPi) / (2.0 * kPi) * slice.spokes;
+      const int i = std::min(static_cast<int>(fr), slice.rings - 1);
+      const int k = static_cast<int>(fp) % slice.spokes;
+      const double v = scale > 0.0 ? slice.at(i, k) / scale : 0.0;
+      img.set(x, y, diverging_color(v));
+    }
+  }
+  return img.write(path);
+}
+
+bool write_equatorial_csv(const EquatorialSlice& slice,
+                          const std::string& path) {
+  CsvWriter csv(path, {"radius", "phi", "omega_z"});
+  if (!csv.ok()) return false;
+  for (int i = 0; i < slice.rings; ++i) {
+    const double r = slice.r_inner +
+                     (slice.r_outer - slice.r_inner) * i / (slice.rings - 1);
+    for (int k = 0; k < slice.spokes; ++k) {
+      const double phi = -kPi + 2.0 * kPi * k / slice.spokes;
+      csv.row({r, phi, slice.at(i, k)});
+    }
+  }
+  return true;
+}
+
+double MeridionalSlice::max_abs() const {
+  double m = 0.0;
+  for (double v : values) m = std::max(m, std::abs(v));
+  return m;
+}
+
+MeridionalSlice sample_meridional_scalar(const SphereSampler& sampler,
+                                         const Field3& yin, const Field3& yang,
+                                         double r_inner, double r_outer,
+                                         double phi0, int nr, int nth) {
+  YY_REQUIRE(nr >= 2 && nth >= 2);
+  MeridionalSlice s;
+  s.nr = nr;
+  s.nth = nth;
+  s.r_inner = r_inner;
+  s.r_outer = r_outer;
+  s.phi0 = phi0;
+  s.values.resize(2ull * nr * nth);
+  for (int half = 0; half < 2; ++half) {
+    double phi = phi0 + half * kPi;
+    if (phi > kPi) phi -= 2.0 * kPi;
+    for (int i = 0; i < nr; ++i) {
+      const double r = r_inner + (r_outer - r_inner) * i / (nr - 1);
+      for (int j = 0; j < nth; ++j) {
+        // Keep samples marginally off the axis (the global poles lie in
+        // Yang territory, still fine — but θ=0 exactly is degenerate).
+        const double th = 1e-4 + (kPi - 2e-4) * j / (nth - 1);
+        s.values[(static_cast<std::size_t>(half) * nr + i) * nth + j] =
+            sampler.sample_scalar(yin, yang, r, th, phi);
+      }
+    }
+  }
+  return s;
+}
+
+bool write_meridional_ppm(const MeridionalSlice& slice,
+                          const std::string& path, int image_size) {
+  PpmImage img(image_size, image_size, {24, 24, 24});
+  const double lo_hi[2] = {slice.max_abs(), 0.0};
+  (void)lo_hi;
+  double mn = 1e300, mx = -1e300;
+  for (double v : slice.values) {
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  const double span = mx > mn ? mx - mn : 1.0;
+  const double half_px = image_size / 2.0;
+  for (int y = 0; y < image_size; ++y) {
+    for (int x = 0; x < image_size; ++x) {
+      const double dx = (x - half_px) / half_px;   // ⟂ axis direction
+      const double dz = (half_px - y) / half_px;   // along rotation axis
+      const double r = std::sqrt(dx * dx + dz * dz) * slice.r_outer;
+      if (r < slice.r_inner || r > slice.r_outer) continue;
+      const int half = dx >= 0 ? 0 : 1;
+      const double th = std::atan2(std::abs(dx), dz);  // colatitude
+      const double fr = (r - slice.r_inner) / (slice.r_outer - slice.r_inner) *
+                        (slice.nr - 1);
+      const double ft = th / kPi * (slice.nth - 1);
+      const int i = std::clamp(static_cast<int>(fr), 0, slice.nr - 1);
+      const int j = std::clamp(static_cast<int>(ft), 0, slice.nth - 1);
+      img.set(x, y, sequential_color((slice.at(half, i, j) - mn) / span));
+    }
+  }
+  return img.write(path);
+}
+
+EquatorialSlice remove_zonal_mean(const EquatorialSlice& slice) {
+  EquatorialSlice out = slice;
+  for (int i = 0; i < out.rings; ++i) {
+    double mean = 0.0;
+    for (int k = 0; k < out.spokes; ++k) mean += out.at(i, k);
+    mean /= out.spokes;
+    for (int k = 0; k < out.spokes; ++k)
+      out.values[static_cast<std::size_t>(i) * out.spokes + k] -= mean;
+  }
+  return out;
+}
+
+int count_columns(const EquatorialSlice& slice, double threshold_frac) {
+  const int mid = slice.rings / 2;
+  // The columns are the NON-axisymmetric vorticity: a developed state
+  // also carries a mean zonal-flow vorticity (the m = 0 component),
+  // which must not mask the alternation — remove the ring mean first.
+  double mean = 0.0;
+  for (int k = 0; k < slice.spokes; ++k) mean += slice.at(mid, k);
+  mean /= slice.spokes;
+  double ring_max = 0.0;
+  for (int k = 0; k < slice.spokes; ++k)
+    ring_max = std::max(ring_max, std::abs(slice.at(mid, k) - mean));
+  if (ring_max == 0.0) return 0;
+  const double thresh = threshold_frac * ring_max;
+
+  // Walk the ring keeping the last significant sign; each flip is a
+  // column boundary.  The ring is periodic, so start from the first
+  // significant sample and close the loop.
+  int flips = 0;
+  int last_sign = 0;
+  int first_sign = 0;
+  for (int k = 0; k < slice.spokes; ++k) {
+    const double v = slice.at(mid, k) - mean;
+    if (std::abs(v) < thresh) continue;
+    const int sign = v > 0.0 ? 1 : -1;
+    if (last_sign == 0) {
+      first_sign = sign;
+    } else if (sign != last_sign) {
+      ++flips;
+    }
+    last_sign = sign;
+  }
+  if (last_sign != 0 && first_sign != last_sign) ++flips;  // wraparound
+  return flips;
+}
+
+}  // namespace yy::io

@@ -1,0 +1,83 @@
+/// \file slice.hpp
+/// Equatorial-plane extraction, imaging and convection-column analysis
+/// — the quantitative counterpart of the paper's Fig. 2 ("thermal
+/// convection structure ... columnar convection cells viewed in the
+/// equatorial plane; two colors indicate cyclonic and anti-cyclonic
+/// convection columns").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "io/sphere_sampler.hpp"
+
+namespace yy::io {
+
+/// ω_z (global z-vorticity) sampled on the equatorial plane:
+/// `rings` radii × `spokes` longitudes.
+struct EquatorialSlice {
+  int rings = 0, spokes = 0;
+  double r_inner = 0.0, r_outer = 0.0;
+  std::vector<double> values;  ///< ring-major: values[ring*spokes + spoke]
+
+  double at(int ring, int spoke) const {
+    return values[static_cast<std::size_t>(ring) * spokes + spoke];
+  }
+  double max_abs() const;
+};
+
+/// Samples the global z-component of a vector field pair on the
+/// equatorial plane (θ_g = π/2).
+EquatorialSlice sample_equatorial_z(const SphereSampler& sampler,
+                                    const PanelVectorView& yin,
+                                    const PanelVectorView& yang,
+                                    double r_inner, double r_outer, int rings,
+                                    int spokes);
+
+/// Renders the slice as a disk image with the two-colour diverging map
+/// (red = cyclonic, blue = anti-cyclonic); returns false on I/O error.
+bool write_equatorial_ppm(const EquatorialSlice& slice, const std::string& path,
+                          int image_size = 400);
+
+/// Writes (radius, phi, value) rows for external plotting.
+bool write_equatorial_csv(const EquatorialSlice& slice,
+                          const std::string& path);
+
+/// Returns a copy with each ring's azimuthal mean removed — the
+/// non-axisymmetric part, i.e. the columns themselves (a developed
+/// state also carries a mean zonal-flow vorticity that would otherwise
+/// dominate the colour scale).
+EquatorialSlice remove_zonal_mean(const EquatorialSlice& slice);
+
+/// Counts convection columns: sign changes of ω_z around the
+/// mid-depth ring, ignoring |ω_z| below `threshold_frac` of the ring
+/// maximum (a pair of sign changes is one cyclonic+anticyclonic pair).
+int count_columns(const EquatorialSlice& slice, double threshold_frac = 0.1);
+
+/// A scalar field on the meridional plane φ_g ∈ {φ0, φ0+π}: the view
+/// of the paper's Fig. 2(b) (seen from 45°N the columns appear as
+/// z-aligned structures).  `halves` indexes the two half-planes.
+struct MeridionalSlice {
+  int nr = 0, nth = 0;
+  double r_inner = 0.0, r_outer = 0.0;
+  double phi0 = 0.0;
+  std::vector<double> values;  ///< [half][ir][ith], half ∈ {0,1}
+
+  double at(int half, int ir, int ith) const {
+    return values[(static_cast<std::size_t>(half) * nr + ir) * nth + ith];
+  }
+  double max_abs() const;
+};
+
+/// Samples a scalar field pair on the meridional plane through φ0.
+MeridionalSlice sample_meridional_scalar(const SphereSampler& sampler,
+                                         const Field3& yin, const Field3& yang,
+                                         double r_inner, double r_outer,
+                                         double phi0, int nr, int nth);
+
+/// Renders the annulus cross-section (both half-planes) as a PPM with
+/// the sequential colormap; returns false on I/O error.
+bool write_meridional_ppm(const MeridionalSlice& slice,
+                          const std::string& path, int image_size = 400);
+
+}  // namespace yy::io

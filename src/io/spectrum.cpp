@@ -1,0 +1,63 @@
+#include "io/spectrum.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace yy::io {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+std::vector<double> ring_power_spectrum(std::span<const double> ring,
+                                        int mmax) {
+  YY_REQUIRE(!ring.empty());
+  YY_REQUIRE(mmax >= 0 && mmax <= static_cast<int>(ring.size()) / 2);
+  const int n = static_cast<int>(ring.size());
+  std::vector<double> power(static_cast<std::size_t>(mmax) + 1, 0.0);
+  for (int m = 0; m <= mmax; ++m) {
+    double c = 0.0, s = 0.0;
+    for (int k = 0; k < n; ++k) {
+      const double ang = 2.0 * kPi * m * k / n;
+      c += ring[static_cast<std::size_t>(k)] * std::cos(ang);
+      s += ring[static_cast<std::size_t>(k)] * std::sin(ang);
+    }
+    // Amplitude normalization: a pure cos(mφ) ring gives power 1 at m.
+    const double norm = m == 0 ? 1.0 / n : 2.0 / n;
+    power[static_cast<std::size_t>(m)] =
+        (c * c + s * s) * norm * norm * (m == 0 ? 1.0 : 1.0);
+  }
+  return power;
+}
+
+int dominant_wavenumber(std::span<const double> ring, int mmax) {
+  const std::vector<double> p = ring_power_spectrum(ring, mmax);
+  int best = 0;
+  double best_p = 0.0;
+  for (int m = 1; m <= mmax; ++m) {
+    if (p[static_cast<std::size_t>(m)] > best_p) {
+      best_p = p[static_cast<std::size_t>(m)];
+      best = m;
+    }
+  }
+  return best_p > 0.0 ? best : 0;
+}
+
+std::vector<double> slice_spectrum(const EquatorialSlice& slice, int mmax) {
+  const int mid = slice.rings / 2;
+  std::vector<double> ring(static_cast<std::size_t>(slice.spokes));
+  for (int k = 0; k < slice.spokes; ++k)
+    ring[static_cast<std::size_t>(k)] = slice.at(mid, k);
+  return ring_power_spectrum(ring, mmax);
+}
+
+int spectral_column_count(const EquatorialSlice& slice, int mmax) {
+  const int mid = slice.rings / 2;
+  std::vector<double> ring(static_cast<std::size_t>(slice.spokes));
+  for (int k = 0; k < slice.spokes; ++k)
+    ring[static_cast<std::size_t>(k)] = slice.at(mid, k);
+  return 2 * dominant_wavenumber(ring, std::min(mmax, slice.spokes / 2));
+}
+
+}  // namespace yy::io

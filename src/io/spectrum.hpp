@@ -1,0 +1,33 @@
+/// \file spectrum.hpp
+/// Azimuthal (longitudinal) Fourier analysis of ring samples — the
+/// quantitative "how many convection columns" counterpart to the
+/// eyeball count of paper Fig. 2.  The number of columnar convection
+/// cells equals twice the dominant azimuthal wavenumber m of the
+/// equatorial vorticity.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "io/slice.hpp"
+
+namespace yy::io {
+
+/// Power spectrum of a periodic ring of samples: result[m] is the
+/// squared amplitude of azimuthal wavenumber m, m = 0 … mmax.
+/// Plain O(N·mmax) real DFT — rings are short, no FFT machinery needed.
+std::vector<double> ring_power_spectrum(std::span<const double> ring,
+                                        int mmax);
+
+/// Dominant nonzero wavenumber (argmax of power over m ≥ 1; 0 if the
+/// ring is identically zero).
+int dominant_wavenumber(std::span<const double> ring, int mmax);
+
+/// Power spectrum of the mid-depth ring of an equatorial slice.
+std::vector<double> slice_spectrum(const EquatorialSlice& slice, int mmax);
+
+/// Column count from the spectrum: 2 × dominant m of the mid ring —
+/// robust to the small-amplitude wiggles that trip sign counting.
+int spectral_column_count(const EquatorialSlice& slice, int mmax = 16);
+
+}  // namespace yy::io

@@ -1,0 +1,76 @@
+#include "io/sphere_sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "yinyang/transform.hpp"
+
+namespace yy::io {
+
+using yinyang::Angles;
+using yinyang::ComponentGeometry;
+using yinyang::Panel;
+
+Panel SphereSampler::panel_for(double theta_g, double phi_g) const {
+  const Angles a{theta_g, phi_g};
+  return ComponentGeometry::in_core(a) ? Panel::yin : Panel::yang;
+}
+
+SphereSampler::Locator SphereSampler::locate(double radius,
+                                             const Angles& local) const {
+  const SphericalGrid& g = *grid_;
+  const int gh = g.ghost();
+  auto clamped = [](double f, int n) {
+    int j = static_cast<int>(std::floor(f));
+    j = std::min(std::max(j, 0), n - 2);
+    return std::pair<int, double>{j, f - j};
+  };
+  const double fr = (radius - g.spec().r0) / g.dr();
+  const double ft = (local.theta - g.spec().t0) / g.dt();
+  const double fp = (local.phi - g.spec().p0) / g.dp();
+  auto [ir, wr] = clamped(fr, g.spec().nr);
+  auto [jt, wt] = clamped(ft, g.spec().nt);
+  auto [jp, wp] = clamped(fp, g.spec().np);
+  return {ir + gh, jt + gh, jp + gh, wr, wt, wp};
+}
+
+double SphereSampler::trilinear(const Field3& f, const Locator& l) const {
+  auto bil = [&](int ir) {
+    return (1.0 - l.wt) * ((1.0 - l.wp) * f(ir, l.jt, l.jp) +
+                           l.wp * f(ir, l.jt, l.jp + 1)) +
+           l.wt * ((1.0 - l.wp) * f(ir, l.jt + 1, l.jp) +
+                   l.wp * f(ir, l.jt + 1, l.jp + 1));
+  };
+  return (1.0 - l.wr) * bil(l.ir) + l.wr * bil(l.ir + 1);
+}
+
+double SphereSampler::sample_scalar(const Field3& yin, const Field3& yang,
+                                    double radius, double theta_g,
+                                    double phi_g) const {
+  const Angles a{theta_g, phi_g};
+  if (panel_for(theta_g, phi_g) == Panel::yin) {
+    return trilinear(yin, locate(radius, a));
+  }
+  return trilinear(yang, locate(radius, yinyang::partner_angles(a)));
+}
+
+Vec3 SphereSampler::sample_vector(const PanelVectorView& yin,
+                                  const PanelVectorView& yang, double radius,
+                                  double theta_g, double phi_g) const {
+  const Angles a{theta_g, phi_g};
+  if (panel_for(theta_g, phi_g) == Panel::yin) {
+    const Locator l = locate(radius, a);
+    const Vec3 sph{trilinear(*yin.r, l), trilinear(*yin.t, l),
+                   trilinear(*yin.p, l)};
+    return yinyang::spherical_basis(a) * sph;  // Yin frame IS the global frame
+  }
+  const Angles b = yinyang::partner_angles(a);
+  const Locator l = locate(radius, b);
+  const Vec3 sph{trilinear(*yang.r, l), trilinear(*yang.t, l),
+                 trilinear(*yang.p, l)};
+  // Yang-local Cartesian → global: the involutory axis swap of eq. (1).
+  return yinyang::axis_swap(yinyang::spherical_basis(b) * sph);
+}
+
+}  // namespace yy::io

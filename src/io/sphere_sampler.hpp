@@ -1,0 +1,57 @@
+/// \file sphere_sampler.hpp
+/// Samples fields of a two-panel Yin-Yang solution at arbitrary global
+/// positions — the data-extraction path behind the paper's Fig. 2
+/// visualizations.  Global coordinates are the Yin frame (the Earth
+/// frame, rotation axis ẑ); a sample point is served by whichever
+/// panel's core rectangle covers it, and vector samples are returned as
+/// global Cartesian components (the paper stores Bx,By,Bz / vx,vy,vz
+/// for visualization for the same reason).
+#pragma once
+
+#include "common/vec3.hpp"
+#include "grid/spherical_grid.hpp"
+#include "mhd/state.hpp"
+#include "yinyang/geometry.hpp"
+
+namespace yy::io {
+
+/// Three spherical-component fields on one panel (non-owning view).
+struct PanelVectorView {
+  const Field3* r = nullptr;
+  const Field3* t = nullptr;
+  const Field3* p = nullptr;
+};
+
+class SphereSampler {
+ public:
+  /// Both panels share one grid shape; `grid` must be the whole-panel
+  /// grid (serial solver layout).
+  SphereSampler(const SphericalGrid& grid,
+                const yinyang::ComponentGeometry& geom)
+      : grid_(&grid), geom_(&geom) {}
+
+  /// Which panel serves a global direction (Yin's core wins ties).
+  yinyang::Panel panel_for(double theta_g, double phi_g) const;
+
+  /// Trilinear sample of a scalar field pair at a global position.
+  double sample_scalar(const Field3& yin, const Field3& yang, double radius,
+                       double theta_g, double phi_g) const;
+
+  /// Trilinear sample of a vector field pair, returned in global
+  /// Cartesian components.
+  Vec3 sample_vector(const PanelVectorView& yin, const PanelVectorView& yang,
+                     double radius, double theta_g, double phi_g) const;
+
+ private:
+  struct Locator {
+    int ir, jt, jp;
+    double wr, wt, wp;
+  };
+  Locator locate(double radius, const yinyang::Angles& local) const;
+  double trilinear(const Field3& f, const Locator& l) const;
+
+  const SphericalGrid* grid_;
+  const yinyang::ComponentGeometry* geom_;
+};
+
+}  // namespace yy::io

@@ -1,0 +1,52 @@
+#include "io/vtk.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "yinyang/transform.hpp"
+
+namespace yy::io {
+
+bool write_vtk_panel(const std::string& path, const SphericalGrid& grid,
+                     yinyang::Panel panel,
+                     const std::vector<VtkScalar>& scalars) {
+  for (const VtkScalar& s : scalars) {
+    YY_REQUIRE(s.field != nullptr);
+    YY_REQUIRE(s.field->nr() == grid.Nr() && s.field->nt() == grid.Nt() &&
+               s.field->np() == grid.Np());
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+
+  const IndexBox in = grid.interior();
+  const int nr = in.r1 - in.r0, nt = in.t1 - in.t0, np = in.p1 - in.p0;
+  std::fprintf(f, "# vtk DataFile Version 3.0\n");
+  std::fprintf(f, "yycore %s panel\n", yinyang::name(panel));
+  std::fprintf(f, "ASCII\nDATASET STRUCTURED_GRID\n");
+  std::fprintf(f, "DIMENSIONS %d %d %d\n", nr, nt, np);
+  std::fprintf(f, "POINTS %d float\n", nr * nt * np);
+  for (int ip = in.p0; ip < in.p1; ++ip) {
+    for (int it = in.t0; it < in.t1; ++it) {
+      for (int ir = in.r0; ir < in.r1; ++ir) {
+        const yinyang::Angles a{grid.theta(it), grid.phi(ip)};
+        Vec3 pos = yinyang::position(a) * grid.r(ir);
+        if (panel == yinyang::Panel::yang) pos = yinyang::axis_swap(pos);
+        std::fprintf(f, "%g %g %g\n", pos.x, pos.y, pos.z);
+      }
+    }
+  }
+  std::fprintf(f, "POINT_DATA %d\n", nr * nt * np);
+  for (const VtkScalar& s : scalars) {
+    std::fprintf(f, "SCALARS %s float 1\nLOOKUP_TABLE default\n",
+                 s.name.c_str());
+    for (int ip = in.p0; ip < in.p1; ++ip)
+      for (int it = in.t0; it < in.t1; ++it)
+        for (int ir = in.r0; ir < in.r1; ++ir)
+          std::fprintf(f, "%g\n", (*s.field)(ir, it, ip));
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace yy::io

@@ -1,0 +1,34 @@
+/// \file vtk.hpp
+/// Legacy-VTK structured-grid export of panel fields — the 3-D data
+/// path of paper §V ("we saved the 3-dimensional data 127 times, and
+/// about 500 GB of data was generated"), scaled to workstation files
+/// loadable by ParaView/VisIt.  One file per panel; points carry the
+/// panel's global Cartesian coordinates so the two files overlay into
+/// the full sphere with no seam (Fig. 2's "no indication of the
+/// internal border").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "grid/spherical_grid.hpp"
+#include "mhd/state.hpp"
+#include "yinyang/geometry.hpp"
+
+namespace yy::io {
+
+/// A named scalar field to export (non-owning).
+struct VtkScalar {
+  std::string name;
+  const Field3* field = nullptr;
+};
+
+/// Writes the interior of a panel patch as an ASCII legacy VTK
+/// STRUCTURED_GRID with the given point scalars; returns false on I/O
+/// failure.  `panel` rotates the point coordinates into the global
+/// (Yin) frame via eq. (1).
+bool write_vtk_panel(const std::string& path, const SphericalGrid& grid,
+                     yinyang::Panel panel,
+                     const std::vector<VtkScalar>& scalars);
+
+}  // namespace yy::io

@@ -1,0 +1,48 @@
+#include "mhd/derived.hpp"
+
+#include "common/flops.hpp"
+#include "grid/fd_ops.hpp"
+
+namespace yy::mhd {
+
+void velocity_and_temperature(const Fields& s, Field3& vr, Field3& vt,
+                              Field3& vp, Field3& T, const IndexBox& box) {
+  for_box(box, [&](int ir, int it, int ip) {
+    const double inv_rho = 1.0 / s.rho(ir, it, ip);
+    vr(ir, it, ip) = s.fr(ir, it, ip) * inv_rho;
+    vt(ir, it, ip) = s.ft(ir, it, ip) * inv_rho;
+    vp(ir, it, ip) = s.fp(ir, it, ip) * inv_rho;
+    T(ir, it, ip) = s.p(ir, it, ip) * inv_rho;
+  });
+  flops::add(static_cast<std::uint64_t>(box.volume()) * kFlopsVelTemp);
+}
+
+void magnetic_field(const SphericalGrid& g, const Fields& s, Field3& br,
+                    Field3& bt, Field3& bp, const IndexBox& box) {
+  fd::curl(g, s.ar, s.at, s.ap, br, bt, bp, box);
+}
+
+void current_density(const SphericalGrid& g, const Field3& br,
+                     const Field3& bt, const Field3& bp, Field3& jr,
+                     Field3& jt, Field3& jp, const IndexBox& box) {
+  fd::curl(g, br, bt, bp, jr, jt, jp, box);
+}
+
+void electric_field(double eta, const Field3& vr, const Field3& vt,
+                    const Field3& vp, const Field3& br, const Field3& bt,
+                    const Field3& bp, const Field3& jr, const Field3& jt,
+                    const Field3& jp, Field3& er, Field3& et, Field3& ep,
+                    const IndexBox& box) {
+  for_box(box, [&](int ir, int it, int ip) {
+    const double vrc = vr(ir, it, ip), vtc = vt(ir, it, ip), vpc = vp(ir, it, ip);
+    const double brc = br(ir, it, ip), btc = bt(ir, it, ip), bpc = bp(ir, it, ip);
+    // (v×B) in spherical components (orthonormal basis, so the usual
+    // cross-product formula applies componentwise).
+    er(ir, it, ip) = -(vtc * bpc - vpc * btc) + eta * jr(ir, it, ip);
+    et(ir, it, ip) = -(vpc * brc - vrc * bpc) + eta * jt(ir, it, ip);
+    ep(ir, it, ip) = -(vrc * btc - vtc * brc) + eta * jp(ir, it, ip);
+  });
+  flops::add(static_cast<std::uint64_t>(box.volume()) * kFlopsElectric);
+}
+
+}  // namespace yy::mhd

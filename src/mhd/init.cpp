@@ -1,0 +1,110 @@
+#include "mhd/init.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/noise.hpp"
+
+namespace yy::mhd {
+
+namespace {
+
+struct ConductiveProfile {
+  double a, b;  // T(r) = a + b/r
+};
+
+ConductiveProfile conductive_coeffs(const ShellSpec& shell, const ThermalBc& bc) {
+  const double ri = shell.r_inner, ro = shell.r_outer;
+  YY_REQUIRE(ri > 0.0 && ro > ri);
+  const double b = (bc.t_inner - bc.t_outer) / (1.0 / ri - 1.0 / ro);
+  const double a = bc.t_outer - b / ro;
+  return {a, b};
+}
+
+}  // namespace
+
+double conductive_temperature(const ShellSpec& shell, const ThermalBc& bc,
+                              double r) {
+  const auto [a, b] = conductive_coeffs(shell, bc);
+  return a + b / r;
+}
+
+double hydrostatic_density(const ShellSpec& shell, const ThermalBc& bc,
+                           double g0, double r) {
+  const auto [a, b] = conductive_coeffs(shell, bc);
+  // d(lnρ)/dr = −(g0/r² + T'(r)) / T(r),  T' = −b/r².
+  auto dlnrho = [&](double rr) {
+    const double temp = a + b / rr;
+    return -(g0 / (rr * rr) - b / (rr * rr)) / temp;
+  };
+  // RK4 integration of lnρ from r_o (where ρ = 1) to r, fixed fine step.
+  const double r_from = shell.r_outer;
+  const int nsub = 256;
+  const double h = (r - r_from) / nsub;
+  double lnrho = 0.0;
+  double rr = r_from;
+  for (int i = 0; i < nsub; ++i) {
+    const double k1 = dlnrho(rr);
+    const double k2 = dlnrho(rr + 0.5 * h);
+    const double k3 = dlnrho(rr + 0.5 * h);
+    const double k4 = dlnrho(rr + h);
+    lnrho += h / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+    rr += h;
+  }
+  return std::exp(lnrho);
+}
+
+void initialize_state(const SphericalGrid& g, const ShellSpec& shell,
+                      const ThermalBc& bc, double g0,
+                      const InitialConditions& ic, int panel_id,
+                      const GlobalOffset& off, Fields& s) {
+  // Radial profiles shared by every column (and both panels).
+  std::vector<double> t_prof(static_cast<std::size_t>(g.Nr()));
+  std::vector<double> rho_prof(static_cast<std::size_t>(g.Nr()));
+  for (int ir = 0; ir < g.Nr(); ++ir) {
+    t_prof[static_cast<std::size_t>(ir)] =
+        conductive_temperature(shell, bc, g.r(ir));
+    rho_prof[static_cast<std::size_t>(ir)] =
+        hydrostatic_density(shell, bc, g0, g.r(ir));
+  }
+
+  const int gh = g.ghost();
+  const int iw_in = gh;                     // inner wall node
+  const int iw_out = gh + g.spec().nr - 1;  // outer wall node
+  for (int ip = 0; ip < g.Np(); ++ip) {
+    for (int it = 0; it < g.Nt(); ++it) {
+      // Global indices of this column (for decomposition-independent
+      // noise); ghost columns get noise too — they are overwritten by
+      // the first ghost fill, so their values never matter.
+      const int git = off.it0 + (it - gh);
+      const int gip = off.ip0 + (ip - gh);
+      for (int ir = 0; ir < g.Nr(); ++ir) {
+        const double rho0 = rho_prof[static_cast<std::size_t>(ir)];
+        const double t0 = t_prof[static_cast<std::size_t>(ir)];
+        s.rho(ir, it, ip) = rho0;
+        s.fr(ir, it, ip) = 0.0;
+        s.ft(ir, it, ip) = 0.0;
+        s.fp(ir, it, ip) = 0.0;
+        const bool wall = ir == iw_in || ir == iw_out;
+        const bool inside = ir > iw_in && ir < iw_out;
+        const double gir = ir - gh;  // radial index is globally aligned
+        const double dp =
+            (wall || !inside)
+                ? 0.0
+                : ic.perturb_amp *
+                      hash_noise(ic.seed, 0, panel_id,
+                                 static_cast<int>(gir), git, gip);
+        s.p(ir, it, ip) = rho0 * t0 * (1.0 + dp);
+        const double ba = (inside ? ic.seed_b_amp : 0.0);
+        s.ar(ir, it, ip) =
+            ba * hash_noise(ic.seed, 1, panel_id, static_cast<int>(gir), git, gip);
+        s.at(ir, it, ip) =
+            ba * hash_noise(ic.seed, 2, panel_id, static_cast<int>(gir), git, gip);
+        s.ap(ir, it, ip) =
+            ba * hash_noise(ic.seed, 3, panel_id, static_cast<int>(gir), git, gip);
+      }
+    }
+  }
+}
+
+}  // namespace yy::mhd

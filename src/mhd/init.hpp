@@ -1,0 +1,50 @@
+/// \file init.hpp
+/// Initial conditions (paper §III): a conductive temperature profile
+/// between the hot inner and cold outer sphere, hydrostatic density
+/// stratification under the central gravity g = −g0/r² r̂, fluid at
+/// rest, a random temperature (pressure) perturbation, and an
+/// infinitesimally small random seed of the magnetic vector potential.
+///
+/// All randomness is hash noise of *global* node identities, so the
+/// initial state is bit-identical across domain decompositions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/spherical_grid.hpp"
+#include "mhd/params.hpp"
+#include "mhd/state.hpp"
+
+namespace yy::mhd {
+
+struct InitialConditions {
+  double perturb_amp = 1e-2;  ///< relative pressure perturbation
+  double seed_b_amp = 1e-4;   ///< vector-potential seed amplitude
+  std::uint64_t seed = 42;    ///< noise seed
+};
+
+/// Conductive profile T(r) = a + b/r through the wall temperatures.
+double conductive_temperature(const ShellSpec& shell, const ThermalBc& bc,
+                              double r);
+
+/// Hydrostatic density: integrates dρ/dr = −ρ (g0/r² + T'(r)) / T(r)
+/// inward from ρ(r_o) = 1 (paper normalization).
+double hydrostatic_density(const ShellSpec& shell, const ThermalBc& bc,
+                           double g0, double r);
+
+/// Offsets of this patch's interior node (0,0,0) in the panel-global
+/// index space (radial direction is never decomposed).
+struct GlobalOffset {
+  int it0 = 0;
+  int ip0 = 0;
+};
+
+/// Fills `s` with the initial state on one patch of one panel.
+/// `panel_id` (0 = Yin, 1 = Yang) decorrelates the two panels' noise.
+void initialize_state(const SphericalGrid& g, const ShellSpec& shell,
+                      const ThermalBc& bc, double g0,
+                      const InitialConditions& ic, int panel_id,
+                      const GlobalOffset& off, Fields& s);
+
+}  // namespace yy::mhd

@@ -1,0 +1,75 @@
+#include "mhd/integrator.hpp"
+
+#include "common/error.hpp"
+
+namespace yy::mhd {
+
+Integrator::Integrator(TimeScheme scheme,
+                       const std::vector<const SphericalGrid*>& grids)
+    : scheme_(scheme), grids_(grids) {
+  YY_REQUIRE(!grids.empty());
+  if (scheme == TimeScheme::rk4) {
+    rk4_ = std::make_unique<Rk4>(grids);
+    return;
+  }
+  for (const SphericalGrid* g : grids_) {
+    k_.emplace_back(*g);
+    if (scheme == TimeScheme::rk2) stage_.emplace_back(*g);
+    ws_.emplace_back(*g);
+  }
+}
+
+void Integrator::step(const std::vector<PatchDef>& patches, double dt,
+                      const FillFn& fill) {
+  switch (scheme_) {
+    case TimeScheme::euler:
+      step_euler(patches, dt, fill);
+      return;
+    case TimeScheme::rk2:
+      step_rk2(patches, dt, fill);
+      return;
+    case TimeScheme::rk4:
+      rk4_->step(patches, dt, fill);
+      return;
+  }
+}
+
+void Integrator::step_euler(const std::vector<PatchDef>& patches, double dt,
+                            const FillFn& fill) {
+  const std::size_t n = patches.size();
+  YY_REQUIRE(n == grids_.size());
+  std::vector<Fields*> state_ptrs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    compute_rhs(*grids_[i], patches[i].eq, *patches[i].state, k_[i], ws_[i],
+                grids_[i]->interior());
+    state_ptrs[i] = patches[i].state;
+  }
+  for (std::size_t i = 0; i < n; ++i) patches[i].state->axpy(dt, k_[i]);
+  fill(state_ptrs);
+}
+
+void Integrator::step_rk2(const std::vector<PatchDef>& patches, double dt,
+                          const FillFn& fill) {
+  const std::size_t n = patches.size();
+  YY_REQUIRE(n == grids_.size());
+  std::vector<Fields*> stage_ptrs(n), state_ptrs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    stage_ptrs[i] = &stage_[i];
+    state_ptrs[i] = patches[i].state;
+  }
+  // Midpoint: k1 = f(y); y* = y + dt/2 k1; y ← y + dt f(y*).
+  for (std::size_t i = 0; i < n; ++i) {
+    compute_rhs(*grids_[i], patches[i].eq, *patches[i].state, k_[i], ws_[i],
+                grids_[i]->interior());
+    stage_[i].assign_axpy(*patches[i].state, dt / 2.0, k_[i]);
+  }
+  fill(stage_ptrs);
+  for (std::size_t i = 0; i < n; ++i) {
+    compute_rhs(*grids_[i], patches[i].eq, stage_[i], k_[i], ws_[i],
+                grids_[i]->interior());
+  }
+  for (std::size_t i = 0; i < n; ++i) patches[i].state->axpy(dt, k_[i]);
+  fill(state_ptrs);
+}
+
+}  // namespace yy::mhd

@@ -1,0 +1,47 @@
+/// \file params.hpp
+/// Physical parameters of the normalized MHD system, paper eqs. (2)-(6).
+///
+/// Normalization (paper §III): outer-sphere radius r_o = 1, outer
+/// temperature T(r_o) = 1, outer mass density ρ(r_o) = 1.  Six free
+/// parameters: γ, the three dissipation constants (µ, K, η), gravity
+/// strength g0, and rotation Ω.  The rotation axis is given as a
+/// Cartesian vector in the *local panel frame*, so the same equations
+/// serve both Yin (Ω = Ω ẑ) and Yang (Ω = Ω ŷ, the image of ẑ under
+/// eq. 1) with no special-casing — the symmetry the paper exploits.
+#pragma once
+
+#include "common/vec3.hpp"
+
+namespace yy::mhd {
+
+struct EquationParams {
+  double gamma = 5.0 / 3.0;  ///< ratio of specific heats
+  double mu = 1e-3;          ///< dynamic viscosity µ
+  double kappa = 1e-3;       ///< thermal conductivity K
+  double eta = 1e-3;         ///< electrical resistivity η
+  double g0 = 1.0;           ///< gravity: g = −g0/r² r̂
+  Vec3 omega{0.0, 0.0, 0.0}; ///< rotation vector in local Cartesian frame
+
+  /// The same parameters with the rotation axis mapped by eq. (1) into
+  /// the partner panel's frame: (x,y,z) → (−x, z, y).
+  EquationParams for_partner_panel() const {
+    EquationParams q = *this;
+    q.omega = Vec3{-omega.x, omega.z, omega.y};
+    return q;
+  }
+};
+
+/// Spherical shell: the Earth's outer core has
+/// r_i/r_o = 1200 km / 3500 km ≈ 0.343 (paper §I).
+struct ShellSpec {
+  double r_inner = 1200.0 / 3500.0;
+  double r_outer = 1.0;
+};
+
+/// Thermal boundary values: hot inner sphere, cold outer (paper §III).
+struct ThermalBc {
+  double t_inner = 2.0;
+  double t_outer = 1.0;
+};
+
+}  // namespace yy::mhd

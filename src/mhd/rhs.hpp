@@ -1,0 +1,51 @@
+/// \file rhs.hpp
+/// Right-hand side of the normalized MHD system, paper eqs. (2)-(5):
+///
+///   ∂ρ/∂t = −∇·f
+///   ∂f/∂t = −∇·(vf) − ∇p + j×B + ρg + 2ρ v×Ω
+///            + µ(∇²v + ⅓∇(∇·v))
+///   ∂p/∂t = −v·∇p − γp∇·v + (γ−1)K∇²T + (γ−1)ηj² + (γ−1)Φ
+///   ∂A/∂t = −E,           E = −v×B + ηj
+///
+/// The vector Laplacian is evaluated through the identity
+/// ∇²v = ∇(∇·v) − ∇×(∇×v), so the viscous term becomes
+/// µ(4/3 ∇(∇·v) − ∇×(∇×v)) — every differential operator is then one
+/// of the scalar/vector primitives in grid/fd_ops.hpp.
+///
+/// The RHS is valid on any IndexBox whose grown(2) data is filled
+/// (2 ghost layers: one consumed by the derived fields B and ∇·v, one
+/// by the outer derivative of the composite second-order operators).
+#pragma once
+
+#include "common/array3d.hpp"
+#include "grid/spherical_grid.hpp"
+#include "mhd/params.hpp"
+#include "mhd/state.hpp"
+
+namespace yy::mhd {
+
+/// Preallocated temporaries for one RHS evaluation (reusable across
+/// steps; allocation-free hot loop, see Core Guidelines Per.14).
+struct Workspace {
+  explicit Workspace(const SphericalGrid& g);
+
+  Field3 vr, vt, vp, T;          // derived pointwise fields
+  Field3 br, bt, bp;             // B = ∇×A
+  Field3 jr, jt, jp;             // j = ∇×B
+  Field3 divv;                   // ∇·v
+  Field3 cvr, cvt, cvp;          // ∇×v
+  Field3 t0, t1, t2;             // operator output scratch (vector)
+  Field3 s0, s1;                 // operator output scratch (scalar)
+};
+
+/// Evaluates d(state)/dt into `rhs` over `box`; `state` must hold valid
+/// data on box.grown(2).  `rhs` ghost regions are left untouched.
+void compute_rhs(const SphericalGrid& g, const EquationParams& eq,
+                 const Fields& state, Fields& rhs, Workspace& ws,
+                 const IndexBox& box);
+
+/// Pointwise-combination flop cost per grid point (the FD operators
+/// charge separately); documented for the perf model's cross-check.
+inline constexpr int kFlopsPointwiseCombine = 78;
+
+}  // namespace yy::mhd

@@ -1,0 +1,77 @@
+#include "mhd/rk4.hpp"
+
+#include "common/error.hpp"
+
+namespace yy::mhd {
+
+Rk4::Rk4(const std::vector<const SphericalGrid*>& grids) : grids_(grids) {
+  YY_REQUIRE(!grids.empty());
+  k_.reserve(grids.size());
+  stage_.reserve(grids.size());
+  acc_.reserve(grids.size());
+  ws_.reserve(grids.size());
+  for (const SphericalGrid* g : grids) {
+    k_.emplace_back(*g);
+    stage_.emplace_back(*g);
+    acc_.emplace_back(*g);
+    ws_.emplace_back(*g);
+  }
+}
+
+void Rk4::step(const std::vector<PatchDef>& patches, double dt,
+               const FillFn& fill) {
+  const std::size_t n = patches.size();
+  YY_REQUIRE(n == grids_.size());
+
+  std::vector<Fields*> stage_ptrs(n);
+  std::vector<Fields*> state_ptrs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    YY_REQUIRE(patches[i].grid == grids_[i]);
+    stage_ptrs[i] = &stage_[i];
+    state_ptrs[i] = patches[i].state;
+  }
+
+  const IndexBox box0 = grids_[0]->interior();  // recomputed per patch below
+
+  // Stage 1: k1 = f(y).
+  for (std::size_t i = 0; i < n; ++i) {
+    const IndexBox box = grids_[i]->interior();
+    (void)box0;
+    compute_rhs(*grids_[i], patches[i].eq, *patches[i].state, k_[i], ws_[i], box);
+    acc_[i].copy_from(*patches[i].state);
+    acc_[i].axpy(dt / 6.0, k_[i]);
+    stage_[i].assign_axpy(*patches[i].state, dt / 2.0, k_[i]);
+  }
+  fill(stage_ptrs);
+
+  // Stage 2: k2 = f(y + dt/2 k1).
+  for (std::size_t i = 0; i < n; ++i) {
+    compute_rhs(*grids_[i], patches[i].eq, stage_[i], k_[i], ws_[i],
+                grids_[i]->interior());
+    acc_[i].axpy(dt / 3.0, k_[i]);
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    stage_[i].assign_axpy(*patches[i].state, dt / 2.0, k_[i]);
+  fill(stage_ptrs);
+
+  // Stage 3: k3 = f(y + dt/2 k2).
+  for (std::size_t i = 0; i < n; ++i) {
+    compute_rhs(*grids_[i], patches[i].eq, stage_[i], k_[i], ws_[i],
+                grids_[i]->interior());
+    acc_[i].axpy(dt / 3.0, k_[i]);
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    stage_[i].assign_axpy(*patches[i].state, dt, k_[i]);
+  fill(stage_ptrs);
+
+  // Stage 4: k4 = f(y + dt k3); y ← acc + dt/6 k4.
+  for (std::size_t i = 0; i < n; ++i) {
+    compute_rhs(*grids_[i], patches[i].eq, stage_[i], k_[i], ws_[i],
+                grids_[i]->interior());
+    patches[i].state->copy_from(acc_[i]);
+    patches[i].state->axpy(dt / 6.0, k_[i]);
+  }
+  fill(state_ptrs);
+}
+
+}  // namespace yy::mhd

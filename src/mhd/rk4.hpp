@@ -1,0 +1,54 @@
+/// \file rk4.hpp
+/// Classical fourth-order Runge-Kutta time integration (paper §III)
+/// over a *system* of grid patches advanced in lockstep.
+///
+/// A "patch" is one Fields object on one SphericalGrid with its own
+/// EquationParams (Yin and Yang differ only in the rotation-axis
+/// components).  The serial driver passes the two whole panels; the
+/// distributed solver passes this rank's single local patch.  After
+/// every stage the caller-supplied fill callback re-establishes all
+/// ghost data (physical walls, halo exchange, overset interpolation) on
+/// the stage states — the overset coupling is what forces the panels to
+/// advance together.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "grid/spherical_grid.hpp"
+#include "mhd/params.hpp"
+#include "mhd/rhs.hpp"
+#include "mhd/state.hpp"
+
+namespace yy::mhd {
+
+struct PatchDef {
+  const SphericalGrid* grid = nullptr;
+  EquationParams eq;
+  Fields* state = nullptr;
+};
+
+class Rk4 {
+ public:
+  /// Called with the stage states (one per patch, same order as the
+  /// PatchDefs) whenever their ghosts must be refreshed.
+  using FillFn = std::function<void(const std::vector<Fields*>&)>;
+
+  /// Allocates stage storage for the given patch shapes.
+  explicit Rk4(const std::vector<const SphericalGrid*>& grids);
+
+  /// Advances every patch by dt.  The incoming states must already
+  /// have valid ghosts; on return the new states have valid ghosts
+  /// (fill is invoked on them last).
+  void step(const std::vector<PatchDef>& patches, double dt,
+            const FillFn& fill);
+
+ private:
+  std::vector<const SphericalGrid*> grids_;
+  std::vector<Fields> k_;      // stage derivative
+  std::vector<Fields> stage_;  // stage state
+  std::vector<Fields> acc_;    // accumulated solution
+  std::vector<Workspace> ws_;
+};
+
+}  // namespace yy::mhd

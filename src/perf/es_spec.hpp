@@ -1,0 +1,24 @@
+/// \file es_spec.hpp
+/// Hardware specification of the Earth Simulator, paper Table I.
+#pragma once
+
+namespace yy::perf {
+
+struct EarthSimulatorSpec {
+  double ap_peak_gflops = 8.0;     ///< peak per arithmetic processor
+  int aps_per_node = 8;            ///< APs per processor node (PN)
+  int total_nodes = 640;           ///< PNs in the machine
+  int vector_register_length = 256;
+  double node_memory_gb = 16.0;    ///< shared memory per PN
+  double internode_bw_gbs = 12.3;  ///< inter-node transfer rate (×2 duplex)
+
+  int total_aps() const { return aps_per_node * total_nodes; }
+  double total_peak_tflops() const {
+    return ap_peak_gflops * total_aps() / 1000.0;
+  }
+  double total_memory_tb() const {
+    return node_memory_gb * total_nodes / 1000.0;
+  }
+};
+
+}  // namespace yy::perf

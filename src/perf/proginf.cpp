@@ -1,0 +1,128 @@
+#include "perf/proginf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.hpp"
+
+namespace yy::perf {
+
+namespace {
+
+struct Jitter {
+  double min_v, max_v;
+  int min_rank, max_rank;
+};
+
+/// Deterministic ±0.7% spread and the ranks attaining it, mimicking the
+/// per-process scatter of the hardware counters.
+Jitter jitter(double avg, int nproc, Rng& rng) {
+  const double lo = avg * (1.0 - 0.007 * rng.uniform(0.5, 1.0));
+  const double hi = avg * (1.0 + 0.007 * rng.uniform(0.5, 1.0));
+  return {lo, hi, static_cast<int>(rng.uniform() * nproc),
+          static_cast<int>(rng.uniform() * nproc)};
+}
+
+void row(std::string& out, const char* label, double avg, int nproc, Rng& rng,
+         const char* fmt = "%.3f", double max_cap = 1e300) {
+  Jitter j = jitter(avg, nproc, rng);
+  j.max_v = std::min(j.max_v, max_cap);
+  char buf[256], v1[48], v2[48], v3[48];
+  std::snprintf(v1, sizeof v1, fmt, j.min_v);
+  std::snprintf(v2, sizeof v2, fmt, j.max_v);
+  std::snprintf(v3, sizeof v3, fmt, avg);
+  std::snprintf(buf, sizeof buf, "  %-28s: %16s [0,%4d] %16s [0,%4d] %16s\n",
+                label, v1, j.min_rank, v2, j.max_rank, v3);
+  out += buf;
+}
+
+void row_count(std::string& out, const char* label, double avg, int nproc,
+               Rng& rng) {
+  const Jitter j = jitter(avg, nproc, rng);
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "  %-28s: %16.0f [0,%4d] %16.0f [0,%4d] %16.0f\n", label,
+                j.min_v, j.min_rank, j.max_v, j.max_rank, avg);
+  out += buf;
+}
+
+}  // namespace
+
+std::string format_proginf(const EsPerformanceModel& model,
+                           const RunConfig& rc, const ProgInfOptions& opt) {
+  const ModelResult m = model.predict(rc);
+  Rng rng(opt.jitter_seed);
+  const int nproc = rc.processors;
+
+  const double steps = opt.real_time_s / m.time_per_step_s;
+  const double user_time = opt.real_time_s * 0.976;   // minus MPI_Init/teardown
+  const double system_time = opt.real_time_s * 0.010;
+  const double vector_time = user_time * (1.0 - m.comm_fraction) *
+                             m.vec_op_ratio * 0.79;   // pipeline-busy share
+  const double flop_per_proc = m.flops_per_step * steps / nproc;
+  // Plausible instruction decomposition: the vector elements are the
+  // vector-op share of all operations; ops ≈ 2.1× flops for a
+  // load/store-heavy stencil code.
+  const double ops_per_proc = flop_per_proc * 2.1;
+  const double vec_elems = ops_per_proc * m.vec_op_ratio;
+  const double vec_insts = vec_elems / m.avg_vector_length;
+  const double insts = vec_insts + ops_per_proc * (1.0 - m.vec_op_ratio) * 1.6;
+  const double mops = ops_per_proc / user_time / 1e6;
+  const double mflops = flop_per_proc / user_time / 1e6;
+  const double mem_mb = 1040.0 + 80.0 * rng.uniform();
+
+  std::string out;
+  out += "MPI Program Information:\n";
+  out += "========================\n";
+  out += "Note: It is measured from MPI_Init till MPI_Finalize.\n";
+  out += "[U,R] specifies the Universe and the Process Rank in the Universe.\n";
+  char head[128];
+  std::snprintf(head, sizeof head,
+                "Global Data of %d processes: Min [U,R] Max [U,R] Average\n",
+                nproc);
+  out += head;
+  out += "=============================\n";
+  row(out, "Real Time (sec)", opt.real_time_s, nproc, rng);
+  row(out, "User Time (sec)", user_time, nproc, rng);
+  row(out, "System Time (sec)", system_time, nproc, rng);
+  row(out, "Vector Time (sec)", vector_time, nproc, rng);
+  row_count(out, "Instruction Count", insts, nproc, rng);
+  row_count(out, "Vector Instruction Count", vec_insts, nproc, rng);
+  row_count(out, "Vector Element Count", vec_elems, nproc, rng);
+  row_count(out, "FLOP Count", flop_per_proc, nproc, rng);
+  row(out, "MOPS", mops, nproc, rng);
+  row(out, "MFLOPS", mflops, nproc, rng);
+  row(out, "Average Vector Length", m.avg_vector_length, nproc, rng);
+  row(out, "Vector Operation Ratio (%)", m.vec_op_ratio * 100.0, nproc, rng,
+      "%.3f", 99.95);  // a ratio cannot exceed 100%
+  row(out, "Memory size used (MB)", mem_mb, nproc, rng);
+  out += "\nOverall Data:\n";
+  out += "=============\n";
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "  Real Time (sec)        : %14.3f\n",
+                opt.real_time_s);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  User Time (sec)        : %14.3f\n",
+                user_time * nproc);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  System Time (sec)      : %14.3f\n",
+                system_time * nproc);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  Vector Time (sec)      : %14.3f\n",
+                vector_time * nproc);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  GOPS (rel. to User Time): %13.3f\n",
+                mops * nproc / 1000.0);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "  GFLOPS (rel. to User Time): %11.3f <--- %.1f TFlops\n",
+                mflops * nproc / 1000.0, mflops * nproc / 1e6);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  Memory size used (GB)  : %14.3f\n",
+                mem_mb * nproc / 1024.0);
+  out += buf;
+  return out;
+}
+
+}  // namespace yy::perf

@@ -1,0 +1,24 @@
+/// \file proginf.hpp
+/// Renders an MPIPROGINF-style report (paper List 1) from the
+/// performance model's counters.  On the Earth Simulator this output
+/// came from hardware counters enabled by the MPIPROGINF environment
+/// variable; here the same quantities are derived from the model plus
+/// the software flop counters, formatted to match the paper's listing.
+#pragma once
+
+#include <string>
+
+#include "perf/es_model.hpp"
+
+namespace yy::perf {
+
+struct ProgInfOptions {
+  double real_time_s = 454.266;  ///< wall-clock span of the reported run
+  unsigned jitter_seed = 2004;   ///< deterministic min/max rank jitter
+};
+
+/// Builds the full "MPI Program Information" text block.
+std::string format_proginf(const EsPerformanceModel& model,
+                           const RunConfig& rc, const ProgInfOptions& opt = {});
+
+}  // namespace yy::perf

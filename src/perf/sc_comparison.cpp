@@ -1,0 +1,53 @@
+#include "perf/sc_comparison.hpp"
+
+#include <cstdio>
+
+namespace yy::perf {
+
+std::vector<ScEntry> sc_literature_rows() {
+  return {
+      {"Shingu (SC2002)", 26.6, 640, 0.65, 7.1e8, "fluid", "atmosphere",
+       "spectral", "MPI-microtask"},
+      {"Yokokawa (SC2002)", 16.4, 512, 0.50, 8.6e9, "fluid", "turbulence",
+       "spectral", "MPI-microtask"},
+      {"Sakagami (SC2002)", 14.9, 512, 0.45, 1.7e10, "fluid",
+       "inertial fusion", "finite volume", "HPF (flat MPI)"},
+      {"Komatitsch (SC2003)", 5.0, 243, 0.32, 5.5e9, "wave propagation",
+       "seismic wave", "spectral element", "flat MPI"},
+  };
+}
+
+ScEntry yycore_paper_row() {
+  return {"Kageyama et al. (paper)", 15.2, 512, 0.46, 8.1e8, "fluid",
+          "geodynamo", "finite difference", "flat MPI"};
+}
+
+ScEntry yycore_model_row(const EsPerformanceModel& model) {
+  const RunConfig rc = kTable2Configs[0];  // 4096 APs = 512 PNs
+  const ModelResult m = model.predict(rc);
+  return {"yycore (this repo, model)", m.tflops, rc.processors / 8,
+          m.efficiency, static_cast<double>(m.grid_points), "fluid",
+          "geodynamo", "finite difference", "flat MPI"};
+}
+
+std::string format_table3(const std::vector<ScEntry>& rows) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "%-26s %11s %6s %9s %11s %9s %s\n", "Paper",
+                "Flops/PN", "eff.", "g.p.", "g.p./AP", "Flops/g.p.",
+                "method / parallelization");
+  out += buf;
+  out += std::string(100, '-') + "\n";
+  for (const ScEntry& e : rows) {
+    std::snprintf(buf, sizeof buf,
+                  "%-26s %5.1fT/%-4d %5.0f%% %9.1e %11.1e %8.2gK %s / %s\n",
+                  e.paper.c_str(), e.tflops, e.nodes, e.efficiency * 100.0,
+                  e.grid_points, e.gridpoints_per_ap(),
+                  e.flops_per_gridpoint() / 1000.0, e.method.c_str(),
+                  e.parallelization.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace yy::perf

@@ -1,0 +1,45 @@
+/// \file sc_comparison.hpp
+/// Paper Table III: performances on the Earth Simulator reported at SC
+/// conferences, compared against yycore.  Literature rows carry the
+/// numbers the paper quotes; the yycore row can be replaced by this
+/// repository's model prediction to show where our reproduction lands.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perf/es_model.hpp"
+
+namespace yy::perf {
+
+struct ScEntry {
+  std::string paper;          ///< first author / citation tag
+  double tflops;              ///< reported performance
+  int nodes;                  ///< PNs used
+  double efficiency;          ///< of peak
+  double grid_points;         ///< degrees of freedom
+  std::string kind;           ///< simulation kind
+  std::string field;          ///< application field
+  std::string method;         ///< discretization
+  std::string parallelization;
+
+  double gridpoints_per_ap(int aps_per_node = 8) const {
+    return grid_points / (static_cast<double>(nodes) * aps_per_node);
+  }
+  double flops_per_gridpoint() const { return tflops * 1e12 / grid_points; }
+};
+
+/// The four literature rows of Table III (paper's reported values).
+std::vector<ScEntry> sc_literature_rows();
+
+/// The paper's own yycore row of Table III.
+ScEntry yycore_paper_row();
+
+/// A yycore row regenerated from this repository's performance model at
+/// the flagship 4096-processor configuration.
+ScEntry yycore_model_row(const EsPerformanceModel& model);
+
+/// Formats the full comparison table (literature + the given yycore row).
+std::string format_table3(const std::vector<ScEntry>& rows);
+
+}  // namespace yy::perf

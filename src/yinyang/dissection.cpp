@@ -1,0 +1,55 @@
+#include "yinyang/dissection.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "yinyang/geometry.hpp"
+#include "yinyang/transform.hpp"
+
+namespace yy::yinyang {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+bool in_rect(const Angles& a, double tH, double pH) {
+  return std::abs(a.theta - kPi / 2.0) <= tH && std::abs(a.phi) <= pH;
+}
+}  // namespace
+
+RectangleVariant analyze_rectangle(double t_halfspan, double p_halfspan,
+                                   int samples) {
+  RectangleVariant v;
+  v.t_halfspan = t_halfspan;
+  v.p_halfspan = p_halfspan;
+  Rng rng(20040101);
+  long long covered = 0, doubly = 0;
+  for (int i = 0; i < samples; ++i) {
+    const double z = rng.uniform(-1.0, 1.0);
+    const double phi = rng.uniform(-kPi, kPi);
+    const Angles a{std::acos(z), phi};
+    const bool yin = in_rect(a, t_halfspan, p_halfspan);
+    const bool yang = in_rect(partner_angles(a), t_halfspan, p_halfspan);
+    if (yin || yang) ++covered;
+    if (yin && yang) ++doubly;
+  }
+  v.coverage = static_cast<double>(covered) / samples;
+  v.overlap_ratio = static_cast<double>(doubly) / samples;
+  v.covers = v.coverage > 1.0 - 2e-3;
+  return v;
+}
+
+std::vector<RectangleVariant> scan_phi_spans(int steps, int samples) {
+  std::vector<RectangleVariant> out;
+  // From 180° to 360° total φ span at the paper's 90° θ span.
+  for (int i = 0; i < steps; ++i) {
+    const double pH = kPi / 2.0 + (kPi / 2.0) * i / (steps - 1);
+    out.push_back(analyze_rectangle(kPi / 4.0, pH, samples));
+  }
+  return out;
+}
+
+double rectangle_family_minimum_overlap() {
+  return ComponentGeometry::minimal_overlap_ratio();
+}
+
+}  // namespace yy::yinyang

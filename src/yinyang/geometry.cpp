@@ -1,0 +1,122 @@
+#include "yinyang/geometry.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace yy::yinyang {
+
+ComponentGeometry::ComponentGeometry(int nt_core, int np_core, int margin_t,
+                                     int margin_p, int ghost)
+    : nt_core_(nt_core), np_core_(np_core), margin_t_(margin_t),
+      margin_p_(margin_p), ghost_(ghost) {
+  YY_REQUIRE(nt_core >= 3 && np_core >= 3);
+  YY_REQUIRE(margin_t >= 0 && margin_p >= 0 && ghost >= 0);
+  dt_ = (core_t_max() - core_t_min()) / (nt_core - 1);
+  dp_ = (core_p_max() - core_p_min()) / (np_core - 1);
+  t_min_ = core_t_min() - margin_t * dt_;
+  t_max_ = core_t_max() + margin_t * dt_;
+  p_min_ = core_p_min() - margin_p * dp_;
+  p_max_ = core_p_max() + margin_p * dp_;
+}
+
+bool ComponentGeometry::in_core(const Angles& a) {
+  return a.theta >= core_t_min() && a.theta <= core_t_max() &&
+         a.phi >= core_p_min() && a.phi <= core_p_max();
+}
+
+bool ComponentGeometry::in_extended(const Angles& a) const {
+  return a.theta >= t_min_ && a.theta <= t_max_ && a.phi >= p_min_ &&
+         a.phi <= p_max_;
+}
+
+namespace {
+
+/// True if every horizontal ghost node of one panel has a complete
+/// bilinear donor stencil strictly inside the partner's extended
+/// interior.  By the Yin/Yang symmetry, checking one panel suffices.
+bool margins_sufficient(const ComponentGeometry& g) {
+  const int ghost = g.ghost();
+  const int Nt = g.nt() + 2 * ghost;
+  const int Np = g.np() + 2 * ghost;
+  for (int it = 0; it < Nt; ++it) {
+    for (int ip = 0; ip < Np; ++ip) {
+      const bool interior = it >= ghost && it < ghost + g.nt() && ip >= ghost &&
+                            ip < ghost + g.np();
+      if (interior) continue;
+      const Angles self{g.t_min() + (it - ghost) * g.dt(),
+                        g.p_min() + (ip - ghost) * g.dp()};
+      const Angles p = partner_angles(self);
+      // Donor cell [jt, jt+1] × [jp, jp+1] in partner interior indices.
+      const double ft = (p.theta - g.t_min()) / g.dt();
+      const double fp = (p.phi - g.p_min()) / g.dp();
+      const int jt = static_cast<int>(std::floor(ft));
+      const int jp = static_cast<int>(std::floor(fp));
+      if (jt < 0 || jt > g.nt() - 2 || jp < 0 || jp > g.np() - 2) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ComponentGeometry ComponentGeometry::with_auto_margin(int nt_core, int np_core,
+                                                      int ghost) {
+  // Search small margin combinations in order of total cost; the
+  // required margin is a few cells (it scales with the ghost width and
+  // the dθ/dφ aspect), so the bound below is generous.
+  constexpr int max_margin = 16;
+  for (int total = 0; total <= 2 * max_margin; ++total) {
+    for (int mt = 0; mt <= total && mt <= max_margin; ++mt) {
+      const int mp = total - mt;
+      if (mp > max_margin) continue;
+      ComponentGeometry g(nt_core, np_core, mt, mp, ghost);
+      if (margins_sufficient(g)) return g;
+    }
+  }
+  YY_REQUIRE(!"no sufficient Yin-Yang margin found (resolution too coarse)");
+  return ComponentGeometry(nt_core, np_core, 0, 0, ghost);
+}
+
+GridSpec ComponentGeometry::make_grid_spec(int nr, double r_inner,
+                                           double r_outer) const {
+  GridSpec s;
+  s.nr = nr;
+  s.nt = nt();
+  s.np = np();
+  s.r0 = r_inner;
+  s.r1 = r_outer;
+  s.t0 = t_min_;
+  s.t1 = t_max_;
+  s.p0 = p_min_;
+  s.p1 = p_max_;
+  s.ghost = ghost_;
+  s.phi_periodic = false;
+  return s;
+}
+
+double ComponentGeometry::minimal_overlap_ratio() {
+  const double area =
+      (std::cos(core_t_min()) - std::cos(core_t_max())) *
+      (core_p_max() - core_p_min());
+  return (2.0 * area - 4.0 * pi) / (4.0 * pi);
+}
+
+double ComponentGeometry::extended_overlap_ratio() const {
+  const double area = (std::cos(t_min_) - std::cos(t_max_)) * (p_max_ - p_min_);
+  return (2.0 * area - 4.0 * pi) / (4.0 * pi);
+}
+
+bool ComponentGeometry::covers_sphere(int samples, unsigned seed) {
+  Rng rng(seed);
+  for (int i = 0; i < samples; ++i) {
+    const double z = rng.uniform(-1.0, 1.0);
+    const double phi = rng.uniform(-pi, pi);
+    const Angles a{std::acos(z), phi};
+    if (!in_core(a) && !in_core(partner_angles(a))) return false;
+  }
+  return true;
+}
+
+}  // namespace yy::yinyang

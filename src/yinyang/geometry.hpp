@@ -1,0 +1,96 @@
+/// \file geometry.hpp
+/// Geometry of the basic (rectangular) Yin-Yang grid of paper §II.
+///
+/// Each component grid covers the *core* span — 90° of colatitude
+/// around the equator (θ ∈ [π/4, 3π/4]) and 270° of longitude
+/// (φ ∈ [−3π/4, 3π/4]) — extended by a small margin of extra cells so
+/// that the ghost points of one component always find complete bilinear
+/// donor stencils strictly inside the other component's computed
+/// region (the overset "internal boundary condition" of §II is then
+/// well posed with no circular dependency between the two grids).
+///
+/// Both components are geometrically identical; a single
+/// ComponentGeometry describes either, and eq. (1) relates them.
+#pragma once
+
+#include "grid/spherical_grid.hpp"
+#include "yinyang/transform.hpp"
+
+namespace yy::yinyang {
+
+/// Identifies a panel; by the paper's naming the Yin grid is the
+/// "n-grid" and the Yang grid the "e-grid".
+enum class Panel { yin = 0, yang = 1 };
+
+inline Panel other(Panel p) { return p == Panel::yin ? Panel::yang : Panel::yin; }
+inline const char* name(Panel p) { return p == Panel::yin ? "yin" : "yang"; }
+
+/// Angular layout of one component grid (identical for both panels).
+class ComponentGeometry {
+ public:
+  /// `nt_core`/`np_core` = node counts across the core span
+  /// (dθ = (π/2)/(nt_core−1), dφ = (3π/2)/(np_core−1));
+  /// `margin_t`/`margin_p` = extra cells appended on each side;
+  /// `ghost` = ghost layers outside the extended interior.
+  ComponentGeometry(int nt_core, int np_core, int margin_t, int margin_p,
+                    int ghost);
+
+  /// Smallest margins for which every ghost point of one panel has a
+  /// complete bilinear donor stencil inside the other panel's extended
+  /// interior — found by constructive search (validated, not assumed).
+  static ComponentGeometry with_auto_margin(int nt_core, int np_core,
+                                            int ghost = 2);
+
+  int nt_core() const { return nt_core_; }
+  int np_core() const { return np_core_; }
+  int margin_t() const { return margin_t_; }
+  int margin_p() const { return margin_p_; }
+  int ghost() const { return ghost_; }
+
+  /// Extended interior node counts (core + margins).
+  int nt() const { return nt_core_ + 2 * margin_t_; }
+  int np() const { return np_core_ + 2 * margin_p_; }
+
+  double dt() const { return dt_; }
+  double dp() const { return dp_; }
+
+  /// Extended interior angular extents.
+  double t_min() const { return t_min_; }
+  double t_max() const { return t_max_; }
+  double p_min() const { return p_min_; }
+  double p_max() const { return p_max_; }
+
+  /// Core (minimal-overlap rectangle) extents: [π/4, 3π/4]×[−3π/4, 3π/4].
+  static constexpr double core_t_min() { return pi / 4.0; }
+  static constexpr double core_t_max() { return 3.0 * pi / 4.0; }
+  static constexpr double core_p_min() { return -3.0 * pi / 4.0; }
+  static constexpr double core_p_max() { return 3.0 * pi / 4.0; }
+
+  /// Is an angle pair inside this panel's core rectangle?
+  static bool in_core(const Angles& a);
+
+  /// Is an angle pair inside the extended interior rectangle?
+  bool in_extended(const Angles& a) const;
+
+  /// GridSpec for a radial shell discretized on this component.
+  GridSpec make_grid_spec(int nr, double r_inner, double r_outer) const;
+
+  /// Fraction of the sphere covered twice by the two *core* rectangles
+  /// (analytic): (3√2 − 4)/4 ≈ 6.07%, the ≈6% of paper §II.
+  static double minimal_overlap_ratio();
+
+  /// Fraction covered twice by the two *extended* rectangles (analytic).
+  double extended_overlap_ratio() const;
+
+  /// True if every direction of the sphere lies in at least one of the
+  /// two core rectangles (Monte-Carlo spot check with `samples` rays).
+  static bool covers_sphere(int samples, unsigned seed = 12345);
+
+ private:
+  static constexpr double pi = 3.14159265358979323846;
+  int nt_core_, np_core_, margin_t_, margin_p_, ghost_;
+  double dt_, dp_;
+  double t_min_, t_max_, p_min_, p_max_;
+};
+
+}  // namespace yy::yinyang

@@ -1,0 +1,113 @@
+#include "yinyang/interpolator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/flops.hpp"
+
+namespace yy::yinyang {
+
+OversetInterpolator::OversetInterpolator(const ComponentGeometry& geom)
+    : geom_(geom) {
+  const int ghost = geom.ghost();
+  const int Nt = geom.nt() + 2 * ghost;
+  const int Np = geom.np() + 2 * ghost;
+  for (int it = 0; it < Nt; ++it) {
+    for (int ip = 0; ip < Np; ++ip) {
+      const bool interior = it >= ghost && it < ghost + geom.nt() &&
+                            ip >= ghost && ip < ghost + geom.np();
+      if (interior) continue;
+      const Angles self{geom.t_min() + (it - ghost) * geom.dt(),
+                        geom.p_min() + (ip - ghost) * geom.dp()};
+      const Angles p = partner_angles(self);
+      const double ft = (p.theta - geom.t_min()) / geom.dt();
+      const double fp = (p.phi - geom.p_min()) / geom.dp();
+      int jt = static_cast<int>(std::floor(ft));
+      int jp = static_cast<int>(std::floor(fp));
+      // The geometry's margins guarantee interior donors; clamp guards
+      // only against donors landing exactly on the last node line.
+      jt = std::min(std::max(jt, 0), geom.nt() - 2);
+      jp = std::min(std::max(jp, 0), geom.np() - 2);
+      YY_REQUIRE(ft >= jt - 1e-9 && ft <= jt + 1.0 + 1e-9);
+      YY_REQUIRE(fp >= jp - 1e-9 && fp <= jp + 1.0 + 1e-9);
+      const double wt = ft - jt;
+      const double wp = fp - jp;
+      StencilEntry e;
+      e.recv_it = it;
+      e.recv_ip = ip;
+      e.donor_jt = jt + ghost;  // store as full-array indices
+      e.donor_jp = jp + ghost;
+      e.w[0][0] = (1.0 - wt) * (1.0 - wp);
+      e.w[0][1] = (1.0 - wt) * wp;
+      e.w[1][0] = wt * (1.0 - wp);
+      e.w[1][1] = wt * wp;
+      e.rot = partner_vector_transform(p);  // donor frame -> receiver frame
+      entries_.push_back(e);
+    }
+  }
+}
+
+void OversetInterpolator::fill_scalar(const SphericalGrid& g,
+                                      const Field3& donor, Field3& recv) const {
+  const int g0 = g.ghost();
+  const int nr = g.spec().nr;
+  for (const StencilEntry& e : entries_) {
+    for (int ir = g0; ir < g0 + nr; ++ir) {
+      recv(ir, e.recv_it, e.recv_ip) =
+          e.w[0][0] * donor(ir, e.donor_jt, e.donor_jp) +
+          e.w[0][1] * donor(ir, e.donor_jt, e.donor_jp + 1) +
+          e.w[1][0] * donor(ir, e.donor_jt + 1, e.donor_jp) +
+          e.w[1][1] * donor(ir, e.donor_jt + 1, e.donor_jp + 1);
+    }
+  }
+  flops::add(entries_.size() * static_cast<std::uint64_t>(nr) *
+             kFlopsScalarPerPoint);
+}
+
+void OversetInterpolator::fill_vector(const SphericalGrid& g,
+                                      const Field3& donor_r,
+                                      const Field3& donor_t,
+                                      const Field3& donor_p, Field3& recv_r,
+                                      Field3& recv_t, Field3& recv_p) const {
+  const int g0 = g.ghost();
+  const int nr = g.spec().nr;
+  for (const StencilEntry& e : entries_) {
+    for (int ir = g0; ir < g0 + nr; ++ir) {
+      auto interp = [&](const Field3& f) {
+        return e.w[0][0] * f(ir, e.donor_jt, e.donor_jp) +
+               e.w[0][1] * f(ir, e.donor_jt, e.donor_jp + 1) +
+               e.w[1][0] * f(ir, e.donor_jt + 1, e.donor_jp) +
+               e.w[1][1] * f(ir, e.donor_jt + 1, e.donor_jp + 1);
+      };
+      const Vec3 d{interp(donor_r), interp(donor_t), interp(donor_p)};
+      const Vec3 v = e.rot * d;
+      recv_r(ir, e.recv_it, e.recv_ip) = v.x;
+      recv_t(ir, e.recv_it, e.recv_ip) = v.y;
+      recv_p(ir, e.recv_it, e.recv_ip) = v.z;
+    }
+  }
+  flops::add(entries_.size() * static_cast<std::uint64_t>(nr) *
+             kFlopsVectorPerPoint);
+}
+
+double OversetInterpolator::interpolate_at(const SphericalGrid& g,
+                                           const Field3& f,
+                                           const ComponentGeometry& geom,
+                                           const Angles& a, int ir) {
+  const double ft = (a.theta - geom.t_min()) / geom.dt();
+  const double fp = (a.phi - geom.p_min()) / geom.dp();
+  int jt = static_cast<int>(std::floor(ft));
+  int jp = static_cast<int>(std::floor(fp));
+  jt = std::min(std::max(jt, 0), geom.nt() - 2);
+  jp = std::min(std::max(jp, 0), geom.np() - 2);
+  const double wt = ft - jt;
+  const double wp = fp - jp;
+  const int g0 = g.ghost();
+  return (1.0 - wt) * (1.0 - wp) * f(ir, jt + g0, jp + g0) +
+         (1.0 - wt) * wp * f(ir, jt + g0, jp + g0 + 1) +
+         wt * (1.0 - wp) * f(ir, jt + g0 + 1, jp + g0) +
+         wt * wp * f(ir, jt + g0 + 1, jp + g0 + 1);
+}
+
+}  // namespace yy::yinyang

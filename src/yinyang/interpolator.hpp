@@ -1,0 +1,68 @@
+/// \file interpolator.hpp
+/// Overset internal boundary conditions between the Yin and Yang grids.
+///
+/// Following the general overset methodology the paper cites
+/// (Chesshire & Henshaw), the horizontal ghost points of each component
+/// grid are filled by interpolating the partner component's solution.
+/// The stencil table is built once: for every receiver ghost column
+/// (it, ip) the partner-grid bilinear donor cell, its weights, and the
+/// vector-component rotation at that point.  Because Yin and Yang are
+/// identical and eq. (1) is an involution, one table serves both
+/// directions — the code-level payoff of the grid's complementarity
+/// that the paper emphasizes.
+///
+/// Interpolation acts on whole radial lines (the contiguous dimension),
+/// matching the original code's radial vectorization.
+#pragma once
+
+#include <vector>
+
+#include "common/array3d.hpp"
+#include "grid/spherical_grid.hpp"
+#include "yinyang/geometry.hpp"
+
+namespace yy::yinyang {
+
+/// One receiver ghost column and its donor stencil in the partner grid.
+struct StencilEntry {
+  int recv_it = 0, recv_ip = 0;   ///< receiver patch (full-array) indices
+  int donor_jt = 0, donor_jp = 0; ///< donor cell base, patch indices
+  double w[2][2] = {};            ///< bilinear weights, w[dt][dp]
+  Mat3 rot;                       ///< donor-components → receiver-components
+};
+
+class OversetInterpolator {
+ public:
+  explicit OversetInterpolator(const ComponentGeometry& geom);
+
+  const ComponentGeometry& geometry() const { return geom_; }
+  const std::vector<StencilEntry>& entries() const { return entries_; }
+
+  /// Fills the receiver's horizontal ghost columns (interior radial
+  /// range) of a scalar field from the donor panel's field.
+  void fill_scalar(const SphericalGrid& g, const Field3& donor,
+                   Field3& recv) const;
+
+  /// Same for a spherical-component vector field; components are
+  /// interpolated in the donor frame and rotated into the receiver
+  /// frame (radial component is exactly preserved by the rotation).
+  void fill_vector(const SphericalGrid& g, const Field3& donor_r,
+                   const Field3& donor_t, const Field3& donor_p,
+                   Field3& recv_r, Field3& recv_t, Field3& recv_p) const;
+
+  /// Point-value bilinear interpolation of a field at partner angles
+  /// (test/diagnostic hook; `ir` is a patch radial index).
+  static double interpolate_at(const SphericalGrid& g, const Field3& f,
+                               const ComponentGeometry& geom, const Angles& a,
+                               int ir);
+
+  /// Documented per-point flop costs.
+  static constexpr int kFlopsScalarPerPoint = 7;   // 4 mul + 3 add
+  static constexpr int kFlopsVectorPerPoint = 3 * 7 + 15;  // interp + 3×3 rot
+
+ private:
+  ComponentGeometry geom_;
+  std::vector<StencilEntry> entries_;
+};
+
+}  // namespace yy::yinyang

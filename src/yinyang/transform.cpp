@@ -1,0 +1,48 @@
+#include "yinyang/transform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace yy::yinyang {
+
+Vec3 position(const Angles& a) {
+  const double st = std::sin(a.theta);
+  return {st * std::cos(a.phi), st * std::sin(a.phi), std::cos(a.theta)};
+}
+
+Angles angles_of(const Vec3& v) {
+  const double n = v.norm();
+  Angles a;
+  a.theta = std::acos(std::clamp(v.z / n, -1.0, 1.0));
+  a.phi = std::atan2(v.y, v.x);  // (−π, π]
+  return a;
+}
+
+Angles partner_angles(const Angles& a) {
+  return angles_of(axis_swap(position(a)));
+}
+
+Mat3 spherical_basis(const Angles& a) {
+  const double st = std::sin(a.theta), ct = std::cos(a.theta);
+  const double sp = std::sin(a.phi), cp = std::cos(a.phi);
+  Mat3 b;
+  // columns: r̂, θ̂, φ̂
+  b.m[0][0] = st * cp;
+  b.m[1][0] = st * sp;
+  b.m[2][0] = ct;
+  b.m[0][1] = ct * cp;
+  b.m[1][1] = ct * sp;
+  b.m[2][1] = -st;
+  b.m[0][2] = -sp;
+  b.m[1][2] = cp;
+  b.m[2][2] = 0.0;
+  return b;
+}
+
+Mat3 partner_vector_transform(const Angles& a) {
+  const Angles b = partner_angles(a);
+  // v_cart = B(a) v_sph ;  v_cart' = P v_cart ;  v_sph' = B(b)ᵀ v_cart'
+  return spherical_basis(b).transpose() * (axis_swap_matrix() * spherical_basis(a));
+}
+
+}  // namespace yy::yinyang

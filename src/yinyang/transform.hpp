@@ -1,0 +1,57 @@
+/// \file transform.hpp
+/// The Yin↔Yang coordinate transform (paper eq. 1).
+///
+/// The Yang grid's Cartesian frame is the Yin frame with axes permuted:
+///     (xe, ye, ze) = (−xn, zn, yn),
+/// and — the complementarity the paper stresses — the inverse transform
+/// has exactly the same form, so a single function serves both
+/// directions.  This module provides the transform for positions
+/// (as spherical angles) and for spherical vector components, plus the
+/// spherical basis helpers shared with diagnostics.
+#pragma once
+
+#include "common/vec3.hpp"
+
+namespace yy::yinyang {
+
+/// Spherical angles on the unit sphere: colatitude θ ∈ [0, π],
+/// longitude φ ∈ (−π, π].
+struct Angles {
+  double theta = 0.0;
+  double phi = 0.0;
+};
+
+/// The axis permutation P of eq. (1): (x, y, z) → (−x, z, y).
+/// P is symmetric and involutory (P·P = identity), which encodes the
+/// Yin/Yang complementarity.
+constexpr Vec3 axis_swap(const Vec3& v) { return {-v.x, v.z, v.y}; }
+
+/// P as a matrix (for composing with basis rotations).
+constexpr Mat3 axis_swap_matrix() {
+  Mat3 p;
+  p.m[0][0] = -1.0;
+  p.m[1][2] = 1.0;
+  p.m[2][1] = 1.0;
+  return p;
+}
+
+/// Unit position vector of spherical angles in the local Cartesian frame.
+Vec3 position(const Angles& a);
+
+/// Angles of a (non-zero) Cartesian direction; φ normalized to (−π, π].
+Angles angles_of(const Vec3& v);
+
+/// Coordinates of the same physical point in the partner grid's frame.
+/// Involutory: partner_angles(partner_angles(a)) == a.
+Angles partner_angles(const Angles& a);
+
+/// Orthonormal spherical basis (r̂, θ̂, φ̂) at `a`, as matrix columns.
+Mat3 spherical_basis(const Angles& a);
+
+/// 3×3 matrix carrying spherical components (v_r, v_θ, v_φ) at point
+/// `a` of this grid into spherical components of the same physical
+/// vector in the partner grid's coordinates at the same point.
+/// Radial components are preserved exactly (row/col 0 is e_0).
+Mat3 partner_vector_transform(const Angles& a);
+
+}  // namespace yy::yinyang

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "comm/cart.hpp"
+#include "comm/runtime.hpp"
+
+namespace yy::comm {
+namespace {
+
+TEST(Cart, ChooseDimsNearSquare) {
+  EXPECT_EQ(CartComm::choose_dims(1), (std::pair{1, 1}));
+  EXPECT_EQ(CartComm::choose_dims(6), (std::pair{2, 3}));
+  EXPECT_EQ(CartComm::choose_dims(12), (std::pair{3, 4}));
+  EXPECT_EQ(CartComm::choose_dims(2048), (std::pair{32, 64}));
+  EXPECT_EQ(CartComm::choose_dims(7), (std::pair{1, 7}));  // prime
+}
+
+TEST(Cart, CoordsRowMajor) {
+  Runtime rt(6);
+  rt.run([](Communicator& w) {
+    CartComm cart = CartComm::create(w, 2, 3, false, false);
+    EXPECT_EQ(cart.coord(0), w.rank() / 3);
+    EXPECT_EQ(cart.coord(1), w.rank() % 3);
+    EXPECT_EQ(cart.rank_at(cart.coord(0), cart.coord(1)), cart.rank());
+  });
+}
+
+TEST(Cart, ShiftNonPeriodicEndsAreNull) {
+  Runtime rt(4);
+  rt.run([](Communicator& w) {
+    CartComm cart = CartComm::create(w, 2, 2, false, false);
+    const auto [src0, dst0] = cart.shift(0, 1);
+    if (cart.coord(0) == 0) {
+      EXPECT_EQ(src0, proc_null);
+      EXPECT_EQ(dst0, cart.rank_at(1, cart.coord(1)));
+    }
+    if (cart.coord(0) == 1) {
+      EXPECT_EQ(dst0, proc_null);
+    }
+  });
+}
+
+TEST(Cart, ShiftPeriodicWraps) {
+  Runtime rt(4);
+  rt.run([](Communicator& w) {
+    CartComm cart = CartComm::create(w, 1, 4, false, true);
+    const auto [src, dst] = cart.shift(1, 1);
+    EXPECT_EQ(src, (cart.coord(1) + 3) % 4);
+    EXPECT_EQ(dst, (cart.coord(1) + 1) % 4);
+  });
+}
+
+TEST(Cart, FourNeighbourExchangeLikeHalo) {
+  // The paper's pattern: each process exchanges with north/east/south/
+  // west; sum of received values must match the expected neighbours.
+  Runtime rt(6);
+  rt.run([](Communicator& w) {
+    CartComm cart = CartComm::create(w, 2, 3, false, false);
+    const double mine = cart.rank();
+    double received_sum = 0.0;
+    for (int d = 0; d < 2; ++d) {
+      for (int disp : {-1, 1}) {
+        const auto [src, dst] = cart.shift(d, disp);
+        double buf = 0.0;
+        Request req = cart.comm().irecv(src, d * 10 + disp + 1, {&buf, 1});
+        cart.comm().send(dst, d * 10 + disp + 1, {&mine, 1});
+        cart.comm().wait(req);
+        received_sum += buf;  // proc_null recv leaves 0
+      }
+    }
+    double expected = 0.0;
+    for (int d = 0; d < 2; ++d)
+      for (int disp : {-1, 1}) {
+        int c[2] = {cart.coord(0), cart.coord(1)};
+        c[d] -= disp;  // the rank whose dst is me
+        const int r = cart.rank_at(c[0], c[1]);
+        if (r != proc_null) expected += r;
+      }
+    EXPECT_DOUBLE_EQ(received_sum, expected);
+  });
+}
+
+TEST(Cart, RankAtOutOfRangeIsNull) {
+  Runtime rt(2);
+  rt.run([](Communicator& w) {
+    CartComm cart = CartComm::create(w, 1, 2, false, false);
+    EXPECT_EQ(cart.rank_at(-1, 0), proc_null);
+    EXPECT_EQ(cart.rank_at(0, 2), proc_null);
+    EXPECT_EQ(cart.rank_at(0, 1), 1);
+  });
+}
+
+}  // namespace
+}  // namespace yy::comm

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "comm/runtime.hpp"
+
+namespace yy::comm {
+namespace {
+
+class CollectivesP : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectivesP, AllreduceSumOfRanks) {
+  const int n = GetParam();
+  Runtime rt(n);
+  rt.run([n](Communicator& w) {
+    const double s = w.allreduce_sum(static_cast<double>(w.rank()));
+    EXPECT_DOUBLE_EQ(s, n * (n - 1) / 2.0);
+  });
+}
+
+TEST_P(CollectivesP, AllreduceMinMax) {
+  const int n = GetParam();
+  Runtime rt(n);
+  rt.run([n](Communicator& w) {
+    const double v = 10.0 + w.rank();
+    EXPECT_DOUBLE_EQ(w.allreduce_min(v), 10.0);
+    EXPECT_DOUBLE_EQ(w.allreduce_max(v), 10.0 + n - 1);
+  });
+}
+
+TEST_P(CollectivesP, VectorAllreduceSum) {
+  const int n = GetParam();
+  Runtime rt(n);
+  rt.run([n](Communicator& w) {
+    double v[3] = {1.0, static_cast<double>(w.rank()), -1.0};
+    w.allreduce_sum(v);
+    EXPECT_DOUBLE_EQ(v[0], n);
+    EXPECT_DOUBLE_EQ(v[1], n * (n - 1) / 2.0);
+    EXPECT_DOUBLE_EQ(v[2], -n);
+  });
+}
+
+TEST_P(CollectivesP, GatherConcatenatesByRank) {
+  const int n = GetParam();
+  Runtime rt(n);
+  rt.run([n](Communicator& w) {
+    const double mine[2] = {static_cast<double>(w.rank()),
+                            w.rank() * 10.0};
+    const std::vector<double> all = w.gather(mine, 0);
+    if (w.rank() == 0) {
+      ASSERT_EQ(all.size(), static_cast<std::size_t>(2 * n));
+      for (int r = 0; r < n; ++r) {
+        EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(2 * r)], r);
+        EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(2 * r + 1)], r * 10.0);
+      }
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST_P(CollectivesP, BroadcastFromNonzeroRoot) {
+  const int n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  Runtime rt(n);
+  rt.run([](Communicator& w) {
+    double v[2] = {0.0, 0.0};
+    if (w.rank() == 1) {
+      v[0] = 5.5;
+      v[1] = -6.5;
+    }
+    w.broadcast(v, 1);
+    EXPECT_DOUBLE_EQ(v[0], 5.5);
+    EXPECT_DOUBLE_EQ(v[1], -6.5);
+  });
+}
+
+TEST_P(CollectivesP, BarrierSeparatesPhases) {
+  const int n = GetParam();
+  Runtime rt(n);
+  std::atomic<int> phase1{0};
+  std::atomic<bool> violated{false};
+  rt.run([&](Communicator& w) {
+    phase1.fetch_add(1);
+    w.barrier();
+    if (phase1.load() != n) violated.store(true);
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectivesP, ::testing::Values(1, 2, 3, 4, 8));
+
+}  // namespace
+}  // namespace yy::comm

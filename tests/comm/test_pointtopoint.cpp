@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "comm/runtime.hpp"
+
+namespace yy::comm {
+namespace {
+
+TEST(PointToPoint, SingleMessageDelivered) {
+  Runtime rt(2);
+  rt.run([](Communicator& w) {
+    if (w.rank() == 0) {
+      const double v[3] = {1.0, 2.0, 3.0};
+      w.send(1, 5, v);
+    } else {
+      double v[3] = {};
+      w.recv(0, 5, v);
+      EXPECT_DOUBLE_EQ(v[0], 1.0);
+      EXPECT_DOUBLE_EQ(v[1], 2.0);
+      EXPECT_DOUBLE_EQ(v[2], 3.0);
+    }
+  });
+}
+
+TEST(PointToPoint, TagsMatchIndependently) {
+  Runtime rt(2);
+  rt.run([](Communicator& w) {
+    if (w.rank() == 0) {
+      const double a = 10.0, b = 20.0;
+      w.send(1, 2, {&a, 1});  // sent first
+      w.send(1, 1, {&b, 1});
+    } else {
+      double a = 0, b = 0;
+      w.recv(0, 1, {&b, 1});  // received out of send order, by tag
+      w.recv(0, 2, {&a, 1});
+      EXPECT_DOUBLE_EQ(a, 10.0);
+      EXPECT_DOUBLE_EQ(b, 20.0);
+    }
+  });
+}
+
+TEST(PointToPoint, FifoOrderPerSourceAndTag) {
+  Runtime rt(2);
+  rt.run([](Communicator& w) {
+    constexpr int n = 50;
+    if (w.rank() == 0) {
+      for (int i = 0; i < n; ++i) {
+        const double v = i;
+        w.send(1, 0, {&v, 1});
+      }
+    } else {
+      for (int i = 0; i < n; ++i) {
+        double v = -1;
+        w.recv(0, 0, {&v, 1});
+        EXPECT_DOUBLE_EQ(v, i);
+      }
+    }
+  });
+}
+
+TEST(PointToPoint, IrecvBeforeSendCompletes) {
+  Runtime rt(2);
+  rt.run([](Communicator& w) {
+    double buf = 0.0;
+    if (w.rank() == 1) {
+      Request req = w.irecv(0, 9, {&buf, 1});
+      w.barrier();  // ensure irecv is posted before the send happens
+      w.wait(req);
+      EXPECT_DOUBLE_EQ(buf, 3.14);
+    } else {
+      w.barrier();
+      const double v = 3.14;
+      w.send(1, 9, {&v, 1});
+    }
+  });
+}
+
+TEST(PointToPoint, SendToProcNullIsNoOp) {
+  Runtime rt(1);
+  rt.run([](Communicator& w) {
+    const double v = 1.0;
+    w.send(proc_null, 0, {&v, 1});  // must not crash or block
+    double buf = 42.0;
+    Request r = w.irecv(proc_null, 0, {&buf, 1});
+    w.wait(r);
+    EXPECT_DOUBLE_EQ(buf, 42.0);  // buffer untouched
+  });
+}
+
+TEST(PointToPoint, SelfSendWorks) {
+  Runtime rt(1);
+  rt.run([](Communicator& w) {
+    const double v = 7.0;
+    w.send(0, 3, {&v, 1});
+    double buf = 0.0;
+    w.recv(0, 3, {&buf, 1});
+    EXPECT_DOUBLE_EQ(buf, 7.0);
+  });
+}
+
+TEST(PointToPoint, ExchangeBetweenAllPairs) {
+  const int n = 6;
+  Runtime rt(n);
+  rt.run([n](Communicator& w) {
+    // Everyone sends its rank to everyone (including itself).
+    for (int d = 0; d < n; ++d) {
+      const double v = w.rank() * 100.0 + d;
+      w.send(d, 7, {&v, 1});
+    }
+    std::vector<double> got(n);
+    for (int s = 0; s < n; ++s) w.recv(s, 7, {&got[static_cast<std::size_t>(s)], 1});
+    for (int s = 0; s < n; ++s)
+      EXPECT_DOUBLE_EQ(got[static_cast<std::size_t>(s)], s * 100.0 + w.rank());
+  });
+}
+
+TEST(PointToPoint, TrafficCountersMeter) {
+  Runtime rt(2);
+  rt.run([](Communicator& w) {
+    if (w.rank() == 0) {
+      const double v[4] = {1, 2, 3, 4};
+      w.send(1, 0, v);
+    } else {
+      double v[4];
+      w.recv(0, 0, v);
+    }
+  });
+  const TrafficStats t0 = rt.traffic(0);
+  EXPECT_EQ(t0.messages, 1u);
+  EXPECT_EQ(t0.bytes, 4u * sizeof(double));
+}
+
+TEST(Runtime, ExceptionFromRankIsRethrown) {
+  Runtime rt(2);
+  EXPECT_THROW(rt.run([](Communicator& w) {
+    if (w.rank() == 1) throw std::runtime_error("rank 1 failed");
+  }),
+               std::runtime_error);
+}
+
+TEST(Runtime, RepeatedRunsAccumulateTraffic) {
+  Runtime rt(2);
+  auto once = [](Communicator& w) {
+    const double v = 1.0;
+    double b = 0.0;
+    if (w.rank() == 0) w.send(1, 0, {&v, 1});
+    if (w.rank() == 1) w.recv(0, 0, {&b, 1});
+  };
+  rt.run(once);
+  rt.run(once);
+  EXPECT_EQ(rt.traffic(0).messages, 2u);
+}
+
+}  // namespace
+}  // namespace yy::comm

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "comm/runtime.hpp"
+
+namespace yy::comm {
+namespace {
+
+TEST(SendRecv, RingShiftExchangesWithoutDeadlock) {
+  const int n = 5;
+  Runtime rt(n);
+  rt.run([n](Communicator& w) {
+    const int right = (w.rank() + 1) % n;
+    const int left = (w.rank() + n - 1) % n;
+    const double mine = 100.0 + w.rank();
+    double got = -1.0;
+    // Everyone sends right and receives from the left simultaneously.
+    w.sendrecv(right, 3, {&mine, 1}, left, 3, {&got, 1});
+    EXPECT_DOUBLE_EQ(got, 100.0 + left);
+  });
+}
+
+TEST(SendRecv, PairwiseSwap) {
+  Runtime rt(2);
+  rt.run([](Communicator& w) {
+    const int peer = 1 - w.rank();
+    const double mine[2] = {static_cast<double>(w.rank()), 7.0};
+    double got[2] = {};
+    w.sendrecv(peer, 0, mine, peer, 0, got);
+    EXPECT_DOUBLE_EQ(got[0], peer);
+    EXPECT_DOUBLE_EQ(got[1], 7.0);
+  });
+}
+
+TEST(SendRecv, NullPeersAreNoOps) {
+  Runtime rt(1);
+  rt.run([](Communicator& w) {
+    const double mine = 1.0;
+    double got = 42.0;
+    w.sendrecv(proc_null, 0, {&mine, 1}, proc_null, 0, {&got, 1});
+    EXPECT_DOUBLE_EQ(got, 42.0);  // untouched
+  });
+}
+
+TEST(SendRecv, HalfNullStillDelivers) {
+  Runtime rt(2);
+  rt.run([](Communicator& w) {
+    const double mine = 5.0 + w.rank();
+    double got = -1.0;
+    if (w.rank() == 0) {
+      // Send to 1, receive from nobody.
+      w.sendrecv(1, 2, {&mine, 1}, proc_null, 2, {&got, 1});
+      EXPECT_DOUBLE_EQ(got, -1.0);
+    } else {
+      // Receive from 0, send to nobody.
+      w.sendrecv(proc_null, 2, {&mine, 1}, 0, 2, {&got, 1});
+      EXPECT_DOUBLE_EQ(got, 5.0);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace yy::comm

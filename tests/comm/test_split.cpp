@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "comm/runtime.hpp"
+
+namespace yy::comm {
+namespace {
+
+TEST(Split, TwoPanelsLikeThePaper) {
+  // The yycore pattern: even world size splits into Yin/Yang halves.
+  const int n = 8;
+  Runtime rt(n);
+  rt.run([n](Communicator& w) {
+    const int color = w.rank() < n / 2 ? 0 : 1;
+    Communicator panel = w.split(color, w.rank());
+    EXPECT_EQ(panel.size(), n / 2);
+    EXPECT_EQ(panel.rank(), w.rank() % (n / 2));
+    // Sub-communicator collectives stay inside the panel.
+    const double s = panel.allreduce_sum(1.0);
+    EXPECT_DOUBLE_EQ(s, n / 2.0);
+  });
+}
+
+TEST(Split, KeyReversesRankOrder) {
+  const int n = 4;
+  Runtime rt(n);
+  rt.run([n](Communicator& w) {
+    Communicator c = w.split(0, -w.rank());  // descending keys
+    EXPECT_EQ(c.size(), n);
+    EXPECT_EQ(c.rank(), n - 1 - w.rank());
+  });
+}
+
+TEST(Split, MessagesDoNotCrossCommunicators) {
+  Runtime rt(4);
+  rt.run([](Communicator& w) {
+    Communicator sub = w.split(w.rank() % 2, w.rank());
+    // Rank pattern: world 0,2 -> color 0 {ranks 0,1}; world 1,3 -> color 1.
+    // Send on `sub` with the SAME tag also used on `w`; matching must be
+    // per-communicator.
+    const double on_world = 100.0 + w.rank();
+    const double on_sub = 200.0 + w.rank();
+    if (sub.rank() == 0) {
+      sub.send(1, 5, {&on_sub, 1});
+    }
+    if (w.rank() == 0) w.send(1, 5, {&on_world, 1});
+    if (w.rank() == 1) {
+      double v = 0;
+      w.recv(0, 5, {&v, 1});
+      EXPECT_DOUBLE_EQ(v, 100.0);
+    }
+    if (sub.rank() == 1) {
+      double v = 0;
+      sub.recv(0, 5, {&v, 1});
+      EXPECT_DOUBLE_EQ(v, 200.0 + (sub.world_rank_of(0)));
+    }
+  });
+}
+
+TEST(Split, ThreeColorsPartition) {
+  const int n = 9;
+  Runtime rt(n);
+  rt.run([](Communicator& w) {
+    Communicator c = w.split(w.rank() % 3, 0);
+    EXPECT_EQ(c.size(), 3);
+    const double s = c.allreduce_sum(static_cast<double>(w.rank()));
+    // Members of color k are world ranks {k, k+3, k+6}.
+    const int k = w.rank() % 3;
+    EXPECT_DOUBLE_EQ(s, k + (k + 3) + (k + 6));
+  });
+}
+
+TEST(Split, NestedSplitsCompose) {
+  const int n = 8;
+  Runtime rt(n);
+  rt.run([n](Communicator& w) {
+    Communicator half = w.split(w.rank() < n / 2 ? 0 : 1, w.rank());
+    Communicator quarter = half.split(half.rank() % 2, half.rank());
+    EXPECT_EQ(quarter.size(), 2);
+    const double s = quarter.allreduce_sum(1.0);
+    EXPECT_DOUBLE_EQ(s, 2.0);
+  });
+}
+
+}  // namespace
+}  // namespace yy::comm

@@ -1,0 +1,63 @@
+#include "common/array3d.hpp"
+
+#include <gtest/gtest.h>
+
+namespace yy {
+namespace {
+
+TEST(Array3D, DefaultIsEmpty) {
+  Array3D<double> a;
+  EXPECT_EQ(a.nr(), 0);
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(Array3D, ShapeAndFillValue) {
+  Field3 a(3, 4, 5, 2.5);
+  EXPECT_EQ(a.nr(), 3);
+  EXPECT_EQ(a.nt(), 4);
+  EXPECT_EQ(a.np(), 5);
+  EXPECT_EQ(a.size(), 60u);
+  EXPECT_DOUBLE_EQ(a(2, 3, 4), 2.5);
+}
+
+TEST(Array3D, RadialIndexIsUnitStride) {
+  Field3 a(4, 3, 2);
+  EXPECT_EQ(a.index(1, 0, 0), a.index(0, 0, 0) + 1);
+  EXPECT_EQ(a.index(0, 1, 0), a.index(0, 0, 0) + 4u);
+  EXPECT_EQ(a.index(0, 0, 1), a.index(0, 0, 0) + 12u);
+}
+
+TEST(Array3D, LineIsContiguousRadialSpan) {
+  Field3 a(5, 2, 2);
+  for (int ir = 0; ir < 5; ++ir) a(ir, 1, 1) = 10.0 + ir;
+  auto line = a.line(1, 1);
+  ASSERT_EQ(line.size(), 5u);
+  for (int ir = 0; ir < 5; ++ir) EXPECT_DOUBLE_EQ(line[static_cast<std::size_t>(ir)], 10.0 + ir);
+}
+
+TEST(Array3D, WriteReadRoundTrip) {
+  Field3 a(3, 3, 3);
+  double v = 0.0;
+  for (int ip = 0; ip < 3; ++ip)
+    for (int it = 0; it < 3; ++it)
+      for (int ir = 0; ir < 3; ++ir) a(ir, it, ip) = v += 1.0;
+  v = 0.0;
+  for (int ip = 0; ip < 3; ++ip)
+    for (int it = 0; it < 3; ++it)
+      for (int ir = 0; ir < 3; ++ir) EXPECT_DOUBLE_EQ(a(ir, it, ip), v += 1.0);
+}
+
+TEST(Array3D, FillOverwritesEverything) {
+  Field3 a(2, 2, 2, 1.0);
+  a.fill(-3.0);
+  for (double x : a.flat()) EXPECT_DOUBLE_EQ(x, -3.0);
+}
+
+TEST(Array3D, SameShapeComparesAllDims) {
+  Field3 a(2, 3, 4), b(2, 3, 4), c(2, 3, 5);
+  EXPECT_TRUE(a.same_shape(b));
+  EXPECT_FALSE(a.same_shape(c));
+}
+
+}  // namespace
+}  // namespace yy

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/ppm.hpp"
+
+namespace yy {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(Csv, HeaderAndRowsWritten) {
+  const std::string path = temp_path("t.csv");
+  {
+    CsvWriter w(path, {"a", "b"});
+    ASSERT_TRUE(w.ok());
+    w.row({1.0, 2.5});
+    w.row({-3.0, 4.0});
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "-3,4");
+}
+
+TEST(Csv, VectorRowOverload) {
+  const std::string path = temp_path("t2.csv");
+  CsvWriter w(path, {"x", "y", "z"});
+  w.row(std::vector<double>{1, 2, 3});
+  EXPECT_EQ(w.rows_written(), 1u);
+}
+
+TEST(Ppm, RoundTripPixels) {
+  PpmImage img(8, 4);
+  img.set(3, 2, {10, 20, 30});
+  const Rgb c = img.get(3, 2);
+  EXPECT_EQ(c.r, 10);
+  EXPECT_EQ(c.g, 20);
+  EXPECT_EQ(c.b, 30);
+}
+
+TEST(Ppm, WritesValidP6Header) {
+  const std::string path = temp_path("t.ppm");
+  PpmImage img(5, 7, {1, 2, 3});
+  ASSERT_TRUE(img.write(path));
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  int w = 0, h = 0, maxv = 0;
+  in >> magic >> w >> h >> maxv;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 5);
+  EXPECT_EQ(h, 7);
+  EXPECT_EQ(maxv, 255);
+}
+
+TEST(Colormap, DivergingEndpointsAndCenter) {
+  const Rgb neg = diverging_color(-1.0);
+  const Rgb mid = diverging_color(0.0);
+  const Rgb pos = diverging_color(1.0);
+  EXPECT_GT(neg.b, neg.r);   // negative side is blue
+  EXPECT_GT(pos.r, pos.b);   // positive side is red
+  EXPECT_EQ(mid.r, 255);     // center is white
+  EXPECT_EQ(mid.g, 255);
+  EXPECT_EQ(mid.b, 255);
+}
+
+TEST(Colormap, SequentialMonotoneBrightness) {
+  int prev = -1;
+  for (int i = 0; i <= 10; ++i) {
+    const Rgb c = sequential_color(i / 10.0);
+    const int lum = c.r + c.g + c.b;
+    EXPECT_GE(lum, prev);
+    prev = lum;
+  }
+}
+
+TEST(Colormap, InputClamped) {
+  const Rgb a = diverging_color(-5.0);
+  const Rgb b = diverging_color(-1.0);
+  EXPECT_EQ(a.r, b.r);
+  EXPECT_EQ(a.b, b.b);
+}
+
+}  // namespace
+}  // namespace yy

@@ -1,0 +1,50 @@
+#include "common/flops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace yy {
+namespace {
+
+TEST(Flops, AddAccumulatesOnThisThread) {
+  flops::global_reset();
+  flops::add(100);
+  flops::add(23);
+  EXPECT_EQ(flops::count(), 123u);
+}
+
+TEST(Flops, ResetPreservesGlobalAccounting) {
+  flops::global_reset();
+  flops::add(50);
+  flops::reset();
+  EXPECT_EQ(flops::count(), 0u);
+  EXPECT_EQ(flops::global_count(), 50u);  // folded into retired pool
+}
+
+TEST(Flops, ScopeMeasuresDelta) {
+  flops::global_reset();
+  flops::add(10);
+  flops::Scope scope;
+  flops::add(7);
+  EXPECT_EQ(scope.elapsed(), 7u);
+}
+
+TEST(Flops, WorkerThreadsDrainIntoGlobalOnExit) {
+  flops::global_reset();
+  std::thread a([] { flops::add(1000); });
+  std::thread b([] { flops::add(234); });
+  a.join();
+  b.join();
+  EXPECT_EQ(flops::global_count(), 1234u);
+}
+
+TEST(Flops, GlobalResetZeroesEverything) {
+  flops::add(5);
+  flops::global_reset();
+  EXPECT_EQ(flops::count(), 0u);
+  EXPECT_EQ(flops::global_count(), 0u);
+}
+
+}  // namespace
+}  // namespace yy

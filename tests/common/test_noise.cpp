@@ -1,0 +1,55 @@
+#include "common/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace yy {
+namespace {
+
+TEST(HashNoise, DeterministicPureFunction) {
+  EXPECT_DOUBLE_EQ(hash_noise(42, 0, 0, 1, 2, 3), hash_noise(42, 0, 0, 1, 2, 3));
+}
+
+TEST(HashNoise, InHalfOpenSymmetricInterval) {
+  for (int i = 0; i < 1000; ++i) {
+    const double v = hash_noise(1, 0, 0, i, 2 * i, 3 * i);
+    EXPECT_GE(v, -1.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(HashNoise, SensitiveToEveryArgument) {
+  const double base = hash_noise(5, 1, 0, 10, 20, 30);
+  EXPECT_NE(base, hash_noise(6, 1, 0, 10, 20, 30));
+  EXPECT_NE(base, hash_noise(5, 2, 0, 10, 20, 30));
+  EXPECT_NE(base, hash_noise(5, 1, 1, 10, 20, 30));
+  EXPECT_NE(base, hash_noise(5, 1, 0, 11, 20, 30));
+  EXPECT_NE(base, hash_noise(5, 1, 0, 10, 21, 30));
+  EXPECT_NE(base, hash_noise(5, 1, 0, 10, 20, 31));
+}
+
+TEST(HashNoise, ApproximatelyZeroMean) {
+  double sum = 0.0;
+  const int n = 100;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) sum += hash_noise(3, 0, 0, i, j, i + j);
+  EXPECT_NEAR(sum / (n * n), 0.0, 0.02);
+}
+
+TEST(HashNoise, NeighbourNodesDecorrelated) {
+  // Lag-1 autocorrelation along one index should be tiny.
+  double c = 0.0, v = 0.0;
+  const int n = 20000;
+  double prev = hash_noise(8, 0, 0, 0, 5, 5);
+  for (int i = 1; i < n; ++i) {
+    const double cur = hash_noise(8, 0, 0, i, 5, 5);
+    c += prev * cur;
+    v += cur * cur;
+    prev = cur;
+  }
+  EXPECT_LT(std::abs(c / v), 0.03);
+}
+
+}  // namespace
+}  // namespace yy

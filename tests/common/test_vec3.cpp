@@ -1,0 +1,60 @@
+#include "common/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+namespace yy {
+namespace {
+
+TEST(Vec3, ArithmeticAndDot) {
+  const Vec3 a{1, 2, 3}, b{4, -5, 6};
+  const Vec3 s = a + b;
+  EXPECT_DOUBLE_EQ(s.x, 5);
+  EXPECT_DOUBLE_EQ(s.y, -3);
+  EXPECT_DOUBLE_EQ(s.z, 9);
+  EXPECT_DOUBLE_EQ(a.dot(b), 4 - 10 + 18);
+  EXPECT_DOUBLE_EQ((a * 2.0).y, 4.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).y, 4.0);
+  EXPECT_DOUBLE_EQ((-a).z, -3.0);
+}
+
+TEST(Vec3, CrossProductRightHanded) {
+  const Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+  const Vec3 c = x.cross(y);
+  EXPECT_DOUBLE_EQ(c.x, z.x);
+  EXPECT_DOUBLE_EQ(c.y, z.y);
+  EXPECT_DOUBLE_EQ(c.z, z.z);
+  EXPECT_DOUBLE_EQ(y.cross(x).z, -1.0);
+}
+
+TEST(Vec3, NormOfPythagoreanTriple) {
+  EXPECT_DOUBLE_EQ((Vec3{3, 4, 0}).norm(), 5.0);
+}
+
+TEST(Mat3, IdentityActsTrivially) {
+  const Mat3 id = Mat3::identity();
+  const Vec3 v{1.5, -2.5, 3.5};
+  const Vec3 w = id * v;
+  EXPECT_DOUBLE_EQ(w.x, v.x);
+  EXPECT_DOUBLE_EQ(w.y, v.y);
+  EXPECT_DOUBLE_EQ(w.z, v.z);
+}
+
+TEST(Mat3, MultiplyAndTranspose) {
+  Mat3 a;  // permutation (x,y,z) -> (y,z,x)
+  a.m[0][1] = 1;
+  a.m[1][2] = 1;
+  a.m[2][0] = 1;
+  const Vec3 v{1, 2, 3};
+  const Vec3 w = a * v;
+  EXPECT_DOUBLE_EQ(w.x, 2);
+  EXPECT_DOUBLE_EQ(w.y, 3);
+  EXPECT_DOUBLE_EQ(w.z, 1);
+  // aᵀ a = identity for a permutation.
+  const Mat3 ata = a.transpose() * a;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      EXPECT_DOUBLE_EQ(ata.m[i][j], i == j ? 1.0 : 0.0);
+}
+
+}  // namespace
+}  // namespace yy

@@ -1,0 +1,67 @@
+#include "core/decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace yy::core {
+namespace {
+
+TEST(Decomposition, PatchesTileWithoutGapsOrOverlap) {
+  PanelDecomposition d(17, 49, 3, 5);
+  std::vector<int> cover_t(17, 0), cover_p(49, 0);
+  for (int ct = 0; ct < 3; ++ct) {
+    const PatchExtent e = d.patch(ct, 0);
+    for (int j = e.t0; j < e.t0 + e.nt; ++j) ++cover_t[static_cast<std::size_t>(j)];
+  }
+  for (int cp = 0; cp < 5; ++cp) {
+    const PatchExtent e = d.patch(0, cp);
+    for (int j = e.p0; j < e.p0 + e.np; ++j) ++cover_p[static_cast<std::size_t>(j)];
+  }
+  for (int c : cover_t) EXPECT_EQ(c, 1);
+  for (int c : cover_p) EXPECT_EQ(c, 1);
+}
+
+TEST(Decomposition, RemainderGoesToLowCoordinates) {
+  PanelDecomposition d(10, 10, 3, 1);
+  EXPECT_EQ(d.patch(0, 0).nt, 4);  // 10 = 4 + 3 + 3
+  EXPECT_EQ(d.patch(1, 0).nt, 3);
+  EXPECT_EQ(d.patch(2, 0).nt, 3);
+}
+
+TEST(Decomposition, SinglePatchTakesEverything) {
+  PanelDecomposition d(21, 63, 1, 1);
+  const PatchExtent e = d.patch(0, 0);
+  EXPECT_EQ(e.t0, 0);
+  EXPECT_EQ(e.nt, 21);
+  EXPECT_EQ(e.p0, 0);
+  EXPECT_EQ(e.np, 63);
+}
+
+TEST(Decomposition, OwnerInvertsPatchAssignment) {
+  PanelDecomposition d(23, 31, 4, 3);
+  for (int ct = 0; ct < 4; ++ct) {
+    const PatchExtent e = d.patch(ct, 0);
+    for (int j = e.t0; j < e.t0 + e.nt; ++j) EXPECT_EQ(d.owner_t(j), ct);
+  }
+  for (int cp = 0; cp < 3; ++cp) {
+    const PatchExtent e = d.patch(0, cp);
+    for (int j = e.p0; j < e.p0 + e.np; ++j) EXPECT_EQ(d.owner_p(j), cp);
+  }
+}
+
+TEST(Decomposition, MinPatchSpanReflectsSmallestPiece) {
+  PanelDecomposition d(10, 9, 3, 4);
+  EXPECT_EQ(d.min_patch_span(), 2);  // 9 over 4: 3,2,2,2
+}
+
+TEST(Decomposition, EvenSplitExact) {
+  PanelDecomposition d(16, 32, 4, 4);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(d.patch(c, c).nt, 4);
+    EXPECT_EQ(d.patch(c, c).np, 8);
+  }
+}
+
+}  // namespace
+}  // namespace yy::core

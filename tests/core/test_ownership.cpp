@@ -1,0 +1,109 @@
+#include "core/ownership.hpp"
+
+#include "core/decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace yy::core {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+class OwnershipTest : public ::testing::Test {
+ protected:
+  OwnershipTest()
+      : geom(yinyang::ComponentGeometry::with_auto_margin(17, 49)),
+        grid(geom.make_grid_spec(5, 0.4, 1.0)),
+        w(ownership_weights(geom, grid, 0, 0)) {}
+  yinyang::ComponentGeometry geom;
+  SphericalGrid grid;
+  mhd::ColumnWeights w;
+};
+
+TEST_F(OwnershipTest, WeightsOnlyZeroHalfOrOne) {
+  for (int it = 0; it < grid.Nt(); ++it)
+    for (int ip = 0; ip < grid.Np(); ++ip) {
+      const double v = w.at(it, ip);
+      EXPECT_TRUE(v == 0.0 || v == 0.5 || v == 1.0) << v;
+    }
+}
+
+TEST_F(OwnershipTest, GhostColumnsHaveZeroWeight) {
+  for (int it = 0; it < grid.Nt(); ++it) {
+    EXPECT_DOUBLE_EQ(w.at(it, 0), 0.0);
+    EXPECT_DOUBLE_EQ(w.at(it, grid.Np() - 1), 0.0);
+  }
+}
+
+TEST_F(OwnershipTest, EquatorCenterOwnedOutright) {
+  // (θ=π/2, φ=0) maps to the partner's φ boundary region — beyond the
+  // partner's core — so Yin owns it fully.
+  const int gh = grid.ghost();
+  int it_eq = -1, ip_c = -1;
+  for (int it = gh; it < gh + grid.spec().nt; ++it)
+    if (std::abs(grid.theta(it) - kPi / 2) < 1e-9) it_eq = it;
+  for (int ip = gh; ip < gh + grid.spec().np; ++ip)
+    if (std::abs(grid.phi(ip)) < 1e-9) ip_c = ip;
+  ASSERT_GE(it_eq, 0);
+  ASSERT_GE(ip_c, 0);
+  EXPECT_DOUBLE_EQ(w.at(it_eq, ip_c), 1.0);
+}
+
+TEST_F(OwnershipTest, CoreCornerSharedWithPartner) {
+  // The core corners lie deep inside the partner core (overlap zone).
+  const int gh = grid.ghost();
+  int it_corner = -1, ip_corner = -1;
+  for (int it = gh; it < gh + grid.spec().nt; ++it)
+    if (std::abs(grid.theta(it) - kPi / 4) < 1e-9) it_corner = it;
+  for (int ip = gh; ip < gh + grid.spec().np; ++ip)
+    if (std::abs(grid.phi(ip) + 3 * kPi / 4) < 1e-9) ip_corner = ip;
+  ASSERT_GE(it_corner, 0);
+  ASSERT_GE(ip_corner, 0);
+  EXPECT_DOUBLE_EQ(w.at(it_corner, ip_corner), 0.5);
+}
+
+TEST_F(OwnershipTest, WeightedAreaOfBothPanelsIsSphere) {
+  // Σ w sinθ dθ dφ over one panel, doubled (panels are congruent and
+  // weights are symmetric), must equal 4π to quadrature accuracy.
+  double area = 0.0;
+  const IndexBox in = grid.interior();
+  for (int it = in.t0; it < in.t1; ++it)
+    for (int ip = in.p0; ip < in.p1; ++ip)
+      area += w.at(it, ip) * grid.sin_t(it) * grid.dt() * grid.dp();
+  EXPECT_NEAR(2.0 * area, 4.0 * kPi, 0.05 * 4.0 * kPi);
+}
+
+TEST_F(OwnershipTest, PatchWeightsTileThePanelWeights) {
+  // Splitting the panel must redistribute, never duplicate, ownership.
+  PanelDecomposition d(geom.nt(), geom.np(), 2, 3);
+  double total_patch = 0.0;
+  for (int ct = 0; ct < 2; ++ct) {
+    for (int cp = 0; cp < 3; ++cp) {
+      const PatchExtent e = d.patch(ct, cp);
+      GridSpec sp = geom.make_grid_spec(5, 0.4, 1.0);
+      sp.nt = e.nt;
+      sp.np = e.np;
+      sp.t0 = geom.t_min() + e.t0 * geom.dt();
+      sp.t1 = geom.t_min() + (e.t0 + e.nt - 1) * geom.dt();
+      sp.p0 = geom.p_min() + e.p0 * geom.dp();
+      sp.p1 = geom.p_min() + (e.p0 + e.np - 1) * geom.dp();
+      SphericalGrid pg(sp);
+      mhd::ColumnWeights pw = ownership_weights(geom, pg, e.t0, e.p0);
+      const IndexBox in = pg.interior();
+      for (int it = in.t0; it < in.t1; ++it)
+        for (int ip = in.p0; ip < in.p1; ++ip)
+          total_patch += pw.at(it, ip) * pg.sin_t(it);
+    }
+  }
+  double total_whole = 0.0;
+  const IndexBox in = grid.interior();
+  for (int it = in.t0; it < in.t1; ++it)
+    for (int ip = in.p0; ip < in.p1; ++ip)
+      total_whole += w.at(it, ip) * grid.sin_t(it);
+  EXPECT_NEAR(total_patch, total_whole, 1e-9);
+}
+
+}  // namespace
+}  // namespace yy::core

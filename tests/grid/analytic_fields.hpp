@@ -1,0 +1,76 @@
+/// Test helpers: smooth analytic fields defined in Cartesian
+/// coordinates, evaluated on spherical patches with their exact
+/// derivatives, for validating the FD operators against closed forms.
+#pragma once
+
+#include <cmath>
+
+#include "common/array3d.hpp"
+#include "common/vec3.hpp"
+#include "grid/spherical_grid.hpp"
+#include "yinyang/transform.hpp"
+
+namespace yy::testutil {
+
+inline Vec3 cart_of(const SphericalGrid& g, int ir, int it, int ip) {
+  const double r = g.r(ir);
+  return {r * g.sin_t(it) * g.cos_p(ip), r * g.sin_t(it) * g.sin_p(ip),
+          r * g.cos_t(it)};
+}
+
+/// Spherical components of a Cartesian vector at a grid node.
+inline Vec3 to_spherical(const SphericalGrid& g, int it, int ip,
+                         const Vec3& v_cart) {
+  const yinyang::Angles a{g.theta(it), g.phi(ip)};
+  return yinyang::spherical_basis(a).transpose() * v_cart;
+}
+
+/// Fills a scalar field from a Cartesian function over the full patch.
+template <typename F>
+void fill_scalar(const SphericalGrid& g, Field3& out, F&& f) {
+  for_box(g.full(), [&](int ir, int it, int ip) {
+    out(ir, it, ip) = f(cart_of(g, ir, it, ip));
+  });
+}
+
+/// Fills spherical-component fields from a Cartesian vector function.
+template <typename F>
+void fill_vector(const SphericalGrid& g, Field3& vr, Field3& vt, Field3& vp,
+                 F&& f) {
+  for_box(g.full(), [&](int ir, int it, int ip) {
+    const Vec3 s = to_spherical(g, it, ip, f(cart_of(g, ir, it, ip)));
+    vr(ir, it, ip) = s.x;
+    vt(ir, it, ip) = s.y;
+    vp(ir, it, ip) = s.z;
+  });
+}
+
+/// A test patch away from poles and origin.
+inline SphericalGrid test_grid(int n, int ghost = 2) {
+  GridSpec s;
+  s.nr = n;
+  s.nt = n;
+  s.np = n;
+  s.r0 = 0.5;
+  s.r1 = 1.0;
+  s.t0 = 0.7;
+  s.t1 = 2.0;
+  s.p0 = -1.0;
+  s.p1 = 1.2;
+  s.ghost = ghost;
+  return SphericalGrid(s);
+}
+
+/// Max abs error of `got` against an expected-value functor over a box.
+template <typename F>
+double max_error(const SphericalGrid& g, const Field3& got, const IndexBox& box,
+                 F&& expected) {
+  (void)g;
+  double e = 0.0;
+  for_box(box, [&](int ir, int it, int ip) {
+    e = std::max(e, std::abs(got(ir, it, ip) - expected(ir, it, ip)));
+  });
+  return e;
+}
+
+}  // namespace yy::testutil

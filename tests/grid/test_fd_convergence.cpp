@@ -1,0 +1,145 @@
+/// Parameterized convergence sweep: every FD operator must show
+/// second-order accuracy (paper §III: "second-order central finite
+/// differences") on smooth trigonometric fields, measured by the error
+/// ratio between successive grid refinements.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <string>
+
+#include "grid/analytic_fields.hpp"
+#include "grid/fd_ops.hpp"
+
+namespace yy {
+namespace {
+
+using testutil::fill_scalar;
+using testutil::fill_vector;
+using testutil::test_grid;
+
+// A smooth, non-polynomial scalar so no operator is exact on it.
+double wavy(const Vec3& x) {
+  return std::sin(1.3 * x.x) * std::cos(0.7 * x.y) + std::sin(0.9 * x.z);
+}
+Vec3 wavy_grad(const Vec3& x) {
+  return {1.3 * std::cos(1.3 * x.x) * std::cos(0.7 * x.y),
+          -0.7 * std::sin(1.3 * x.x) * std::sin(0.7 * x.y),
+          0.9 * std::cos(0.9 * x.z)};
+}
+double wavy_lap(const Vec3& x) {
+  return -(1.3 * 1.3 + 0.7 * 0.7) * std::sin(1.3 * x.x) * std::cos(0.7 * x.y) -
+         0.81 * std::sin(0.9 * x.z);
+}
+Vec3 wavy_vec(const Vec3& x) {
+  return {std::sin(x.y), std::sin(x.z), std::sin(x.x)};
+}
+double wavy_div(const Vec3&) { return 0.0; }
+Vec3 wavy_curl(const Vec3& x) {
+  // ∇×(sin y, sin z, sin x) = (−cos z, −cos x, −cos y).
+  return {-std::cos(x.z), -std::cos(x.x), -std::cos(x.y)};
+}
+
+struct OpCase {
+  const char* name;
+  // Returns max interior error at resolution n.
+  std::function<double(int)> error_at;
+};
+
+double grad_error(int n) {
+  SphericalGrid g = test_grid(n);
+  Field3 s(g.Nr(), g.Nt(), g.Np());
+  Field3 gr(g.Nr(), g.Nt(), g.Np()), gt(g.Nr(), g.Nt(), g.Np()),
+      gp(g.Nr(), g.Nt(), g.Np());
+  fill_scalar(g, s, wavy);
+  fd::grad(g, s, gr, gt, gp, g.interior());
+  double err = 0.0;
+  for_box(g.interior(), [&](int ir, int it, int ip) {
+    const Vec3 e =
+        testutil::to_spherical(g, it, ip, wavy_grad(testutil::cart_of(g, ir, it, ip)));
+    err = std::max({err, std::abs(gr(ir, it, ip) - e.x),
+                    std::abs(gt(ir, it, ip) - e.y),
+                    std::abs(gp(ir, it, ip) - e.z)});
+  });
+  return err;
+}
+
+double lap_error(int n) {
+  SphericalGrid g = test_grid(n);
+  Field3 s(g.Nr(), g.Nt(), g.Np()), out(g.Nr(), g.Nt(), g.Np());
+  fill_scalar(g, s, wavy);
+  fd::laplacian(g, s, out, g.interior());
+  return testutil::max_error(g, out, g.interior(), [&](int ir, int it, int ip) {
+    return wavy_lap(testutil::cart_of(g, ir, it, ip));
+  });
+}
+
+double div_error(int n) {
+  SphericalGrid g = test_grid(n);
+  Field3 vr(g.Nr(), g.Nt(), g.Np()), vt(g.Nr(), g.Nt(), g.Np()),
+      vp(g.Nr(), g.Nt(), g.Np()), out(g.Nr(), g.Nt(), g.Np());
+  fill_vector(g, vr, vt, vp, wavy_vec);
+  fd::div(g, vr, vt, vp, out, g.interior());
+  return testutil::max_error(g, out, g.interior(), [&](int ir, int it, int ip) {
+    return wavy_div(testutil::cart_of(g, ir, it, ip));
+  });
+}
+
+double curl_error(int n) {
+  SphericalGrid g = test_grid(n);
+  Field3 vr(g.Nr(), g.Nt(), g.Np()), vt(g.Nr(), g.Nt(), g.Np()),
+      vp(g.Nr(), g.Nt(), g.Np());
+  Field3 cr(g.Nr(), g.Nt(), g.Np()), ct(g.Nr(), g.Nt(), g.Np()),
+      cp(g.Nr(), g.Nt(), g.Np());
+  fill_vector(g, vr, vt, vp, wavy_vec);
+  fd::curl(g, vr, vt, vp, cr, ct, cp, g.interior());
+  double err = 0.0;
+  for_box(g.interior(), [&](int ir, int it, int ip) {
+    const Vec3 e =
+        testutil::to_spherical(g, it, ip, wavy_curl(testutil::cart_of(g, ir, it, ip)));
+    err = std::max({err, std::abs(cr(ir, it, ip) - e.x),
+                    std::abs(ct(ir, it, ip) - e.y),
+                    std::abs(cp(ir, it, ip) - e.z)});
+  });
+  return err;
+}
+
+double advect_error(int n) {
+  SphericalGrid g = test_grid(n);
+  Field3 vr(g.Nr(), g.Nt(), g.Np()), vt(g.Nr(), g.Nt(), g.Np()),
+      vp(g.Nr(), g.Nt(), g.Np()), s(g.Nr(), g.Nt(), g.Np()),
+      out(g.Nr(), g.Nt(), g.Np());
+  fill_vector(g, vr, vt, vp, wavy_vec);
+  fill_scalar(g, s, wavy);
+  fd::advect(g, vr, vt, vp, s, out, g.interior());
+  return testutil::max_error(g, out, g.interior(), [&](int ir, int it, int ip) {
+    const Vec3 x = testutil::cart_of(g, ir, it, ip);
+    return wavy_vec(x).dot(wavy_grad(x));
+  });
+}
+
+class FdConvergence : public ::testing::TestWithParam<int> {};
+
+TEST_P(FdConvergence, SecondOrderRatioBetweenRefinements) {
+  // error(n) ~ C h² with h ∝ 1/(n−1): refining n−1 by 2× must shrink
+  // the error by ≈4×; accept ≥3× to absorb higher-order terms.
+  std::function<double(int)> cases[] = {grad_error, lap_error, div_error,
+                                        curl_error, advect_error};
+  const auto& err = cases[GetParam()];
+  const double e1 = err(13);
+  const double e2 = err(25);  // h halves (12 -> 24 intervals)
+  EXPECT_GT(e1 / e2, 3.0) << "coarse=" << e1 << " fine=" << e2;
+  EXPECT_LT(e2, e1);
+}
+
+std::string op_name(const ::testing::TestParamInfo<int>& info) {
+  static const char* const names[] = {"grad", "laplacian", "div", "curl",
+                                      "advect"};
+  return names[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOperators, FdConvergence,
+                         ::testing::Values(0, 1, 2, 3, 4), op_name);
+
+}  // namespace
+}  // namespace yy

@@ -1,0 +1,200 @@
+#include "grid/fd_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/flops.hpp"
+#include "grid/analytic_fields.hpp"
+
+namespace yy {
+namespace {
+
+using testutil::fill_scalar;
+using testutil::fill_vector;
+using testutil::max_error;
+using testutil::test_grid;
+
+class FdOps : public ::testing::Test {
+ protected:
+  FdOps() : g(test_grid(24)), in(g.interior()) {}
+  SphericalGrid g;
+  IndexBox in;
+};
+
+TEST_F(FdOps, DerivRExactForLinearInR) {
+  Field3 a(g.Nr(), g.Nt(), g.Np()), out(g.Nr(), g.Nt(), g.Np());
+  for_box(g.full(), [&](int ir, int it, int ip) { a(ir, it, ip) = 3.0 * g.r(ir); });
+  fd::deriv_r(g, a, out, in);
+  EXPECT_LT(max_error(g, out, in, [](int, int, int) { return 3.0; }), 1e-12);
+}
+
+TEST_F(FdOps, DerivTAndPExactForLinear) {
+  Field3 a(g.Nr(), g.Nt(), g.Np()), out(g.Nr(), g.Nt(), g.Np());
+  for_box(g.full(),
+          [&](int ir, int it, int ip) { a(ir, it, ip) = 2.0 * g.theta(it) - g.phi(ip); });
+  fd::deriv_t(g, a, out, in);
+  EXPECT_LT(max_error(g, out, in, [](int, int, int) { return 2.0; }), 1e-11);
+  fd::deriv_p(g, a, out, in);
+  EXPECT_LT(max_error(g, out, in, [](int, int, int) { return -1.0; }), 1e-11);
+}
+
+TEST_F(FdOps, GradientOfLinearCartesianField) {
+  // s = 2x − y + 3z has constant Cartesian gradient (2, −1, 3).
+  Field3 s(g.Nr(), g.Nt(), g.Np());
+  Field3 gr(g.Nr(), g.Nt(), g.Np()), gt(g.Nr(), g.Nt(), g.Np()),
+      gp(g.Nr(), g.Nt(), g.Np());
+  fill_scalar(g, s, [](const Vec3& x) { return 2 * x.x - x.y + 3 * x.z; });
+  fd::grad(g, s, gr, gt, gp, in);
+  double err = 0.0;
+  for_box(in, [&](int ir, int it, int ip) {
+    const Vec3 expect = testutil::to_spherical(g, it, ip, {2, -1, 3});
+    err = std::max({err, std::abs(gr(ir, it, ip) - expect.x),
+                    std::abs(gt(ir, it, ip) - expect.y),
+                    std::abs(gp(ir, it, ip) - expect.z)});
+  });
+  EXPECT_LT(err, 5e-3);  // 2nd-order error on the curvilinear grid
+}
+
+TEST_F(FdOps, DivergenceOfLinearField) {
+  // v = (x, 2y, 3z): ∇·v = 6 everywhere.
+  Field3 vr(g.Nr(), g.Nt(), g.Np()), vt(g.Nr(), g.Nt(), g.Np()),
+      vp(g.Nr(), g.Nt(), g.Np()), out(g.Nr(), g.Nt(), g.Np());
+  fill_vector(g, vr, vt, vp,
+              [](const Vec3& x) { return Vec3{x.x, 2 * x.y, 3 * x.z}; });
+  fd::div(g, vr, vt, vp, out, in);
+  EXPECT_LT(max_error(g, out, in, [](int, int, int) { return 6.0; }), 2e-2);
+}
+
+TEST_F(FdOps, CurlOfRotationField) {
+  // v = ω×x with ω = (1, −2, 3): ∇×v = 2ω exactly.
+  const Vec3 w{1, -2, 3};
+  Field3 vr(g.Nr(), g.Nt(), g.Np()), vt(g.Nr(), g.Nt(), g.Np()),
+      vp(g.Nr(), g.Nt(), g.Np());
+  Field3 cr(g.Nr(), g.Nt(), g.Np()), ct(g.Nr(), g.Nt(), g.Np()),
+      cp(g.Nr(), g.Nt(), g.Np());
+  fill_vector(g, vr, vt, vp, [&](const Vec3& x) { return w.cross(x); });
+  fd::curl(g, vr, vt, vp, cr, ct, cp, in);
+  double err = 0.0;
+  for_box(in, [&](int ir, int it, int ip) {
+    const Vec3 expect = testutil::to_spherical(g, it, ip, 2.0 * w);
+    err = std::max({err, std::abs(cr(ir, it, ip) - expect.x),
+                    std::abs(ct(ir, it, ip) - expect.y),
+                    std::abs(cp(ir, it, ip) - expect.z)});
+  });
+  EXPECT_LT(err, 2e-2);
+}
+
+TEST_F(FdOps, CurlOfGradientVanishes) {
+  Field3 s(g.Nr(), g.Nt(), g.Np());
+  Field3 gr(g.Nr(), g.Nt(), g.Np()), gt(g.Nr(), g.Nt(), g.Np()),
+      gp(g.Nr(), g.Nt(), g.Np());
+  Field3 cr(g.Nr(), g.Nt(), g.Np()), ct(g.Nr(), g.Nt(), g.Np()),
+      cp(g.Nr(), g.Nt(), g.Np());
+  fill_scalar(g, s, [](const Vec3& x) { return x.x * x.y + x.z * x.z; });
+  const IndexBox ext = in.grown(1);
+  fd::grad(g, s, gr, gt, gp, ext);
+  fd::curl(g, gr, gt, gp, cr, ct, cp, in);
+  double err = 0.0;
+  for_box(in, [&](int ir, int it, int ip) {
+    err = std::max({err, std::abs(cr(ir, it, ip)), std::abs(ct(ir, it, ip)),
+                    std::abs(cp(ir, it, ip))});
+  });
+  EXPECT_LT(err, 2e-2);  // truncation-error sized, not exactly zero
+}
+
+TEST_F(FdOps, DivergenceOfCurlIsMachineSmall) {
+  // Discrete div∘curl does not vanish identically for these expanded
+  // operators, but for a smooth field it must sit at truncation level.
+  Field3 vr(g.Nr(), g.Nt(), g.Np()), vt(g.Nr(), g.Nt(), g.Np()),
+      vp(g.Nr(), g.Nt(), g.Np());
+  Field3 cr(g.Nr(), g.Nt(), g.Np()), ct(g.Nr(), g.Nt(), g.Np()),
+      cp(g.Nr(), g.Nt(), g.Np()), dv(g.Nr(), g.Nt(), g.Np());
+  fill_vector(g, vr, vt, vp, [](const Vec3& x) {
+    return Vec3{x.y * x.z, x.x + x.z * x.x, x.x * x.y};
+  });
+  fd::curl(g, vr, vt, vp, cr, ct, cp, in.grown(1));
+  fd::div(g, cr, ct, cp, dv, in);
+  EXPECT_LT(max_error(g, dv, in, [](int, int, int) { return 0.0; }), 3e-2);
+}
+
+TEST_F(FdOps, LaplacianOfHarmonicIsZero) {
+  // s = xy is harmonic.
+  Field3 s(g.Nr(), g.Nt(), g.Np()), out(g.Nr(), g.Nt(), g.Np());
+  fill_scalar(g, s, [](const Vec3& x) { return x.x * x.y; });
+  fd::laplacian(g, s, out, in);
+  EXPECT_LT(max_error(g, out, in, [](int, int, int) { return 0.0; }), 2e-2);
+}
+
+TEST_F(FdOps, LaplacianOfQuadratic) {
+  // s = x² + 2y² + 3z²: ∇²s = 12.
+  Field3 s(g.Nr(), g.Nt(), g.Np()), out(g.Nr(), g.Nt(), g.Np());
+  fill_scalar(g, s,
+              [](const Vec3& x) { return x.x * x.x + 2 * x.y * x.y + 3 * x.z * x.z; });
+  fd::laplacian(g, s, out, in);
+  EXPECT_LT(max_error(g, out, in, [](int, int, int) { return 12.0; }), 5e-2);
+}
+
+TEST_F(FdOps, AdvectionOfLinearScalar) {
+  // v = (1, 2, 3) constant, s = x + y + z: v·∇s = 6.
+  Field3 vr(g.Nr(), g.Nt(), g.Np()), vt(g.Nr(), g.Nt(), g.Np()),
+      vp(g.Nr(), g.Nt(), g.Np()), s(g.Nr(), g.Nt(), g.Np()),
+      out(g.Nr(), g.Nt(), g.Np());
+  fill_vector(g, vr, vt, vp, [](const Vec3&) { return Vec3{1, 2, 3}; });
+  fill_scalar(g, s, [](const Vec3& x) { return x.x + x.y + x.z; });
+  fd::advect(g, vr, vt, vp, s, out, in);
+  EXPECT_LT(max_error(g, out, in, [](int, int, int) { return 6.0; }), 2e-2);
+}
+
+TEST_F(FdOps, MomentumFluxDivergenceAgainstClosedForm) {
+  // v = (y, z, x), f = (z, x, y): ∇·(v⊗f) = (x, y, z) = r r̂.
+  Field3 vr(g.Nr(), g.Nt(), g.Np()), vt(g.Nr(), g.Nt(), g.Np()),
+      vp(g.Nr(), g.Nt(), g.Np());
+  Field3 fr(g.Nr(), g.Nt(), g.Np()), ft(g.Nr(), g.Nt(), g.Np()),
+      fp(g.Nr(), g.Nt(), g.Np());
+  Field3 outr(g.Nr(), g.Nt(), g.Np()), outt(g.Nr(), g.Nt(), g.Np()),
+      outp(g.Nr(), g.Nt(), g.Np());
+  fill_vector(g, vr, vt, vp, [](const Vec3& x) { return Vec3{x.y, x.z, x.x}; });
+  fill_vector(g, fr, ft, fp, [](const Vec3& x) { return Vec3{x.z, x.x, x.y}; });
+  fd::div_vf(g, vr, vt, vp, fr, ft, fp, outr, outt, outp, in);
+  double err = 0.0;
+  for_box(in, [&](int ir, int it, int ip) {
+    err = std::max({err, std::abs(outr(ir, it, ip) - g.r(ir)),
+                    std::abs(outt(ir, it, ip)), std::abs(outp(ir, it, ip))});
+  });
+  EXPECT_LT(err, 6e-2);
+}
+
+TEST_F(FdOps, StrainInvariantOfPureShear) {
+  // v = (y, z, x): e_ij e_ij − (∇·v)²/3 = 3/2 everywhere.
+  Field3 vr(g.Nr(), g.Nt(), g.Np()), vt(g.Nr(), g.Nt(), g.Np()),
+      vp(g.Nr(), g.Nt(), g.Np()), out(g.Nr(), g.Nt(), g.Np());
+  fill_vector(g, vr, vt, vp, [](const Vec3& x) { return Vec3{x.y, x.z, x.x}; });
+  fd::strain_invariant(g, vr, vt, vp, out, in);
+  EXPECT_LT(max_error(g, out, in, [](int, int, int) { return 1.5; }), 3e-2);
+}
+
+TEST_F(FdOps, StrainInvariantOfRigidRotationVanishes) {
+  // Rigid rotation has zero strain: v = ω×x.
+  Field3 vr(g.Nr(), g.Nt(), g.Np()), vt(g.Nr(), g.Nt(), g.Np()),
+      vp(g.Nr(), g.Nt(), g.Np()), out(g.Nr(), g.Nt(), g.Np());
+  fill_vector(g, vr, vt, vp,
+              [](const Vec3& x) { return Vec3{0.5, -1.0, 2.0}.cross(x); });
+  fd::strain_invariant(g, vr, vt, vp, out, in);
+  EXPECT_LT(max_error(g, out, in, [](int, int, int) { return 0.0; }), 2e-2);
+}
+
+TEST_F(FdOps, FlopChargesMatchDeclaredConstants) {
+  Field3 a(g.Nr(), g.Nt(), g.Np(), 1.0), out(g.Nr(), g.Nt(), g.Np());
+  const auto vol = static_cast<std::uint64_t>(in.volume());
+  flops::global_reset();
+  fd::deriv_r(g, a, out, in);
+  EXPECT_EQ(flops::count(), vol * fd::kFlopsDeriv);
+  flops::global_reset();
+  fd::laplacian(g, a, out, in);
+  EXPECT_EQ(flops::count(), vol * fd::kFlopsLaplacian);
+  flops::global_reset();
+  fd::div(g, a, a, a, out, in);
+  EXPECT_EQ(flops::count(), vol * fd::kFlopsDiv);
+}
+
+}  // namespace
+}  // namespace yy

@@ -1,0 +1,146 @@
+#include "grid/spherical_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace yy {
+namespace {
+
+GridSpec basic_spec() {
+  GridSpec s;
+  s.nr = 5;
+  s.nt = 7;
+  s.np = 9;
+  s.r0 = 0.4;
+  s.r1 = 1.0;
+  s.t0 = 0.8;
+  s.t1 = 2.3;
+  s.p0 = -2.0;
+  s.p1 = 2.0;
+  s.ghost = 2;
+  return s;
+}
+
+TEST(SphericalGrid, NodeCountsIncludeGhosts) {
+  SphericalGrid g(basic_spec());
+  EXPECT_EQ(g.Nr(), 9);
+  EXPECT_EQ(g.Nt(), 11);
+  EXPECT_EQ(g.Np(), 13);
+}
+
+TEST(SphericalGrid, SpacingFromInclusiveSpans) {
+  SphericalGrid g(basic_spec());
+  EXPECT_DOUBLE_EQ(g.dr(), 0.6 / 4);
+  EXPECT_DOUBLE_EQ(g.dt(), 1.5 / 6);
+  EXPECT_DOUBLE_EQ(g.dp(), 4.0 / 8);
+}
+
+TEST(SphericalGrid, PeriodicPhiUsesExclusiveEndpoint) {
+  GridSpec s = basic_spec();
+  s.phi_periodic = true;
+  s.p0 = -3.0;
+  s.p1 = 3.0;
+  s.np = 12;
+  SphericalGrid g(s);
+  EXPECT_DOUBLE_EQ(g.dp(), 0.5);
+  EXPECT_DOUBLE_EQ(g.phi(g.ghost()), -3.0);
+  EXPECT_DOUBLE_EQ(g.phi(g.ghost() + 11), 2.5);  // last node < p1
+}
+
+TEST(SphericalGrid, InteriorNodesHitSpanEndpoints) {
+  SphericalGrid g(basic_spec());
+  const int gh = g.ghost();
+  EXPECT_DOUBLE_EQ(g.r(gh), 0.4);
+  EXPECT_DOUBLE_EQ(g.r(gh + 4), 1.0);
+  EXPECT_DOUBLE_EQ(g.theta(gh), 0.8);
+  EXPECT_NEAR(g.theta(gh + 6), 2.3, 1e-14);
+}
+
+TEST(SphericalGrid, GhostCoordinatesExtrapolate) {
+  SphericalGrid g(basic_spec());
+  EXPECT_DOUBLE_EQ(g.r(0), 0.4 - 2 * g.dr());
+  EXPECT_DOUBLE_EQ(g.r(g.Nr() - 1), 1.0 + 2 * g.dr());
+}
+
+TEST(SphericalGrid, MetricTablesMatchDirectEvaluation) {
+  SphericalGrid g(basic_spec());
+  for (int i = 0; i < g.Nr(); ++i)
+    EXPECT_DOUBLE_EQ(g.inv_r(i), 1.0 / g.r(i));
+  for (int j = 0; j < g.Nt(); ++j) {
+    EXPECT_DOUBLE_EQ(g.sin_t(j), std::sin(g.theta(j)));
+    EXPECT_DOUBLE_EQ(g.cos_t(j), std::cos(g.theta(j)));
+    EXPECT_NEAR(g.cot_t(j), std::cos(g.theta(j)) / std::sin(g.theta(j)), 1e-12);
+    EXPECT_NEAR(g.inv_sin_t(j), 1.0 / std::sin(g.theta(j)), 1e-12);
+  }
+}
+
+TEST(SphericalGrid, InteriorBoxExcludesGhosts) {
+  SphericalGrid g(basic_spec());
+  const IndexBox in = g.interior();
+  EXPECT_EQ(in.r0, 2);
+  EXPECT_EQ(in.r1, 7);
+  EXPECT_EQ(in.volume(), 5ll * 7 * 9);
+  EXPECT_TRUE(in.contains(2, 2, 2));
+  EXPECT_FALSE(in.contains(1, 2, 2));
+}
+
+TEST(SphericalGrid, VolumeElementIsMetricWeighted) {
+  SphericalGrid g(basic_spec());
+  const int gh = g.ghost();
+  const double expect =
+      0.4 * 0.4 * std::sin(0.8) * g.dr() * g.dt() * g.dp();
+  EXPECT_DOUBLE_EQ(g.volume_element(gh, gh), expect);
+}
+
+TEST(SphericalGrid, ShellVolumeIntegralConverges) {
+  // Σ r² sinθ ΔV over a full longitude circle + θ span approximates the
+  // analytic (r1³−r0³)/3 (cosθ0−cosθ1) Δφ.
+  GridSpec s;
+  s.nr = 40;
+  s.nt = 40;
+  s.np = 40;
+  s.r0 = 0.5;
+  s.r1 = 1.0;
+  s.t0 = 0.6;
+  s.t1 = 2.2;
+  s.p0 = 0.0;
+  s.p1 = 3.0;
+  s.ghost = 0;
+  SphericalGrid g(s);
+  double sum = 0.0;
+  for_box(g.interior(), [&](int ir, int it, int ip) {
+    double w = 1.0;
+    if (ir == 0 || ir == g.Nr() - 1) w *= 0.5;  // trapezoid ends
+    if (it == 0 || it == g.Nt() - 1) w *= 0.5;
+    if (ip == 0 || ip == g.Np() - 1) w *= 0.5;
+    sum += w * g.volume_element(ir, it);
+  });
+  const double analytic =
+      (1.0 - 0.125) / 3.0 * (std::cos(0.6) - std::cos(2.2)) * 3.0;
+  EXPECT_NEAR(sum, analytic, 1e-3 * analytic);
+}
+
+TEST(IndexBox, GrownExpandsAllFaces) {
+  const IndexBox b{2, 4, 3, 6, 1, 9};
+  const IndexBox e = b.grown(2);
+  EXPECT_EQ(e.r0, 0);
+  EXPECT_EQ(e.r1, 6);
+  EXPECT_EQ(e.t0, 1);
+  EXPECT_EQ(e.p1, 11);
+}
+
+TEST(ForBox, VisitsEveryIndexOnceRadialFastest) {
+  const IndexBox b{0, 2, 0, 3, 0, 2};
+  int count = 0;
+  int last_ir = -1;
+  for_box(b, [&](int ir, int, int) {
+    ++count;
+    last_ir = ir;
+  });
+  EXPECT_EQ(count, 12);
+  EXPECT_EQ(last_ir, 1);
+}
+
+}  // namespace
+}  // namespace yy

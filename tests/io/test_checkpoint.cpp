@@ -1,0 +1,89 @@
+#include "io/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace yy::io {
+namespace {
+
+SphericalGrid small_grid() {
+  GridSpec s;
+  s.nr = 5;
+  s.nt = 6;
+  s.np = 7;
+  s.r0 = 0.4;
+  s.r1 = 1.0;
+  s.t0 = 0.9;
+  s.t1 = 2.2;
+  s.p0 = -1.0;
+  s.p1 = 1.0;
+  s.ghost = 2;
+  return SphericalGrid(s);
+}
+
+TEST(Checkpoint, TwoPanelRoundTripBitExact) {
+  SphericalGrid g = small_grid();
+  mhd::Fields yin(g), yang(g);
+  int k = 0;
+  for (Field3* f : yin.all())
+    for (double& v : f->flat()) v = 0.001 * ++k;
+  for (Field3* f : yang.all())
+    for (double& v : f->flat()) v = -0.002 * ++k;
+
+  const std::string path = std::string(::testing::TempDir()) + "/cp2.bin";
+  CheckpointHeader hdr{g.Nr(), g.Nt(), g.Np(), 2, 1.25, 42};
+  ASSERT_TRUE(save_checkpoint(path, hdr, &yin, &yang));
+
+  mhd::Fields yin2(g), yang2(g);
+  CheckpointHeader back;
+  ASSERT_TRUE(load_checkpoint(path, back, &yin2, &yang2));
+  EXPECT_EQ(back.panels, 2);
+  EXPECT_DOUBLE_EQ(back.time, 1.25);
+  EXPECT_EQ(back.step, 42);
+  for (int i = 0; i < mhd::Fields::kNumFields; ++i) {
+    auto a = yin.all()[static_cast<std::size_t>(i)]->flat();
+    auto b = yin2.all()[static_cast<std::size_t>(i)]->flat();
+    for (std::size_t j = 0; j < a.size(); ++j) ASSERT_EQ(a[j], b[j]);
+    auto c = yang.all()[static_cast<std::size_t>(i)]->flat();
+    auto d = yang2.all()[static_cast<std::size_t>(i)]->flat();
+    for (std::size_t j = 0; j < c.size(); ++j) ASSERT_EQ(c[j], d[j]);
+  }
+}
+
+TEST(Checkpoint, SinglePanelVariant) {
+  SphericalGrid g = small_grid();
+  mhd::Fields s(g);
+  s.p(3, 3, 3) = 77.0;
+  const std::string path = std::string(::testing::TempDir()) + "/cp1.bin";
+  CheckpointHeader hdr{g.Nr(), g.Nt(), g.Np(), 1, 0.5, 7};
+  ASSERT_TRUE(save_checkpoint(path, hdr, &s, nullptr));
+  mhd::Fields t(g);
+  CheckpointHeader back;
+  ASSERT_TRUE(load_checkpoint(path, back, &t, nullptr));
+  EXPECT_DOUBLE_EQ(t.p(3, 3, 3), 77.0);
+}
+
+TEST(Checkpoint, MissingFileFailsCleanly) {
+  CheckpointHeader hdr;
+  SphericalGrid g = small_grid();
+  mhd::Fields s(g);
+  EXPECT_FALSE(load_checkpoint("/nonexistent/path/cp.bin", hdr, &s, nullptr));
+}
+
+TEST(Checkpoint, CorruptMagicRejected) {
+  const std::string path = std::string(::testing::TempDir()) + "/bad.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("NOTACHECKPOINT", f);
+    std::fclose(f);
+  }
+  CheckpointHeader hdr;
+  SphericalGrid g = small_grid();
+  mhd::Fields s(g);
+  EXPECT_FALSE(load_checkpoint(path, hdr, &s, nullptr));
+}
+
+}  // namespace
+}  // namespace yy::io

@@ -1,0 +1,147 @@
+#include "io/fieldline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "yinyang/transform.hpp"
+
+namespace yy::io {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+class FieldlineTest : public ::testing::Test {
+ protected:
+  FieldlineTest()
+      : geom(yinyang::ComponentGeometry::with_auto_margin(17, 49)),
+        grid(geom.make_grid_spec(9, 0.35, 1.0)),
+        sampler(grid, geom) {
+    for (auto* f : {&yr, &yt, &yp, &gr, &gt, &gp})
+      *f = Field3(grid.Nr(), grid.Nt(), grid.Np());
+  }
+
+  /// Fills both panels from a global Cartesian vector function.
+  template <typename F>
+  void fill(F&& func) {
+    for_box(grid.full(), [&](int ir, int it, int ip) {
+      const yinyang::Angles a{grid.theta(it), grid.phi(ip)};
+      const Vec3 pos = yinyang::position(a) * grid.r(ir);
+      const Vec3 sy = yinyang::spherical_basis(a).transpose() * func(pos);
+      yr(ir, it, ip) = sy.x;
+      yt(ir, it, ip) = sy.y;
+      yp(ir, it, ip) = sy.z;
+      const Vec3 pos_g = yinyang::axis_swap(pos);
+      const Vec3 sg =
+          yinyang::spherical_basis(a).transpose() * yinyang::axis_swap(func(pos_g));
+      gr(ir, it, ip) = sg.x;
+      gt(ir, it, ip) = sg.y;
+      gp(ir, it, ip) = sg.z;
+    });
+  }
+
+  PanelVectorView yin() const { return {&yr, &yt, &yp}; }
+  PanelVectorView yang() const { return {&gr, &gt, &gp}; }
+
+  yinyang::ComponentGeometry geom;
+  SphericalGrid grid;
+  SphereSampler sampler;
+  Field3 yr, yt, yp, gr, gt, gp;
+};
+
+TEST_F(FieldlineTest, RigidRotationTracesCircles) {
+  // v = ẑ×x: streamlines are circles of constant radius about z.
+  fill([](const Vec3& x) { return Vec3{0, 0, 1}.cross(x); });
+  TraceOptions opt;
+  opt.step = 0.01;
+  opt.max_steps = 1200;
+  opt.r_inner = 0.3;
+  opt.r_outer = 1.05;
+  const Vec3 seed{0.7, 0.0, 0.0};
+  const Streamline line = trace_streamline(sampler, yin(), yang(), seed, opt);
+  ASSERT_GT(line.points.size(), 100u);
+  EXPECT_FALSE(line.exited_shell);
+  for (const Vec3& p : line.points) {
+    EXPECT_NEAR(p.norm(), 0.7, 0.02);
+    EXPECT_NEAR(p.z, 0.0, 0.02);
+  }
+}
+
+TEST_F(FieldlineTest, CircleClosesAfterFullTurn) {
+  fill([](const Vec3& x) { return Vec3{0, 0, 1}.cross(x); });
+  TraceOptions opt;
+  opt.step = 0.01;
+  opt.r_inner = 0.3;
+  opt.r_outer = 1.05;
+  const double circumference = 2.0 * kPi * 0.7;
+  opt.max_steps = static_cast<int>(circumference / opt.step) + 1;
+  const Vec3 seed{0.7, 0.0, 0.0};
+  const Streamline line = trace_streamline(sampler, yin(), yang(), seed, opt);
+  const Vec3 end = line.points.back();
+  EXPECT_NEAR(end.x, seed.x, 0.08);
+  EXPECT_NEAR(end.y, seed.y, 0.08);
+}
+
+TEST_F(FieldlineTest, RadialFieldExitsShell) {
+  fill([](const Vec3& x) { return x; });  // purely radial outflow
+  TraceOptions opt;
+  opt.step = 0.02;
+  opt.max_steps = 200;
+  opt.r_inner = 0.36;
+  opt.r_outer = 0.99;
+  const Streamline line =
+      trace_streamline(sampler, yin(), yang(), {0.0, 0.6, 0.0}, opt);
+  EXPECT_TRUE(line.exited_shell);
+}
+
+TEST_F(FieldlineTest, CrossesYinYangBorderSeamlessly) {
+  // A meridional circulation v = φ̂-free field crossing the panel seam:
+  // use rotation about x so lines leave Yin's core into Yang territory.
+  fill([](const Vec3& x) { return Vec3{1, 0, 0}.cross(x); });
+  TraceOptions opt;
+  opt.step = 0.01;
+  opt.max_steps = 800;
+  opt.r_inner = 0.3;
+  opt.r_outer = 1.05;
+  // Start on the equator; rotation about x carries the point over the
+  // poles — deep into the Yang panel's core.
+  const Streamline line =
+      trace_streamline(sampler, yin(), yang(), {0.0, 0.7, 0.0}, opt);
+  ASSERT_GT(line.points.size(), 300u);
+  bool visited_pole_region = false;
+  for (const Vec3& p : line.points) {
+    EXPECT_NEAR(p.norm(), 0.7, 0.03);   // stays on its circle…
+    EXPECT_NEAR(p.x, 0.0, 0.03);        // …in the x = 0 plane
+    if (std::abs(p.z) > 0.6) visited_pole_region = true;
+  }
+  EXPECT_TRUE(visited_pole_region);  // actually sampled the Yang panel
+}
+
+TEST_F(FieldlineTest, ZeroFieldProducesPointLine) {
+  fill([](const Vec3&) { return Vec3{}; });
+  TraceOptions opt;
+  const Streamline line =
+      trace_streamline(sampler, yin(), yang(), {0.0, 0.6, 0.0}, opt);
+  EXPECT_EQ(line.points.size(), 1u);
+  EXPECT_DOUBLE_EQ(line.length, 0.0);
+}
+
+TEST_F(FieldlineTest, RingCsvContainsAllSeeds) {
+  fill([](const Vec3& x) { return Vec3{0, 0, 1}.cross(x); });
+  TraceOptions opt;
+  opt.step = 0.05;
+  opt.max_steps = 10;
+  opt.r_inner = 0.3;
+  opt.r_outer = 1.05;
+  const std::string path = std::string(::testing::TempDir()) + "/ring.csv";
+  ASSERT_TRUE(trace_ring_to_csv(sampler, yin(), yang(), 0.7, 6, opt, path));
+  std::ifstream in(path);
+  int lines = 0;
+  std::string l;
+  while (std::getline(in, l)) ++lines;
+  EXPECT_GE(lines, 1 + 6 * 10);  // header + ≥10 points per seed
+}
+
+}  // namespace
+}  // namespace yy::io

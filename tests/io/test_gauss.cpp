@@ -1,0 +1,112 @@
+#include "io/gauss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace yy::io {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(SchmidtPlm, LowDegreeClosedForms) {
+  for (double x : {-0.9, -0.3, 0.0, 0.5, 0.8}) {
+    const double s = std::sqrt(1.0 - x * x);
+    EXPECT_NEAR(schmidt_plm(1, 0, x), x, 1e-12);
+    EXPECT_NEAR(schmidt_plm(1, 1, x), s, 1e-12);
+    EXPECT_NEAR(schmidt_plm(2, 0, x), 0.5 * (3 * x * x - 1), 1e-12);
+    EXPECT_NEAR(schmidt_plm(2, 1, x), std::sqrt(3.0) * x * s, 1e-12);
+    EXPECT_NEAR(schmidt_plm(2, 2, x), 0.5 * std::sqrt(3.0) * s * s, 1e-12);
+  }
+}
+
+TEST(SchmidtPlm, NormalizationIntegral) {
+  // ∫_{-1}^{1} [P_lm]² dx = 2(2−δ_m0)/(2l+1) for Schmidt functions…
+  // combined with the φ factor this gives the 4π/(2l+1) solid-angle
+  // normalization the expansion relies on.  Verify by quadrature.
+  for (int l = 1; l <= 4; ++l) {
+    for (int m = 0; m <= l; ++m) {
+      double sum = 0.0;
+      const int n = 4000;
+      for (int i = 0; i < n; ++i) {
+        const double x = -1.0 + 2.0 * (i + 0.5) / n;
+        const double p = schmidt_plm(l, m, x);
+        sum += p * p * 2.0 / n;
+      }
+      const double expect = 2.0 * (m == 0 ? 1.0 : 2.0) / (2.0 * l + 1.0) *
+                            (m == 0 ? 1.0 : 0.5) * 2.0;
+      // Schmidt: ∫ P² dx = 2·(2 − δ)/(2l+1) / (2 − δ)·(2−δ)…  simplify:
+      // the defining property is ∫∫ (P cos mφ)² dΩ = 4π/(2l+1):
+      // ∫ P² dx · (π(1+δ_m0)) = 4π/(2l+1).
+      const double phi_factor = kPi * (m == 0 ? 2.0 : 1.0);
+      EXPECT_NEAR(sum * phi_factor, 4.0 * kPi / (2.0 * l + 1.0), 2e-3)
+          << "l=" << l << " m=" << m;
+      (void)expect;
+    }
+  }
+}
+
+TEST(Gauss, RecoversAxialDipole) {
+  // B_r = 2 g10 cosθ is the axial dipole's radial field at r = a.
+  const double g10 = 0.7;
+  const GaussCoefficients gc = analyze_gauss_of(
+      [&](double th, double) { return 2.0 * g10 * std::cos(th); }, 3);
+  EXPECT_NEAR(gc.g_lm(1, 0), g10, 1e-6);
+  EXPECT_NEAR(gc.g_lm(1, 1), 0.0, 1e-9);
+  EXPECT_NEAR(gc.h_lm(1, 1), 0.0, 1e-9);
+  EXPECT_NEAR(gc.g_lm(2, 0), 0.0, 1e-6);
+  EXPECT_NEAR(gc.dipole_tilt(), 0.0, 1e-6);
+}
+
+TEST(Gauss, RecoversTiltedDipole) {
+  // Equatorial dipole pieces: B_r = 2(g11 cosφ + h11 sinφ) sinθ.
+  const double g11 = 0.4, h11 = -0.3;
+  const GaussCoefficients gc = analyze_gauss_of(
+      [&](double th, double ph) {
+        return 2.0 * (g11 * std::cos(ph) + h11 * std::sin(ph)) * std::sin(th);
+      },
+      3);
+  EXPECT_NEAR(gc.g_lm(1, 1), g11, 1e-6);
+  EXPECT_NEAR(gc.h_lm(1, 1), h11, 1e-6);
+  EXPECT_NEAR(gc.dipole_tilt(), kPi / 2.0, 1e-5);  // fully equatorial
+}
+
+TEST(Gauss, RecoversQuadrupoleWithoutLeakage) {
+  // B_r = 3 g20 P20(cosθ).
+  const double g20 = 1.2;
+  const GaussCoefficients gc = analyze_gauss_of(
+      [&](double th, double) {
+        const double x = std::cos(th);
+        return 3.0 * g20 * 0.5 * (3 * x * x - 1);
+      },
+      4);
+  EXPECT_NEAR(gc.g_lm(2, 0), g20, 1e-5);
+  EXPECT_NEAR(gc.g_lm(1, 0), 0.0, 1e-6);
+  EXPECT_NEAR(gc.g_lm(3, 0), 0.0, 1e-5);
+}
+
+TEST(Gauss, LowesSpectrumSeparatesDegrees) {
+  const GaussCoefficients gc = analyze_gauss_of(
+      [&](double th, double ph) {
+        const double x = std::cos(th);
+        return 2.0 * 1.0 * x +                        // dipole g10 = 1
+               3.0 * 0.5 * (0.5 * (3 * x * x - 1)) +  // quadrupole g20 = 0.5
+               2.0 * 0.2 * std::sin(th) * std::cos(ph);  // g11 = 0.2
+      },
+      3);
+  const auto spec = gc.lowes_spectrum();
+  EXPECT_NEAR(spec[1], 2.0 * (1.0 * 1.0 + 0.2 * 0.2), 1e-3);
+  EXPECT_NEAR(spec[2], 3.0 * 0.25, 1e-3);
+  EXPECT_NEAR(spec[3], 0.0, 1e-5);
+}
+
+TEST(Gauss, IndexPackingIsTriangular) {
+  EXPECT_EQ(GaussCoefficients::index(1, 0), 0u);
+  EXPECT_EQ(GaussCoefficients::index(1, 1), 1u);
+  EXPECT_EQ(GaussCoefficients::index(2, 0), 2u);
+  EXPECT_EQ(GaussCoefficients::index(2, 2), 4u);
+  EXPECT_EQ(GaussCoefficients::index(3, 0), 5u);
+}
+
+}  // namespace
+}  // namespace yy::io

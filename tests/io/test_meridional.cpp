@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "io/slice.hpp"
+#include "yinyang/transform.hpp"
+
+namespace yy::io {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+class MeridionalTest : public ::testing::Test {
+ protected:
+  MeridionalTest()
+      : geom(yinyang::ComponentGeometry::with_auto_margin(17, 49)),
+        grid(geom.make_grid_spec(9, 0.4, 1.0)),
+        sampler(grid, geom),
+        yin(grid.Nr(), grid.Nt(), grid.Np()),
+        yang(grid.Nr(), grid.Nt(), grid.Np()) {}
+
+  template <typename F>
+  void fill(F&& func) {
+    for_box(grid.full(), [&](int ir, int it, int ip) {
+      const yinyang::Angles a{grid.theta(it), grid.phi(ip)};
+      const Vec3 pos = yinyang::position(a) * grid.r(ir);
+      yin(ir, it, ip) = func(pos);
+      yang(ir, it, ip) = func(yinyang::axis_swap(pos));
+    });
+  }
+
+  yinyang::ComponentGeometry geom;
+  SphericalGrid grid;
+  SphereSampler sampler;
+  Field3 yin, yang;
+};
+
+TEST_F(MeridionalTest, SamplesMatchGlobalFunctionOnBothHalves) {
+  auto func = [](const Vec3& x) { return x.z + 0.3 * x.x; };
+  fill(func);
+  const MeridionalSlice s =
+      sample_meridional_scalar(sampler, yin, yang, 0.4, 1.0, 0.0, 12, 24);
+  EXPECT_EQ(s.nr, 12);
+  EXPECT_EQ(s.nth, 24);
+  double err = 0.0;
+  for (int half = 0; half < 2; ++half) {
+    const double phi = half == 0 ? 0.0 : kPi;
+    for (int i = 0; i < s.nr; ++i) {
+      const double r = 0.4 + 0.6 * i / 11.0;
+      for (int j = 0; j < s.nth; ++j) {
+        const double th = 1e-4 + (kPi - 2e-4) * j / 23.0;
+        const Vec3 pos = yinyang::position({th, phi}) * r;
+        err = std::max(err, std::abs(s.at(half, i, j) - func(pos)));
+      }
+    }
+  }
+  EXPECT_LT(err, 2e-2);
+}
+
+TEST_F(MeridionalTest, PolarRegionsServedByYangPanel) {
+  // The slice passes straight through both global poles — Yang-core
+  // territory; the sampler must hand those points over seamlessly.
+  fill([](const Vec3& x) { return x.z; });
+  const MeridionalSlice s =
+      sample_meridional_scalar(sampler, yin, yang, 0.4, 1.0, 0.5, 8, 33);
+  // θ ≈ 0 row: value ≈ +r; θ ≈ π row: ≈ −r.
+  for (int i = 0; i < s.nr; ++i) {
+    const double r = 0.4 + 0.6 * i / 7.0;
+    EXPECT_NEAR(s.at(0, i, 0), r, 0.03);
+    EXPECT_NEAR(s.at(0, i, 32), -r, 0.03);
+  }
+}
+
+TEST_F(MeridionalTest, PpmWritten) {
+  fill([](const Vec3& x) { return x.z * x.z; });
+  const MeridionalSlice s =
+      sample_meridional_scalar(sampler, yin, yang, 0.4, 1.0, 0.0, 10, 20);
+  const std::string path = std::string(::testing::TempDir()) + "/mer.ppm";
+  ASSERT_TRUE(write_meridional_ppm(s, path, 150));
+  std::ifstream in(path);
+  std::string magic;
+  in >> magic;
+  EXPECT_EQ(magic, "P6");
+}
+
+TEST_F(MeridionalTest, MaxAbsReflectsData) {
+  fill([](const Vec3&) { return -3.5; });
+  const MeridionalSlice s =
+      sample_meridional_scalar(sampler, yin, yang, 0.4, 1.0, 0.0, 6, 12);
+  EXPECT_NEAR(s.max_abs(), 3.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace yy::io

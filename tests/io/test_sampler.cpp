@@ -1,0 +1,112 @@
+#include "io/sphere_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "yinyang/transform.hpp"
+
+namespace yy::io {
+namespace {
+
+using yinyang::Angles;
+using yinyang::ComponentGeometry;
+using yinyang::Panel;
+
+constexpr double kPi = 3.14159265358979323846;
+
+class SamplerTest : public ::testing::Test {
+ protected:
+  SamplerTest()
+      : geom(ComponentGeometry::with_auto_margin(17, 49)),
+        grid(geom.make_grid_spec(9, 0.4, 1.0)),
+        sampler(grid, geom),
+        yin_s(grid.Nr(), grid.Nt(), grid.Np()),
+        yang_s(grid.Nr(), grid.Nt(), grid.Np()) {}
+
+  /// Fills both panels' scalar fields from one global function.
+  template <typename F>
+  void fill_both(F&& func) {
+    for_box(grid.full(), [&](int ir, int it, int ip) {
+      const Angles a{grid.theta(it), grid.phi(ip)};
+      const Vec3 pos_yin = yinyang::position(a) * grid.r(ir);
+      yin_s(ir, it, ip) = func(pos_yin);
+      yang_s(ir, it, ip) = func(yinyang::axis_swap(pos_yin));
+    });
+  }
+
+  ComponentGeometry geom;
+  SphericalGrid grid;
+  SphereSampler sampler;
+  Field3 yin_s, yang_s;
+};
+
+TEST_F(SamplerTest, PanelSelectionPrefersCoveringCore) {
+  EXPECT_EQ(sampler.panel_for(kPi / 2, 0.0), Panel::yin);
+  EXPECT_EQ(sampler.panel_for(0.05, 0.0), Panel::yang);     // near north pole
+  EXPECT_EQ(sampler.panel_for(kPi - 0.05, 0.0), Panel::yang);
+  EXPECT_EQ(sampler.panel_for(kPi / 2, kPi), Panel::yang);  // behind the seam
+}
+
+TEST_F(SamplerTest, ScalarSampleMatchesGlobalFunction) {
+  auto func = [](const Vec3& x) { return 0.7 * x.x - 0.4 * x.y + 0.2 * x.z; };
+  fill_both(func);
+  // Sweep the whole sphere including both panels' territory.
+  double err = 0.0;
+  for (int i = 0; i < 24; ++i) {
+    for (int k = 0; k < 48; ++k) {
+      const double th = 0.05 + (kPi - 0.1) * i / 23.0;
+      const double ph = -kPi + 2 * kPi * k / 48.0;
+      const double r = 0.7;
+      const Vec3 pos = yinyang::position({th, ph}) * r;
+      err = std::max(err, std::abs(sampler.sample_scalar(yin_s, yang_s, r, th,
+                                                         ph) -
+                                   func(pos)));
+    }
+  }
+  EXPECT_LT(err, 1e-2);
+}
+
+TEST_F(SamplerTest, SampleAtGridNodeIsExact) {
+  auto func = [](const Vec3& x) { return x.x + 2.0 * x.y; };
+  fill_both(func);
+  const int gh = grid.ghost();
+  const int it = gh + geom.nt() / 2;
+  const int ip = gh + geom.np() / 2;
+  const double got = sampler.sample_scalar(
+      yin_s, yang_s, grid.r(gh + 4), grid.theta(it), grid.phi(ip));
+  EXPECT_NEAR(got, yin_s(gh + 4, it, ip), 1e-12);
+}
+
+TEST_F(SamplerTest, VectorSampleReturnsGlobalCartesian) {
+  // A uniform global vector field must sample to itself anywhere on the
+  // sphere — including deep inside Yang territory (near the poles).
+  const Vec3 u{0.3, -0.9, 0.5};
+  Field3 yin_r(grid.Nr(), grid.Nt(), grid.Np()), yin_t = yin_r, yin_p = yin_r;
+  Field3 yang_r = yin_r, yang_t = yin_r, yang_p = yin_r;
+  for_box(grid.full(), [&](int ir, int it, int ip) {
+    const Angles a{grid.theta(it), grid.phi(ip)};
+    const Vec3 yin_sph = yinyang::spherical_basis(a).transpose() * u;
+    yin_r(ir, it, ip) = yin_sph.x;
+    yin_t(ir, it, ip) = yin_sph.y;
+    yin_p(ir, it, ip) = yin_sph.z;
+    const Vec3 yang_sph =
+        yinyang::spherical_basis(a).transpose() * yinyang::axis_swap(u);
+    yang_r(ir, it, ip) = yang_sph.x;
+    yang_t(ir, it, ip) = yang_sph.y;
+    yang_p(ir, it, ip) = yang_sph.z;
+  });
+  const PanelVectorView yin{&yin_r, &yin_t, &yin_p};
+  const PanelVectorView yang{&yang_r, &yang_t, &yang_p};
+  for (double th : {0.1, kPi / 3, kPi / 2, kPi - 0.1}) {
+    for (double ph : {-3.0, -1.0, 0.0, 2.0, 3.1}) {
+      const Vec3 got = sampler.sample_vector(yin, yang, 0.8, th, ph);
+      EXPECT_NEAR(got.x, u.x, 2e-2);
+      EXPECT_NEAR(got.y, u.y, 2e-2);
+      EXPECT_NEAR(got.z, u.z, 2e-2);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace yy::io

@@ -1,0 +1,108 @@
+#include "io/slice.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "yinyang/transform.hpp"
+
+namespace yy::io {
+namespace {
+
+using yinyang::Angles;
+using yinyang::ComponentGeometry;
+
+constexpr double kPi = 3.14159265358979323846;
+
+class SliceTest : public ::testing::Test {
+ protected:
+  SliceTest()
+      : geom(ComponentGeometry::with_auto_margin(17, 49)),
+        grid(geom.make_grid_spec(9, 0.4, 1.0)),
+        sampler(grid, geom) {}
+
+  /// Builds panel vector fields whose global z-component equals
+  /// cos(m·φ_global) — m alternating "columns" around the equator.
+  void make_columns(int m, Field3& yr, Field3& yt, Field3& yp, Field3& gr,
+                    Field3& gt, Field3& gp) const {
+    for_box(grid.full(), [&](int ir, int it, int ip) {
+      (void)ir;
+      const Angles a{grid.theta(it), grid.phi(ip)};
+      // Yin frame IS the global frame.
+      const Vec3 pos = yinyang::position(a);
+      const double phi_g = std::atan2(pos.y, pos.x);
+      const Vec3 u{0.0, 0.0, std::cos(m * phi_g)};
+      const Vec3 sph = yinyang::spherical_basis(a).transpose() * u;
+      yr(ir, it, ip) = sph.x;
+      yt(ir, it, ip) = sph.y;
+      yp(ir, it, ip) = sph.z;
+      const Vec3 pos_g = yinyang::axis_swap(pos);  // Yang node in global frame
+      const double phi_g2 = std::atan2(pos_g.y, pos_g.x);
+      const Vec3 u2{0.0, 0.0, std::cos(m * phi_g2)};
+      const Vec3 sph2 =
+          yinyang::spherical_basis(a).transpose() * yinyang::axis_swap(u2);
+      gr(ir, it, ip) = sph2.x;
+      gt(ir, it, ip) = sph2.y;
+      gp(ir, it, ip) = sph2.z;
+    });
+  }
+
+  ComponentGeometry geom;
+  SphericalGrid grid;
+  SphereSampler sampler;
+};
+
+TEST_F(SliceTest, SliceDimensionsAndRange) {
+  Field3 f(grid.Nr(), grid.Nt(), grid.Np());
+  Field3 yr = f, yt = f, yp = f, gr = f, gt = f, gp = f;
+  make_columns(4, yr, yt, yp, gr, gt, gp);
+  const EquatorialSlice s =
+      sample_equatorial_z(sampler, {&yr, &yt, &yp}, {&gr, &gt, &gp}, 0.4, 1.0,
+                          8, 64);
+  EXPECT_EQ(s.rings, 8);
+  EXPECT_EQ(s.spokes, 64);
+  EXPECT_EQ(s.values.size(), 8u * 64u);
+  EXPECT_NEAR(s.max_abs(), 1.0, 0.1);
+}
+
+TEST_F(SliceTest, ColumnCountRecoversWaveNumber) {
+  // cos(mφ) has exactly 2m sign changes around the ring.
+  Field3 f(grid.Nr(), grid.Nt(), grid.Np());
+  for (int m : {2, 3, 5}) {
+    Field3 yr = f, yt = f, yp = f, gr = f, gt = f, gp = f;
+    make_columns(m, yr, yt, yp, gr, gt, gp);
+    const EquatorialSlice s =
+        sample_equatorial_z(sampler, {&yr, &yt, &yp}, {&gr, &gt, &gp}, 0.4,
+                            1.0, 6, 96);
+    EXPECT_EQ(count_columns(s), 2 * m) << "m=" << m;
+  }
+}
+
+TEST_F(SliceTest, QuietFieldHasNoColumns) {
+  Field3 z(grid.Nr(), grid.Nt(), grid.Np());
+  const EquatorialSlice s =
+      sample_equatorial_z(sampler, {&z, &z, &z}, {&z, &z, &z}, 0.4, 1.0, 4, 32);
+  EXPECT_EQ(count_columns(s), 0);
+}
+
+TEST_F(SliceTest, PpmAndCsvWritten) {
+  Field3 f(grid.Nr(), grid.Nt(), grid.Np());
+  Field3 yr = f, yt = f, yp = f, gr = f, gt = f, gp = f;
+  make_columns(4, yr, yt, yp, gr, gt, gp);
+  const EquatorialSlice s =
+      sample_equatorial_z(sampler, {&yr, &yt, &yp}, {&gr, &gt, &gp}, 0.4, 1.0,
+                          6, 48);
+  const std::string dir = ::testing::TempDir();
+  EXPECT_TRUE(write_equatorial_ppm(s, dir + "/eq.ppm", 120));
+  EXPECT_TRUE(write_equatorial_csv(s, dir + "/eq.csv"));
+  std::ifstream ppm(dir + "/eq.ppm");
+  EXPECT_TRUE(ppm.good());
+  std::ifstream csv(dir + "/eq.csv");
+  std::string header;
+  std::getline(csv, header);
+  EXPECT_EQ(header, "radius,phi,omega_z");
+}
+
+}  // namespace
+}  // namespace yy::io

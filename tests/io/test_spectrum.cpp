@@ -1,0 +1,84 @@
+#include "io/spectrum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace yy::io {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+std::vector<double> pure_mode(int n, int m, double amp, double phase = 0.3) {
+  std::vector<double> ring(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k)
+    ring[static_cast<std::size_t>(k)] =
+        amp * std::cos(m * (2.0 * kPi * k / n) + phase);
+  return ring;
+}
+
+TEST(Spectrum, PureModePowerLandsAtItsWavenumber) {
+  for (int m : {1, 3, 7}) {
+    const auto ring = pure_mode(96, m, 2.0);
+    const auto p = ring_power_spectrum(ring, 10);
+    for (int mm = 0; mm <= 10; ++mm) {
+      if (mm == m) {
+        EXPECT_NEAR(p[static_cast<std::size_t>(mm)], 4.0, 1e-9) << mm;
+      } else {
+        EXPECT_NEAR(p[static_cast<std::size_t>(mm)], 0.0, 1e-9) << mm;
+      }
+    }
+  }
+}
+
+TEST(Spectrum, MeanGoesToModeZero) {
+  std::vector<double> ring(64, 5.0);
+  const auto p = ring_power_spectrum(ring, 4);
+  EXPECT_NEAR(p[0], 25.0, 1e-9);
+  EXPECT_NEAR(p[1], 0.0, 1e-9);
+}
+
+TEST(Spectrum, DominantWavenumberPicksStrongestMode) {
+  auto ring = pure_mode(120, 4, 3.0);
+  const auto weak = pure_mode(120, 7, 1.0, 1.1);
+  for (std::size_t i = 0; i < ring.size(); ++i) ring[i] += weak[i];
+  EXPECT_EQ(dominant_wavenumber(ring, 12), 4);
+}
+
+TEST(Spectrum, ZeroRingHasNoDominantMode) {
+  std::vector<double> ring(48, 0.0);
+  EXPECT_EQ(dominant_wavenumber(ring, 8), 0);
+}
+
+TEST(Spectrum, SpectralColumnCountIsTwiceDominantM) {
+  EquatorialSlice s;
+  s.rings = 5;
+  s.spokes = 96;
+  s.r_inner = 0.4;
+  s.r_outer = 1.0;
+  s.values.assign(static_cast<std::size_t>(s.rings) * s.spokes, 0.0);
+  const auto ring = pure_mode(96, 5, 1.0);
+  for (int k = 0; k < s.spokes; ++k)
+    s.values[static_cast<std::size_t>(s.rings / 2) * s.spokes + k] =
+        ring[static_cast<std::size_t>(k)];
+  EXPECT_EQ(spectral_column_count(s), 10);
+}
+
+TEST(Spectrum, AgreesWithSignCountingOnCleanModes) {
+  EquatorialSlice s;
+  s.rings = 3;
+  s.spokes = 144;
+  s.r_inner = 0.4;
+  s.r_outer = 1.0;
+  s.values.assign(static_cast<std::size_t>(s.rings) * s.spokes, 0.0);
+  for (int ring = 0; ring < 3; ++ring) {
+    const auto vals = pure_mode(144, 6, 1.0);
+    for (int k = 0; k < s.spokes; ++k)
+      s.values[static_cast<std::size_t>(ring) * s.spokes + k] =
+          vals[static_cast<std::size_t>(k)];
+  }
+  EXPECT_EQ(spectral_column_count(s), count_columns(s));
+}
+
+}  // namespace
+}  // namespace yy::io

@@ -1,0 +1,101 @@
+#include "io/vtk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace yy::io {
+namespace {
+
+SphericalGrid vtk_grid() {
+  yinyang::ComponentGeometry geom =
+      yinyang::ComponentGeometry::with_auto_margin(9, 25);
+  return SphericalGrid(geom.make_grid_spec(5, 0.4, 1.0));
+}
+
+TEST(Vtk, WritesValidStructuredGridHeader) {
+  SphericalGrid g = vtk_grid();
+  Field3 temp(g.Nr(), g.Nt(), g.Np(), 1.5);
+  const std::string path = std::string(::testing::TempDir()) + "/panel.vtk";
+  ASSERT_TRUE(write_vtk_panel(path, g, yinyang::Panel::yin,
+                              {{"temperature", &temp}}));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "# vtk DataFile Version 3.0");
+  std::getline(in, line);
+  EXPECT_NE(line.find("yin"), std::string::npos);
+  std::getline(in, line);
+  EXPECT_EQ(line, "ASCII");
+  std::getline(in, line);
+  EXPECT_EQ(line, "DATASET STRUCTURED_GRID");
+  std::getline(in, line);
+  std::istringstream dims(line);
+  std::string tag;
+  int nr = 0, nt = 0, np = 0;
+  dims >> tag >> nr >> nt >> np;
+  EXPECT_EQ(tag, "DIMENSIONS");
+  EXPECT_EQ(nr, 5);
+  EXPECT_EQ(nt, g.spec().nt);
+  EXPECT_EQ(np, g.spec().np);
+}
+
+TEST(Vtk, PointCountMatchesDimensions) {
+  SphericalGrid g = vtk_grid();
+  Field3 temp(g.Nr(), g.Nt(), g.Np());
+  const std::string path = std::string(::testing::TempDir()) + "/count.vtk";
+  ASSERT_TRUE(write_vtk_panel(path, g, yinyang::Panel::yang, {{"t", &temp}}));
+  std::ifstream in(path);
+  std::string line;
+  long long expected = 5ll * g.spec().nt * g.spec().np;
+  bool found_points = false, found_data = false;
+  while (std::getline(in, line)) {
+    if (line.rfind("POINTS", 0) == 0) {
+      found_points = true;
+      EXPECT_NE(line.find(std::to_string(expected)), std::string::npos);
+    }
+    if (line.rfind("POINT_DATA", 0) == 0) {
+      found_data = true;
+      EXPECT_NE(line.find(std::to_string(expected)), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found_points);
+  EXPECT_TRUE(found_data);
+}
+
+TEST(Vtk, YangPointsAreAxisSwapped) {
+  // The same node index must land at different global positions for the
+  // two panels (the axis swap of eq. 1): compare the first point lines.
+  SphericalGrid g = vtk_grid();
+  Field3 temp(g.Nr(), g.Nt(), g.Np());
+  const std::string p1 = std::string(::testing::TempDir()) + "/yin.vtk";
+  const std::string p2 = std::string(::testing::TempDir()) + "/yang.vtk";
+  ASSERT_TRUE(write_vtk_panel(p1, g, yinyang::Panel::yin, {{"t", &temp}}));
+  ASSERT_TRUE(write_vtk_panel(p2, g, yinyang::Panel::yang, {{"t", &temp}}));
+  auto first_point = [](const std::string& path) {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line))
+      if (line.rfind("POINTS", 0) == 0) break;
+    std::getline(in, line);
+    return line;
+  };
+  EXPECT_NE(first_point(p1), first_point(p2));
+}
+
+TEST(Vtk, MultipleScalarsListed) {
+  SphericalGrid g = vtk_grid();
+  Field3 a(g.Nr(), g.Nt(), g.Np()), b(g.Nr(), g.Nt(), g.Np());
+  const std::string path = std::string(::testing::TempDir()) + "/multi.vtk";
+  ASSERT_TRUE(write_vtk_panel(path, g, yinyang::Panel::yin,
+                              {{"rho", &a}, {"pressure", &b}}));
+  std::ifstream in(path);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("SCALARS rho float 1"), std::string::npos);
+  EXPECT_NE(all.find("SCALARS pressure float 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace yy::io

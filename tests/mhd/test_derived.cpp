@@ -1,0 +1,115 @@
+#include "mhd/derived.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grid/analytic_fields.hpp"
+#include "grid/fd_ops.hpp"
+
+namespace yy::mhd {
+namespace {
+
+using testutil::test_grid;
+
+TEST(Derived, VelocityAndTemperaturePointwise) {
+  SphericalGrid g = test_grid(8);
+  Fields s(g);
+  Field3 vr(g.Nr(), g.Nt(), g.Np()), vt(g.Nr(), g.Nt(), g.Np()),
+      vp(g.Nr(), g.Nt(), g.Np()), T(g.Nr(), g.Nt(), g.Np());
+  s.rho(3, 3, 3) = 2.0;
+  s.fr(3, 3, 3) = 4.0;
+  s.ft(3, 3, 3) = -6.0;
+  s.fp(3, 3, 3) = 1.0;
+  s.p(3, 3, 3) = 5.0;
+  velocity_and_temperature(s, vr, vt, vp, T, g.interior());
+  EXPECT_DOUBLE_EQ(vr(3, 3, 3), 2.0);   // f/ρ
+  EXPECT_DOUBLE_EQ(vt(3, 3, 3), -3.0);
+  EXPECT_DOUBLE_EQ(vp(3, 3, 3), 0.5);
+  EXPECT_DOUBLE_EQ(T(3, 3, 3), 2.5);    // p/ρ — ideal gas p = ρT
+}
+
+TEST(Derived, MagneticFieldIsCurlOfPotential) {
+  // A = ½ B0×x gives uniform B = B0.
+  SphericalGrid g = test_grid(16);
+  Fields s(g);
+  const Vec3 b0{0.3, -0.2, 0.9};
+  testutil::fill_vector(g, s.ar, s.at, s.ap,
+                        [&](const Vec3& x) { return 0.5 * b0.cross(x); });
+  Field3 br(g.Nr(), g.Nt(), g.Np()), bt(g.Nr(), g.Nt(), g.Np()),
+      bp(g.Nr(), g.Nt(), g.Np());
+  magnetic_field(g, s, br, bt, bp, g.interior());
+  double err = 0.0;
+  for_box(g.interior(), [&](int ir, int it, int ip) {
+    const Vec3 expect = testutil::to_spherical(g, it, ip, b0);
+    err = std::max({err, std::abs(br(ir, it, ip) - expect.x),
+                    std::abs(bt(ir, it, ip) - expect.y),
+                    std::abs(bp(ir, it, ip) - expect.z)});
+  });
+  EXPECT_LT(err, 5e-3);
+}
+
+TEST(Derived, DivergenceOfBIsTruncationSmall) {
+  // ∇·B with B = ∇×A must vanish at the discrete truncation level for
+  // ANY A — here a deliberately rough polynomial.
+  SphericalGrid g = test_grid(16);
+  Fields s(g);
+  testutil::fill_vector(g, s.ar, s.at, s.ap, [](const Vec3& x) {
+    return Vec3{x.y * x.z + x.x, x.x * x.x - x.z, x.y + x.z * x.z};
+  });
+  Field3 br(g.Nr(), g.Nt(), g.Np()), bt(g.Nr(), g.Nt(), g.Np()),
+      bp(g.Nr(), g.Nt(), g.Np()), div_b(g.Nr(), g.Nt(), g.Np());
+  magnetic_field(g, s, br, bt, bp, g.interior().grown(1));
+  fd::div(g, br, bt, bp, div_b, g.interior());
+  EXPECT_LT(testutil::max_error(g, div_b, g.interior(),
+                                [](int, int, int) { return 0.0; }),
+            5e-2);
+}
+
+TEST(Derived, CurrentOfUniformFieldVanishes) {
+  SphericalGrid g = test_grid(14);
+  Field3 br(g.Nr(), g.Nt(), g.Np()), bt(g.Nr(), g.Nt(), g.Np()),
+      bp(g.Nr(), g.Nt(), g.Np());
+  Field3 jr(g.Nr(), g.Nt(), g.Np()), jt(g.Nr(), g.Nt(), g.Np()),
+      jp(g.Nr(), g.Nt(), g.Np());
+  testutil::fill_vector(g, br, bt, bp,
+                        [](const Vec3&) { return Vec3{1.0, 2.0, -1.5}; });
+  current_density(g, br, bt, bp, jr, jt, jp, g.interior());
+  double err = 0.0;
+  for_box(g.interior(), [&](int ir, int it, int ip) {
+    err = std::max({err, std::abs(jr(ir, it, ip)), std::abs(jt(ir, it, ip)),
+                    std::abs(jp(ir, it, ip))});
+  });
+  EXPECT_LT(err, 5e-2);
+}
+
+TEST(Derived, ElectricFieldCombinesIdealAndResistive) {
+  // E = −v×B + ηj, pointwise (paper eq. 6).
+  SphericalGrid g = test_grid(6);
+  const int c = 3;
+  Field3 vr(g.Nr(), g.Nt(), g.Np()), vt(g.Nr(), g.Nt(), g.Np()),
+      vp(g.Nr(), g.Nt(), g.Np());
+  Field3 br(g.Nr(), g.Nt(), g.Np()), bt(g.Nr(), g.Nt(), g.Np()),
+      bp(g.Nr(), g.Nt(), g.Np());
+  Field3 jr(g.Nr(), g.Nt(), g.Np()), jt(g.Nr(), g.Nt(), g.Np()),
+      jp(g.Nr(), g.Nt(), g.Np());
+  Field3 er(g.Nr(), g.Nt(), g.Np()), et(g.Nr(), g.Nt(), g.Np()),
+      ep(g.Nr(), g.Nt(), g.Np());
+  vr(c, c, c) = 1.0;
+  vt(c, c, c) = 2.0;
+  vp(c, c, c) = 3.0;
+  br(c, c, c) = -1.0;
+  bt(c, c, c) = 0.5;
+  bp(c, c, c) = 2.0;
+  jr(c, c, c) = 10.0;
+  jt(c, c, c) = 20.0;
+  jp(c, c, c) = 30.0;
+  const double eta = 0.1;
+  electric_field(eta, vr, vt, vp, br, bt, bp, jr, jt, jp, er, et, ep,
+                 {c, c + 1, c, c + 1, c, c + 1});
+  // v×B = (2·2−3·0.5, 3·(−1)−1·2, 1·0.5−2·(−1)) = (2.5, −5, 2.5).
+  EXPECT_DOUBLE_EQ(er(c, c, c), -2.5 + eta * 10.0);
+  EXPECT_DOUBLE_EQ(et(c, c, c), 5.0 + eta * 20.0);
+  EXPECT_DOUBLE_EQ(ep(c, c, c), -2.5 + eta * 30.0);
+}
+
+}  // namespace
+}  // namespace yy::mhd

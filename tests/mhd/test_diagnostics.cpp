@@ -1,0 +1,155 @@
+#include "mhd/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grid/analytic_fields.hpp"
+
+namespace yy::mhd {
+namespace {
+
+SphericalGrid diag_grid(int n) {
+  GridSpec s;
+  s.nr = n;
+  s.nt = n;
+  s.np = n;
+  s.r0 = 0.5;
+  s.r1 = 1.0;
+  s.t0 = 0.7;
+  s.t1 = 2.1;
+  s.p0 = -1.5;
+  s.p1 = 1.5;
+  s.ghost = 2;
+  return SphericalGrid(s);
+}
+
+double patch_volume(const SphericalGrid& g) {
+  // Analytic ∫ r² sinθ over the interior spans.
+  const auto& sp = g.spec();
+  return (std::pow(sp.r1, 3) - std::pow(sp.r0, 3)) / 3.0 *
+         (std::cos(sp.t0) - std::cos(sp.t1)) * (sp.p1 - sp.p0);
+}
+
+class DiagnosticsTest : public ::testing::Test {
+ protected:
+  DiagnosticsTest()
+      : g(diag_grid(20)), s(g), ws(g), w(g.Nt(), g.Np(), 0.0) {
+    // Trapezoid column weights in θ/φ (integrate_energies supplies the
+    // radial end-weights itself), so integrals are quadrature-accurate.
+    const IndexBox in = g.interior();
+    for (int it = in.t0; it < in.t1; ++it)
+      for (int ip = in.p0; ip < in.p1; ++ip) {
+        double ww = 1.0;
+        if (it == in.t0 || it == in.t1 - 1) ww *= 0.5;
+        if (ip == in.p0 || ip == in.p1 - 1) ww *= 0.5;
+        w.at(it, ip) = ww;
+      }
+  }
+  SphericalGrid g;
+  Fields s;
+  Workspace ws;
+  ColumnWeights w;
+  EquationParams eq;
+};
+
+TEST_F(DiagnosticsTest, MassOfUniformDensity) {
+  const EnergyBudget e = integrate_energies(g, eq, s, ws, w, g.interior());
+  EXPECT_NEAR(e.mass, patch_volume(g), 0.1 * patch_volume(g));
+}
+
+TEST_F(DiagnosticsTest, KineticEnergyOfKnownFlow) {
+  // f = ρv with ρ = 2, |v| = 3: KE density = ½ρ|v|² = 9.
+  s.rho.fill(2.0);
+  for_box(g.full(), [&](int ir, int it, int ip) {
+    s.fr(ir, it, ip) = 2.0 * 3.0;  // v = (3, 0, 0)
+  });
+  const EnergyBudget e = integrate_energies(g, eq, s, ws, w, g.interior());
+  EXPECT_NEAR(e.kinetic / patch_volume(g), 9.0, 0.9);
+}
+
+TEST_F(DiagnosticsTest, MagneticEnergyOfUniformField) {
+  // A = ½ B0×x: B = B0, energy density = |B0|²/2.
+  const Vec3 b0{0.6, 0.0, 0.8};  // |B0| = 1
+  testutil::fill_vector(g, s.ar, s.at, s.ap,
+                        [&](const Vec3& x) { return 0.5 * b0.cross(x); });
+  const EnergyBudget e = integrate_energies(g, eq, s, ws, w, g.interior());
+  EXPECT_NEAR(e.magnetic / patch_volume(g), 0.5, 0.05);
+}
+
+TEST_F(DiagnosticsTest, ThermalEnergyTracksPressure) {
+  s.p.fill(3.0);
+  const EnergyBudget e = integrate_energies(g, eq, s, ws, w, g.interior());
+  EXPECT_NEAR(e.thermal / patch_volume(g), 3.0 / (eq.gamma - 1.0), 0.5);
+}
+
+TEST_F(DiagnosticsTest, ZeroWeightColumnsExcluded) {
+  ColumnWeights none(g.Nt(), g.Np(), 0.0);
+  const EnergyBudget e = integrate_energies(g, eq, s, ws, none, g.interior());
+  EXPECT_DOUBLE_EQ(e.mass, 0.0);
+  EXPECT_DOUBLE_EQ(e.thermal, 0.0);
+}
+
+TEST_F(DiagnosticsTest, HalfWeightHalvesIntegral) {
+  ColumnWeights half(g.Nt(), g.Np(), 0.0);
+  const IndexBox in = g.interior();
+  for (int it = in.t0; it < in.t1; ++it)
+    for (int ip = in.p0; ip < in.p1; ++ip) half.at(it, ip) = 0.5 * w.at(it, ip);
+  const EnergyBudget full = integrate_energies(g, eq, s, ws, w, g.interior());
+  const EnergyBudget h = integrate_energies(g, eq, s, ws, half, g.interior());
+  EXPECT_NEAR(h.mass, 0.5 * full.mass, 1e-12);
+}
+
+TEST_F(DiagnosticsTest, BudgetAccumulationOperator) {
+  EnergyBudget a{1, 2, 3, 4}, b{10, 20, 30, 40};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.mass, 11);
+  EXPECT_DOUBLE_EQ(a.kinetic, 22);
+  EXPECT_DOUBLE_EQ(a.magnetic, 33);
+  EXPECT_DOUBLE_EQ(a.thermal, 44);
+}
+
+TEST_F(DiagnosticsTest, TimestepPositiveAndFinite) {
+  const double dt = stable_timestep(g, eq, s, ws, g.interior());
+  EXPECT_GT(dt, 0.0);
+  EXPECT_LT(dt, 1.0);
+}
+
+TEST_F(DiagnosticsTest, TimestepShrinksWithResolution) {
+  SphericalGrid fine = diag_grid(40);
+  Fields sf(fine);
+  Workspace wf(fine);
+  const double dt_coarse = stable_timestep(g, eq, s, ws, g.interior());
+  const double dt_fine = stable_timestep(fine, eq, sf, wf, fine.interior());
+  EXPECT_LT(dt_fine, dt_coarse);
+  // Advection-limited: halving h should roughly halve dt.
+  EXPECT_NEAR(dt_coarse / dt_fine, 2.0, 0.6);
+}
+
+TEST_F(DiagnosticsTest, TimestepShrinksWithFlowSpeed) {
+  const double dt_rest = stable_timestep(g, eq, s, ws, g.interior());
+  s.fr.fill(10.0);  // fast radial flow
+  const double dt_fast = stable_timestep(g, eq, s, ws, g.interior());
+  EXPECT_LT(dt_fast, dt_rest);
+}
+
+TEST_F(DiagnosticsTest, TimestepShrinksWithStiffDiffusion) {
+  EquationParams stiff = eq;
+  stiff.mu = 1.0;
+  const double dt_soft = stable_timestep(g, eq, s, ws, g.interior());
+  const double dt_stiff = stable_timestep(g, stiff, s, ws, g.interior());
+  EXPECT_LT(dt_stiff, dt_soft);
+}
+
+TEST_F(DiagnosticsTest, TimestepShrinksWithStrongField) {
+  // Large uniform B raises the fast speed: A = ½ B0×x with |B0| = 20.
+  const double dt_weak = stable_timestep(g, eq, s, ws, g.interior());
+  testutil::fill_vector(g, s.ar, s.at, s.ap, [](const Vec3& x) {
+    return 0.5 * Vec3{0, 0, 20.0}.cross(x);
+  });
+  const double dt_strong = stable_timestep(g, eq, s, ws, g.interior());
+  EXPECT_LT(dt_strong, 0.5 * dt_weak);
+}
+
+}  // namespace
+}  // namespace yy::mhd

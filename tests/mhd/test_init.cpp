@@ -1,0 +1,151 @@
+#include "mhd/init.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace yy::mhd {
+namespace {
+
+const ShellSpec kShell;  // Earth core ratio
+const ThermalBc kBc{2.0, 1.0};
+
+TEST(Init, ConductiveProfileHitsWallTemperatures) {
+  EXPECT_NEAR(conductive_temperature(kShell, kBc, kShell.r_inner), 2.0, 1e-12);
+  EXPECT_NEAR(conductive_temperature(kShell, kBc, kShell.r_outer), 1.0, 1e-12);
+}
+
+TEST(Init, ConductiveProfileIsHarmonic) {
+  // T = a + b/r solves ∇²T = 0; check the 1/r form via three points.
+  const double r1 = 0.5, r2 = 0.7;
+  const double t1 = conductive_temperature(kShell, kBc, r1);
+  const double t2 = conductive_temperature(kShell, kBc, r2);
+  const double b = (t1 - t2) / (1.0 / r1 - 1.0 / r2);
+  const double a = t1 - b / r1;
+  EXPECT_NEAR(conductive_temperature(kShell, kBc, 0.9), a + b / 0.9, 1e-12);
+}
+
+TEST(Init, ConductiveProfileMonotoneDecreasing) {
+  double prev = 1e30;
+  for (double r = kShell.r_inner; r <= kShell.r_outer; r += 0.05) {
+    const double t = conductive_temperature(kShell, kBc, r);
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Init, HydrostaticDensityNormalizedAtOuterWall) {
+  EXPECT_NEAR(hydrostatic_density(kShell, kBc, 2.0, kShell.r_outer), 1.0, 1e-12);
+}
+
+TEST(Init, HydrostaticDensityIncreasesInward) {
+  // Gravity compresses the fluid toward the inner sphere when gravity
+  // dominates the temperature gradient.
+  const double g0 = 2.0;
+  EXPECT_GT(hydrostatic_density(kShell, kBc, g0, 0.5),
+            hydrostatic_density(kShell, kBc, g0, 0.9));
+}
+
+TEST(Init, HydrostaticBalanceResidualSmall) {
+  // dp/dr = −ρ g0/r² with p = ρT must hold to integration accuracy.
+  const double g0 = 2.0;
+  const double r = 0.6, h = 1e-4;
+  auto p_of = [&](double rr) {
+    return hydrostatic_density(kShell, kBc, g0, rr) *
+           conductive_temperature(kShell, kBc, rr);
+  };
+  const double dpdr = (p_of(r + h) - p_of(r - h)) / (2 * h);
+  const double rho = hydrostatic_density(kShell, kBc, g0, r);
+  EXPECT_NEAR(dpdr, -rho * g0 / (r * r), 1e-4 * rho * g0 / (r * r) + 1e-6);
+}
+
+class InitState : public ::testing::Test {
+ protected:
+  InitState() : grid(make_spec()), s(grid) {
+    ic.perturb_amp = 1e-2;
+    ic.seed_b_amp = 1e-4;
+    initialize_state(grid, kShell, kBc, 2.0, ic, 0, {0, 0}, s);
+  }
+  static GridSpec make_spec() {
+    GridSpec sp;
+    sp.nr = 9;
+    sp.nt = 7;
+    sp.np = 9;
+    sp.r0 = kShell.r_inner;
+    sp.r1 = kShell.r_outer;
+    sp.t0 = 0.8;
+    sp.t1 = 2.3;
+    sp.p0 = -2.0;
+    sp.p1 = 2.0;
+    sp.ghost = 2;
+    return sp;
+  }
+  SphericalGrid grid;
+  InitialConditions ic;
+  Fields s;
+};
+
+TEST_F(InitState, FluidStartsAtRest) {
+  for_box(grid.full(), [&](int ir, int it, int ip) {
+    EXPECT_DOUBLE_EQ(s.fr(ir, it, ip), 0.0);
+    EXPECT_DOUBLE_EQ(s.ft(ir, it, ip), 0.0);
+    EXPECT_DOUBLE_EQ(s.fp(ir, it, ip), 0.0);
+  });
+}
+
+TEST_F(InitState, PressurePerturbationWithinAmplitude) {
+  const int gh = grid.ghost();
+  for_box(grid.interior(), [&](int ir, int it, int ip) {
+    const double rho = s.rho(ir, it, ip);
+    const double t0 = conductive_temperature(kShell, kBc, grid.r(ir));
+    const double rel = s.p(ir, it, ip) / (rho * t0) - 1.0;
+    EXPECT_LE(std::abs(rel), ic.perturb_amp + 1e-12);
+    (void)gh;
+  });
+}
+
+TEST_F(InitState, WallsUnperturbed) {
+  const int gh = grid.ghost();
+  const int iw_out = gh + grid.spec().nr - 1;
+  for (int it = gh; it < gh + grid.spec().nt; ++it) {
+    EXPECT_NEAR(s.p(gh, it, gh) / s.rho(gh, it, gh), 2.0, 1e-12);
+    EXPECT_NEAR(s.p(iw_out, it, gh) / s.rho(iw_out, it, gh), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.ar(gh, it, gh), 0.0);
+    EXPECT_DOUBLE_EQ(s.ap(iw_out, it, gh), 0.0);
+  }
+}
+
+TEST_F(InitState, SeedFieldSmallAndNonzero) {
+  double max_a = 0.0;
+  for_box(grid.interior(), [&](int ir, int it, int ip) {
+    max_a = std::max({max_a, std::abs(s.ar(ir, it, ip)),
+                      std::abs(s.at(ir, it, ip)), std::abs(s.ap(ir, it, ip))});
+  });
+  EXPECT_GT(max_a, 0.0);
+  EXPECT_LE(max_a, ic.seed_b_amp);
+}
+
+TEST_F(InitState, DecompositionIndependentNoise) {
+  // A patch offset by (2, 3) must reproduce the same physical values at
+  // the same global nodes.
+  SphericalGrid patch = grid;  // same shape; offsets differ only in noise
+  Fields t(patch);
+  initialize_state(patch, kShell, kBc, 2.0, ic, 0, {2, 3}, t);
+  const int gh = grid.ghost();
+  // Global node (it=4, ip=5) is local (4,5) on the (0,0) patch and
+  // local (2,2) on the (2,3) patch.
+  for (int ir = gh + 1; ir < gh + grid.spec().nr - 1; ++ir) {
+    EXPECT_DOUBLE_EQ(s.p(ir, gh + 4, gh + 5), t.p(ir, gh + 2, gh + 2));
+    EXPECT_DOUBLE_EQ(s.ar(ir, gh + 4, gh + 5), t.ar(ir, gh + 2, gh + 2));
+  }
+}
+
+TEST_F(InitState, PanelsGetIndependentNoise) {
+  Fields t(grid);
+  initialize_state(grid, kShell, kBc, 2.0, ic, 1, {0, 0}, t);
+  const int gh = grid.ghost();
+  EXPECT_NE(s.p(gh + 3, gh + 3, gh + 3), t.p(gh + 3, gh + 3, gh + 3));
+}
+
+}  // namespace
+}  // namespace yy::mhd

@@ -1,0 +1,60 @@
+#include "yinyang/dissection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "yinyang/geometry.hpp"
+
+namespace yy::yinyang {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(Dissection, PaperRectangleCoversWithSixPercentOverlap) {
+  const RectangleVariant v = analyze_rectangle(kPi / 4, 3 * kPi / 4);
+  EXPECT_TRUE(v.covers);
+  EXPECT_NEAR(v.coverage, 1.0, 2e-3);
+  EXPECT_NEAR(v.overlap_ratio, ComponentGeometry::minimal_overlap_ratio(),
+              3e-3);
+}
+
+TEST(Dissection, NarrowerPhiSpanLosesCoverage) {
+  // Shrinking the longitude span below 270° opens uncovered gaps.
+  const RectangleVariant v = analyze_rectangle(kPi / 4, 0.65 * kPi);
+  EXPECT_FALSE(v.covers);
+  EXPECT_LT(v.coverage, 0.999);
+}
+
+TEST(Dissection, WiderSpansOverlapMore) {
+  const RectangleVariant paper = analyze_rectangle(kPi / 4, 3 * kPi / 4);
+  const RectangleVariant fat = analyze_rectangle(0.3 * kPi, 3 * kPi / 4);
+  EXPECT_TRUE(fat.covers);
+  EXPECT_GT(fat.overlap_ratio, paper.overlap_ratio);
+}
+
+TEST(Dissection, ScanFindsPaperChoiceAsMinimalCoveringSpan) {
+  const auto variants = scan_phi_spans(9, 60000);
+  // Find the smallest covering φ half-span in the scan; it must be the
+  // paper's 3π/4 (within the scan's resolution).
+  double smallest_covering = 1e30;
+  for (const RectangleVariant& v : variants) {
+    if (v.covers) smallest_covering = std::min(smallest_covering, v.p_halfspan);
+  }
+  EXPECT_NEAR(smallest_covering, 3 * kPi / 4, kPi / 16);
+  // And overlap grows monotonically with the span among covering ones.
+  double prev = -1.0;
+  for (const RectangleVariant& v : variants) {
+    if (!v.covers) continue;
+    EXPECT_GE(v.overlap_ratio + 3e-3, prev);
+    prev = v.overlap_ratio;
+  }
+}
+
+TEST(Dissection, FamilyMinimumMatchesAnalyticValue) {
+  EXPECT_NEAR(rectangle_family_minimum_overlap(), (3 * std::sqrt(2.0) - 4) / 4,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace yy::yinyang

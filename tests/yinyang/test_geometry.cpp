@@ -1,0 +1,114 @@
+#include "yinyang/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace yy::yinyang {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(Geometry, CoreSpansMatchPaper) {
+  // 90° of colatitude around the equator, 270° of longitude (§II).
+  EXPECT_DOUBLE_EQ(ComponentGeometry::core_t_min(), kPi / 4);
+  EXPECT_DOUBLE_EQ(ComponentGeometry::core_t_max(), 3 * kPi / 4);
+  EXPECT_DOUBLE_EQ(ComponentGeometry::core_p_min(), -3 * kPi / 4);
+  EXPECT_DOUBLE_EQ(ComponentGeometry::core_p_max(), 3 * kPi / 4);
+}
+
+TEST(Geometry, MinimalOverlapIsSixPercent) {
+  // Paper §II: "the overlapping area has still non-zero ratio of about
+  // 6% of the whole spherical surface"; analytically (3√2 − 4)/4.
+  const double ratio = ComponentGeometry::minimal_overlap_ratio();
+  EXPECT_NEAR(ratio, (3.0 * std::sqrt(2.0) - 4.0) / 4.0, 1e-12);
+  EXPECT_NEAR(ratio, 0.0607, 5e-4);
+}
+
+TEST(Geometry, TwoCoresCoverTheSphere) {
+  EXPECT_TRUE(ComponentGeometry::covers_sphere(200000));
+}
+
+TEST(Geometry, SpacingFromCoreNodeCounts) {
+  ComponentGeometry g(13, 37, 0, 0, 2);
+  EXPECT_DOUBLE_EQ(g.dt(), (kPi / 2) / 12);
+  EXPECT_DOUBLE_EQ(g.dp(), (3 * kPi / 2) / 36);
+}
+
+TEST(Geometry, MarginExtendsInteriorSymmetrically) {
+  ComponentGeometry g(13, 37, 2, 3, 2);
+  EXPECT_EQ(g.nt(), 17);
+  EXPECT_EQ(g.np(), 43);
+  EXPECT_DOUBLE_EQ(g.t_min(), kPi / 4 - 2 * g.dt());
+  EXPECT_DOUBLE_EQ(g.t_max(), 3 * kPi / 4 + 2 * g.dt());
+  EXPECT_DOUBLE_EQ(g.p_min(), -3 * kPi / 4 - 3 * g.dp());
+}
+
+TEST(Geometry, AutoMarginValidatesDonorContainment) {
+  // At practical resolutions the basic rectangle needs no margin: the
+  // ghost images curve *into* the partner's core.
+  for (int nt : {9, 13, 17, 33}) {
+    ComponentGeometry g = ComponentGeometry::with_auto_margin(nt, 3 * nt - 2);
+    EXPECT_GE(g.margin_t(), 0);
+    EXPECT_GE(g.margin_p(), 0);
+    EXPECT_LE(g.margin_t() + g.margin_p(), 8) << "nt=" << nt;
+  }
+}
+
+TEST(Geometry, ExtendedOverlapGrowsWithMargin) {
+  ComponentGeometry a(17, 49, 0, 0, 2);
+  ComponentGeometry b(17, 49, 2, 2, 2);
+  EXPECT_GT(b.extended_overlap_ratio(), a.extended_overlap_ratio());
+  EXPECT_NEAR(a.extended_overlap_ratio(),
+              ComponentGeometry::minimal_overlap_ratio(), 1e-12);
+}
+
+TEST(Geometry, InCoreBoundaryInclusive) {
+  EXPECT_TRUE(ComponentGeometry::in_core({kPi / 4, 0.0}));
+  EXPECT_TRUE(ComponentGeometry::in_core({kPi / 2, 3 * kPi / 4}));
+  EXPECT_FALSE(ComponentGeometry::in_core({kPi / 4 - 1e-9, 0.0}));
+  EXPECT_FALSE(ComponentGeometry::in_core({kPi / 2, 3 * kPi / 4 + 1e-9}));
+}
+
+TEST(Geometry, GridSpecMatchesGeometry) {
+  ComponentGeometry g = ComponentGeometry::with_auto_margin(13, 37);
+  const GridSpec s = g.make_grid_spec(9, 0.35, 1.0);
+  EXPECT_EQ(s.nr, 9);
+  EXPECT_EQ(s.nt, g.nt());
+  EXPECT_EQ(s.np, g.np());
+  EXPECT_DOUBLE_EQ(s.t0, g.t_min());
+  EXPECT_DOUBLE_EQ(s.p1, g.p_max());
+  EXPECT_FALSE(s.phi_periodic);
+  const SphericalGrid grid(s);
+  EXPECT_NEAR(grid.dt(), g.dt(), 1e-14);
+  EXPECT_NEAR(grid.dp(), g.dp(), 1e-14);
+}
+
+TEST(Geometry, EveryPointOutsideCoreIsInPartnerCore) {
+  // The complement of one core must lie inside the other core — the
+  // ownership rule (margin → partner) depends on it.
+  Rng rng(21);
+  int checked = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const double z = rng.uniform(-1.0, 1.0);
+    const double phi = rng.uniform(-kPi, kPi);
+    const Angles a{std::acos(z), phi};
+    if (ComponentGeometry::in_core(a)) continue;
+    ++checked;
+    EXPECT_TRUE(ComponentGeometry::in_core(partner_angles(a)))
+        << "theta=" << a.theta << " phi=" << a.phi;
+  }
+  EXPECT_GT(checked, 10000);  // the complement is ~47% of the sphere
+}
+
+TEST(Geometry, PanelNamesFollowPaper) {
+  EXPECT_STREQ(name(Panel::yin), "yin");
+  EXPECT_STREQ(name(Panel::yang), "yang");
+  EXPECT_EQ(other(Panel::yin), Panel::yang);
+  EXPECT_EQ(other(Panel::yang), Panel::yin);
+}
+
+}  // namespace
+}  // namespace yy::yinyang

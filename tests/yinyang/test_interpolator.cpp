@@ -1,0 +1,179 @@
+#include "yinyang/interpolator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "yinyang/transform.hpp"
+
+namespace yy::yinyang {
+namespace {
+
+class InterpolatorTest : public ::testing::Test {
+ protected:
+  InterpolatorTest()
+      : geom(ComponentGeometry::with_auto_margin(13, 37)),
+        grid(geom.make_grid_spec(7, 0.4, 1.0)),
+        interp(geom) {}
+
+  Field3 make_field() const { return Field3(grid.Nr(), grid.Nt(), grid.Np()); }
+
+  /// Fills a scalar field from a global (Yin-frame) Cartesian function,
+  /// with `panel` selecting the frame.
+  template <typename F>
+  void fill_global(Field3& f, Panel panel, F&& func) const {
+    for_box(grid.full(), [&](int ir, int it, int ip) {
+      const Angles a{grid.theta(it), grid.phi(ip)};
+      Vec3 pos = position(a) * grid.r(ir);
+      if (panel == Panel::yang) pos = axis_swap(pos);  // to global frame
+      f(ir, it, ip) = func(pos);
+    });
+  }
+
+  ComponentGeometry geom;
+  SphericalGrid grid;
+  OversetInterpolator interp;
+};
+
+TEST_F(InterpolatorTest, EntriesCoverExactlyTheGhostFrame) {
+  const int gh = geom.ghost();
+  const std::size_t frame =
+      static_cast<std::size_t>(grid.Nt()) * grid.Np() -
+      static_cast<std::size_t>(geom.nt()) * geom.np();
+  EXPECT_EQ(interp.entries().size(), frame);
+  for (const StencilEntry& e : interp.entries()) {
+    const bool interior = e.recv_it >= gh && e.recv_it < gh + geom.nt() &&
+                          e.recv_ip >= gh && e.recv_ip < gh + geom.np();
+    EXPECT_FALSE(interior);
+    // Donor cells are strictly inside the partner interior.
+    EXPECT_GE(e.donor_jt, gh);
+    EXPECT_LE(e.donor_jt + 1, gh + geom.nt() - 1);
+    EXPECT_GE(e.donor_jp, gh);
+    EXPECT_LE(e.donor_jp + 1, gh + geom.np() - 1);
+  }
+}
+
+TEST_F(InterpolatorTest, WeightsArePartitionOfUnity) {
+  for (const StencilEntry& e : interp.entries()) {
+    const double s = e.w[0][0] + e.w[0][1] + e.w[1][0] + e.w[1][1];
+    EXPECT_NEAR(s, 1.0, 1e-12);
+    for (int a = 0; a < 2; ++a)
+      for (int b = 0; b < 2; ++b) {
+        EXPECT_GE(e.w[a][b], -1e-12);
+        EXPECT_LE(e.w[a][b], 1.0 + 1e-12);
+      }
+  }
+}
+
+TEST_F(InterpolatorTest, ConstantFieldReproducedExactly) {
+  Field3 donor = make_field(), recv = make_field();
+  donor.fill(4.25);
+  recv.fill(-1.0);
+  interp.fill_scalar(grid, donor, recv);
+  const int gh = grid.ghost();
+  for (const StencilEntry& e : interp.entries())
+    for (int ir = gh; ir < gh + grid.spec().nr; ++ir)
+      EXPECT_NEAR(recv(ir, e.recv_it, e.recv_ip), 4.25, 1e-12);
+}
+
+TEST_F(InterpolatorTest, GlobalLinearScalarInterpolatedAcrossPanels) {
+  // A globally smooth function sampled on Yang must land on Yin's
+  // ghosts within bilinear error.
+  auto func = [](const Vec3& x) { return 0.3 * x.x - 0.8 * x.y + 0.5 * x.z; };
+  Field3 yang = make_field(), yin = make_field();
+  fill_global(yang, Panel::yang, func);
+  interp.fill_scalar(grid, yang, yin);
+  const int gh = grid.ghost();
+  double err = 0.0;
+  for (const StencilEntry& e : interp.entries()) {
+    for (int ir = gh; ir < gh + grid.spec().nr; ++ir) {
+      const Angles a{grid.theta(e.recv_it), grid.phi(e.recv_ip)};
+      const Vec3 pos = position(a) * grid.r(ir);  // Yin ghost = global frame
+      err = std::max(err, std::abs(yin(ir, e.recv_it, e.recv_ip) - func(pos)));
+    }
+  }
+  EXPECT_LT(err, 5e-3);
+}
+
+TEST_F(InterpolatorTest, VectorRotationCarriesUniformField) {
+  // A uniform global Cartesian vector U: its spherical components on
+  // Yang, interpolated + rotated onto Yin ghosts, must equal U's
+  // spherical components in Yin coordinates.
+  const Vec3 u{0.4, -1.1, 0.7};
+  Field3 dr = make_field(), dt = make_field(), dp = make_field();
+  Field3 rr = make_field(), rt = make_field(), rp = make_field();
+  for_box(grid.full(), [&](int ir, int it, int ip) {
+    (void)ir;
+    const Angles b{grid.theta(it), grid.phi(ip)};
+    // Yang panel: express the *global* vector in Yang-local Cartesian
+    // (axis swap), then in Yang spherical components.
+    const Vec3 sph = spherical_basis(b).transpose() * axis_swap(u);
+    dr(ir, it, ip) = sph.x;
+    dt(ir, it, ip) = sph.y;
+    dp(ir, it, ip) = sph.z;
+  });
+  interp.fill_vector(grid, dr, dt, dp, rr, rt, rp);
+  const int gh = grid.ghost();
+  double err = 0.0;
+  for (const StencilEntry& e : interp.entries()) {
+    const Angles a{grid.theta(e.recv_it), grid.phi(e.recv_ip)};
+    const Vec3 expect = spherical_basis(a).transpose() * u;
+    for (int ir = gh; ir < gh + grid.spec().nr; ++ir) {
+      err = std::max({err, std::abs(rr(ir, e.recv_it, e.recv_ip) - expect.x),
+                      std::abs(rt(ir, e.recv_it, e.recv_ip) - expect.y),
+                      std::abs(rp(ir, e.recv_it, e.recv_ip) - expect.z)});
+    }
+  }
+  // The components are smooth (not linear) functions of angle, so the
+  // error is bilinear-interpolation sized.
+  EXPECT_LT(err, 5e-3);
+}
+
+TEST_F(InterpolatorTest, RadialComponentPassesThroughUnrotated) {
+  // A purely radial field is invariant under the panel rotation.
+  Field3 dr = make_field(), dt = make_field(), dp = make_field();
+  Field3 rr = make_field(), rt = make_field(), rp = make_field();
+  dr.fill(2.0);
+  interp.fill_vector(grid, dr, dt, dp, rr, rt, rp);
+  const int gh = grid.ghost();
+  for (const StencilEntry& e : interp.entries()) {
+    for (int ir = gh; ir < gh + grid.spec().nr; ++ir) {
+      EXPECT_NEAR(rr(ir, e.recv_it, e.recv_ip), 2.0, 1e-12);
+      EXPECT_NEAR(rt(ir, e.recv_it, e.recv_ip), 0.0, 1e-12);
+      EXPECT_NEAR(rp(ir, e.recv_it, e.recv_ip), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST_F(InterpolatorTest, InterpolationErrorIsSecondOrder) {
+  auto run = [&](int nt, int np) {
+    ComponentGeometry ge = ComponentGeometry::with_auto_margin(nt, np);
+    SphericalGrid gr(ge.make_grid_spec(5, 0.4, 1.0));
+    OversetInterpolator it(ge);
+    Field3 donor(gr.Nr(), gr.Nt(), gr.Np()), recv(gr.Nr(), gr.Nt(), gr.Np());
+    auto func = [](const Vec3& x) {
+      return std::sin(2 * x.x) * std::cos(x.y) + x.z * x.z;
+    };
+    for_box(gr.full(), [&](int ir, int jt, int jp) {
+      const Angles a{gr.theta(jt), gr.phi(jp)};
+      donor(ir, jt, jp) = func(axis_swap(position(a) * gr.r(ir)));
+    });
+    it.fill_scalar(gr, donor, recv);
+    double err = 0.0;
+    const int gh = gr.ghost();
+    for (const StencilEntry& e : it.entries()) {
+      for (int ir = gh; ir < gh + gr.spec().nr; ++ir) {
+        const Angles a{gr.theta(e.recv_it), gr.phi(e.recv_ip)};
+        err = std::max(err, std::abs(recv(ir, e.recv_it, e.recv_ip) -
+                                     func(position(a) * gr.r(ir))));
+      }
+    }
+    return err;
+  };
+  const double coarse = run(13, 37);
+  const double fine = run(25, 73);
+  EXPECT_GT(coarse / fine, 3.0) << "coarse=" << coarse << " fine=" << fine;
+}
+
+}  // namespace
+}  // namespace yy::yinyang

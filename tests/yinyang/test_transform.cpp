@@ -1,0 +1,165 @@
+#include "yinyang/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace yy::yinyang {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(Transform, AxisSwapMatchesPaperEquation1) {
+  // (xe, ye, ze) = (−xn, zn, yn).
+  const Vec3 v = axis_swap({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(v.x, -1.0);
+  EXPECT_DOUBLE_EQ(v.y, 3.0);
+  EXPECT_DOUBLE_EQ(v.z, 2.0);
+}
+
+TEST(Transform, AxisSwapIsInvolution) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const Vec3 v{rng.symmetric(2), rng.symmetric(2), rng.symmetric(2)};
+    const Vec3 w = axis_swap(axis_swap(v));
+    EXPECT_DOUBLE_EQ(w.x, v.x);
+    EXPECT_DOUBLE_EQ(w.y, v.y);
+    EXPECT_DOUBLE_EQ(w.z, v.z);
+  }
+}
+
+TEST(Transform, AxisSwapMatrixAgreesWithFunction) {
+  const Mat3 p = axis_swap_matrix();
+  const Vec3 v{0.3, -0.7, 1.1};
+  const Vec3 a = p * v;
+  const Vec3 b = axis_swap(v);
+  EXPECT_DOUBLE_EQ(a.x, b.x);
+  EXPECT_DOUBLE_EQ(a.y, b.y);
+  EXPECT_DOUBLE_EQ(a.z, b.z);
+}
+
+TEST(Transform, PositionAnglesRoundTrip) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const Angles a{rng.uniform(0.05, kPi - 0.05), rng.uniform(-kPi + 0.01, kPi)};
+    const Angles b = angles_of(position(a));
+    EXPECT_NEAR(b.theta, a.theta, 1e-12);
+    EXPECT_NEAR(b.phi, a.phi, 1e-12);
+  }
+}
+
+TEST(Transform, PartnerAnglesIsInvolution) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const Angles a{rng.uniform(0.3, kPi - 0.3), rng.uniform(-2.0, 2.0)};
+    const Angles b = partner_angles(partner_angles(a));
+    EXPECT_NEAR(b.theta, a.theta, 1e-12);
+    EXPECT_NEAR(b.phi, a.phi, 1e-12);
+  }
+}
+
+TEST(Transform, PartnerPreservesPhysicalPosition) {
+  // The same physical point: position(a) in Yin frame equals the
+  // inverse axis swap of position(partner(a)) in the Yang frame.
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const Angles a{rng.uniform(0.3, kPi - 0.3), rng.uniform(-3.0, 3.0)};
+    const Vec3 via_partner = axis_swap(position(partner_angles(a)));
+    const Vec3 direct = position(a);
+    EXPECT_NEAR(via_partner.x, direct.x, 1e-12);
+    EXPECT_NEAR(via_partner.y, direct.y, 1e-12);
+    EXPECT_NEAR(via_partner.z, direct.z, 1e-12);
+  }
+}
+
+TEST(Transform, YinPoleMapsToYangEquator) {
+  // The Yin z-axis (θ=0) lies on the Yang equator — the design property
+  // that removes the pole singularity from both panels' computed cores.
+  const Angles pole{1e-9, 0.0};
+  const Angles b = partner_angles(pole);
+  EXPECT_NEAR(b.theta, kPi / 2.0, 1e-6);
+}
+
+TEST(Transform, SphericalBasisOrthonormal) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const Angles a{rng.uniform(0.1, kPi - 0.1), rng.uniform(-kPi, kPi)};
+    const Mat3 b = spherical_basis(a);
+    const Mat3 btb = b.transpose() * b;
+    for (int r = 0; r < 3; ++r)
+      for (int c = 0; c < 3; ++c)
+        EXPECT_NEAR(btb.m[r][c], r == c ? 1.0 : 0.0, 1e-12);
+  }
+}
+
+TEST(Transform, BasisFirstColumnIsRadial) {
+  const Angles a{0.8, 1.1};
+  const Mat3 b = spherical_basis(a);
+  const Vec3 pos = position(a);
+  EXPECT_NEAR(b.m[0][0], pos.x, 1e-14);
+  EXPECT_NEAR(b.m[1][0], pos.y, 1e-14);
+  EXPECT_NEAR(b.m[2][0], pos.z, 1e-14);
+}
+
+TEST(Transform, VectorTransformPreservesRadialComponent) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    const Angles a{rng.uniform(0.4, kPi - 0.4), rng.uniform(-2.2, 2.2)};
+    const Mat3 m = partner_vector_transform(a);
+    // Row/column 0 must be (1, 0, 0): v_r is frame-independent.
+    EXPECT_NEAR(m.m[0][0], 1.0, 1e-12);
+    EXPECT_NEAR(m.m[0][1], 0.0, 1e-12);
+    EXPECT_NEAR(m.m[0][2], 0.0, 1e-12);
+    EXPECT_NEAR(m.m[1][0], 0.0, 1e-12);
+    EXPECT_NEAR(m.m[2][0], 0.0, 1e-12);
+  }
+}
+
+TEST(Transform, VectorTransformIsOrthogonal) {
+  Rng rng(15);
+  for (int i = 0; i < 100; ++i) {
+    const Angles a{rng.uniform(0.4, kPi - 0.4), rng.uniform(-2.2, 2.2)};
+    const Mat3 m = partner_vector_transform(a);
+    const Mat3 mtm = m.transpose() * m;
+    for (int r = 0; r < 3; ++r)
+      for (int c = 0; c < 3; ++c)
+        EXPECT_NEAR(mtm.m[r][c], r == c ? 1.0 : 0.0, 1e-12);
+  }
+}
+
+TEST(Transform, VectorTransformRoundTripsThroughPartner) {
+  // Applying the transform at a and then at partner(a) must return the
+  // original components — the code-level complementarity of eq. (1).
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    const Angles a{rng.uniform(0.4, kPi - 0.4), rng.uniform(-2.2, 2.2)};
+    const Mat3 fwd = partner_vector_transform(a);
+    const Mat3 bwd = partner_vector_transform(partner_angles(a));
+    const Mat3 round = bwd * fwd;
+    for (int r = 0; r < 3; ++r)
+      for (int c = 0; c < 3; ++c)
+        EXPECT_NEAR(round.m[r][c], r == c ? 1.0 : 0.0, 1e-12);
+  }
+}
+
+TEST(Transform, VectorTransformMatchesCartesianPath) {
+  // Carrying a physical vector through Cartesian explicitly must agree
+  // with the composed matrix.
+  Rng rng(19);
+  for (int i = 0; i < 50; ++i) {
+    const Angles a{rng.uniform(0.4, kPi - 0.4), rng.uniform(-2.2, 2.2)};
+    const Vec3 sph{rng.symmetric(1), rng.symmetric(1), rng.symmetric(1)};
+    const Vec3 via_matrix = partner_vector_transform(a) * sph;
+    const Vec3 cart = spherical_basis(a) * sph;          // Yin Cartesian
+    const Vec3 cart_e = axis_swap(cart);                 // Yang Cartesian
+    const Vec3 expect = spherical_basis(partner_angles(a)).transpose() * cart_e;
+    EXPECT_NEAR(via_matrix.x, expect.x, 1e-12);
+    EXPECT_NEAR(via_matrix.y, expect.y, 1e-12);
+    EXPECT_NEAR(via_matrix.z, expect.z, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace yy::yinyang
