@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_yinyang_grid.dir/fig1_yinyang_grid.cpp.o"
+  "CMakeFiles/fig1_yinyang_grid.dir/fig1_yinyang_grid.cpp.o.d"
+  "fig1_yinyang_grid"
+  "fig1_yinyang_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_yinyang_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

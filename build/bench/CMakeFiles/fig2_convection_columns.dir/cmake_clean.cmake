@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_convection_columns.dir/fig2_convection_columns.cpp.o"
+  "CMakeFiles/fig2_convection_columns.dir/fig2_convection_columns.cpp.o.d"
+  "fig2_convection_columns"
+  "fig2_convection_columns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_convection_columns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

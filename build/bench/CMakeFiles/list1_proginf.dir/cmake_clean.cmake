@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/list1_proginf.dir/list1_proginf.cpp.o"
+  "CMakeFiles/list1_proginf.dir/list1_proginf.cpp.o.d"
+  "list1_proginf"
+  "list1_proginf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/list1_proginf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for list1_proginf.
+# This may be replaced when dependencies are built.

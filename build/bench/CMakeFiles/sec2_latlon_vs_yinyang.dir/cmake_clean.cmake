@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec2_latlon_vs_yinyang.dir/sec2_latlon_vs_yinyang.cpp.o"
+  "CMakeFiles/sec2_latlon_vs_yinyang.dir/sec2_latlon_vs_yinyang.cpp.o.d"
+  "sec2_latlon_vs_yinyang"
+  "sec2_latlon_vs_yinyang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec2_latlon_vs_yinyang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4_comm_pattern.dir/sec4_comm_pattern.cpp.o"
+  "CMakeFiles/sec4_comm_pattern.dir/sec4_comm_pattern.cpp.o.d"
+  "sec4_comm_pattern"
+  "sec4_comm_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4_comm_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

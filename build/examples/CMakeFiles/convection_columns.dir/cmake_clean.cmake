@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convection_columns.dir/convection_columns.cpp.o"
+  "CMakeFiles/convection_columns.dir/convection_columns.cpp.o.d"
+  "convection_columns"
+  "convection_columns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convection_columns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamo_growth.dir/dynamo_growth.cpp.o"
+  "CMakeFiles/dynamo_growth.dir/dynamo_growth.cpp.o.d"
+  "dynamo_growth"
+  "dynamo_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamo_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/es_performance_report.dir/es_performance_report.cpp.o"
+  "CMakeFiles/es_performance_report.dir/es_performance_report.cpp.o.d"
+  "es_performance_report"
+  "es_performance_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/es_performance_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

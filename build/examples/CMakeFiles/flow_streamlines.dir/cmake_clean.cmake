@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_streamlines.dir/flow_streamlines.cpp.o"
+  "CMakeFiles/flow_streamlines.dir/flow_streamlines.cpp.o.d"
+  "flow_streamlines"
+  "flow_streamlines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_streamlines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_dynamo.dir/parallel_dynamo.cpp.o"
+  "CMakeFiles/parallel_dynamo.dir/parallel_dynamo.cpp.o.d"
+  "parallel_dynamo"
+  "parallel_dynamo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_dynamo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

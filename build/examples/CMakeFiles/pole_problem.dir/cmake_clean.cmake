@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pole_problem.dir/pole_problem.cpp.o"
+  "CMakeFiles/pole_problem.dir/pole_problem.cpp.o.d"
+  "pole_problem"
+  "pole_problem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pole_problem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

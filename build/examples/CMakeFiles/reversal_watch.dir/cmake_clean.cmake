@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reversal_watch.dir/reversal_watch.cpp.o"
+  "CMakeFiles/reversal_watch.dir/reversal_watch.cpp.o.d"
+  "reversal_watch"
+  "reversal_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reversal_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/latlon_solver.cpp" "src/baseline/CMakeFiles/yy_latlon.dir/latlon_solver.cpp.o" "gcc" "src/baseline/CMakeFiles/yy_latlon.dir/latlon_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/yy_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/yy_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/mhd/CMakeFiles/yy_mhd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

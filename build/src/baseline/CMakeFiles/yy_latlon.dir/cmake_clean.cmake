@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yy_latlon.dir/latlon_solver.cpp.o"
+  "CMakeFiles/yy_latlon.dir/latlon_solver.cpp.o.d"
+  "libyy_latlon.a"
+  "libyy_latlon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yy_latlon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

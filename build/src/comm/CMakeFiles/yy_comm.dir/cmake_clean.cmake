@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yy_comm.dir/cart.cpp.o"
+  "CMakeFiles/yy_comm.dir/cart.cpp.o.d"
+  "CMakeFiles/yy_comm.dir/communicator.cpp.o"
+  "CMakeFiles/yy_comm.dir/communicator.cpp.o.d"
+  "CMakeFiles/yy_comm.dir/runtime.cpp.o"
+  "CMakeFiles/yy_comm.dir/runtime.cpp.o.d"
+  "libyy_comm.a"
+  "libyy_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yy_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yy_common.dir/csv.cpp.o"
+  "CMakeFiles/yy_common.dir/csv.cpp.o.d"
+  "CMakeFiles/yy_common.dir/flops.cpp.o"
+  "CMakeFiles/yy_common.dir/flops.cpp.o.d"
+  "CMakeFiles/yy_common.dir/ppm.cpp.o"
+  "CMakeFiles/yy_common.dir/ppm.cpp.o.d"
+  "libyy_common.a"
+  "libyy_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yy_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

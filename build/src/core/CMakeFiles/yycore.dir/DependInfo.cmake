@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/distributed_solver.cpp" "src/core/CMakeFiles/yycore.dir/distributed_solver.cpp.o" "gcc" "src/core/CMakeFiles/yycore.dir/distributed_solver.cpp.o.d"
+  "/root/repo/src/core/halo.cpp" "src/core/CMakeFiles/yycore.dir/halo.cpp.o" "gcc" "src/core/CMakeFiles/yycore.dir/halo.cpp.o.d"
+  "/root/repo/src/core/overset_exchange.cpp" "src/core/CMakeFiles/yycore.dir/overset_exchange.cpp.o" "gcc" "src/core/CMakeFiles/yycore.dir/overset_exchange.cpp.o.d"
+  "/root/repo/src/core/ownership.cpp" "src/core/CMakeFiles/yycore.dir/ownership.cpp.o" "gcc" "src/core/CMakeFiles/yycore.dir/ownership.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/core/CMakeFiles/yycore.dir/runner.cpp.o" "gcc" "src/core/CMakeFiles/yycore.dir/runner.cpp.o.d"
+  "/root/repo/src/core/serial_solver.cpp" "src/core/CMakeFiles/yycore.dir/serial_solver.cpp.o" "gcc" "src/core/CMakeFiles/yycore.dir/serial_solver.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/core/CMakeFiles/yycore.dir/simulation.cpp.o" "gcc" "src/core/CMakeFiles/yycore.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/yy_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/yy_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/yy_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/yinyang/CMakeFiles/yy_yinyang.dir/DependInfo.cmake"
+  "/root/repo/build/src/mhd/CMakeFiles/yy_mhd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yycore.dir/distributed_solver.cpp.o"
+  "CMakeFiles/yycore.dir/distributed_solver.cpp.o.d"
+  "CMakeFiles/yycore.dir/halo.cpp.o"
+  "CMakeFiles/yycore.dir/halo.cpp.o.d"
+  "CMakeFiles/yycore.dir/overset_exchange.cpp.o"
+  "CMakeFiles/yycore.dir/overset_exchange.cpp.o.d"
+  "CMakeFiles/yycore.dir/ownership.cpp.o"
+  "CMakeFiles/yycore.dir/ownership.cpp.o.d"
+  "CMakeFiles/yycore.dir/runner.cpp.o"
+  "CMakeFiles/yycore.dir/runner.cpp.o.d"
+  "CMakeFiles/yycore.dir/serial_solver.cpp.o"
+  "CMakeFiles/yycore.dir/serial_solver.cpp.o.d"
+  "CMakeFiles/yycore.dir/simulation.cpp.o"
+  "CMakeFiles/yycore.dir/simulation.cpp.o.d"
+  "libyycore.a"
+  "libyycore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yycore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yy_grid.dir/fd_ops.cpp.o"
+  "CMakeFiles/yy_grid.dir/fd_ops.cpp.o.d"
+  "CMakeFiles/yy_grid.dir/spherical_grid.cpp.o"
+  "CMakeFiles/yy_grid.dir/spherical_grid.cpp.o.d"
+  "libyy_grid.a"
+  "libyy_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yy_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/checkpoint.cpp" "src/io/CMakeFiles/yy_io.dir/checkpoint.cpp.o" "gcc" "src/io/CMakeFiles/yy_io.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/io/fieldline.cpp" "src/io/CMakeFiles/yy_io.dir/fieldline.cpp.o" "gcc" "src/io/CMakeFiles/yy_io.dir/fieldline.cpp.o.d"
+  "/root/repo/src/io/gauss.cpp" "src/io/CMakeFiles/yy_io.dir/gauss.cpp.o" "gcc" "src/io/CMakeFiles/yy_io.dir/gauss.cpp.o.d"
+  "/root/repo/src/io/slice.cpp" "src/io/CMakeFiles/yy_io.dir/slice.cpp.o" "gcc" "src/io/CMakeFiles/yy_io.dir/slice.cpp.o.d"
+  "/root/repo/src/io/spectrum.cpp" "src/io/CMakeFiles/yy_io.dir/spectrum.cpp.o" "gcc" "src/io/CMakeFiles/yy_io.dir/spectrum.cpp.o.d"
+  "/root/repo/src/io/sphere_sampler.cpp" "src/io/CMakeFiles/yy_io.dir/sphere_sampler.cpp.o" "gcc" "src/io/CMakeFiles/yy_io.dir/sphere_sampler.cpp.o.d"
+  "/root/repo/src/io/vtk.cpp" "src/io/CMakeFiles/yy_io.dir/vtk.cpp.o" "gcc" "src/io/CMakeFiles/yy_io.dir/vtk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/yy_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/yy_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/yinyang/CMakeFiles/yy_yinyang.dir/DependInfo.cmake"
+  "/root/repo/build/src/mhd/CMakeFiles/yy_mhd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

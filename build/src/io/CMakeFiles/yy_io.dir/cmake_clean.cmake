@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yy_io.dir/checkpoint.cpp.o"
+  "CMakeFiles/yy_io.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/yy_io.dir/fieldline.cpp.o"
+  "CMakeFiles/yy_io.dir/fieldline.cpp.o.d"
+  "CMakeFiles/yy_io.dir/gauss.cpp.o"
+  "CMakeFiles/yy_io.dir/gauss.cpp.o.d"
+  "CMakeFiles/yy_io.dir/slice.cpp.o"
+  "CMakeFiles/yy_io.dir/slice.cpp.o.d"
+  "CMakeFiles/yy_io.dir/spectrum.cpp.o"
+  "CMakeFiles/yy_io.dir/spectrum.cpp.o.d"
+  "CMakeFiles/yy_io.dir/sphere_sampler.cpp.o"
+  "CMakeFiles/yy_io.dir/sphere_sampler.cpp.o.d"
+  "CMakeFiles/yy_io.dir/vtk.cpp.o"
+  "CMakeFiles/yy_io.dir/vtk.cpp.o.d"
+  "libyy_io.a"
+  "libyy_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yy_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mhd/boundary.cpp" "src/mhd/CMakeFiles/yy_mhd.dir/boundary.cpp.o" "gcc" "src/mhd/CMakeFiles/yy_mhd.dir/boundary.cpp.o.d"
+  "/root/repo/src/mhd/derived.cpp" "src/mhd/CMakeFiles/yy_mhd.dir/derived.cpp.o" "gcc" "src/mhd/CMakeFiles/yy_mhd.dir/derived.cpp.o.d"
+  "/root/repo/src/mhd/diagnostics.cpp" "src/mhd/CMakeFiles/yy_mhd.dir/diagnostics.cpp.o" "gcc" "src/mhd/CMakeFiles/yy_mhd.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/mhd/init.cpp" "src/mhd/CMakeFiles/yy_mhd.dir/init.cpp.o" "gcc" "src/mhd/CMakeFiles/yy_mhd.dir/init.cpp.o.d"
+  "/root/repo/src/mhd/integrator.cpp" "src/mhd/CMakeFiles/yy_mhd.dir/integrator.cpp.o" "gcc" "src/mhd/CMakeFiles/yy_mhd.dir/integrator.cpp.o.d"
+  "/root/repo/src/mhd/rhs.cpp" "src/mhd/CMakeFiles/yy_mhd.dir/rhs.cpp.o" "gcc" "src/mhd/CMakeFiles/yy_mhd.dir/rhs.cpp.o.d"
+  "/root/repo/src/mhd/rk4.cpp" "src/mhd/CMakeFiles/yy_mhd.dir/rk4.cpp.o" "gcc" "src/mhd/CMakeFiles/yy_mhd.dir/rk4.cpp.o.d"
+  "/root/repo/src/mhd/state.cpp" "src/mhd/CMakeFiles/yy_mhd.dir/state.cpp.o" "gcc" "src/mhd/CMakeFiles/yy_mhd.dir/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/yy_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/yy_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yy_mhd.dir/boundary.cpp.o"
+  "CMakeFiles/yy_mhd.dir/boundary.cpp.o.d"
+  "CMakeFiles/yy_mhd.dir/derived.cpp.o"
+  "CMakeFiles/yy_mhd.dir/derived.cpp.o.d"
+  "CMakeFiles/yy_mhd.dir/diagnostics.cpp.o"
+  "CMakeFiles/yy_mhd.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/yy_mhd.dir/init.cpp.o"
+  "CMakeFiles/yy_mhd.dir/init.cpp.o.d"
+  "CMakeFiles/yy_mhd.dir/integrator.cpp.o"
+  "CMakeFiles/yy_mhd.dir/integrator.cpp.o.d"
+  "CMakeFiles/yy_mhd.dir/rhs.cpp.o"
+  "CMakeFiles/yy_mhd.dir/rhs.cpp.o.d"
+  "CMakeFiles/yy_mhd.dir/rk4.cpp.o"
+  "CMakeFiles/yy_mhd.dir/rk4.cpp.o.d"
+  "CMakeFiles/yy_mhd.dir/state.cpp.o"
+  "CMakeFiles/yy_mhd.dir/state.cpp.o.d"
+  "libyy_mhd.a"
+  "libyy_mhd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yy_mhd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

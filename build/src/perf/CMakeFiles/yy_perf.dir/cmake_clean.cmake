@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yy_perf.dir/es_model.cpp.o"
+  "CMakeFiles/yy_perf.dir/es_model.cpp.o.d"
+  "CMakeFiles/yy_perf.dir/kernel_profile.cpp.o"
+  "CMakeFiles/yy_perf.dir/kernel_profile.cpp.o.d"
+  "CMakeFiles/yy_perf.dir/proginf.cpp.o"
+  "CMakeFiles/yy_perf.dir/proginf.cpp.o.d"
+  "CMakeFiles/yy_perf.dir/sc_comparison.cpp.o"
+  "CMakeFiles/yy_perf.dir/sc_comparison.cpp.o.d"
+  "libyy_perf.a"
+  "libyy_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yy_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

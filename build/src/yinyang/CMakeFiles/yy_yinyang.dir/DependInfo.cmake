@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/yinyang/dissection.cpp" "src/yinyang/CMakeFiles/yy_yinyang.dir/dissection.cpp.o" "gcc" "src/yinyang/CMakeFiles/yy_yinyang.dir/dissection.cpp.o.d"
+  "/root/repo/src/yinyang/geometry.cpp" "src/yinyang/CMakeFiles/yy_yinyang.dir/geometry.cpp.o" "gcc" "src/yinyang/CMakeFiles/yy_yinyang.dir/geometry.cpp.o.d"
+  "/root/repo/src/yinyang/interpolator.cpp" "src/yinyang/CMakeFiles/yy_yinyang.dir/interpolator.cpp.o" "gcc" "src/yinyang/CMakeFiles/yy_yinyang.dir/interpolator.cpp.o.d"
+  "/root/repo/src/yinyang/transform.cpp" "src/yinyang/CMakeFiles/yy_yinyang.dir/transform.cpp.o" "gcc" "src/yinyang/CMakeFiles/yy_yinyang.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/yy_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/yy_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yy_yinyang.dir/dissection.cpp.o"
+  "CMakeFiles/yy_yinyang.dir/dissection.cpp.o.d"
+  "CMakeFiles/yy_yinyang.dir/geometry.cpp.o"
+  "CMakeFiles/yy_yinyang.dir/geometry.cpp.o.d"
+  "CMakeFiles/yy_yinyang.dir/interpolator.cpp.o"
+  "CMakeFiles/yy_yinyang.dir/interpolator.cpp.o.d"
+  "CMakeFiles/yy_yinyang.dir/transform.cpp.o"
+  "CMakeFiles/yy_yinyang.dir/transform.cpp.o.d"
+  "libyy_yinyang.a"
+  "libyy_yinyang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yy_yinyang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

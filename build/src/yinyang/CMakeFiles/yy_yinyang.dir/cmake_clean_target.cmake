@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libyy_yinyang.a"
+)

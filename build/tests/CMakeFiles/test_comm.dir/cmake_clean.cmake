@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm.dir/comm/test_cart.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/test_cart.cpp.o.d"
+  "CMakeFiles/test_comm.dir/comm/test_collectives.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/test_collectives.cpp.o.d"
+  "CMakeFiles/test_comm.dir/comm/test_pointtopoint.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/test_pointtopoint.cpp.o.d"
+  "CMakeFiles/test_comm.dir/comm/test_sendrecv.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/test_sendrecv.cpp.o.d"
+  "CMakeFiles/test_comm.dir/comm/test_split.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/test_split.cpp.o.d"
+  "test_comm"
+  "test_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_array3d.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_array3d.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_csv_ppm.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_csv_ppm.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_flops.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_flops.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_noise.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_noise.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_vec3.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_vec3.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_decomposition.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_decomposition.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_distributed_solver.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_distributed_solver.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_halo.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_halo.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_ownership.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_ownership.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_parallel_sweep.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_parallel_sweep.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_runner.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_runner.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_serial_solver.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_serial_solver.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_simulation.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_simulation.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/io/test_checkpoint.cpp" "tests/CMakeFiles/test_io.dir/io/test_checkpoint.cpp.o" "gcc" "tests/CMakeFiles/test_io.dir/io/test_checkpoint.cpp.o.d"
+  "/root/repo/tests/io/test_fieldline.cpp" "tests/CMakeFiles/test_io.dir/io/test_fieldline.cpp.o" "gcc" "tests/CMakeFiles/test_io.dir/io/test_fieldline.cpp.o.d"
+  "/root/repo/tests/io/test_gauss.cpp" "tests/CMakeFiles/test_io.dir/io/test_gauss.cpp.o" "gcc" "tests/CMakeFiles/test_io.dir/io/test_gauss.cpp.o.d"
+  "/root/repo/tests/io/test_meridional.cpp" "tests/CMakeFiles/test_io.dir/io/test_meridional.cpp.o" "gcc" "tests/CMakeFiles/test_io.dir/io/test_meridional.cpp.o.d"
+  "/root/repo/tests/io/test_sampler.cpp" "tests/CMakeFiles/test_io.dir/io/test_sampler.cpp.o" "gcc" "tests/CMakeFiles/test_io.dir/io/test_sampler.cpp.o.d"
+  "/root/repo/tests/io/test_slice.cpp" "tests/CMakeFiles/test_io.dir/io/test_slice.cpp.o" "gcc" "tests/CMakeFiles/test_io.dir/io/test_slice.cpp.o.d"
+  "/root/repo/tests/io/test_spectrum.cpp" "tests/CMakeFiles/test_io.dir/io/test_spectrum.cpp.o" "gcc" "tests/CMakeFiles/test_io.dir/io/test_spectrum.cpp.o.d"
+  "/root/repo/tests/io/test_vtk.cpp" "tests/CMakeFiles/test_io.dir/io/test_vtk.cpp.o" "gcc" "tests/CMakeFiles/test_io.dir/io/test_vtk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/yycore.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/yy_latlon.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/yy_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/yy_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/mhd/CMakeFiles/yy_mhd.dir/DependInfo.cmake"
+  "/root/repo/build/src/yinyang/CMakeFiles/yy_yinyang.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/yy_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/yy_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/yy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io.dir/io/test_checkpoint.cpp.o"
+  "CMakeFiles/test_io.dir/io/test_checkpoint.cpp.o.d"
+  "CMakeFiles/test_io.dir/io/test_fieldline.cpp.o"
+  "CMakeFiles/test_io.dir/io/test_fieldline.cpp.o.d"
+  "CMakeFiles/test_io.dir/io/test_gauss.cpp.o"
+  "CMakeFiles/test_io.dir/io/test_gauss.cpp.o.d"
+  "CMakeFiles/test_io.dir/io/test_meridional.cpp.o"
+  "CMakeFiles/test_io.dir/io/test_meridional.cpp.o.d"
+  "CMakeFiles/test_io.dir/io/test_sampler.cpp.o"
+  "CMakeFiles/test_io.dir/io/test_sampler.cpp.o.d"
+  "CMakeFiles/test_io.dir/io/test_slice.cpp.o"
+  "CMakeFiles/test_io.dir/io/test_slice.cpp.o.d"
+  "CMakeFiles/test_io.dir/io/test_spectrum.cpp.o"
+  "CMakeFiles/test_io.dir/io/test_spectrum.cpp.o.d"
+  "CMakeFiles/test_io.dir/io/test_vtk.cpp.o"
+  "CMakeFiles/test_io.dir/io/test_vtk.cpp.o.d"
+  "test_io"
+  "test_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

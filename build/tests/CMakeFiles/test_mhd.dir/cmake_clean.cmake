@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mhd.dir/mhd/test_boundary.cpp.o"
+  "CMakeFiles/test_mhd.dir/mhd/test_boundary.cpp.o.d"
+  "CMakeFiles/test_mhd.dir/mhd/test_derived.cpp.o"
+  "CMakeFiles/test_mhd.dir/mhd/test_derived.cpp.o.d"
+  "CMakeFiles/test_mhd.dir/mhd/test_diagnostics.cpp.o"
+  "CMakeFiles/test_mhd.dir/mhd/test_diagnostics.cpp.o.d"
+  "CMakeFiles/test_mhd.dir/mhd/test_init.cpp.o"
+  "CMakeFiles/test_mhd.dir/mhd/test_init.cpp.o.d"
+  "CMakeFiles/test_mhd.dir/mhd/test_integrator.cpp.o"
+  "CMakeFiles/test_mhd.dir/mhd/test_integrator.cpp.o.d"
+  "CMakeFiles/test_mhd.dir/mhd/test_rhs.cpp.o"
+  "CMakeFiles/test_mhd.dir/mhd/test_rhs.cpp.o.d"
+  "CMakeFiles/test_mhd.dir/mhd/test_state.cpp.o"
+  "CMakeFiles/test_mhd.dir/mhd/test_state.cpp.o.d"
+  "test_mhd"
+  "test_mhd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mhd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

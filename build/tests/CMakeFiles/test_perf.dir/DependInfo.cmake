@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/perf/test_es_model.cpp" "tests/CMakeFiles/test_perf.dir/perf/test_es_model.cpp.o" "gcc" "tests/CMakeFiles/test_perf.dir/perf/test_es_model.cpp.o.d"
+  "/root/repo/tests/perf/test_hybrid.cpp" "tests/CMakeFiles/test_perf.dir/perf/test_hybrid.cpp.o" "gcc" "tests/CMakeFiles/test_perf.dir/perf/test_hybrid.cpp.o.d"
+  "/root/repo/tests/perf/test_kernel_profile.cpp" "tests/CMakeFiles/test_perf.dir/perf/test_kernel_profile.cpp.o" "gcc" "tests/CMakeFiles/test_perf.dir/perf/test_kernel_profile.cpp.o.d"
+  "/root/repo/tests/perf/test_proginf.cpp" "tests/CMakeFiles/test_perf.dir/perf/test_proginf.cpp.o" "gcc" "tests/CMakeFiles/test_perf.dir/perf/test_proginf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/yycore.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/yy_latlon.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/yy_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/yy_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/mhd/CMakeFiles/yy_mhd.dir/DependInfo.cmake"
+  "/root/repo/build/src/yinyang/CMakeFiles/yy_yinyang.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/yy_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/yy_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/yy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

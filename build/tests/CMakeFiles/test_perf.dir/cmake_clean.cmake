@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf.dir/perf/test_es_model.cpp.o"
+  "CMakeFiles/test_perf.dir/perf/test_es_model.cpp.o.d"
+  "CMakeFiles/test_perf.dir/perf/test_hybrid.cpp.o"
+  "CMakeFiles/test_perf.dir/perf/test_hybrid.cpp.o.d"
+  "CMakeFiles/test_perf.dir/perf/test_kernel_profile.cpp.o"
+  "CMakeFiles/test_perf.dir/perf/test_kernel_profile.cpp.o.d"
+  "CMakeFiles/test_perf.dir/perf/test_proginf.cpp.o"
+  "CMakeFiles/test_perf.dir/perf/test_proginf.cpp.o.d"
+  "test_perf"
+  "test_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

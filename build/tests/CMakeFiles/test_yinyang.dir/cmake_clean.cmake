@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_yinyang.dir/yinyang/test_dissection.cpp.o"
+  "CMakeFiles/test_yinyang.dir/yinyang/test_dissection.cpp.o.d"
+  "CMakeFiles/test_yinyang.dir/yinyang/test_geometry.cpp.o"
+  "CMakeFiles/test_yinyang.dir/yinyang/test_geometry.cpp.o.d"
+  "CMakeFiles/test_yinyang.dir/yinyang/test_interpolator.cpp.o"
+  "CMakeFiles/test_yinyang.dir/yinyang/test_interpolator.cpp.o.d"
+  "CMakeFiles/test_yinyang.dir/yinyang/test_transform.cpp.o"
+  "CMakeFiles/test_yinyang.dir/yinyang/test_transform.cpp.o.d"
+  "test_yinyang"
+  "test_yinyang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_yinyang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

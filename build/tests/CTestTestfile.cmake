@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_common "/root/repo/build/tests/test_common")
+set_tests_properties(test_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;11;yy_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_comm "/root/repo/build/tests/test_comm")
+set_tests_properties(test_comm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;19;yy_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_grid "/root/repo/build/tests/test_grid")
+set_tests_properties(test_grid PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;26;yy_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_yinyang "/root/repo/build/tests/test_yinyang")
+set_tests_properties(test_yinyang PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;31;yy_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_mhd "/root/repo/build/tests/test_mhd")
+set_tests_properties(test_mhd PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;37;yy_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build/tests/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;46;yy_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_baseline "/root/repo/build/tests/test_baseline")
+set_tests_properties(test_baseline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;56;yy_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_perf "/root/repo/build/tests/test_perf")
+set_tests_properties(test_perf PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;59;yy_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_io "/root/repo/build/tests/test_io")
+set_tests_properties(test_io PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;65;yy_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;75;yy_add_test;/root/repo/tests/CMakeLists.txt;0;")
