@@ -4,16 +4,26 @@
 /// cartesian halo exchange and inter-panel overset interpolation — and
 /// the result is verified against the single-process reference solver.
 ///
+/// Every rank records per-phase spans (obs/trace.hpp); the run emits a
+/// chrome://tracing timeline (yy_trace.json), a metrics CSV/JSON, and a
+/// measured List-1-style report cross-checked against the Earth
+/// Simulator performance model's predicted phase split.
+///
 /// Usage: parallel_dynamo [pt pp steps]   (default 2 x 2, 10 steps)
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <mutex>
 
 #include "comm/runtime.hpp"
 #include "common/timer.hpp"
 #include "core/distributed_solver.hpp"
 #include "core/serial_solver.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "perf/proginf.hpp"
 
 using namespace yy;
 using yinyang::Panel;
@@ -39,9 +49,11 @@ int main(int argc, char** argv) {
   mhd::EnergyBudget dist_energy;
   double dist_dt = 0.0;
   std::mutex mu;
+  obs::TraceRecorder rec;
   comm::Runtime rt(world);
   WallTimer timer;
   rt.run([&](comm::Communicator& w) {
+    obs::ScopedRankBind bind(rec, w.rank());
     core::DistributedSolver solver(cfg, w, pt, pp);
     solver.initialize();
     const double dt = solver.stable_dt();
@@ -73,5 +85,28 @@ int main(int argc, char** argv) {
   std::printf("serial reference KE %.5e -> relative difference %.2e %s\n",
               re.kinetic, rel,
               rel < 1e-9 ? "(trajectories match)" : "(MISMATCH!)");
+
+  // ---- Observability exports: timeline, metrics, phase cross-check.
+  const obs::MetricsSummary metrics = obs::collect_metrics(rec, traffic);
+  if (obs::write_chrome_trace_file(rec, "yy_trace.json"))
+    std::printf("\nwrote yy_trace.json  (open in chrome://tracing or "
+                "ui.perfetto.dev)\n");
+  {
+    std::ofstream csv("yy_metrics.csv");
+    obs::write_metrics_csv(metrics, csv);
+    std::ofstream js("yy_metrics.json");
+    obs::write_metrics_json(metrics, js);
+    std::printf("wrote yy_metrics.csv, yy_metrics.json\n\n");
+  }
+
+  std::printf("%s\n", perf::format_measured_proginf(metrics).c_str());
+
+  // Cross-check the measured phase split against the ES model run at
+  // the same process count and per-panel grid.
+  const perf::EsPerformanceModel model(perf::EarthSimulatorSpec{},
+                                       perf::EsCostParams{}, 3000.0);
+  const perf::RunConfig rc{world, cfg.nr, cfg.nt_core, cfg.np_core,
+                           perf::Parallelization::flat_mpi};
+  std::printf("%s\n", perf::format_phase_report(metrics, model, rc).c_str());
   return 0;
 }

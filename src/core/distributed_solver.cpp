@@ -5,6 +5,7 @@
 
 #include "core/ownership.hpp"
 #include "mhd/init.hpp"
+#include "obs/trace.hpp"
 
 namespace yy::core {
 
@@ -57,9 +58,13 @@ DistributedSolver::DistributedSolver(const SimulationConfig& cfg,
 }
 
 void DistributedSolver::fill_ghosts(mhd::Fields& s) {
-  bc_.enforce_walls(*grid_, s);
-  halo_->exchange(s);
-  overset_->exchange(s);
+  {
+    YY_TRACE_SCOPE(obs::Phase::boundary);
+    bc_.enforce_walls(*grid_, s);
+  }
+  halo_->exchange(s);     // records halo_wait
+  overset_->exchange(s);  // records overset_wait
+  YY_TRACE_SCOPE(obs::Phase::boundary);
   bc_.fill_ghosts(*grid_, s);
 }
 
@@ -69,31 +74,37 @@ void DistributedSolver::initialize() {
                         {extent_.t0, extent_.p0}, *state_);
   fill_ghosts(*state_);
   time_ = 0.0;
+  steps_ = 0;
 }
 
 void DistributedSolver::step(double dt) {
+  obs::set_current_step(steps_);
   std::vector<mhd::PatchDef> patches{{grid_.get(), eq_, state_.get()}};
   integrator_->step(patches, dt, [this](const std::vector<mhd::Fields*>& s) {
     fill_ghosts(*s[0]);
   });
   time_ += dt;
+  ++steps_;
 }
 
 double DistributedSolver::stable_dt() {
   const double local = mhd::stable_timestep(*grid_, eq_, *state_, *ws_,
                                             grid_->interior());
+  YY_TRACE_SCOPE(obs::Phase::reduce);
   return cfg_.cfl_safety * runner_->world().allreduce_min(local);
 }
 
 mhd::EnergyBudget DistributedSolver::energies() {
   mhd::EnergyBudget e = mhd::integrate_energies(
       *grid_, eq_, *state_, *ws_, *weights_, grid_->interior());
+  YY_TRACE_SCOPE(obs::Phase::reduce);
   double vals[4] = {e.mass, e.kinetic, e.magnetic, e.thermal};
   runner_->world().allreduce_sum(vals);
   return {vals[0], vals[1], vals[2], vals[3]};
 }
 
 Field3 DistributedSolver::gather_field(int field_index, Panel p) {
+  YY_TRACE_SCOPE(obs::Phase::io);
   const comm::Communicator& world = runner_->world();
   const int gh = grid_->ghost();
   const bool mine = runner_->panel() == p;

@@ -50,6 +50,7 @@ class DistributedSolver {
   mhd::Fields& local_state() { return *state_; }
   const HaloExchanger& halo() const { return *halo_; }
   const OversetExchanger& overset() const { return *overset_; }
+  long long steps_taken() const { return steps_; }
 
   /// Walls → halo → overset → radial ghosts, on this rank's patch
   /// (collective: every rank must call it together).
@@ -72,6 +73,7 @@ class DistributedSolver {
   std::unique_ptr<mhd::Integrator> integrator_;
   std::unique_ptr<mhd::ColumnWeights> weights_;
   double time_ = 0.0;
+  long long steps_ = 0;
 };
 
 }  // namespace yy::core

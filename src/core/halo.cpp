@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace yy::core {
 
@@ -33,9 +34,9 @@ HaloExchanger::HaloExchanger(const SphericalGrid& local,
   recv_high_.resize(cap);
 }
 
-void HaloExchanger::exchange_dim(mhd::Fields& s, int dim) const {
+std::uint64_t HaloExchanger::exchange_dim(mhd::Fields& s, int dim) const {
   const auto [low, high] = cart_->shift(dim, 1);  // (source, dest)
-  if (low == comm::proc_null && high == comm::proc_null) return;
+  if (low == comm::proc_null && high == comm::proc_null) return 0;
 
   const SphericalGrid& g = *grid_;
   const int gh = g.ghost();
@@ -118,11 +119,17 @@ void HaloExchanger::exchange_dim(mhd::Fields& s, int dim) const {
     if (high != comm::proc_null)
       unpack(recv_high_, 0, g.Nt(), gh + g.spec().np, gh + g.spec().np + gh);
   }
+  // Bytes moved by this rank in this dim: send + recv per live side.
+  std::uint64_t bytes = 0;
+  if (low != comm::proc_null) bytes += 2 * n * sizeof(double);
+  if (high != comm::proc_null) bytes += 2 * n * sizeof(double);
+  return bytes;
 }
 
 void HaloExchanger::exchange(mhd::Fields& s) const {
-  exchange_dim(s, 0);  // θ strips
-  exchange_dim(s, 1);  // φ strips (full θ range → corners complete)
+  YY_TRACE_SCOPE_V(span, obs::Phase::halo_wait);
+  span.add_bytes(exchange_dim(s, 0));  // θ strips
+  span.add_bytes(exchange_dim(s, 1));  // φ strips (full θ range → corners)
 }
 
 std::uint64_t HaloExchanger::bytes_per_exchange() const {

@@ -9,6 +9,7 @@
 /// without explicit corner messages.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "comm/cart.hpp"
@@ -23,6 +24,7 @@ class HaloExchanger {
 
   /// Refreshes the θ/φ ghost layers of `s` shared with cart neighbours;
   /// panel-boundary ghosts (proc_null sides) are left for the overset.
+  /// Records one `halo_wait` trace span carrying the bytes moved.
   void exchange(mhd::Fields& s) const;
 
   /// Bytes moved per exchange by this rank (both directions, all
@@ -30,7 +32,8 @@ class HaloExchanger {
   std::uint64_t bytes_per_exchange() const;
 
  private:
-  void exchange_dim(mhd::Fields& s, int dim) const;
+  /// Returns the bytes moved (send + recv over live sides).
+  std::uint64_t exchange_dim(mhd::Fields& s, int dim) const;
 
   const SphericalGrid* grid_;
   const comm::CartComm* cart_;

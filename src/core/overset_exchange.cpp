@@ -1,6 +1,7 @@
 #include "core/overset_exchange.hpp"
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace yy::core {
 
@@ -80,6 +81,8 @@ OversetExchanger::OversetExchanger(const yinyang::OversetInterpolator& interp,
 }
 
 void OversetExchanger::exchange(mhd::Fields& s) const {
+  YY_TRACE_SCOPE_V(span, obs::Phase::overset_wait);
+  span.add_bytes(bytes_sent_per_exchange());
   const comm::Communicator& world = runner_->world();
   const int gh = grid_->ghost();
 

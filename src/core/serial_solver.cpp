@@ -5,6 +5,7 @@
 #include "core/ownership.hpp"
 #include "mhd/derived.hpp"
 #include "mhd/init.hpp"
+#include "obs/trace.hpp"
 #include "yinyang/transform.hpp"
 
 namespace yy::core {
@@ -39,26 +40,36 @@ void SerialYinYangSolver::initialize() {
 
 void SerialYinYangSolver::fill_ghosts(mhd::Fields& yin, mhd::Fields& yang) {
   // 1. Enforce wall values so donor data includes the physical BCs.
-  bc_.enforce_walls(grid_, yin);
-  bc_.enforce_walls(grid_, yang);
+  {
+    YY_TRACE_SCOPE(obs::Phase::boundary);
+    bc_.enforce_walls(grid_, yin);
+    bc_.enforce_walls(grid_, yang);
+  }
   // 2. Overset internal boundary conditions, both directions.  By the
   //    complementarity of eq. (1) the same interpolator serves both.
-  auto overset = [&](const mhd::Fields& donor, mhd::Fields& recv) {
-    interp_.fill_scalar(grid_, donor.rho, recv.rho);
-    interp_.fill_scalar(grid_, donor.p, recv.p);
-    interp_.fill_vector(grid_, donor.fr, donor.ft, donor.fp, recv.fr, recv.ft,
-                        recv.fp);
-    interp_.fill_vector(grid_, donor.ar, donor.at, donor.ap, recv.ar, recv.at,
-                        recv.ap);
-  };
-  overset(yang, yin);
-  overset(yin, yang);
+  //    (In-process, the `overset_wait` span measures interpolation
+  //    compute — the serial analogue of the distributed exchange.)
+  {
+    YY_TRACE_SCOPE(obs::Phase::overset_wait);
+    auto overset = [&](const mhd::Fields& donor, mhd::Fields& recv) {
+      interp_.fill_scalar(grid_, donor.rho, recv.rho);
+      interp_.fill_scalar(grid_, donor.p, recv.p);
+      interp_.fill_vector(grid_, donor.fr, donor.ft, donor.fp, recv.fr,
+                          recv.ft, recv.fp);
+      interp_.fill_vector(grid_, donor.ar, donor.at, donor.ap, recv.ar,
+                          recv.at, recv.ap);
+    };
+    overset(yang, yin);
+    overset(yin, yang);
+  }
   // 3. Radial ghosts last, over every column incl. the fresh ghosts.
+  YY_TRACE_SCOPE(obs::Phase::boundary);
   bc_.fill_ghosts(grid_, yin);
   bc_.fill_ghosts(grid_, yang);
 }
 
 void SerialYinYangSolver::step(double dt) {
+  obs::set_current_step(steps_);
   std::vector<mhd::PatchDef> patches{{&grid_, eq_yin_, &yin_},
                                      {&grid_, eq_yang_, &yang_}};
   integrator_.step(patches, dt, [this](const std::vector<mhd::Fields*>& s) {

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace yy::core {
 
@@ -36,7 +37,10 @@ RunSummary Simulation::run(const RunControl& ctl,
     ++sum.steps;
 
     if (solver_->time() >= next_snapshot - 1e-12) {
-      if (on_snapshot) on_snapshot(*solver_, sum.snapshots);
+      if (on_snapshot) {
+        YY_TRACE_SCOPE(obs::Phase::io);
+        on_snapshot(*solver_, sum.snapshots);
+      }
       ++sum.snapshots;
       next_snapshot += ctl.snapshot_interval;
     }

@@ -1,6 +1,7 @@
 #include "mhd/integrator.hpp"
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace yy::mhd {
 
@@ -40,11 +41,15 @@ void Integrator::step_euler(const std::vector<PatchDef>& patches, double dt,
   YY_REQUIRE(n == grids_.size());
   std::vector<Fields*> state_ptrs(n);
   for (std::size_t i = 0; i < n; ++i) {
+    YY_TRACE_SCOPE(obs::Phase::rhs);
     compute_rhs(*grids_[i], patches[i].eq, *patches[i].state, k_[i], ws_[i],
                 grids_[i]->interior());
     state_ptrs[i] = patches[i].state;
   }
-  for (std::size_t i = 0; i < n; ++i) patches[i].state->axpy(dt, k_[i]);
+  {
+    YY_TRACE_SCOPE(obs::Phase::rk4_stage);
+    for (std::size_t i = 0; i < n; ++i) patches[i].state->axpy(dt, k_[i]);
+  }
   fill(state_ptrs);
 }
 
@@ -59,16 +64,24 @@ void Integrator::step_rk2(const std::vector<PatchDef>& patches, double dt,
   }
   // Midpoint: k1 = f(y); y* = y + dt/2 k1; y ← y + dt f(y*).
   for (std::size_t i = 0; i < n; ++i) {
-    compute_rhs(*grids_[i], patches[i].eq, *patches[i].state, k_[i], ws_[i],
-                grids_[i]->interior());
+    {
+      YY_TRACE_SCOPE(obs::Phase::rhs);
+      compute_rhs(*grids_[i], patches[i].eq, *patches[i].state, k_[i], ws_[i],
+                  grids_[i]->interior());
+    }
+    YY_TRACE_SCOPE(obs::Phase::rk4_stage);
     stage_[i].assign_axpy(*patches[i].state, dt / 2.0, k_[i]);
   }
   fill(stage_ptrs);
   for (std::size_t i = 0; i < n; ++i) {
+    YY_TRACE_SCOPE(obs::Phase::rhs);
     compute_rhs(*grids_[i], patches[i].eq, stage_[i], k_[i], ws_[i],
                 grids_[i]->interior());
   }
-  for (std::size_t i = 0; i < n; ++i) patches[i].state->axpy(dt, k_[i]);
+  {
+    YY_TRACE_SCOPE(obs::Phase::rk4_stage);
+    for (std::size_t i = 0; i < n; ++i) patches[i].state->axpy(dt, k_[i]);
+  }
   fill(state_ptrs);
 }
 

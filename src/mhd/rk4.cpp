@@ -1,6 +1,7 @@
 #include "mhd/rk4.hpp"
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace yy::mhd {
 
@@ -37,7 +38,12 @@ void Rk4::step(const std::vector<PatchDef>& patches, double dt,
   for (std::size_t i = 0; i < n; ++i) {
     const IndexBox box = grids_[i]->interior();
     (void)box0;
-    compute_rhs(*grids_[i], patches[i].eq, *patches[i].state, k_[i], ws_[i], box);
+    {
+      YY_TRACE_SCOPE(obs::Phase::rhs);
+      compute_rhs(*grids_[i], patches[i].eq, *patches[i].state, k_[i], ws_[i],
+                  box);
+    }
+    YY_TRACE_SCOPE(obs::Phase::rk4_stage);
     acc_[i].copy_from(*patches[i].state);
     acc_[i].axpy(dt / 6.0, k_[i]);
     stage_[i].assign_axpy(*patches[i].state, dt / 2.0, k_[i]);
@@ -46,28 +52,46 @@ void Rk4::step(const std::vector<PatchDef>& patches, double dt,
 
   // Stage 2: k2 = f(y + dt/2 k1).
   for (std::size_t i = 0; i < n; ++i) {
-    compute_rhs(*grids_[i], patches[i].eq, stage_[i], k_[i], ws_[i],
-                grids_[i]->interior());
+    {
+      YY_TRACE_SCOPE(obs::Phase::rhs);
+      compute_rhs(*grids_[i], patches[i].eq, stage_[i], k_[i], ws_[i],
+                  grids_[i]->interior());
+    }
+    YY_TRACE_SCOPE(obs::Phase::rk4_stage);
     acc_[i].axpy(dt / 3.0, k_[i]);
   }
-  for (std::size_t i = 0; i < n; ++i)
-    stage_[i].assign_axpy(*patches[i].state, dt / 2.0, k_[i]);
+  {
+    YY_TRACE_SCOPE(obs::Phase::rk4_stage);
+    for (std::size_t i = 0; i < n; ++i)
+      stage_[i].assign_axpy(*patches[i].state, dt / 2.0, k_[i]);
+  }
   fill(stage_ptrs);
 
   // Stage 3: k3 = f(y + dt/2 k2).
   for (std::size_t i = 0; i < n; ++i) {
-    compute_rhs(*grids_[i], patches[i].eq, stage_[i], k_[i], ws_[i],
-                grids_[i]->interior());
+    {
+      YY_TRACE_SCOPE(obs::Phase::rhs);
+      compute_rhs(*grids_[i], patches[i].eq, stage_[i], k_[i], ws_[i],
+                  grids_[i]->interior());
+    }
+    YY_TRACE_SCOPE(obs::Phase::rk4_stage);
     acc_[i].axpy(dt / 3.0, k_[i]);
   }
-  for (std::size_t i = 0; i < n; ++i)
-    stage_[i].assign_axpy(*patches[i].state, dt, k_[i]);
+  {
+    YY_TRACE_SCOPE(obs::Phase::rk4_stage);
+    for (std::size_t i = 0; i < n; ++i)
+      stage_[i].assign_axpy(*patches[i].state, dt, k_[i]);
+  }
   fill(stage_ptrs);
 
   // Stage 4: k4 = f(y + dt k3); y ← acc + dt/6 k4.
   for (std::size_t i = 0; i < n; ++i) {
-    compute_rhs(*grids_[i], patches[i].eq, stage_[i], k_[i], ws_[i],
-                grids_[i]->interior());
+    {
+      YY_TRACE_SCOPE(obs::Phase::rhs);
+      compute_rhs(*grids_[i], patches[i].eq, stage_[i], k_[i], ws_[i],
+                  grids_[i]->interior());
+    }
+    YY_TRACE_SCOPE(obs::Phase::rk4_stage);
     patches[i].state->copy_from(acc_[i]);
     patches[i].state->axpy(dt / 6.0, k_[i]);
   }

@@ -1,0 +1,28 @@
+/// \file chrome_trace.hpp
+/// Exports a TraceRecorder's spans as a chrome://tracing / Perfetto
+/// "Trace Event Format" JSON object: one file per run, every rank on
+/// one shared timeline (pid 0, tid = rank).  Spans become complete
+/// ("ph":"X") events with microsecond timestamps re-zeroed to the
+/// earliest recorded span; per-rank thread_name metadata labels the
+/// rows "rank N".  Open the file via chrome://tracing "Load" or
+/// https://ui.perfetto.dev.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace yy::obs {
+
+/// Writes the full trace JSON document to `out`.
+void write_chrome_trace(const TraceRecorder& rec, std::ostream& out);
+
+/// Convenience: the document as a string (tests, small runs).
+std::string chrome_trace_json(const TraceRecorder& rec);
+
+/// Writes the document to `path`; returns false on I/O failure.
+bool write_chrome_trace_file(const TraceRecorder& rec,
+                             const std::string& path);
+
+}  // namespace yy::obs

@@ -1,0 +1,144 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace yy::obs {
+
+double MetricsSummary::traced_seconds() const {
+  double s = 0.0;
+  for (const PhaseMetrics& p : total) s += p.seconds;
+  return s;
+}
+
+MetricsSummary collect_metrics(const TraceRecorder& rec,
+                               const comm::TrafficStats& traffic) {
+  MetricsSummary m;
+  m.traffic = traffic;
+  std::int64_t g_min = std::numeric_limits<std::int64_t>::max();
+  std::int64_t g_max = std::numeric_limits<std::int64_t>::min();
+  std::int64_t max_step = -1;
+
+  for (const RankTrace* t : rec.traces()) {
+    RankMetrics rm;
+    rm.rank = t->rank();
+    std::int64_t r_min = std::numeric_limits<std::int64_t>::max();
+    std::int64_t r_max = std::numeric_limits<std::int64_t>::min();
+    for (const Span& s : t->spans()) {
+      auto& pm = rm.phase[static_cast<std::size_t>(s.phase)];
+      pm.seconds += static_cast<double>(s.t1_ns - s.t0_ns) / 1e9;
+      pm.count += 1;
+      pm.bytes += s.bytes;
+      r_min = std::min(r_min, s.t0_ns);
+      r_max = std::max(r_max, s.t1_ns);
+      max_step = std::max(max_step, s.step);
+    }
+    if (!t->spans().empty()) {
+      rm.span_seconds = static_cast<double>(r_max - r_min) / 1e9;
+      g_min = std::min(g_min, r_min);
+      g_max = std::max(g_max, r_max);
+    }
+    for (int p = 0; p < kNumPhases; ++p) {
+      m.total[static_cast<std::size_t>(p)].seconds +=
+          rm.phase[static_cast<std::size_t>(p)].seconds;
+      m.total[static_cast<std::size_t>(p)].count +=
+          rm.phase[static_cast<std::size_t>(p)].count;
+      m.total[static_cast<std::size_t>(p)].bytes +=
+          rm.phase[static_cast<std::size_t>(p)].bytes;
+    }
+    m.ranks.push_back(rm);
+  }
+  if (g_max > g_min)
+    m.wall_seconds = static_cast<double>(g_max - g_min) / 1e9;
+  m.steps = max_step + 1;
+  return m;
+}
+
+void write_metrics_csv(const MetricsSummary& m, std::ostream& out) {
+  out << "rank,phase,seconds,count,bytes\n";
+  char buf[160];
+  for (const RankMetrics& rm : m.ranks) {
+    for (int p = 0; p < kNumPhases; ++p) {
+      const PhaseMetrics& pm = rm.phase[static_cast<std::size_t>(p)];
+      if (pm.count == 0) continue;
+      std::snprintf(buf, sizeof buf, "%d,%s,%.9f,%" PRIu64 ",%" PRIu64 "\n",
+                    rm.rank, phase_name(static_cast<Phase>(p)), pm.seconds,
+                    pm.count, pm.bytes);
+      out << buf;
+    }
+  }
+  for (int p = 0; p < kNumPhases; ++p) {
+    const PhaseMetrics& pm = m.total[static_cast<std::size_t>(p)];
+    if (pm.count == 0) continue;
+    std::snprintf(buf, sizeof buf, "TOTAL,%s,%.9f,%" PRIu64 ",%" PRIu64 "\n",
+                  phase_name(static_cast<Phase>(p)), pm.seconds, pm.count,
+                  pm.bytes);
+    out << buf;
+  }
+}
+
+namespace {
+
+void json_phases(const std::array<PhaseMetrics, kNumPhases>& phases,
+                 std::ostream& out) {
+  out << "{";
+  bool first = true;
+  char buf[160];
+  for (int p = 0; p < kNumPhases; ++p) {
+    const PhaseMetrics& pm = phases[static_cast<std::size_t>(p)];
+    if (pm.count == 0) continue;
+    if (!first) out << ",";
+    first = false;
+    std::snprintf(buf, sizeof buf,
+                  "\"%s\":{\"seconds\":%.9f,\"count\":%" PRIu64
+                  ",\"bytes\":%" PRIu64 "}",
+                  phase_name(static_cast<Phase>(p)), pm.seconds, pm.count,
+                  pm.bytes);
+    out << buf;
+  }
+  out << "}";
+}
+
+}  // namespace
+
+void write_metrics_json(const MetricsSummary& m, std::ostream& out) {
+  char buf[224];
+  std::snprintf(buf, sizeof buf,
+                "{\"steps\":%" PRId64 ",\"wall_seconds\":%.9f,"
+                "\"traffic\":{\"messages\":%" PRIu64 ",\"bytes\":%" PRIu64
+                "},\"total\":",
+                m.steps, m.wall_seconds, m.traffic.messages, m.traffic.bytes);
+  out << buf;
+  json_phases(m.total, out);
+  out << ",\"ranks\":[";
+  bool first = true;
+  for (const RankMetrics& rm : m.ranks) {
+    if (!first) out << ",";
+    first = false;
+    std::snprintf(buf, sizeof buf,
+                  "{\"rank\":%d,\"span_seconds\":%.9f,\"phases\":", rm.rank,
+                  rm.span_seconds);
+    out << buf;
+    json_phases(rm.phase, out);
+    out << "}";
+  }
+  out << "]}\n";
+}
+
+std::string metrics_csv(const MetricsSummary& m) {
+  std::ostringstream os;
+  write_metrics_csv(m, os);
+  return os.str();
+}
+
+std::string metrics_json(const MetricsSummary& m) {
+  std::ostringstream os;
+  write_metrics_json(m, os);
+  return os.str();
+}
+
+}  // namespace yy::obs

@@ -1,0 +1,61 @@
+/// \file metrics.hpp
+/// Flat per-phase metrics aggregated from a TraceRecorder: span time
+/// sums, counts and attributed message bytes, per rank and globally,
+/// plus the comm layer's traffic counters when the caller supplies
+/// them.  This is the quantitative side of the trace — what the
+/// measured-vs-predicted proginf report and the regression benchmarks
+/// consume — exported as CSV (one row per rank×phase) or JSON.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "obs/trace.hpp"
+
+namespace yy::obs {
+
+struct PhaseMetrics {
+  double seconds = 0.0;        ///< Σ span durations
+  std::uint64_t count = 0;     ///< number of spans
+  std::uint64_t bytes = 0;     ///< Σ attributed message bytes
+};
+
+struct RankMetrics {
+  int rank = 0;
+  std::array<PhaseMetrics, kNumPhases> phase{};
+  double span_seconds = 0.0;   ///< last span end − first span begin
+};
+
+struct MetricsSummary {
+  std::vector<RankMetrics> ranks;               ///< ordered by rank
+  std::array<PhaseMetrics, kNumPhases> total{}; ///< summed over ranks
+  std::int64_t steps = 0;       ///< max step stamp seen + 1 (0 if none)
+  double wall_seconds = 0.0;    ///< global last end − first begin
+  comm::TrafficStats traffic;   ///< caller-supplied (0 if not)
+
+  const PhaseMetrics& phase(Phase p) const {
+    return total[static_cast<std::size_t>(p)];
+  }
+  /// Σ traced seconds over every phase and rank.
+  double traced_seconds() const;
+};
+
+/// Aggregates all spans currently in `rec`.  `traffic` (e.g.
+/// Runtime::traffic_total()) is carried through verbatim.
+MetricsSummary collect_metrics(const TraceRecorder& rec,
+                               const comm::TrafficStats& traffic = {});
+
+/// CSV: header + one row per rank×phase + per-phase TOTAL rows.
+void write_metrics_csv(const MetricsSummary& m, std::ostream& out);
+
+/// JSON object mirroring MetricsSummary.
+void write_metrics_json(const MetricsSummary& m, std::ostream& out);
+
+std::string metrics_csv(const MetricsSummary& m);
+std::string metrics_json(const MetricsSummary& m);
+
+}  // namespace yy::obs

@@ -1,0 +1,60 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace yy::obs {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::rhs: return "rhs";
+    case Phase::rk4_stage: return "rk4_stage";
+    case Phase::halo_wait: return "halo_wait";
+    case Phase::overset_wait: return "overset_wait";
+    case Phase::boundary: return "boundary";
+    case Phase::reduce: return "reduce";
+    case Phase::io: return "io";
+    case Phase::other: return "other";
+  }
+  return "?";
+}
+
+std::int64_t now_ns() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                              epoch)
+      .count();
+}
+
+RankTrace& TraceRecorder::rank_trace(int rank) {
+  std::lock_guard lock(mu_);
+  for (RankTrace& t : ranks_)
+    if (t.rank() == rank) return t;
+  ranks_.push_back(RankTrace(rank));
+  return ranks_.back();
+}
+
+std::vector<const RankTrace*> TraceRecorder::traces() const {
+  std::lock_guard lock(mu_);
+  std::vector<const RankTrace*> out;
+  out.reserve(ranks_.size());
+  for (const RankTrace& t : ranks_) out.push_back(&t);
+  std::sort(out.begin(), out.end(),
+            [](const RankTrace* a, const RankTrace* b) {
+              return a->rank() < b->rank();
+            });
+  return out;
+}
+
+namespace detail {
+
+namespace {
+thread_local RankTrace* tls_trace = nullptr;
+}  // namespace
+
+RankTrace* current_trace() { return tls_trace; }
+void set_current_trace(RankTrace* t) { tls_trace = t; }
+
+}  // namespace detail
+
+}  // namespace yy::obs

@@ -79,10 +79,19 @@ ModelResult EsPerformanceModel::predict(const RunConfig& rc) const {
                              msgs_per_fill * cost_.msg_latency_s +
                              cost_.straggler_s_per_proc * ranks;
   const double t_comm = fills_per_step * t_comm_fill;
+  // Phase split of the fill: halo carries 8 of the 10 messages and its
+  // byte share; the straggler tail is apportioned by byte volume.
+  const double halo_share =
+      (bytes_halo / (bw * 1e9) + 8 * cost_.msg_latency_s +
+       cost_.straggler_s_per_proc * ranks * bytes_halo / bytes_per_fill) /
+      t_comm_fill;
 
   // ---- totals ----------------------------------------------------------
   r.time_per_step_s = t_comp + t_comm;
   r.comm_fraction = t_comm / r.time_per_step_s;
+  r.comp_fraction = t_comp / r.time_per_step_s;
+  r.halo_fraction = r.comm_fraction * halo_share;
+  r.overset_fraction = r.comm_fraction * (1.0 - halo_share);
   r.tflops = r.flops_per_step / r.time_per_step_s / 1e12;
   const double peak_tflops = rc.processors * spec_.ap_peak_gflops / 1000.0;
   r.efficiency = r.tflops / peak_tflops;

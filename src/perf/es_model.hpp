@@ -63,6 +63,13 @@ struct ModelResult {
   double tflops = 0.0;
   double efficiency = 0.0;       ///< of the used processors' peak
   double comm_fraction = 0.0;    ///< communication share of a step
+  /// Predicted phase split of one step (fractions sum to 1): compute
+  /// (rhs + stage updates), intra-panel halo exchange, inter-panel
+  /// overset exchange.  These are what obs-measured runs cross-check
+  /// (see perf/proginf.hpp format_phase_report).
+  double comp_fraction = 0.0;
+  double halo_fraction = 0.0;
+  double overset_fraction = 0.0;
   double avg_vector_length = 0.0;
   double vec_op_ratio = 0.0;
   double time_per_step_s = 0.0;

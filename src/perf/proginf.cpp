@@ -125,4 +125,114 @@ std::string format_proginf(const EsPerformanceModel& model,
   return out;
 }
 
+std::string format_measured_proginf(const obs::MetricsSummary& m) {
+  std::string out;
+  out += "MPI Program Information (measured):\n";
+  out += "===================================\n";
+  out += "Note: spans recorded by the obs tracing layer, one row per phase.\n";
+  out += "[U,R] specifies the Universe and the Process Rank in the Universe.\n";
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "Global Data of %d processes: Min [U,R] Max [U,R] Average\n",
+                static_cast<int>(m.ranks.size()));
+  out += buf;
+  out += "=============================\n";
+  for (int p = 0; p < obs::kNumPhases; ++p) {
+    double min_v = 1e300, max_v = -1e300, sum = 0.0;
+    int min_rank = 0, max_rank = 0;
+    std::uint64_t count = 0;
+    for (const obs::RankMetrics& rm : m.ranks) {
+      const obs::PhaseMetrics& pm = rm.phase[static_cast<std::size_t>(p)];
+      count += pm.count;
+      sum += pm.seconds;
+      if (pm.seconds < min_v) { min_v = pm.seconds; min_rank = rm.rank; }
+      if (pm.seconds > max_v) { max_v = pm.seconds; max_rank = rm.rank; }
+    }
+    if (count == 0) continue;
+    std::snprintf(buf, sizeof buf,
+                  "  %-21s (sec): %16.6f [0,%4d] %16.6f [0,%4d] %16.6f\n",
+                  obs::phase_name(static_cast<obs::Phase>(p)), min_v, min_rank,
+                  max_v, max_rank,
+                  sum / static_cast<double>(m.ranks.size()));
+    out += buf;
+  }
+  out += "\nOverall Data:\n";
+  out += "=============\n";
+  std::snprintf(buf, sizeof buf, "  Real Time (sec)        : %14.6f\n",
+                m.wall_seconds);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  Traced Time (sec)      : %14.6f\n",
+                m.traced_seconds());
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  Steps                  : %14lld\n",
+                static_cast<long long>(m.steps));
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  Messages               : %14llu\n",
+                static_cast<unsigned long long>(m.traffic.messages));
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  Message volume (MB)    : %14.3f\n",
+                static_cast<double>(m.traffic.bytes) / 1048576.0);
+  out += buf;
+  return out;
+}
+
+std::string format_phase_report(const obs::MetricsSummary& m,
+                                const EsPerformanceModel& model,
+                                const RunConfig& rc) {
+  const ModelResult r = model.predict(rc);
+  const double traced = m.traced_seconds();
+  std::string out;
+  out += "Per-phase time: measured (this machine) vs es_model prediction\n";
+  out += "==============================================================\n";
+  out += "  phase          measured s    share   predicted   pred/meas\n";
+
+  // Measured shares of the traced step time; the model's comparable
+  // buckets are compute (rhs + stage update + boundary), halo and
+  // overset.  reduce/io are outside the model's step decomposition.
+  const double meas_comp = m.phase(obs::Phase::rhs).seconds +
+                           m.phase(obs::Phase::rk4_stage).seconds +
+                           m.phase(obs::Phase::boundary).seconds;
+  struct Row {
+    const char* label;
+    double measured_s;
+    double predicted_share;  // < 0: not modelled
+  };
+  const Row rows[] = {
+      {"compute", meas_comp, r.comp_fraction},
+      {"halo_wait", m.phase(obs::Phase::halo_wait).seconds, r.halo_fraction},
+      {"overset_wait", m.phase(obs::Phase::overset_wait).seconds,
+       r.overset_fraction},
+      {"reduce", m.phase(obs::Phase::reduce).seconds, -1.0},
+      {"io", m.phase(obs::Phase::io).seconds, -1.0},
+  };
+  char buf[192];
+  for (const Row& row : rows) {
+    if (row.measured_s == 0.0 && row.predicted_share < 0.0) continue;
+    const double share = traced > 0.0 ? row.measured_s / traced : 0.0;
+    if (row.predicted_share >= 0.0) {
+      const double ratio =
+          share > 0.0 ? row.predicted_share / share : 0.0;
+      std::snprintf(buf, sizeof buf,
+                    "  %-14s %10.6f %7.1f%% %10.1f%% %11.2f\n", row.label,
+                    row.measured_s, 100.0 * share,
+                    100.0 * row.predicted_share, ratio);
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "  %-14s %10.6f %7.1f%%          -           -\n",
+                    row.label, row.measured_s, 100.0 * share);
+    }
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf,
+                "  comm fraction: measured %.1f%% vs predicted %.1f%% "
+                "(ES @ %d procs)\n",
+                100.0 *
+                    (m.phase(obs::Phase::halo_wait).seconds +
+                     m.phase(obs::Phase::overset_wait).seconds) /
+                    (traced > 0.0 ? traced : 1.0),
+                100.0 * r.comm_fraction, rc.processors);
+  out += buf;
+  return out;
+}
+
 }  // namespace yy::perf

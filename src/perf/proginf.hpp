@@ -4,10 +4,18 @@
 /// came from hardware counters enabled by the MPIPROGINF environment
 /// variable; here the same quantities are derived from the model plus
 /// the software flop counters, formatted to match the paper's listing.
+///
+/// Two further reports ingest *measured* spans from the obs tracing
+/// layer (src/obs): a List-1-style block whose per-rank min/max/avg
+/// columns come from a real instrumented run, and a per-phase
+/// predicted-vs-measured cross-check against the es_model's phase
+/// split — the verification loop the paper's Table II numbers lacked
+/// outside the Earth Simulator itself.
 #pragma once
 
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "perf/es_model.hpp"
 
 namespace yy::perf {
@@ -20,5 +28,18 @@ struct ProgInfOptions {
 /// Builds the full "MPI Program Information" text block.
 std::string format_proginf(const EsPerformanceModel& model,
                            const RunConfig& rc, const ProgInfOptions& opt = {});
+
+/// List-1-style block from *measured* spans: one row per phase with the
+/// real min [rank], max [rank] and average seconds across the run's
+/// ranks, plus traffic totals — no synthetic jitter.
+std::string format_measured_proginf(const obs::MetricsSummary& m);
+
+/// Per-phase cross-check of a measured run against the model's
+/// predicted step split.  Each comparable phase reports measured
+/// seconds, measured share, predicted share, and the predicted/measured
+/// ratio; phases outside the model (reduce, io) report measured only.
+std::string format_phase_report(const obs::MetricsSummary& m,
+                                const EsPerformanceModel& model,
+                                const RunConfig& rc);
 
 }  // namespace yy::perf

@@ -7,8 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <mutex>
 
 #include "baseline/latlon_solver.hpp"
+#include "comm/runtime.hpp"
+#include "core/distributed_solver.hpp"
 #include "core/serial_solver.hpp"
 #include "io/sphere_sampler.hpp"
 #include "mhd/derived.hpp"
@@ -121,6 +124,106 @@ TEST(CrossSolver, MassAgreesBetweenGrids) {
   const double m_ll = latlon.energies().mass;
   const double m_yy = yysolver.energies().mass;
   EXPECT_NEAR(m_yy, m_ll, 0.05 * m_ll);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-rank-count determinism: the distributed solver must reproduce
+// the serial trajectory at EVERY decomposition, over enough steps for a
+// drift to compound.  The halo/overset exchanges move exact field
+// values and the reductions are order-fixed, so agreement is expected
+// to roundoff; a tight absolute tolerance guards against any future
+// reassociation sneaking into the exchange or reduction paths.
+
+core::SimulationConfig determinism_config() {
+  core::SimulationConfig cfg;
+  cfg.nr = 7;
+  cfg.nt_core = 11;
+  cfg.np_core = 31;
+  cfg.eq.mu = 3e-3;
+  cfg.eq.kappa = 3e-3;
+  cfg.eq.eta = 3e-3;
+  cfg.eq.g0 = 2.0;
+  cfg.eq.omega = {0.0, 0.0, 8.0};
+  cfg.ic.perturb_amp = 1e-2;
+  cfg.ic.seed_b_amp = 1e-4;
+  return cfg;
+}
+
+/// Yin-panel pressure after `steps` RK4 steps on pt × pp ranks/panel.
+Field3 distributed_pressure(const core::SimulationConfig& cfg, int pt, int pp,
+                            int steps, double* dt_out) {
+  Field3 out;
+  double dt_used = 0.0;
+  std::mutex mu;
+  comm::Runtime rt(2 * pt * pp);
+  rt.run([&](comm::Communicator& w) {
+    core::DistributedSolver solver(cfg, w, pt, pp);
+    solver.initialize();
+    const double dt = solver.stable_dt();
+    for (int i = 0; i < steps; ++i) solver.step(dt);
+    Field3 f = solver.gather_field(/*p*/ 4, yinyang::Panel::yin);
+    if (w.rank() == 0) {
+      std::lock_guard lock(mu);
+      out = std::move(f);
+      dt_used = dt;
+    }
+  });
+  if (dt_out != nullptr) *dt_out = dt_used;
+  return out;
+}
+
+TEST(CrossSolver, RankCountsAgreeWithSerialOverTwentySteps) {
+  const core::SimulationConfig cfg = determinism_config();
+  const int steps = 20;
+
+  core::SerialYinYangSolver serial(cfg);
+  serial.initialize();
+  const double dt_serial = serial.stable_dt();
+  for (int i = 0; i < steps; ++i) serial.step(dt_serial);
+  const Field3& sp = serial.panel(yinyang::Panel::yin).p;
+  const int gh = serial.grid().ghost();
+
+  double field_scale = 0.0;
+  for (const double v : sp.flat())
+    field_scale = std::max(field_scale, std::abs(v));
+  ASSERT_GT(field_scale, 0.0);
+
+  // 1, 2 and 4 ranks per panel (worlds of 2, 4 and 8), both split axes.
+  const int layouts[][2] = {{1, 1}, {1, 2}, {2, 1}, {2, 2}};
+  for (const auto& layout : layouts) {
+    const int pt = layout[0], pp = layout[1];
+    double dt = 0.0;
+    const Field3 f = distributed_pressure(cfg, pt, pp, steps, &dt);
+    ASSERT_NEAR(dt, dt_serial, 1e-15) << pt << "x" << pp;
+    ASSERT_EQ(f.nr(), cfg.nr) << pt << "x" << pp;
+
+    double max_diff = 0.0;
+    for (int ip = 0; ip < f.np(); ++ip)
+      for (int it = 0; it < f.nt(); ++it)
+        for (int ir = 0; ir < f.nr(); ++ir)
+          max_diff = std::max(
+              max_diff,
+              std::abs(f(ir, it, ip) - sp(ir + gh, it + gh, ip + gh)));
+    EXPECT_LE(max_diff, 1e-12 * field_scale)
+        << "decomposition " << pt << "x" << pp << " diverged from serial";
+  }
+}
+
+TEST(CrossSolver, RankCountsAgreeWithEachOtherBitwise) {
+  // Among decompositions the arithmetic is identical (same kernels,
+  // same patch-local stencils), so trajectories must agree bit-for-bit
+  // even where serial-vs-distributed roundoff might legitimately creep.
+  const core::SimulationConfig cfg = determinism_config();
+  const int steps = 20;
+  const Field3 a = distributed_pressure(cfg, 1, 1, steps, nullptr);
+  const Field3 b = distributed_pressure(cfg, 1, 2, steps, nullptr);
+  const Field3 c = distributed_pressure(cfg, 2, 2, steps, nullptr);
+  ASSERT_TRUE(a.same_shape(b));
+  ASSERT_TRUE(a.same_shape(c));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.flat()[i], b.flat()[i]) << "1x1 vs 1x2 at " << i;
+    ASSERT_EQ(a.flat()[i], c.flat()[i]) << "1x1 vs 2x2 at " << i;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,187 @@
+/// Minimal recursive-descent JSON parser for test assertions (the repo
+/// deliberately has no JSON dependency).  Supports the full JSON value
+/// grammar minus \u escapes (the exporters emit none).  Parse failures
+/// throw std::runtime_error with a byte offset.
+#pragma once
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace yy::testjson {
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value {
+  enum class Kind { null, boolean, number, string, array, object } kind =
+      Kind::null;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<ValuePtr> arr;
+  std::map<std::string, ValuePtr> obj;
+
+  const Value& at(const std::string& key) const {
+    auto it = obj.find(key);
+    if (it == obj.end()) throw std::runtime_error("missing key: " + key);
+    return *it->second;
+  }
+  bool has(const std::string& key) const { return obj.count(key) > 0; }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  ValuePtr parse() {
+    ValuePtr v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + why);
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  ValuePtr value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': return keyword("true", [](Value& v) { v.kind = Value::Kind::boolean; v.b = true; });
+      case 'f': return keyword("false", [](Value& v) { v.kind = Value::Kind::boolean; v.b = false; });
+      case 'n': return keyword("null", [](Value& v) { v.kind = Value::Kind::null; });
+      default: return number();
+    }
+  }
+
+  template <typename Fn>
+  ValuePtr keyword(const char* word, Fn set) {
+    for (const char* c = word; *c != '\0'; ++c) {
+      if (pos_ >= s_.size() || s_[pos_] != *c) fail("bad keyword");
+      ++pos_;
+    }
+    auto v = std::make_shared<Value>();
+    set(*v);
+    return v;
+  }
+
+  ValuePtr number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected number");
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::number;
+    try {
+      v->num = std::stod(s_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  std::string raw_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("bad escape");
+        char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          default: fail("unsupported escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  ValuePtr string_value() {
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::string;
+    v->str = raw_string();
+    return v;
+  }
+
+  ValuePtr array() {
+    expect('[');
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::array;
+    skip_ws();
+    if (consume(']')) return v;
+    for (;;) {
+      v->arr.push_back(value());
+      skip_ws();
+      if (consume(']')) return v;
+      expect(',');
+    }
+  }
+
+  ValuePtr object() {
+    expect('{');
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::object;
+    skip_ws();
+    if (consume('}')) return v;
+    for (;;) {
+      skip_ws();
+      std::string key = raw_string();
+      skip_ws();
+      expect(':');
+      v->obj[key] = value();
+      skip_ws();
+      if (consume('}')) return v;
+      expect(',');
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+inline ValuePtr parse(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace yy::testjson

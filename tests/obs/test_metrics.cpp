@@ -1,0 +1,101 @@
+/// Metrics aggregation and exporter tests: phase sums must equal the
+/// recorded spans, the CSV must round-trip its numbers, and the JSON
+/// export must parse.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "json_lite.hpp"
+
+namespace yy::obs {
+namespace {
+
+/// Builds a recorder with hand-authored spans on two ranks.
+TraceRecorder& synthetic_recorder(TraceRecorder& rec) {
+  RankTrace& r0 = rec.rank_trace(0);
+  r0.set_step(0);
+  r0.record(Phase::rhs, 0, 1'000'000, 0);           // 1 ms
+  r0.record(Phase::halo_wait, 1'000'000, 1'500'000, 4096);
+  r0.set_step(1);
+  r0.record(Phase::rhs, 2'000'000, 3'500'000, 0);   // 1.5 ms
+  RankTrace& r1 = rec.rank_trace(1);
+  r1.set_step(1);
+  r1.record(Phase::halo_wait, 500'000, 2'500'000, 8192);
+  return rec;
+}
+
+TEST(Metrics, AggregatesPerRankAndTotals) {
+  TraceRecorder rec;
+  const MetricsSummary m =
+      collect_metrics(synthetic_recorder(rec), {42, 12345});
+
+  ASSERT_EQ(m.ranks.size(), 2u);
+  EXPECT_EQ(m.steps, 2);
+  EXPECT_EQ(m.traffic.messages, 42u);
+  EXPECT_EQ(m.traffic.bytes, 12345u);
+
+  const auto& rhs = m.phase(Phase::rhs);
+  EXPECT_NEAR(rhs.seconds, 2.5e-3, 1e-12);
+  EXPECT_EQ(rhs.count, 2u);
+  const auto& halo = m.phase(Phase::halo_wait);
+  EXPECT_NEAR(halo.seconds, 2.5e-3, 1e-12);
+  EXPECT_EQ(halo.count, 2u);
+  EXPECT_EQ(halo.bytes, 12288u);
+
+  // Rank 0 spans [0, 3.5 ms]; rank 1 spans [0.5, 2.5 ms]; globally 3.5.
+  EXPECT_NEAR(m.ranks[0].span_seconds, 3.5e-3, 1e-12);
+  EXPECT_NEAR(m.ranks[1].span_seconds, 2.0e-3, 1e-12);
+  EXPECT_NEAR(m.wall_seconds, 3.5e-3, 1e-12);
+  EXPECT_NEAR(m.traced_seconds(), 5.0e-3, 1e-12);
+}
+
+TEST(Metrics, CsvHasHeaderRankRowsAndTotals) {
+  TraceRecorder rec;
+  const std::string csv = metrics_csv(collect_metrics(synthetic_recorder(rec)));
+  std::istringstream is(csv);
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line, "rank,phase,seconds,count,bytes");
+  int rank_rows = 0, total_rows = 0;
+  while (std::getline(is, line)) {
+    if (line.rfind("TOTAL,", 0) == 0)
+      ++total_rows;
+    else
+      ++rank_rows;
+  }
+  EXPECT_EQ(rank_rows, 3);   // r0: rhs + halo; r1: halo
+  EXPECT_EQ(total_rows, 2);  // rhs + halo
+  EXPECT_NE(csv.find("TOTAL,halo_wait,"), std::string::npos);
+  EXPECT_NE(csv.find(",12288"), std::string::npos);
+}
+
+TEST(Metrics, JsonParsesAndMatchesTotals) {
+  TraceRecorder rec;
+  const MetricsSummary m =
+      collect_metrics(synthetic_recorder(rec), {7, 999});
+  const testjson::ValuePtr doc = testjson::parse(metrics_json(m));
+  EXPECT_EQ(doc->at("steps").num, 2.0);
+  EXPECT_EQ(doc->at("traffic").at("messages").num, 7.0);
+  EXPECT_EQ(doc->at("traffic").at("bytes").num, 999.0);
+  const testjson::Value& halo = doc->at("total").at("halo_wait");
+  EXPECT_NEAR(halo.at("seconds").num, 2.5e-3, 1e-9);
+  EXPECT_EQ(halo.at("bytes").num, 12288.0);
+  ASSERT_EQ(doc->at("ranks").arr.size(), 2u);
+  EXPECT_EQ(doc->at("ranks").arr[0]->at("rank").num, 0.0);
+}
+
+TEST(Metrics, EmptyRecorderYieldsEmptySummary) {
+  TraceRecorder rec;
+  const MetricsSummary m = collect_metrics(rec);
+  EXPECT_TRUE(m.ranks.empty());
+  EXPECT_EQ(m.steps, 0);
+  EXPECT_EQ(m.wall_seconds, 0.0);
+  EXPECT_EQ(m.traced_seconds(), 0.0);
+  // Exports of an empty run are still well-formed.
+  EXPECT_NO_THROW(testjson::parse(metrics_json(m)));
+}
+
+}  // namespace
+}  // namespace yy::obs

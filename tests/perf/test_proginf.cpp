@@ -52,6 +52,65 @@ TEST(ProgInf, VectorTimeBelowUserTime) {
   EXPECT_GT(vec, 0.4 * user);  // mostly-vector code, like List 1
 }
 
+/// A measured-run summary with a plausible phase mix on two ranks.
+obs::MetricsSummary measured_summary() {
+  obs::TraceRecorder rec;
+  for (int rank = 0; rank < 2; ++rank) {
+    obs::RankTrace& t = rec.rank_trace(rank);
+    t.set_step(0);
+    std::int64_t now = 0;
+    auto add = [&](obs::Phase p, std::int64_t dur_ns, std::uint64_t bytes) {
+      t.record(p, now, now + dur_ns, bytes);
+      now += dur_ns;
+    };
+    add(obs::Phase::rhs, 8'000'000, 0);
+    add(obs::Phase::rk4_stage, 1'000'000, 0);
+    add(obs::Phase::boundary, 500'000, 0);
+    add(obs::Phase::halo_wait, 700'000, 1 << 16);
+    add(obs::Phase::overset_wait, 300'000, 1 << 14);
+    add(obs::Phase::reduce, 100'000, 0);
+  }
+  return obs::collect_metrics(rec, {120, 9'000'000});
+}
+
+TEST(MeasuredProgInf, ListsPhaseRowsWithRealExtremes) {
+  const std::string out = format_measured_proginf(measured_summary());
+  EXPECT_NE(out.find("MPI Program Information (measured):"), std::string::npos);
+  EXPECT_NE(out.find("Global Data of 2 processes"), std::string::npos);
+  for (const char* phase : {"rhs", "rk4_stage", "halo_wait", "overset_wait",
+                            "boundary", "reduce"})
+    EXPECT_NE(out.find(phase), std::string::npos) << phase;
+  EXPECT_NE(out.find("Messages"), std::string::npos);
+  EXPECT_NE(out.find("Message volume (MB)"), std::string::npos);
+  // No io spans were recorded: no io row.
+  EXPECT_EQ(out.find("  io "), std::string::npos);
+}
+
+TEST(MeasuredPhaseReport, ComparesMeasuredSharesAgainstModel) {
+  const obs::MetricsSummary m = measured_summary();
+  const std::string out =
+      format_phase_report(m, model(), kTable2Configs[0]);
+  EXPECT_NE(out.find("measured"), std::string::npos);
+  EXPECT_NE(out.find("compute"), std::string::npos);
+  EXPECT_NE(out.find("halo_wait"), std::string::npos);
+  EXPECT_NE(out.find("overset_wait"), std::string::npos);
+  EXPECT_NE(out.find("comm fraction:"), std::string::npos);
+  // The measured comm share of the synthetic mix is (0.7+0.3)/10.6 ≈ 9.4%.
+  EXPECT_NE(out.find("9.4%"), std::string::npos);
+}
+
+TEST(MeasuredPhaseReport, ModelPhaseFractionsAreConsistent) {
+  const ModelResult r = model().predict(kTable2Configs[0]);
+  EXPECT_GT(r.comp_fraction, 0.0);
+  EXPECT_GT(r.halo_fraction, 0.0);
+  EXPECT_GT(r.overset_fraction, 0.0);
+  EXPECT_NEAR(r.comp_fraction + r.halo_fraction + r.overset_fraction, 1.0,
+              1e-12);
+  EXPECT_NEAR(r.halo_fraction + r.overset_fraction, r.comm_fraction, 1e-12);
+  // The halo carries more volume and messages than the overset share.
+  EXPECT_GT(r.halo_fraction, r.overset_fraction);
+}
+
 TEST(Table3, LiteratureRowsMatchPaperNumbers) {
   const auto rows = sc_literature_rows();
   ASSERT_EQ(rows.size(), 4u);

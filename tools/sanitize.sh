@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Builds the sanitizer-labelled test suites under ThreadSanitizer and
+# AddressSanitizer+UBSan and runs `ctest -L sanitize` in each tree.
+# Usage: tools/sanitize.sh [thread|address]...   (default: both)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+modes=("$@")
+[ ${#modes[@]} -eq 0 ] && modes=(thread address)
+
+for mode in "${modes[@]}"; do
+  build="build-${mode}san"
+  echo "== ${mode} sanitizer -> ${build} =="
+  cmake -B "${build}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DYY_SANITIZE="${mode}" > /dev/null
+  cmake --build "${build}" -j "$(nproc)" --target \
+    test_comm test_core test_obs > /dev/null
+  (cd "${build}" && ctest -L sanitize --output-on-failure)
+done
