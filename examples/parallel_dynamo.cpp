@@ -9,13 +9,23 @@
 /// measured List-1-style report cross-checked against the Earth
 /// Simulator performance model's predicted phase split.
 ///
-/// Usage: parallel_dynamo [pt pp steps]   (default 2 x 2, 10 steps)
+/// Usage: parallel_dynamo [pt pp steps [mode]]  (default 2 x 2, 10 steps)
+///
+/// mode selects the run-control layer:
+///   plain      step loop, no checkpointing (default, the seed behaviour)
+///   resilient  ResilientRunner: periodic checkpoints + health monitoring
+///   faulty     resilient + an injected overset-message drop and a torn
+///              checkpoint commit — demonstrates automatic rewind; the
+///              final state still matches the serial reference exactly.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <mutex>
+#include <string>
 
+#include "comm/fault.hpp"
 #include "comm/runtime.hpp"
 #include "common/timer.hpp"
 #include "core/distributed_solver.hpp"
@@ -24,6 +34,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "perf/proginf.hpp"
+#include "resilience/resilient_runner.hpp"
 
 using namespace yy;
 using yinyang::Panel;
@@ -32,6 +43,12 @@ int main(int argc, char** argv) {
   const int pt = argc > 1 ? std::atoi(argv[1]) : 2;
   const int pp = argc > 2 ? std::atoi(argv[2]) : 2;
   const int steps = argc > 3 ? std::atoi(argv[3]) : 10;
+  const std::string mode = argc > 4 ? argv[4] : "plain";
+  if (mode != "plain" && mode != "resilient" && mode != "faulty") {
+    std::fprintf(stderr, "unknown mode '%s' (plain|resilient|faulty)\n",
+                 mode.c_str());
+    return 1;
+  }
 
   core::SimulationConfig cfg;
   cfg.nr = 13;
@@ -48,27 +65,68 @@ int main(int argc, char** argv) {
 
   mhd::EnergyBudget dist_energy;
   double dist_dt = 0.0;
+  resilience::RunReport report;
   std::mutex mu;
   obs::TraceRecorder rec;
   comm::Runtime rt(world);
+
+  if (mode == "faulty") {
+    // Provoke the recovery machinery on purpose: one overset envelope
+    // is dropped in the last quarter of the run and the mid-run
+    // checkpoint commit is torn on rank 0.  The runner rewinds to the
+    // newest CRC-valid set and re-runs the tail — bit-exactly.
+    auto plan = std::make_shared<comm::FaultPlan>();
+    comm::FaultPlan::Rule drop;
+    drop.kind = comm::FaultPlan::Kind::drop;
+    drop.tag = 200;  // overset interpolation traffic
+    drop.min_step = steps > 1 ? steps * 3 / 4 : 1;
+    plan->add_rule(drop);
+    plan->schedule_io_fault(std::max(1, steps / 2), /*world_rank=*/0,
+                            comm::FaultPlan::IoFault::torn);
+    rt.install_fault_plan(plan);
+  }
+
   WallTimer timer;
   rt.run([&](comm::Communicator& w) {
     obs::ScopedRankBind bind(rec, w.rank());
     core::DistributedSolver solver(cfg, w, pt, pp);
     solver.initialize();
     const double dt = solver.stable_dt();
-    for (int i = 0; i < steps; ++i) solver.step(dt);
+    resilience::RunReport rep;
+    if (mode == "plain") {
+      for (int i = 0; i < steps; ++i) solver.step(dt);
+      rep.completed = true;
+      rep.final_step = steps;
+      rep.final_dt = dt;
+    } else {
+      resilience::RunPolicy policy;
+      policy.store = {"yy_checkpoints", "dynamo", 2};
+      policy.checkpoint_interval = std::max(1, steps / 4);
+      policy.take_deadline_ms = 5000;
+      resilience::ResilientRunner runner(solver, policy);
+      rep = runner.run(steps, dt);
+    }
     const mhd::EnergyBudget e = solver.energies();
     if (w.rank() == 0) {
       std::lock_guard lock(mu);
       dist_energy = e;
-      dist_dt = dt;
+      dist_dt = rep.final_dt;
+      report = rep;
     }
   });
   const double wall = timer.seconds();
   const auto traffic = rt.traffic_total();
 
-  std::printf("%d RK4 steps on %d ranks: %.2f s wall\n", steps, world, wall);
+  std::printf("%d RK4 steps on %d ranks: %.2f s wall  [mode: %s]\n", steps,
+              world, wall, mode.c_str());
+  if (mode != "plain") {
+    std::printf("run control: %s after %lld steps, %d recoveries, "
+                "%d checkpoints (dir yy_checkpoints/)\n",
+                report.completed ? "completed" : "FAILED", report.final_step,
+                report.recoveries, report.checkpoints_saved);
+    if (!report.failure.empty())
+      std::printf("failure: %s\n", report.failure.c_str());
+  }
   std::printf("message traffic: %llu messages, %.2f MB\n",
               static_cast<unsigned long long>(traffic.messages),
               traffic.bytes / 1048576.0);
@@ -96,8 +154,15 @@ int main(int argc, char** argv) {
     obs::write_metrics_csv(metrics, csv);
     std::ofstream js("yy_metrics.json");
     obs::write_metrics_json(metrics, js);
-    std::printf("wrote yy_metrics.csv, yy_metrics.json\n\n");
+    std::printf("wrote yy_metrics.csv, yy_metrics.json\n");
   }
+  for (int e = 0; e < obs::kNumEvents; ++e)
+    if (metrics.events[static_cast<std::size_t>(e)] != 0)
+      std::printf("event %-22s %llu\n",
+                  obs::event_name(static_cast<obs::Event>(e)),
+                  static_cast<unsigned long long>(
+                      metrics.events[static_cast<std::size_t>(e)]));
+  std::printf("\n");
 
   std::printf("%s\n", perf::format_measured_proginf(metrics).c_str());
 

@@ -1,9 +1,14 @@
 #include "comm/communicator.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <thread>
 
 #include "comm/fabric.hpp"
+#include "comm/fault.hpp"
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 
 namespace yy::comm {
@@ -21,34 +26,140 @@ constexpr int sys_split_up = -7;
 constexpr int sys_split_down = -8;
 }  // namespace
 
+void Fabric::install_fault_plan(std::shared_ptr<FaultPlan> plan) {
+  std::lock_guard lock(plan_mu_);
+  plan_ = std::move(plan);
+  validate_.store(plan_ != nullptr, std::memory_order_relaxed);
+}
+
+FaultPlan* Fabric::fault_plan() const {
+  std::lock_guard lock(plan_mu_);
+  return plan_.get();
+}
+
 void Fabric::deliver(int dest_world, Envelope env) {
   YY_REQUIRE(dest_world >= 0 && dest_world < nranks());
   auto& t = traffic_[static_cast<std::size_t>(env.src_world)];
   t.messages.fetch_add(1, std::memory_order_relaxed);
   t.bytes.fetch_add(env.data.size() * sizeof(double), std::memory_order_relaxed);
+  env.seq =
+      1 + seq_[static_cast<std::size_t>(env.src_world)].next.fetch_add(1);
+  if (validate_.load(std::memory_order_relaxed)) {
+    env.crc = crc32(env.data.data(), env.data.size() * sizeof(double));
+    env.has_crc = true;
+  }
+  bool duplicate = false;
+  if (std::shared_ptr<FaultPlan> plan =
+          [this] { std::lock_guard l(plan_mu_); return plan_; }()) {
+    if (const auto rule = plan->on_deliver(env.src_world, dest_world, env.tag)) {
+      switch (rule->kind) {
+        case FaultPlan::Kind::drop:
+          return;  // metered as sent, never enqueued
+        case FaultPlan::Kind::delay:
+          std::this_thread::sleep_for(std::chrono::milliseconds(rule->delay_ms));
+          break;
+        case FaultPlan::Kind::duplicate:
+          duplicate = true;
+          break;
+        case FaultPlan::Kind::bitflip:
+          if (!env.data.empty()) {
+            // Deterministic victim byte from the plan seed and sequence;
+            // crc was stamped above, so the receiver must notice.
+            auto* bytes = reinterpret_cast<unsigned char*>(env.data.data());
+            const std::size_t n = env.data.size() * sizeof(double);
+            bytes[(plan->seed() + env.seq) % n] ^=
+                static_cast<unsigned char>(rule->flip_mask);
+          }
+          break;
+      }
+    }
+  }
   auto& box = boxes_[static_cast<std::size_t>(dest_world)];
   {
     std::lock_guard lock(box.mu);
+    if (duplicate) box.queue.push_back(env);  // same seq: dedup'd on take
     box.queue.push_back(std::move(env));
   }
   box.cv.notify_all();
 }
 
-Envelope Fabric::take(int self_world, int ctx, int src_world, int tag) {
+Envelope Fabric::take(int self_world, int ctx, int src_world, int tag,
+                      int deadline_ms) {
+  if (deadline_ms < 0) deadline_ms = default_deadline_ms();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms);
+  const std::array<int, 3> key{ctx, src_world, tag};
   auto& box = boxes_[static_cast<std::size_t>(self_world)];
   std::unique_lock lock(box.mu);
   for (;;) {
-    auto it = std::find_if(box.queue.begin(), box.queue.end(),
-                           [&](const Envelope& e) {
-                             return e.ctx == ctx && e.src_world == src_world &&
-                                    e.tag == tag;
-                           });
-    if (it != box.queue.end()) {
+    auto it = box.queue.begin();
+    while (it != box.queue.end()) {
+      if (it->ctx != ctx || it->src_world != src_world || it->tag != tag) {
+        ++it;
+        continue;
+      }
+      const auto seen = box.last_seq.find(key);
+      if (seen != box.last_seq.end() && it->seq <= seen->second) {
+        it = box.queue.erase(it);  // injected duplicate: discard
+        continue;
+      }
+      if (it->has_crc &&
+          crc32(it->data.data(), it->data.size() * sizeof(double)) !=
+              it->crc) {
+        box.queue.erase(it);
+        char msg[160];
+        std::snprintf(msg, sizeof msg,
+                      "corrupt envelope: payload CRC mismatch from world rank "
+                      "%d (tag %d, ctx %d) at world rank %d",
+                      src_world, tag, ctx, self_world);
+        throw Error(Error::Kind::corruption, msg);
+      }
       Envelope env = std::move(*it);
       box.queue.erase(it);
+      box.last_seq[key] = env.seq;
       return env;
     }
-    box.cv.wait(lock);
+    if (deadline_ms <= 0) {
+      box.cv.wait(lock);
+    } else if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      char msg[160];
+      std::snprintf(msg, sizeof msg,
+                    "receive timeout after %d ms: no message from world rank "
+                    "%d (tag %d, ctx %d) at world rank %d",
+                    deadline_ms, src_world, tag, ctx, self_world);
+      throw Error(Error::Kind::timeout, msg);
+    }
+  }
+}
+
+void Fabric::recovery_rendezvous(int deadline_ms) {
+  std::unique_lock lock(rdv_mu_);
+  const std::uint64_t gen = rdv_generation_;
+  if (++rdv_arrived_ == nranks()) {
+    // Last arriver: with every rank parked here, nobody is sending or
+    // matching, so the purge cannot race a live exchange.
+    for (auto& box : boxes_) {
+      std::lock_guard bl(box.mu);
+      box.queue.clear();
+      box.last_seq.clear();
+    }
+    rdv_arrived_ = 0;
+    ++rdv_generation_;
+    rdv_cv_.notify_all();
+    return;
+  }
+  const auto arrived = [&] { return rdv_generation_ != gen; };
+  if (deadline_ms <= 0) {
+    rdv_cv_.wait(lock, arrived);
+  } else if (!rdv_cv_.wait_for(lock, std::chrono::milliseconds(deadline_ms),
+                               arrived)) {
+    --rdv_arrived_;
+    char msg[128];
+    std::snprintf(msg, sizeof msg,
+                  "recovery rendezvous timeout after %d ms: %d of %d ranks "
+                  "arrived",
+                  deadline_ms, rdv_arrived_ + 1, nranks());
+    throw Error(Error::Kind::timeout, msg);
   }
 }
 
@@ -95,14 +206,16 @@ Request Communicator::irecv(int src, int tag, std::span<double> buf) const {
   return req;
 }
 
-void Communicator::wait(Request& req) const {
+void Communicator::wait(Request& req) const { wait(req, /*deadline_ms=*/-1); }
+
+void Communicator::wait(Request& req, int deadline_ms) const {
   YY_REQUIRE(req.valid());
   if (req.null_) {
     req.null_ = false;
     return;
   }
-  Envelope env =
-      req.fabric_->take(req.self_world_, req.ctx_, req.src_world_, req.tag_);
+  Envelope env = req.fabric_->take(req.self_world_, req.ctx_, req.src_world_,
+                                   req.tag_, deadline_ms);
   YY_REQUIRE(env.data.size() == req.buf_.size());
   std::copy(env.data.begin(), env.data.end(), req.buf_.begin());
   req.fabric_ = nullptr;
@@ -111,6 +224,37 @@ void Communicator::wait(Request& req) const {
 void Communicator::recv(int src, int tag, std::span<double> buf) const {
   Request req = irecv(src, tag, buf);
   wait(req);
+}
+
+void Communicator::recv(int src, int tag, std::span<double> buf,
+                        int deadline_ms) const {
+  Request req = irecv(src, tag, buf);
+  wait(req, deadline_ms);
+}
+
+void Communicator::set_take_deadline_ms(int ms) const {
+  YY_REQUIRE(fabric_ != nullptr);
+  fabric_->set_default_deadline_ms(ms);
+}
+
+int Communicator::take_deadline_ms() const {
+  YY_REQUIRE(fabric_ != nullptr);
+  return fabric_->default_deadline_ms();
+}
+
+void Communicator::install_fault_plan(std::shared_ptr<FaultPlan> plan) const {
+  YY_REQUIRE(fabric_ != nullptr);
+  fabric_->install_fault_plan(std::move(plan));
+}
+
+FaultPlan* Communicator::fault_plan() const {
+  YY_REQUIRE(fabric_ != nullptr);
+  return fabric_->fault_plan();
+}
+
+void Communicator::recovery_rendezvous(int deadline_ms) const {
+  YY_REQUIRE(fabric_ != nullptr);
+  fabric_->recovery_rendezvous(deadline_ms);
 }
 
 void Communicator::sendrecv(int dest, int send_tag,

@@ -35,6 +35,7 @@ namespace yy::comm {
 inline constexpr int proc_null = -1;
 
 class Fabric;
+class FaultPlan;
 
 /// Completion handle for a pending non-blocking receive.
 class Request {
@@ -71,6 +72,15 @@ class Communicator {
   /// Blocking receive (irecv + wait).
   void recv(int src, int tag, std::span<double> buf) const;
 
+  /// Deadline receive: like recv(), but if no matching message arrives
+  /// within `deadline_ms` milliseconds, throws a yy::Error
+  /// (Kind::timeout) naming the sender, tag and context instead of
+  /// hanging forever.  deadline_ms = 0 blocks indefinitely.
+  void recv(int src, int tag, std::span<double> buf, int deadline_ms) const;
+
+  /// Deadline variant of wait() (see recv overload above).
+  void wait(Request& req, int deadline_ms) const;
+
   /// Combined exchange (MPI_Sendrecv): posts the receive, performs the
   /// buffered send, completes the receive.  Either peer may be
   /// proc_null (the corresponding half becomes a no-op).
@@ -103,6 +113,27 @@ class Communicator {
 
   /// World rank backing a rank of this communicator (diagnostics).
   int world_rank_of(int r) const { return group_.at(static_cast<std::size_t>(r)); }
+
+  // ---- Resilience controls (fabric-wide: they affect every rank and
+  // every communicator sharing this fabric; see src/resilience).
+
+  /// Default deadline applied to every blocking receive on this fabric
+  /// (0 = block forever, the seed behaviour).  Lost or dropped messages
+  /// then surface as yy::Error timeouts that the resilient runner turns
+  /// into a checkpoint rewind.
+  void set_take_deadline_ms(int ms) const;
+  int take_deadline_ms() const;
+
+  /// Installs (nullptr clears) a fault-injection plan; also enables
+  /// per-envelope CRC32 payload validation while installed.
+  void install_fault_plan(std::shared_ptr<FaultPlan> plan) const;
+  FaultPlan* fault_plan() const;
+
+  /// Collective over ALL fabric ranks (call it from a world
+  /// communicator): waits for everyone, purges all in-flight traffic,
+  /// then releases the ranks together.  Positive deadline bounds the
+  /// wait for stragglers.
+  void recovery_rendezvous(int deadline_ms = 0) const;
 
  private:
   friend class Runtime;

@@ -1,11 +1,22 @@
 /// \file fabric.hpp
 /// Shared mailbox state behind a world of ranks (internal header).
+///
+/// Resilience hooks (see src/resilience): a FaultPlan can be installed
+/// to drop/delay/duplicate/bit-flip envelopes (which also enables
+/// per-envelope CRC32 payload validation at the receiver), blocking
+/// takes can be given a deadline so a lost message raises a
+/// descriptive yy::Error instead of hanging the world forever, and
+/// recovery_rendezvous() lets all ranks flush in-flight traffic before
+/// rewinding to a checkpoint.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -13,11 +24,16 @@
 
 namespace yy::comm {
 
+class FaultPlan;
+
 struct Envelope {
   int ctx;
   int src_world;
   int tag;
   std::vector<double> data;
+  std::uint64_t seq = 0;   ///< per-sender sequence, strictly increasing
+  std::uint32_t crc = 0;   ///< payload CRC32 (when has_crc)
+  bool has_crc = false;
 };
 
 /// One mailbox per world rank; senders push, receivers match and pop.
@@ -25,17 +41,44 @@ class Fabric {
  public:
   explicit Fabric(int nranks)
       : boxes_(static_cast<std::size_t>(nranks)),
-        traffic_(static_cast<std::size_t>(nranks)) {}
+        traffic_(static_cast<std::size_t>(nranks)),
+        seq_(static_cast<std::size_t>(nranks)) {}
 
   int nranks() const { return static_cast<int>(boxes_.size()); }
 
   void deliver(int dest_world, Envelope env);
 
   /// Blocks until an envelope matching (ctx, src, tag) arrives at
-  /// `self_world`'s mailbox, then moves it out.
-  Envelope take(int self_world, int ctx, int src_world, int tag);
+  /// `self_world`'s mailbox, then moves it out.  `deadline_ms` < 0 uses
+  /// the fabric default, 0 blocks forever, > 0 throws a descriptive
+  /// yy::Error (Kind::timeout) if nothing matched within the deadline.
+  /// Envelopes failing payload validation raise Kind::corruption.
+  Envelope take(int self_world, int ctx, int src_world, int tag,
+                int deadline_ms = -1);
 
   int allocate_contexts(int n) { return next_ctx_.fetch_add(n); }
+
+  /// Fabric-wide deadline applied to every blocking take that does not
+  /// pass one explicitly (0 = block forever, the default).
+  void set_default_deadline_ms(int ms) {
+    default_deadline_ms_.store(ms, std::memory_order_relaxed);
+  }
+  int default_deadline_ms() const {
+    return default_deadline_ms_.load(std::memory_order_relaxed);
+  }
+
+  /// Installs (or clears, with nullptr) the fault-injection plan and
+  /// enables payload CRC validation while a plan is present.
+  void install_fault_plan(std::shared_ptr<FaultPlan> plan);
+  FaultPlan* fault_plan() const;
+
+  /// Collective over ALL world ranks: blocks until everyone arrives,
+  /// then purges every mailbox (in-flight and stale envelopes plus
+  /// duplicate-suppression state) and releases all ranks together.
+  /// This is the comm-layer half of rewinding to a checkpoint: after
+  /// the rendezvous the fabric is as quiet as at startup.  A positive
+  /// deadline bounds the wait for stragglers (timeout -> yy::Error).
+  void recovery_rendezvous(int deadline_ms = 0);
 
   TrafficStats traffic(int world_rank) const;
   TrafficStats traffic_total() const;
@@ -45,15 +88,32 @@ class Fabric {
     std::mutex mu;
     std::condition_variable cv;
     std::deque<Envelope> queue;
+    /// Highest seq consumed per (ctx, src, tag) stream, for discarding
+    /// injected duplicate envelopes (seq <= last seen).
+    std::map<std::array<int, 3>, std::uint64_t> last_seq;
   };
   struct PerRankTraffic {
     std::atomic<std::uint64_t> messages{0};
     std::atomic<std::uint64_t> bytes{0};
   };
+  struct PerRankSeq {
+    std::atomic<std::uint64_t> next{0};
+  };
 
   std::vector<Mailbox> boxes_;
   std::vector<PerRankTraffic> traffic_;  // indexed by sender world rank
+  std::vector<PerRankSeq> seq_;          // indexed by sender world rank
   std::atomic<int> next_ctx_{1};
+  std::atomic<int> default_deadline_ms_{0};
+
+  mutable std::mutex plan_mu_;
+  std::shared_ptr<FaultPlan> plan_;
+  std::atomic<bool> validate_{false};
+
+  std::mutex rdv_mu_;
+  std::condition_variable rdv_cv_;
+  int rdv_arrived_ = 0;
+  std::uint64_t rdv_generation_ = 0;
 };
 
 }  // namespace yy::comm

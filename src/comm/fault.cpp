@@ -1,0 +1,63 @@
+#include "comm/fault.hpp"
+
+namespace yy::comm {
+
+void FaultPlan::add_rule(const Rule& r) {
+  std::lock_guard lock(mu_);
+  rules_.push_back(r);
+  matched_.push_back(0);
+  fired_.push_back(0);
+}
+
+void FaultPlan::schedule_io_fault(long long step, int world_rank, IoFault f) {
+  std::lock_guard lock(mu_);
+  io_schedule_[{step, world_rank}] = f;
+}
+
+FaultPlan::IoFault FaultPlan::take_io_fault(long long step, int world_rank) {
+  std::lock_guard lock(mu_);
+  const auto it = io_schedule_.find({step, world_rank});
+  if (it == io_schedule_.end()) return IoFault::none;
+  const IoFault f = it->second;
+  io_schedule_.erase(it);
+  if (f != IoFault::none) io_fired_.fetch_add(1, std::memory_order_relaxed);
+  return f;
+}
+
+void FaultPlan::note_step(long long step) {
+  long long cur = step_.load(std::memory_order_relaxed);
+  while (step > cur &&
+         !step_.compare_exchange_weak(cur, step, std::memory_order_relaxed)) {
+  }
+}
+
+std::optional<FaultPlan::Rule> FaultPlan::on_deliver(int src_world,
+                                                     int dest_world, int tag) {
+  const long long clock = step_.load(std::memory_order_relaxed);
+  std::lock_guard lock(mu_);
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const Rule& r = rules_[i];
+    if (r.src_world >= 0 && r.src_world != src_world) continue;
+    if (r.dest_world >= 0 && r.dest_world != dest_world) continue;
+    if (r.tag == kAnyTag ? tag < 0 : r.tag != tag) continue;
+    if (r.min_step >= 0 && clock < r.min_step) continue;
+    if (r.max_count > 0 && fired_[i] >= r.max_count) continue;
+    if (matched_[i]++ < r.skip) continue;
+    ++fired_[i];
+    injected_[static_cast<std::size_t>(r.kind)].fetch_add(
+        1, std::memory_order_relaxed);
+    return r;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t FaultPlan::injected(Kind k) const {
+  return injected_[static_cast<std::size_t>(k)].load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t FaultPlan::io_faults_fired() const {
+  return io_fired_.load(std::memory_order_relaxed);
+}
+
+}  // namespace yy::comm

@@ -1,0 +1,100 @@
+/// \file fault.hpp
+/// Deterministic fault injection for the in-process message fabric.
+///
+/// A FaultPlan installed on a Fabric (Runtime::install_fault_plan or
+/// Communicator::install_fault_plan) is consulted on every message
+/// delivery and can drop, delay, duplicate, or bit-flip envelopes, and
+/// fail checkpoint I/O on a schedule.  Installing a plan also turns on
+/// per-envelope CRC32 payload validation, so bit-flips are *detected*
+/// at the receiver (comm::Communicator receive paths throw a
+/// yy::Error with Kind::corruption) rather than silently consumed.
+///
+/// Determinism: rules fire by match counting under one plan-wide mutex,
+/// so with rules pinned to a single (src, dest, tag) stream the k-th
+/// matching envelope is the k-th message of that FIFO stream regardless
+/// of thread interleaving.  The `min_step` trigger gates rules on the
+/// solver's fault clock (note_step), which the resilience runner
+/// advances; the seed picks which payload byte a bit-flip lands on.
+/// Every recovery path in tests is therefore provoked on purpose, not
+/// hoped for.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace yy::comm {
+
+class FaultPlan {
+ public:
+  /// What to do to a matching envelope.
+  enum class Kind : int { drop = 0, delay, duplicate, bitflip };
+  static constexpr int kNumKinds = 4;
+
+  /// Matches any user tag (>= 0).  System (negative) tags are matched
+  /// only when named explicitly, so collectives and communicator setup
+  /// are never faulted by a wildcard rule.
+  static constexpr int kAnyTag = std::numeric_limits<int>::min();
+
+  struct Rule {
+    Kind kind = Kind::drop;
+    int src_world = -1;        ///< sender world rank, -1 = any
+    int dest_world = -1;       ///< receiver world rank, -1 = any
+    int tag = kAnyTag;         ///< exact tag, or kAnyTag (user tags only)
+    long long min_step = -1;   ///< fire only once note_step() >= this
+    int skip = 0;              ///< skip the first `skip` matching envelopes
+    int max_count = 1;         ///< fire at most this many times (<=0: no cap)
+    int delay_ms = 1;          ///< Kind::delay: sleep before delivery
+    std::uint32_t flip_mask = 0x01;  ///< Kind::bitflip: XOR'd into one byte
+  };
+
+  explicit FaultPlan(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+      : seed_(seed) {}
+
+  void add_rule(const Rule& r);
+
+  /// Scheduled checkpoint-I/O faults, keyed by (step, world rank).
+  /// Consulted once by CheckpointManager::save per rank per step; a
+  /// fired entry is removed, so a post-recovery re-save of the same
+  /// step succeeds.
+  enum class IoFault : int {
+    none = 0,
+    fail,  ///< the write fails outright (no file committed)
+    torn,  ///< a truncated file is committed; load must reject it by CRC
+  };
+  void schedule_io_fault(long long step, int world_rank, IoFault f);
+  IoFault take_io_fault(long long step, int world_rank);
+
+  /// Fault clock: the resilience runner stamps the solver step here so
+  /// rules can trigger at a chosen point of the run (monotone max).
+  void note_step(long long step);
+  long long step() const { return step_.load(std::memory_order_relaxed); }
+
+  /// Consulted by Fabric::deliver for each envelope; returns the first
+  /// rule that fires, advancing its counters.
+  std::optional<Rule> on_deliver(int src_world, int dest_world, int tag);
+
+  /// How many faults of each kind actually fired.
+  std::uint64_t injected(Kind k) const;
+  std::uint64_t io_faults_fired() const;
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Rule> rules_;
+  std::vector<int> matched_;  // per rule: envelopes matched so far
+  std::vector<int> fired_;    // per rule: times fired
+  std::map<std::pair<long long, int>, IoFault> io_schedule_;
+  std::atomic<long long> step_{-1};
+  std::array<std::atomic<std::uint64_t>, kNumKinds> injected_{};
+  std::atomic<std::uint64_t> io_fired_{0};
+  std::uint64_t seed_;
+};
+
+}  // namespace yy::comm

@@ -50,6 +50,16 @@ void Runtime::run(const std::function<void(Communicator&)>& fn) {
     if (e) std::rethrow_exception(e);
 }
 
+void Runtime::install_fault_plan(std::shared_ptr<FaultPlan> plan) {
+  fabric_->install_fault_plan(std::move(plan));
+}
+
+FaultPlan* Runtime::fault_plan() const { return fabric_->fault_plan(); }
+
+void Runtime::set_take_deadline_ms(int ms) {
+  fabric_->set_default_deadline_ms(ms);
+}
+
 TrafficStats Runtime::traffic(int world_rank) const {
   return fabric_->traffic(world_rank);
 }

@@ -10,6 +10,8 @@
 
 namespace yy::comm {
 
+class FaultPlan;
+
 class Runtime {
  public:
   explicit Runtime(int nranks);
@@ -24,6 +26,15 @@ class Runtime {
   /// The first exception thrown by any rank is rethrown here after all
   /// ranks complete.  May be called repeatedly (counters accumulate).
   void run(const std::function<void(Communicator&)>& fn);
+
+  /// Installs (nullptr clears) a fault-injection plan on the fabric;
+  /// payload CRC validation is enabled while a plan is installed.
+  void install_fault_plan(std::shared_ptr<FaultPlan> plan);
+  FaultPlan* fault_plan() const;
+
+  /// Fabric-wide default deadline for blocking receives (0 = block
+  /// forever); see Communicator::set_take_deadline_ms.
+  void set_take_deadline_ms(int ms);
 
   /// Traffic sent by one world rank / by everyone since construction.
   TrafficStats traffic(int world_rank) const;

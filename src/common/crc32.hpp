@@ -1,0 +1,50 @@
+/// \file crc32.hpp
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.  Used by
+/// the resilience layer to detect torn or bit-rotted checkpoint
+/// sections and, under fault injection, corrupted message payloads.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace yy {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+/// Incrementally extends a running CRC over `n` more bytes.  Start (and
+/// finish) with crc32_init()/crc32_final(), or use crc32() for one shot.
+inline std::uint32_t crc32_update(std::uint32_t state, const void* data,
+                                  std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i)
+    state = detail::kCrc32Table[(state ^ p[i]) & 0xFFu] ^ (state >> 8);
+  return state;
+}
+
+inline constexpr std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+inline constexpr std::uint32_t crc32_final(std::uint32_t state) {
+  return state ^ 0xFFFFFFFFu;
+}
+
+inline std::uint32_t crc32(const void* data, std::size_t n) {
+  return crc32_final(crc32_update(crc32_init(), data, n));
+}
+
+}  // namespace yy

@@ -9,6 +9,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 namespace yy {
 
@@ -17,6 +19,31 @@ namespace yy {
   std::fprintf(stderr, "[yy] %s failed: %s at %s:%d\n", kind, expr, file, line);
   std::abort();
 }
+
+/// Recoverable runtime failure.  Unlike the contract macros below (which
+/// abort on programming errors), an Error describes an *environmental*
+/// fault — a message that never arrived, a corrupted checkpoint, a
+/// numerically diverged state — that the resilience layer is expected to
+/// catch and recover from (src/resilience).
+class Error : public std::runtime_error {
+ public:
+  enum class Kind {
+    generic,     ///< unclassified failure
+    timeout,     ///< a blocking receive exceeded its deadline
+    corruption,  ///< payload failed checksum / format validation
+    io,          ///< file read/write failure
+    numeric,     ///< NaN/Inf or blow-up detected in the solution
+    exhausted,   ///< recovery retries exceeded the configured bound
+  };
+
+  Error(Kind kind, std::string msg)
+      : std::runtime_error(std::move(msg)), kind_(kind) {}
+
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
 
 }  // namespace yy
 

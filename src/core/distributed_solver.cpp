@@ -68,6 +68,13 @@ void DistributedSolver::fill_ghosts(mhd::Fields& s) {
   bc_.fill_ghosts(*grid_, s);
 }
 
+void DistributedSolver::restore_state(const mhd::Fields& s, double time,
+                                      long long step) {
+  state_->copy_from(s);  // shape-checked inside
+  time_ = time;
+  steps_ = step;
+}
+
 void DistributedSolver::initialize() {
   mhd::initialize_state(*grid_, cfg_.shell, cfg_.thermal, cfg_.eq.g0, cfg_.ic,
                         static_cast<int>(runner_->panel()),

@@ -48,9 +48,17 @@ class DistributedSolver {
   const PatchExtent& extent() const { return extent_; }
   const yinyang::ComponentGeometry& geometry() const { return geom_; }
   mhd::Fields& local_state() { return *state_; }
+  const mhd::Fields& local_state() const { return *state_; }
   const HaloExchanger& halo() const { return *halo_; }
   const OversetExchanger& overset() const { return *overset_; }
   long long steps_taken() const { return steps_; }
+  double time() const { return time_; }
+
+  /// Restores this rank's full local arrays (ghosts included) plus the
+  /// clock from a checkpoint; shapes must match.  Restart is bit-exact:
+  /// the arrays are exactly what the uninterrupted run held after step
+  /// `step` (rank-local, no communication).
+  void restore_state(const mhd::Fields& s, double time, long long step);
 
   /// Walls → halo → overset → radial ghosts, on this rank's patch
   /// (collective: every rank must call it together).

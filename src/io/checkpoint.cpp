@@ -26,6 +26,15 @@ bool read_fields(std::FILE* f, mhd::Fields& s) {
   return true;
 }
 
+/// The documented contract: field shapes must match the header exactly.
+/// A mismatched file would otherwise silently short-read or reinterpret
+/// the payload into the wrong (ir, it, ip) layout.
+bool shapes_match(const CheckpointHeader& hdr, const mhd::Fields* s) {
+  if (s == nullptr) return true;
+  const Field3& f = *s->all()[0];
+  return f.nr() == hdr.nr && f.nt() == hdr.nt && f.np() == hdr.np;
+}
+
 }  // namespace
 
 bool save_checkpoint(const std::string& path, const CheckpointHeader& hdr,
@@ -48,6 +57,11 @@ bool load_checkpoint(const std::string& path, CheckpointHeader& hdr,
   bool ok = std::fread(magic, 1, sizeof magic, f) == sizeof magic &&
             std::memcmp(magic, kMagic, sizeof magic) == 0 &&
             std::fread(&hdr, sizeof hdr, 1, f) == 1;
+  ok = ok && hdr.nr > 0 && hdr.nt > 0 && hdr.np > 0 &&
+       (hdr.panels == 1 || hdr.panels == 2) && shapes_match(hdr, panel0) &&
+       shapes_match(hdr, panel1) &&
+       // A two-panel file cannot be represented without a second target.
+       !(hdr.panels == 2 && panel0 != nullptr && panel1 == nullptr);
   if (ok && panel0 != nullptr) ok = read_fields(f, *panel0);
   if (ok && hdr.panels > 1 && panel1 != nullptr) ok = read_fields(f, *panel1);
   std::fclose(f);

@@ -1,8 +1,15 @@
 /// \file checkpoint.hpp
-/// Binary checkpointing of a simulation state.  The paper's production
-/// runs saved 3-D data 127 times over 6 wall-clock hours (§V, ~500 GB);
-/// this is the scaled-down equivalent: all 8 basic variables of one or
-/// two panels with shape metadata, restartable bit-exactly.
+/// Binary checkpointing of a simulation state (v1).  The paper's
+/// production runs saved 3-D data 127 times over 6 wall-clock hours
+/// (§V, ~500 GB); this is the scaled-down equivalent: all 8 basic
+/// variables of one or two panels with shape metadata, restartable
+/// bit-exactly.
+///
+/// This legacy format has no corruption detection and no atomic
+/// commit.  New code should prefer the hardened `YYCORE02` format in
+/// resilience/checkpoint2.hpp (per-section CRC32, write-to-temp +
+/// rename, staged validated loads) and CheckpointManager for
+/// distributed sets with retention and collective restore.
 #pragma once
 
 #include <string>

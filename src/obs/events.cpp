@@ -1,0 +1,41 @@
+#include "obs/events.hpp"
+
+namespace yy::obs {
+
+const char* event_name(Event e) {
+  switch (e) {
+    case Event::checkpoint_saved: return "checkpoint_saved";
+    case Event::checkpoint_save_failed: return "checkpoint_save_failed";
+    case Event::checkpoint_rejected: return "checkpoint_rejected";
+    case Event::restart_loaded: return "restart_loaded";
+    case Event::recovery_rewind: return "recovery_rewind";
+    case Event::dt_backoff: return "dt_backoff";
+    case Event::comm_timeout: return "comm_timeout";
+    case Event::comm_corruption: return "comm_corruption";
+    case Event::health_check: return "health_check";
+    case Event::health_nonfinite: return "health_nonfinite";
+    case Event::health_blowup: return "health_blowup";
+    case Event::health_cfl_collapse: return "health_cfl_collapse";
+    case Event::run_failed: return "run_failed";
+  }
+  return "?";
+}
+
+EventCounters& EventCounters::global() {
+  static EventCounters instance;
+  return instance;
+}
+
+std::array<std::uint64_t, kNumEvents> EventCounters::snapshot() const {
+  std::array<std::uint64_t, kNumEvents> out{};
+  for (int i = 0; i < kNumEvents; ++i)
+    out[static_cast<std::size_t>(i)] =
+        c_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  return out;
+}
+
+void EventCounters::reset() {
+  for (auto& a : c_) a.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace yy::obs

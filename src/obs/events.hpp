@@ -1,0 +1,59 @@
+/// \file events.hpp
+/// Named resilience event counters, the discrete-event complement of
+/// the span metrics: checkpoints saved/rejected, restarts, recovery
+/// rewinds, comm faults, health verdicts.  Counters are process-global
+/// and thread-safe (rank threads of the in-process runtime all count
+/// into the same registry); collect_metrics() snapshots them into the
+/// MetricsSummary so recovery activity shows up in yy_metrics CSV/JSON
+/// next to the per-phase timings.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace yy::obs {
+
+enum class Event : int {
+  checkpoint_saved = 0,     ///< collective save committed (world rank 0)
+  checkpoint_save_failed,   ///< collective save aborted and discarded
+  checkpoint_rejected,      ///< a stored checkpoint failed validation on load
+  restart_loaded,           ///< state restored from a checkpoint
+  recovery_rewind,          ///< a fault triggered a rewind-and-retry
+  dt_backoff,               ///< dt reduced after a numerical blow-up
+  comm_timeout,             ///< a receive deadline expired (per rank)
+  comm_corruption,          ///< an envelope failed CRC validation (per rank)
+  health_check,             ///< collective health sweeps performed
+  health_nonfinite,         ///< NaN/Inf detected in the state
+  health_blowup,            ///< field magnitude above the blow-up threshold
+  health_cfl_collapse,      ///< stable dt collapsed below the floor
+  run_failed,               ///< resilient run gave up (structured failure)
+};
+
+inline constexpr int kNumEvents = 13;
+
+const char* event_name(Event e);
+
+class EventCounters {
+ public:
+  static EventCounters& global();
+
+  void add(Event e, std::uint64_t n = 1) {
+    c_[static_cast<std::size_t>(e)].fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t count(Event e) const {
+    return c_[static_cast<std::size_t>(e)].load(std::memory_order_relaxed);
+  }
+  std::array<std::uint64_t, kNumEvents> snapshot() const;
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumEvents> c_{};
+};
+
+/// Counts into the global registry.
+inline void count_event(Event e, std::uint64_t n = 1) {
+  EventCounters::global().add(e, n);
+}
+
+}  // namespace yy::obs

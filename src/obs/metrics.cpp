@@ -55,6 +55,7 @@ MetricsSummary collect_metrics(const TraceRecorder& rec,
   if (g_max > g_min)
     m.wall_seconds = static_cast<double>(g_max - g_min) / 1e9;
   m.steps = max_step + 1;
+  m.events = EventCounters::global().snapshot();
   return m;
 }
 
@@ -77,6 +78,13 @@ void write_metrics_csv(const MetricsSummary& m, std::ostream& out) {
     std::snprintf(buf, sizeof buf, "TOTAL,%s,%.9f,%" PRIu64 ",%" PRIu64 "\n",
                   phase_name(static_cast<Phase>(p)), pm.seconds, pm.count,
                   pm.bytes);
+    out << buf;
+  }
+  for (int e = 0; e < kNumEvents; ++e) {
+    const std::uint64_t n = m.events[static_cast<std::size_t>(e)];
+    if (n == 0) continue;
+    std::snprintf(buf, sizeof buf, "EVENT,%s,0,%" PRIu64 ",0\n",
+                  event_name(static_cast<Event>(e)), n);
     out << buf;
   }
 }
@@ -114,7 +122,20 @@ void write_metrics_json(const MetricsSummary& m, std::ostream& out) {
                 m.steps, m.wall_seconds, m.traffic.messages, m.traffic.bytes);
   out << buf;
   json_phases(m.total, out);
-  out << ",\"ranks\":[";
+  out << ",\"events\":{";
+  {
+    bool first = true;
+    for (int e = 0; e < kNumEvents; ++e) {
+      const std::uint64_t n = m.events[static_cast<std::size_t>(e)];
+      if (n == 0) continue;
+      if (!first) out << ",";
+      first = false;
+      std::snprintf(buf, sizeof buf, "\"%s\":%" PRIu64,
+                    event_name(static_cast<Event>(e)), n);
+      out << buf;
+    }
+  }
+  out << "},\"ranks\":[";
   bool first = true;
   for (const RankMetrics& rm : m.ranks) {
     if (!first) out << ",";

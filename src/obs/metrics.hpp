@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "comm/communicator.hpp"
+#include "obs/events.hpp"
 #include "obs/trace.hpp"
 
 namespace yy::obs {
@@ -36,9 +37,16 @@ struct MetricsSummary {
   std::int64_t steps = 0;       ///< max step stamp seen + 1 (0 if none)
   double wall_seconds = 0.0;    ///< global last end − first begin
   comm::TrafficStats traffic;   ///< caller-supplied (0 if not)
+  /// Snapshot of the global resilience event counters (events.hpp);
+  /// exported as EVENT rows / an "events" object so checkpoint and
+  /// recovery activity is visible in yy_metrics output.
+  std::array<std::uint64_t, kNumEvents> events{};
 
   const PhaseMetrics& phase(Phase p) const {
     return total[static_cast<std::size_t>(p)];
+  }
+  std::uint64_t event(Event e) const {
+    return events[static_cast<std::size_t>(e)];
   }
   /// Σ traced seconds over every phase and rank.
   double traced_seconds() const;

@@ -1,0 +1,287 @@
+#include "resilience/checkpoint2.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+
+namespace yy::resilience {
+
+namespace {
+
+constexpr char kMagic[8] = {'Y', 'Y', 'C', 'O', 'R', 'E', '0', '2'};
+constexpr std::uint32_t kVersion = 2;
+
+// ---- explicit little-endian serialization (no raw struct fwrite).
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+}
+
+void put_i32(std::string& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(out, bits);
+}
+
+/// Bounds-checked little-endian reader over an in-memory buffer.
+struct Reader {
+  const unsigned char* p;
+  std::size_t n;
+  std::size_t off = 0;
+  bool ok = true;
+
+  std::uint32_t u32() {
+    if (off + 4 > n) { ok = false; return 0; }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(p[off + static_cast<std::size_t>(i)])
+           << (8 * i);
+    off += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (off + 8 > n) { ok = false; return 0; }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(p[off + static_cast<std::size_t>(i)])
+           << (8 * i);
+    off += 8;
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+};
+
+std::string serialize_header(const CheckpointMetaV2& m) {
+  std::string h;
+  h.reserve(72);
+  put_u32(h, kVersion);
+  put_i32(h, m.nr);
+  put_i32(h, m.nt);
+  put_i32(h, m.np);
+  put_i32(h, m.panels);
+  put_f64(h, m.time);
+  put_i64(h, m.step);
+  put_f64(h, m.dt);
+  put_i32(h, m.world_size);
+  put_i32(h, m.world_rank);
+  put_i32(h, m.pt);
+  put_i32(h, m.pp);
+  put_i32(h, m.panel);
+  return h;
+}
+
+bool parse_header(const std::string& h, CheckpointMetaV2& m) {
+  Reader r{reinterpret_cast<const unsigned char*>(h.data()), h.size()};
+  const std::uint32_t version = r.u32();
+  m.nr = r.i32();
+  m.nt = r.i32();
+  m.np = r.i32();
+  m.panels = r.i32();
+  m.time = r.f64();
+  m.step = r.i64();
+  m.dt = r.f64();
+  m.world_size = r.i32();
+  m.world_rank = r.i32();
+  m.pt = r.i32();
+  m.pp = r.i32();
+  m.panel = r.i32();
+  return r.ok && r.off == h.size() && version == kVersion;
+}
+
+std::size_t panel_doubles(const CheckpointMetaV2& m) {
+  return static_cast<std::size_t>(mhd::Fields::kNumFields) *
+         static_cast<std::size_t>(m.nr) * static_cast<std::size_t>(m.nt) *
+         static_cast<std::size_t>(m.np);
+}
+
+bool fields_shape_is(const mhd::Fields& s, const CheckpointMetaV2& m) {
+  const Field3& f = *s.all()[0];
+  return f.nr() == m.nr && f.nt() == m.nt && f.np() == m.np;
+}
+
+/// Streams one panel's 8 fields, tracking a section CRC; returns false
+/// on a short write.
+bool write_panel(std::FILE* f, const mhd::Fields& s) {
+  std::uint32_t crc = crc32_init();
+  std::string len;
+  std::uint64_t bytes = 0;
+  for (const Field3* fld : s.all())
+    bytes += fld->flat().size() * sizeof(double);
+  put_u64(len, bytes);
+  if (std::fwrite(len.data(), 1, len.size(), f) != len.size()) return false;
+  for (const Field3* fld : s.all()) {
+    const auto flat = fld->flat();
+    const std::size_t n = flat.size() * sizeof(double);
+    if (std::fwrite(flat.data(), 1, n, f) != n) return false;
+    crc = crc32_update(crc, flat.data(), n);
+  }
+  std::string tail;
+  put_u32(tail, crc32_final(crc));
+  return std::fwrite(tail.data(), 1, tail.size(), f) == tail.size();
+}
+
+}  // namespace
+
+const char* load_status_name(LoadStatus s) {
+  switch (s) {
+    case LoadStatus::ok: return "ok";
+    case LoadStatus::io_error: return "io_error";
+    case LoadStatus::bad_magic: return "bad_magic";
+    case LoadStatus::bad_header: return "bad_header";
+    case LoadStatus::bad_shape: return "bad_shape";
+    case LoadStatus::bad_payload: return "bad_payload";
+  }
+  return "?";
+}
+
+bool save_checkpoint_v2(const std::string& path, const CheckpointMetaV2& meta,
+                        const mhd::Fields* panel0, const mhd::Fields* panel1,
+                        IoFaultSim fault) {
+  YY_REQUIRE(panel0 != nullptr);
+  YY_REQUIRE(meta.panels == 1 || meta.panels == 2);
+  YY_REQUIRE((meta.panels == 2) == (panel1 != nullptr));
+  YY_REQUIRE(fields_shape_is(*panel0, meta));
+  YY_REQUIRE(panel1 == nullptr || fields_shape_is(*panel1, meta));
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+
+  const std::string header = serialize_header(meta);
+  std::string head;
+  head.append(kMagic, sizeof kMagic);
+  put_u32(head, static_cast<std::uint32_t>(header.size()));
+  head += header;
+  put_u32(head, crc32(header.data(), header.size()));
+
+  bool ok = std::fwrite(head.data(), 1, head.size(), f) == head.size();
+  if (ok) ok = write_panel(f, *panel0);
+  if (ok && panel1 != nullptr) ok = write_panel(f, *panel1);
+  ok = std::fflush(f) == 0 && ok;
+  std::fclose(f);
+
+  std::error_code ec;
+  if (!ok || fault == IoFaultSim::fail_before_commit) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  if (fault == IoFaultSim::torn_commit) {
+    // Publish a truncated file *as if the commit succeeded*: the torn
+    // section loses its CRC trailer, so only the loader can catch it.
+    const auto size = std::filesystem::file_size(tmp, ec);
+    if (!ec) std::filesystem::resize_file(tmp, size - size / 4, ec);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+LoadStatus load_checkpoint_v2(const std::string& path, CheckpointMetaV2& meta,
+                              mhd::Fields* panel0, mhd::Fields* panel1) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return LoadStatus::io_error;
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{f};
+
+  char magic[8];
+  if (std::fread(magic, 1, sizeof magic, f) != sizeof magic ||
+      std::memcmp(magic, kMagic, sizeof magic) != 0)
+    return LoadStatus::bad_magic;
+
+  unsigned char len4[4];
+  if (std::fread(len4, 1, 4, f) != 4) return LoadStatus::bad_header;
+  Reader lr{len4, 4};
+  const std::uint32_t hlen = lr.u32();
+  if (hlen == 0 || hlen > 4096) return LoadStatus::bad_header;
+
+  std::string header(hlen, '\0');
+  unsigned char crc4[4];
+  if (std::fread(header.data(), 1, hlen, f) != hlen ||
+      std::fread(crc4, 1, 4, f) != 4)
+    return LoadStatus::bad_header;
+  Reader cr{crc4, 4};
+  if (cr.u32() != crc32(header.data(), header.size()))
+    return LoadStatus::bad_header;
+
+  CheckpointMetaV2 m;
+  if (!parse_header(header, m) || m.nr <= 0 || m.nt <= 0 || m.np <= 0 ||
+      (m.panels != 1 && m.panels != 2))
+    return LoadStatus::bad_header;
+
+  if (panel0 == nullptr) {  // header peek
+    meta = m;
+    return LoadStatus::ok;
+  }
+  if (!fields_shape_is(*panel0, m)) return LoadStatus::bad_shape;
+  if (m.panels == 2 &&
+      (panel1 == nullptr || !fields_shape_is(*panel1, m)))
+    return LoadStatus::bad_shape;
+
+  // Stage both panels in scratch memory; the caller's Fields are only
+  // touched after every section has validated.
+  const std::size_t nd = panel_doubles(m);
+  std::vector<std::vector<double>> scratch(
+      static_cast<std::size_t>(m.panels));
+  for (auto& s : scratch) {
+    unsigned char plen8[8];
+    if (std::fread(plen8, 1, 8, f) != 8) return LoadStatus::bad_payload;
+    Reader pr{plen8, 8};
+    if (pr.u64() != nd * sizeof(double)) return LoadStatus::bad_payload;
+    s.resize(nd);
+    if (std::fread(s.data(), 1, nd * sizeof(double), f) !=
+        nd * sizeof(double))
+      return LoadStatus::bad_payload;
+    unsigned char pcrc4[4];
+    if (std::fread(pcrc4, 1, 4, f) != 4) return LoadStatus::bad_payload;
+    Reader pc{pcrc4, 4};
+    if (pc.u32() != crc32(s.data(), nd * sizeof(double)))
+      return LoadStatus::bad_payload;
+  }
+  char extra;
+  if (std::fread(&extra, 1, 1, f) == 1) return LoadStatus::bad_payload;
+
+  mhd::Fields* targets[2] = {panel0, panel1};
+  for (int p = 0; p < m.panels; ++p) {
+    const double* src = scratch[static_cast<std::size_t>(p)].data();
+    for (Field3* fld : targets[p]->all()) {
+      auto flat = fld->flat();
+      std::memcpy(flat.data(), src, flat.size() * sizeof(double));
+      src += flat.size();
+    }
+  }
+  meta = m;
+  return LoadStatus::ok;
+}
+
+}  // namespace yy::resilience

@@ -1,0 +1,122 @@
+#include "resilience/resilient_runner.hpp"
+
+#include <utility>
+
+#include "comm/fault.hpp"
+#include "common/error.hpp"
+#include "obs/events.hpp"
+
+namespace yy::resilience {
+
+namespace {
+
+/// Restores the fabric receive deadline on every exit path.
+struct DeadlineGuard {
+  const comm::Communicator& world;
+  int prev;
+  ~DeadlineGuard() { world.set_take_deadline_ms(prev); }
+};
+
+}  // namespace
+
+ResilientRunner::ResilientRunner(core::DistributedSolver& solver,
+                                 RunPolicy policy)
+    : solver_(solver),
+      policy_(std::move(policy)),
+      ckpt_(policy_.store),
+      health_(policy_.health) {
+  YY_REQUIRE(policy_.checkpoint_interval >= 1);
+  YY_REQUIRE(policy_.max_recoveries >= 0);
+  YY_REQUIRE(policy_.dt_backoff > 0.0 && policy_.dt_backoff <= 1.0);
+}
+
+RunReport ResilientRunner::fail(RunReport r, const std::string& why) {
+  r.completed = false;
+  r.failure = why;
+  r.final_step = solver_.steps_taken();
+  if (solver_.runner().world().rank() == 0)
+    obs::count_event(obs::Event::run_failed);
+  return r;
+}
+
+bool ResilientRunner::recover(RunReport& r, double& dt, bool blowup_local) {
+  const comm::Communicator& world = solver_.runner().world();
+  try {
+    // Park every fabric rank, purge all in-flight traffic, release
+    // together.  A positive deadline keeps a wedged peer from turning
+    // recovery itself into a hang.
+    world.recovery_rendezvous(
+        policy_.take_deadline_ms > 0 ? policy_.take_deadline_ms * 10 : 0);
+    ++r.recoveries;
+    if (r.recoveries > policy_.max_recoveries) return false;
+
+    // The rendezvous is collective, so every rank reaches this point
+    // and the verdicts below are symmetric across ranks.
+    if (world.allreduce_max(blowup_local ? 1.0 : 0.0) > 0.5) {
+      dt *= policy_.dt_backoff;
+      if (world.rank() == 0) obs::count_event(obs::Event::dt_backoff);
+    }
+    if (ckpt_.restore_newest(solver_) < 0) solver_.initialize();
+    if (world.rank() == 0) obs::count_event(obs::Event::recovery_rewind);
+    return true;
+  } catch (const Error&) {
+    // Recovery traffic itself failed (e.g. a persistent fault): give up
+    // cleanly.  The deadlines bound every peer's wait, so all ranks
+    // reach the same conclusion instead of hanging.
+    return false;
+  }
+}
+
+RunReport ResilientRunner::run(long long target_steps, double dt) {
+  const comm::Communicator& world = solver_.runner().world();
+  DeadlineGuard guard{world, world.take_deadline_ms()};
+  if (policy_.take_deadline_ms > 0)
+    world.set_take_deadline_ms(policy_.take_deadline_ms);
+
+  RunReport r;
+  while (solver_.steps_taken() < target_steps) {
+    r.final_dt = dt;
+    bool blowup_local = false;
+    try {
+      // Advance the fault clock so min_step-gated rules arm exactly at
+      // the step whose communication they should hit.
+      if (comm::FaultPlan* plan = world.fault_plan())
+        plan->note_step(solver_.steps_taken() + 1);
+
+      solver_.step(dt);
+      const long long step = solver_.steps_taken();
+
+      if (health_.due(step)) {
+        const HealthVerdict v = health_.check(solver_, dt);
+        if (v == HealthVerdict::cfl_collapse)  // collective verdict:
+          return fail(std::move(r),            // every rank fails alike
+                      "timestep collapsed below the policy minimum");
+        if (v != HealthVerdict::healthy) {
+          blowup_local = true;
+          throw Error(Error::Kind::numeric,
+                      std::string("solver health check failed: ") +
+                          verdict_name(v));
+        }
+      }
+      if (step % policy_.checkpoint_interval == 0 || step == target_steps)
+        if (ckpt_.save(solver_, dt, world.fault_plan()))
+          ++r.checkpoints_saved;
+    } catch (const Error& e) {
+      if (e.kind() == Error::Kind::timeout)
+        obs::count_event(obs::Event::comm_timeout);
+      else if (e.kind() == Error::Kind::corruption)
+        obs::count_event(obs::Event::comm_corruption);
+      if (!recover(r, dt, blowup_local))
+        return fail(std::move(r),
+                    std::string("unrecoverable after ") +
+                        std::to_string(r.recoveries) +
+                        " recoveries: " + e.what());
+    }
+  }
+  r.completed = true;
+  r.final_step = solver_.steps_taken();
+  r.final_dt = dt;
+  return r;
+}
+
+}  // namespace yy::resilience

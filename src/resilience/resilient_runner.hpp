@@ -1,0 +1,67 @@
+/// \file resilient_runner.hpp
+/// Fault-tolerant run control for the distributed solver.
+///
+/// Drives DistributedSolver::step with periodic checkpointing and
+/// health monitoring, and turns faults — lost/corrupted messages
+/// (yy::Error timeouts/corruption from the hardened comm layer) or a
+/// diverging solution (HealthMonitor verdicts) — into an automatic
+/// rewind: all ranks rendezvous on the fabric, purge in-flight
+/// traffic, agree collectively on a dt backoff, and restore the newest
+/// CRC-valid checkpoint set (or reinitialize when none exists).  After
+/// a bounded number of recoveries the run fails cleanly with a
+/// structured report instead of hanging or crashing.  Because
+/// checkpoints hold the full local arrays and rewound steps re-run
+/// with the same dt schedule, a recovered run is bitwise identical to
+/// an unfaulted one.
+#pragma once
+
+#include <string>
+
+#include "core/distributed_solver.hpp"
+#include "resilience/checkpoint_manager.hpp"
+#include "resilience/health.hpp"
+
+namespace yy::resilience {
+
+struct RunPolicy {
+  CheckpointManager::Options store;   ///< where checkpoint sets live
+  long long checkpoint_interval = 10; ///< save every N steps (>= 1)
+  HealthPolicy health;                ///< scan cadence + thresholds
+  int max_recoveries = 3;             ///< rewinds before giving up
+  double dt_backoff = 0.5;            ///< dt multiplier after a blow-up
+  int take_deadline_ms = 2000;        ///< receive deadline while running
+                                      ///  (0 keeps blocking receives)
+};
+
+struct RunReport {
+  bool completed = false;
+  long long final_step = 0;
+  double final_dt = 0.0;
+  int recoveries = 0;         ///< rewinds performed
+  int checkpoints_saved = 0;  ///< committed sets during this run
+  std::string failure;        ///< empty when completed
+};
+
+class ResilientRunner {
+ public:
+  /// Collective: all ranks construct together with identical policy.
+  ResilientRunner(core::DistributedSolver& solver, RunPolicy policy);
+
+  /// Collective: advances the solver to `target_steps` total steps with
+  /// fixed timestep `dt`, recovering from faults along the way.  Every
+  /// rank returns an identical verdict (completed/failure, recoveries).
+  RunReport run(long long target_steps, double dt);
+
+  CheckpointManager& checkpoints() { return ckpt_; }
+
+ private:
+  RunReport fail(RunReport r, const std::string& why);
+  bool recover(RunReport& r, double& dt, bool blowup_local);
+
+  core::DistributedSolver& solver_;
+  RunPolicy policy_;
+  CheckpointManager ckpt_;
+  HealthMonitor health_;
+};
+
+}  // namespace yy::resilience

@@ -71,6 +71,44 @@ TEST(Checkpoint, MissingFileFailsCleanly) {
   EXPECT_FALSE(load_checkpoint("/nonexistent/path/cp.bin", hdr, &s, nullptr));
 }
 
+TEST(Checkpoint, ShapeMismatchRejected) {
+  // Regression: load_checkpoint used to ignore the caller's Fields
+  // shapes and write straight through the header's (possibly foreign)
+  // dimensions.  A file whose dims don't match the target must fail.
+  SphericalGrid g = small_grid();
+  mhd::Fields s(g);
+  const std::string path = std::string(::testing::TempDir()) + "/cp_shape.bin";
+  CheckpointHeader hdr{g.Nr(), g.Nt(), g.Np(), 1, 0.5, 7};
+  ASSERT_TRUE(save_checkpoint(path, hdr, &s, nullptr));
+
+  GridSpec spec;
+  spec.nr = 4;  // different radial extent → different array shape
+  spec.nt = 6;
+  spec.np = 7;
+  spec.r0 = 0.4;
+  spec.r1 = 1.0;
+  spec.t0 = 0.9;
+  spec.t1 = 2.2;
+  spec.p0 = -1.0;
+  spec.p1 = 1.0;
+  spec.ghost = 2;
+  SphericalGrid g2{spec};
+  mhd::Fields t(g2);
+  CheckpointHeader back;
+  EXPECT_FALSE(load_checkpoint(path, back, &t, nullptr));
+}
+
+TEST(Checkpoint, TwoPanelFileNeedsBothTargets) {
+  SphericalGrid g = small_grid();
+  mhd::Fields yin(g), yang(g);
+  const std::string path = std::string(::testing::TempDir()) + "/cp_two1.bin";
+  CheckpointHeader hdr{g.Nr(), g.Nt(), g.Np(), 2, 0.5, 7};
+  ASSERT_TRUE(save_checkpoint(path, hdr, &yin, &yang));
+  mhd::Fields t(g);
+  CheckpointHeader back;
+  EXPECT_FALSE(load_checkpoint(path, back, &t, nullptr));
+}
+
 TEST(Checkpoint, CorruptMagicRejected) {
   const std::string path = std::string(::testing::TempDir()) + "/bad.bin";
   {

@@ -1,0 +1,246 @@
+#include "resilience/checkpoint2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace yy::resilience {
+namespace {
+
+SphericalGrid tiny_grid() {
+  GridSpec s;
+  s.nr = 3;
+  s.nt = 4;
+  s.np = 4;
+  s.r0 = 0.4;
+  s.r1 = 1.0;
+  s.t0 = 0.9;
+  s.t1 = 2.2;
+  s.p0 = -1.0;
+  s.p1 = 1.0;
+  s.ghost = 1;
+  return SphericalGrid(s);
+}
+
+CheckpointMetaV2 meta_for_grid(const SphericalGrid& g, int panels) {
+  CheckpointMetaV2 m;
+  m.nr = g.Nr();
+  m.nt = g.Nt();
+  m.np = g.Np();
+  m.panels = panels;
+  m.time = 1.25;
+  m.step = 42;
+  m.dt = 3.5e-4;
+  m.world_size = 4;
+  m.world_rank = 1;
+  m.pt = 1;
+  m.pp = 2;
+  m.panel = 0;
+  return m;
+}
+
+void fill_pattern(mhd::Fields& s, double scale) {
+  int k = 0;
+  for (Field3* f : s.all())
+    for (double& v : f->flat()) v = scale * ++k;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(CheckpointV2, SinglePanelRoundTripBitExact) {
+  SphericalGrid g = tiny_grid();
+  mhd::Fields s(g);
+  fill_pattern(s, 0.001);
+  const std::string path = temp_path("v2_single.yyc2");
+  ASSERT_TRUE(save_checkpoint_v2(path, meta_for_grid(g, 1), &s, nullptr));
+
+  mhd::Fields t(g);
+  CheckpointMetaV2 back;
+  ASSERT_EQ(load_checkpoint_v2(path, back, &t, nullptr), LoadStatus::ok);
+  EXPECT_EQ(back.panels, 1);
+  EXPECT_DOUBLE_EQ(back.time, 1.25);
+  EXPECT_EQ(back.step, 42);
+  EXPECT_DOUBLE_EQ(back.dt, 3.5e-4);
+  EXPECT_EQ(back.world_size, 4);
+  EXPECT_EQ(back.world_rank, 1);
+  EXPECT_EQ(back.pt, 1);
+  EXPECT_EQ(back.pp, 2);
+  EXPECT_EQ(back.panel, 0);
+  for (int i = 0; i < mhd::Fields::kNumFields; ++i) {
+    auto a = s.all()[static_cast<std::size_t>(i)]->flat();
+    auto b = t.all()[static_cast<std::size_t>(i)]->flat();
+    for (std::size_t j = 0; j < a.size(); ++j) ASSERT_EQ(a[j], b[j]);
+  }
+}
+
+TEST(CheckpointV2, TwoPanelRoundTrip) {
+  SphericalGrid g = tiny_grid();
+  mhd::Fields yin(g), yang(g);
+  fill_pattern(yin, 0.001);
+  fill_pattern(yang, -0.002);
+  const std::string path = temp_path("v2_two.yyc2");
+  ASSERT_TRUE(save_checkpoint_v2(path, meta_for_grid(g, 2), &yin, &yang));
+
+  mhd::Fields yin2(g), yang2(g);
+  CheckpointMetaV2 back;
+  ASSERT_EQ(load_checkpoint_v2(path, back, &yin2, &yang2), LoadStatus::ok);
+  EXPECT_EQ(back.panels, 2);
+  EXPECT_EQ(yin.p.flat()[5], yin2.p.flat()[5]);
+  EXPECT_EQ(yang.ar.flat()[7], yang2.ar.flat()[7]);
+}
+
+TEST(CheckpointV2, HeaderPeekWithoutFields) {
+  SphericalGrid g = tiny_grid();
+  mhd::Fields s(g);
+  const std::string path = temp_path("v2_peek.yyc2");
+  ASSERT_TRUE(save_checkpoint_v2(path, meta_for_grid(g, 1), &s, nullptr));
+  CheckpointMetaV2 back;
+  ASSERT_EQ(load_checkpoint_v2(path, back, nullptr, nullptr), LoadStatus::ok);
+  EXPECT_EQ(back.step, 42);
+  EXPECT_EQ(back.nr, g.Nr());
+}
+
+TEST(CheckpointV2, ShapeMismatchRejectedWithoutTouchingState) {
+  SphericalGrid g = tiny_grid();
+  mhd::Fields s(g);
+  fill_pattern(s, 0.001);
+  const std::string path = temp_path("v2_shape.yyc2");
+  ASSERT_TRUE(save_checkpoint_v2(path, meta_for_grid(g, 1), &s, nullptr));
+
+  GridSpec big;
+  big.nr = 5;
+  big.nt = 6;
+  big.np = 7;
+  big.r0 = 0.4;
+  big.r1 = 1.0;
+  big.t0 = 0.9;
+  big.t1 = 2.2;
+  big.p0 = -1.0;
+  big.p1 = 1.0;
+  big.ghost = 2;
+  SphericalGrid g2{big};
+  mhd::Fields t(g2);
+  t.p(1, 1, 1) = 99.0;
+  CheckpointMetaV2 back;
+  EXPECT_EQ(load_checkpoint_v2(path, back, &t, nullptr),
+            LoadStatus::bad_shape);
+  EXPECT_DOUBLE_EQ(t.p(1, 1, 1), 99.0);  // failed load leaves state alone
+}
+
+TEST(CheckpointV2, MissingFileIsIoError) {
+  SphericalGrid g = tiny_grid();
+  mhd::Fields t(g);
+  CheckpointMetaV2 back;
+  EXPECT_EQ(load_checkpoint_v2("/nonexistent/x.yyc2", back, &t, nullptr),
+            LoadStatus::io_error);
+}
+
+TEST(CheckpointV2, EveryByteFlipIsRejected) {
+  // Corruption sweep: XOR-ing any single byte of the file must yield a
+  // clean rejection — never a crash, never LoadStatus::ok.
+  SphericalGrid g = tiny_grid();
+  mhd::Fields s(g);
+  fill_pattern(s, 0.001);
+  const std::string path = temp_path("v2_flip.yyc2");
+  ASSERT_TRUE(save_checkpoint_v2(path, meta_for_grid(g, 1), &s, nullptr));
+  const std::string good = read_file(path);
+  ASSERT_GT(good.size(), 100u);
+
+  const std::string victim = temp_path("v2_flip_victim.yyc2");
+  mhd::Fields t(g);
+  std::size_t rejected = 0;
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    std::string bad = good;
+    bad[i] = static_cast<char>(bad[i] ^ 0x40);
+    write_file(victim, bad);
+    CheckpointMetaV2 back;
+    const LoadStatus st = load_checkpoint_v2(victim, back, &t, nullptr);
+    if (st != LoadStatus::ok) ++rejected;
+  }
+  EXPECT_EQ(rejected, good.size());
+}
+
+TEST(CheckpointV2, EveryTruncationIsRejected) {
+  SphericalGrid g = tiny_grid();
+  mhd::Fields s(g);
+  fill_pattern(s, 0.001);
+  const std::string path = temp_path("v2_trunc.yyc2");
+  ASSERT_TRUE(save_checkpoint_v2(path, meta_for_grid(g, 1), &s, nullptr));
+  const std::string good = read_file(path);
+
+  const std::string victim = temp_path("v2_trunc_victim.yyc2");
+  mhd::Fields t(g);
+  std::size_t rejected = 0;
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    write_file(victim, good.substr(0, len));
+    CheckpointMetaV2 back;
+    if (load_checkpoint_v2(victim, back, &t, nullptr) != LoadStatus::ok)
+      ++rejected;
+  }
+  EXPECT_EQ(rejected, good.size());
+}
+
+TEST(CheckpointV2, TrailingGarbageIsRejected) {
+  SphericalGrid g = tiny_grid();
+  mhd::Fields s(g);
+  const std::string path = temp_path("v2_tail.yyc2");
+  ASSERT_TRUE(save_checkpoint_v2(path, meta_for_grid(g, 1), &s, nullptr));
+  write_file(path, read_file(path) + "x");
+  mhd::Fields t(g);
+  CheckpointMetaV2 back;
+  EXPECT_EQ(load_checkpoint_v2(path, back, &t, nullptr),
+            LoadStatus::bad_payload);
+}
+
+TEST(CheckpointV2, FailBeforeCommitPreservesPreviousFile) {
+  SphericalGrid g = tiny_grid();
+  mhd::Fields s(g);
+  fill_pattern(s, 0.001);
+  const std::string path = temp_path("v2_atomic.yyc2");
+  ASSERT_TRUE(save_checkpoint_v2(path, meta_for_grid(g, 1), &s, nullptr));
+
+  mhd::Fields s2(g);
+  fill_pattern(s2, 7.0);
+  EXPECT_FALSE(save_checkpoint_v2(path, meta_for_grid(g, 1), &s2, nullptr,
+                                  IoFaultSim::fail_before_commit));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  mhd::Fields t(g);
+  CheckpointMetaV2 back;
+  ASSERT_EQ(load_checkpoint_v2(path, back, &t, nullptr), LoadStatus::ok);
+  EXPECT_EQ(t.rho.flat()[0], s.rho.flat()[0]);  // old content intact
+}
+
+TEST(CheckpointV2, TornCommitReportsSuccessButLoaderRejects) {
+  // The nasty case: the writer believes the commit succeeded but the
+  // published file is truncated.  Only the loader's CRC can catch it.
+  SphericalGrid g = tiny_grid();
+  mhd::Fields s(g);
+  fill_pattern(s, 0.001);
+  const std::string path = temp_path("v2_torn.yyc2");
+  ASSERT_TRUE(save_checkpoint_v2(path, meta_for_grid(g, 1), &s, nullptr,
+                                 IoFaultSim::torn_commit));
+  ASSERT_TRUE(std::filesystem::exists(path));
+  mhd::Fields t(g);
+  CheckpointMetaV2 back;
+  EXPECT_NE(load_checkpoint_v2(path, back, &t, nullptr), LoadStatus::ok);
+}
+
+}  // namespace
+}  // namespace yy::resilience

@@ -1,0 +1,113 @@
+#include "resilience/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+
+#include "comm/runtime.hpp"
+#include "obs/events.hpp"
+
+namespace yy::resilience {
+namespace {
+
+core::SimulationConfig health_config() {
+  core::SimulationConfig cfg;
+  cfg.nr = 9;
+  cfg.nt_core = 13;
+  cfg.np_core = 37;
+  cfg.eq.mu = 3e-3;
+  cfg.eq.kappa = 3e-3;
+  cfg.eq.eta = 3e-3;
+  cfg.eq.g0 = 2.0;
+  cfg.eq.omega = {0.0, 0.0, 8.0};
+  cfg.ic.perturb_amp = 1e-2;
+  cfg.ic.seed_b_amp = 1e-4;
+  return cfg;
+}
+
+/// Runs `fn(solver)` on 4 ranks (1×2 per panel) and health-checks the
+/// result; returns true iff every rank saw `expect`.
+bool all_ranks_see(HealthPolicy policy, double dt, HealthVerdict expect,
+                   void (*poison)(core::DistributedSolver&, int)) {
+  comm::Runtime rt(4);
+  std::atomic<int> agree{0};
+  rt.run([&](comm::Communicator& w) {
+    core::DistributedSolver solver(health_config(), w, 1, 2);
+    solver.initialize();
+    if (poison != nullptr) poison(solver, w.rank());
+    HealthMonitor mon(policy);
+    if (mon.check(solver, dt) == expect) ++agree;
+  });
+  return agree.load() == 4;
+}
+
+TEST(HealthMonitor, HealthyStateGetsHealthyVerdict) {
+  EXPECT_TRUE(all_ranks_see(HealthPolicy{}, 1e-4, HealthVerdict::healthy,
+                            nullptr));
+}
+
+TEST(HealthMonitor, NanOnOneRankYieldsCollectiveNonfiniteVerdict) {
+  EXPECT_TRUE(all_ranks_see(
+      HealthPolicy{}, 1e-4, HealthVerdict::nonfinite,
+      +[](core::DistributedSolver& s, int rank) {
+        if (rank == 2)
+          s.local_state().p(1, 1, 1) =
+              std::numeric_limits<double>::quiet_NaN();
+      }));
+}
+
+TEST(HealthMonitor, HugeValueYieldsCollectiveBlowupVerdict) {
+  EXPECT_TRUE(all_ranks_see(
+      HealthPolicy{}, 1e-4, HealthVerdict::blowup,
+      +[](core::DistributedSolver& s, int rank) {
+        if (rank == 1) s.local_state().fr(1, 1, 1) = 1e12;
+      }));
+}
+
+TEST(HealthMonitor, TinyTimestepYieldsCflCollapseVerdict) {
+  HealthPolicy policy;
+  policy.min_dt = 1.0;
+  EXPECT_TRUE(
+      all_ranks_see(policy, 1e-4, HealthVerdict::cfl_collapse, nullptr));
+}
+
+TEST(HealthMonitor, NonfiniteOutranksBlowup) {
+  EXPECT_TRUE(all_ranks_see(
+      HealthPolicy{}, 1e-4, HealthVerdict::nonfinite,
+      +[](core::DistributedSolver& s, int rank) {
+        if (rank == 0) s.local_state().fr(1, 1, 1) = 1e12;
+        if (rank == 3)
+          s.local_state().rho(1, 1, 1) =
+              std::numeric_limits<double>::infinity();
+      }));
+}
+
+TEST(HealthMonitor, DueFollowsCheckInterval) {
+  HealthPolicy policy;
+  policy.check_interval = 5;
+  HealthMonitor mon(policy);
+  EXPECT_FALSE(mon.due(0));
+  EXPECT_FALSE(mon.due(4));
+  EXPECT_TRUE(mon.due(5));
+  EXPECT_FALSE(mon.due(6));
+  EXPECT_TRUE(mon.due(10));
+}
+
+TEST(HealthMonitor, VerdictsAreCountedAsEvents) {
+  obs::EventCounters::global().reset();
+  ASSERT_TRUE(all_ranks_see(
+      HealthPolicy{}, 1e-4, HealthVerdict::nonfinite,
+      +[](core::DistributedSolver& s, int rank) {
+        if (rank == 0)
+          s.local_state().p(1, 1, 1) =
+              std::numeric_limits<double>::quiet_NaN();
+      }));
+  EXPECT_EQ(obs::EventCounters::global().count(obs::Event::health_check),
+            1u);
+  EXPECT_EQ(
+      obs::EventCounters::global().count(obs::Event::health_nonfinite), 1u);
+}
+
+}  // namespace
+}  // namespace yy::resilience

@@ -1,0 +1,190 @@
+#include "resilience/checkpoint_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "comm/fault.hpp"
+#include "comm/runtime.hpp"
+
+namespace yy::resilience {
+namespace {
+
+core::SimulationConfig restart_config() {
+  core::SimulationConfig cfg;
+  cfg.nr = 9;
+  cfg.nt_core = 13;
+  cfg.np_core = 37;
+  cfg.eq.mu = 3e-3;
+  cfg.eq.kappa = 3e-3;
+  cfg.eq.eta = 3e-3;
+  cfg.eq.g0 = 2.0;
+  cfg.eq.omega = {0.0, 0.0, 8.0};
+  cfg.ic.perturb_amp = 1e-2;
+  cfg.ic.seed_b_amp = 1e-4;
+  return cfg;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::vector<double> flatten(const mhd::Fields& s) {
+  std::vector<double> out;
+  for (const Field3* f : s.all())
+    out.insert(out.end(), f->flat().begin(), f->flat().end());
+  return out;
+}
+
+/// Satellite (d): run 20 RK4 steps; separately run 10, checkpoint,
+/// restore into a *fresh* solver and run 10 more.  The two final states
+/// must be bitwise identical on every rank.
+void expect_restart_bitwise_equal(int pt, int pp) {
+  const core::SimulationConfig cfg = restart_config();
+  const int nranks = 2 * pt * pp;
+  const std::string dir = fresh_dir("restart_eq_" + std::to_string(pt) +
+                                    "x" + std::to_string(pp));
+  std::vector<int> rank_ok(static_cast<std::size_t>(nranks), 0);
+  std::vector<long long> restored(static_cast<std::size_t>(nranks), -2);
+
+  comm::Runtime rt(nranks);
+  rt.run([&](comm::Communicator& w) {
+    // Reference: 20 uninterrupted steps.
+    core::DistributedSolver ref(cfg, w, pt, pp);
+    ref.initialize();
+    const double dt = ref.stable_dt();
+    for (int i = 0; i < 20; ++i) ref.step(dt);
+    const std::vector<double> want = flatten(ref.local_state());
+
+    // Interrupted run: 10 steps, checkpoint, abandon the solver.
+    CheckpointManager saver({dir, "eq", 2});
+    {
+      core::DistributedSolver first(cfg, w, pt, pp);
+      first.initialize();
+      for (int i = 0; i < 10; ++i) first.step(dt);
+      ASSERT_TRUE(saver.save(first, dt));
+    }
+
+    // Fresh solver restores from disk discovery and finishes the run.
+    core::DistributedSolver second(cfg, w, pt, pp);
+    CheckpointManager loader({dir, "eq", 2});
+    double dt_back = 0.0;
+    restored[static_cast<std::size_t>(w.rank())] =
+        loader.restore_newest(second, &dt_back);
+    ASSERT_EQ(second.steps_taken(), 10);
+    ASSERT_DOUBLE_EQ(dt_back, dt);
+    for (int i = 0; i < 10; ++i) second.step(dt);
+
+    const std::vector<double> got = flatten(second.local_state());
+    ASSERT_EQ(got.size(), want.size());
+    bool same = true;
+    for (std::size_t i = 0; i < got.size(); ++i)
+      if (got[i] != want[i]) same = false;
+    rank_ok[static_cast<std::size_t>(w.rank())] = same ? 1 : 0;
+  });
+
+  for (int r = 0; r < nranks; ++r) {
+    EXPECT_EQ(restored[static_cast<std::size_t>(r)], 10) << "rank " << r;
+    EXPECT_EQ(rank_ok[static_cast<std::size_t>(r)], 1) << "rank " << r;
+  }
+}
+
+TEST(RestartEquivalence, OneRankPerPanel) {
+  expect_restart_bitwise_equal(1, 1);
+}
+
+TEST(RestartEquivalence, TwoRanksPerPanel) {
+  expect_restart_bitwise_equal(1, 2);
+}
+
+TEST(RestartEquivalence, FourRanksPerPanel) {
+  expect_restart_bitwise_equal(2, 2);
+}
+
+TEST(CheckpointManager, RotationKeepsLastK) {
+  const core::SimulationConfig cfg = restart_config();
+  const std::string dir = fresh_dir("rotation");
+  comm::Runtime rt(2);
+  std::vector<long long> committed;
+  std::vector<int> on_disk;
+  rt.run([&](comm::Communicator& w) {
+    core::DistributedSolver s(cfg, w, 1, 1);
+    s.initialize();
+    const double dt = s.stable_dt();
+    CheckpointManager mgr({dir, "rot", 2});
+    for (int i = 0; i < 4; ++i) {
+      s.step(dt);
+      ASSERT_TRUE(mgr.save(s, dt));
+    }
+    if (w.rank() == 0) {
+      committed = mgr.committed_steps();
+      for (long long step : {1LL, 2LL, 3LL, 4LL})
+        on_disk.push_back(
+            std::filesystem::exists(mgr.patch_path(step, 0)) ? 1 : 0);
+    }
+  });
+  ASSERT_EQ(committed.size(), 2u);
+  EXPECT_EQ(committed[0], 3);
+  EXPECT_EQ(committed[1], 4);
+  EXPECT_EQ(on_disk, (std::vector<int>{0, 0, 1, 1}));
+}
+
+TEST(CheckpointManager, RestoreSkipsTornNewestSet) {
+  // A set torn on one rank must demote collectively to the older set.
+  const core::SimulationConfig cfg = restart_config();
+  const std::string dir = fresh_dir("demote");
+  comm::Runtime rt(2);
+  std::vector<long long> restored(2, -2);
+  rt.run([&](comm::Communicator& w) {
+    core::DistributedSolver s(cfg, w, 1, 1);
+    s.initialize();
+    const double dt = s.stable_dt();
+    CheckpointManager mgr({dir, "dm", 2});
+    s.step(dt);
+    ASSERT_TRUE(mgr.save(s, dt));  // step 1, intact
+    s.step(dt);
+    comm::FaultPlan faults;
+    faults.schedule_io_fault(2, /*world_rank=*/1,
+                             comm::FaultPlan::IoFault::torn);
+    ASSERT_TRUE(mgr.save(s, dt, &faults));  // step 2, torn on rank 1
+
+    core::DistributedSolver fresh(cfg, w, 1, 1);
+    CheckpointManager loader({dir, "dm", 2});
+    restored[static_cast<std::size_t>(w.rank())] =
+        loader.restore_newest(fresh);
+    ASSERT_EQ(fresh.steps_taken(), 1);
+  });
+  EXPECT_EQ(restored[0], 1);
+  EXPECT_EQ(restored[1], 1);
+}
+
+TEST(CheckpointManager, FailedWriteAbortsWholeSet) {
+  const core::SimulationConfig cfg = restart_config();
+  const std::string dir = fresh_dir("abort_set");
+  comm::Runtime rt(2);
+  std::vector<int> saved(2, -1), patch0(2, -1);
+  rt.run([&](comm::Communicator& w) {
+    core::DistributedSolver s(cfg, w, 1, 1);
+    s.initialize();
+    const double dt = s.stable_dt();
+    s.step(dt);
+    CheckpointManager mgr({dir, "ab", 2});
+    comm::FaultPlan faults;
+    faults.schedule_io_fault(1, /*world_rank=*/0,
+                             comm::FaultPlan::IoFault::fail);
+    saved[static_cast<std::size_t>(w.rank())] =
+        mgr.save(s, dt, &faults) ? 1 : 0;
+    // The collective verdict must also have deleted rank 1's patch.
+    patch0[static_cast<std::size_t>(w.rank())] =
+        std::filesystem::exists(mgr.patch_path(1, w.rank())) ? 1 : 0;
+  });
+  EXPECT_EQ(saved, (std::vector<int>{0, 0}));
+  EXPECT_EQ(patch0, (std::vector<int>{0, 0}));
+}
+
+}  // namespace
+}  // namespace yy::resilience

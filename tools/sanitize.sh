@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Builds the sanitizer-labelled test suites under ThreadSanitizer and
-# AddressSanitizer+UBSan and runs `ctest -L sanitize` in each tree.
+# AddressSanitizer+UBSan and runs `ctest -L sanitize` in each tree
+# (this includes the `resilience` fault-injection/recovery suite, which
+# is double-labelled sanitize;resilience).
 # Usage: tools/sanitize.sh [thread|address]...   (default: both)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -14,6 +16,6 @@ for mode in "${modes[@]}"; do
   cmake -B "${build}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DYY_SANITIZE="${mode}" > /dev/null
   cmake --build "${build}" -j "$(nproc)" --target \
-    test_comm test_core test_obs > /dev/null
-  (cd "${build}" && ctest -L sanitize --output-on-failure)
+    test_comm test_core test_obs test_resilience > /dev/null
+  (cd "${build}" && ctest -L 'sanitize|resilience' --output-on-failure)
 done
