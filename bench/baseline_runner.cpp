@@ -1,0 +1,208 @@
+/// Records the perf-regression baselines the ROADMAP's "as fast as the
+/// hardware allows" goal is measured against: runs the distributed
+/// solver with telemetry plus the instrumented micro-kernel profile and
+/// writes `BENCH_solver.json` / `BENCH_kernels.json` in the yy-bench-1
+/// schema (bench_json.hpp).  `tools/bench_compare.py` diffs a fresh run
+/// against the committed baselines with the tolerance bands recorded in
+/// the files themselves; `tools/bench_baseline.sh` wraps both ends.
+///
+/// Usage: baseline_runner [--out DIR] [--steps N]
+///
+/// Pure-timing metrics (steps/sec, GFLOPS) carry wide tolerances so the
+/// gate survives machine noise; structural metrics (flops per point,
+/// spans per step, phase fractions) are tight — those only move when
+/// the code changes.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "comm/runtime.hpp"
+#include "common/timer.hpp"
+#include "core/distributed_solver.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "perf/kernel_profile.hpp"
+#include "perf/proginf.hpp"
+
+#include "bench_json.hpp"
+
+using namespace yy;
+
+namespace {
+
+constexpr int kPt = 1, kPp = 2;  // 2 panels x (1 x 2) = 4 ranks
+
+core::SimulationConfig bench_config() {
+  core::SimulationConfig cfg;
+  cfg.nr = 13;
+  cfg.nt_core = 17;
+  cfg.np_core = 49;
+  cfg.ic.perturb_amp = 1e-2;
+  cfg.ic.seed_b_amp = 1e-4;
+  return cfg;
+}
+
+obs::RunManifest manifest_for(const char* mode, int steps,
+                              const core::SimulationConfig& cfg) {
+  obs::RunManifest man = obs::RunManifest::current_build();
+  man.app = "baseline_runner";
+  man.mode = mode;
+  man.world = 2 * kPt * kPp;
+  man.pt = kPt;
+  man.pp = kPp;
+  man.nr = cfg.nr;
+  man.nt_core = cfg.nt_core;
+  man.np_core = cfg.np_core;
+  man.extra.emplace_back("steps", std::to_string(steps));
+  return man;
+}
+
+bool write_doc(const std::string& path, const std::string& name,
+               const obs::RunManifest& man,
+               const std::vector<bench::BenchMetric>& metrics) {
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  bench::write_bench_json(f, name, man, metrics);
+  std::printf("wrote %s\n", path.c_str());
+  return f.good();
+}
+
+bool run_solver_bench(const std::string& out_dir, int steps) {
+  const core::SimulationConfig cfg = bench_config();
+  const int world = 2 * kPt * kPp;
+
+  obs::TraceRecorder rec;
+  obs::RunManifest man = manifest_for("solver", steps, cfg);
+  obs::TelemetrySink sink(man);
+  comm::Runtime rt(world);
+  double loop_wall = 0.0;
+  std::mutex mu;
+
+  rt.run([&](comm::Communicator& w) {
+    obs::ScopedRankBind bind(rec, w.rank());
+    core::DistributedSolver solver(cfg, w, kPt, kPp);
+    solver.initialize();
+    const double dt = solver.stable_dt();
+    obs::RankTelemetry tel(w, sink, {/*interval=*/5, /*ring=*/1024,
+                                     /*span_budget=*/0});
+    solver.attach_telemetry(&tel);
+    WallTimer t;
+    for (int i = 0; i < steps; ++i) solver.step(dt);
+    tel.flush();
+    if (w.rank() == 0) {
+      std::lock_guard lock(mu);
+      loop_wall = t.seconds();
+    }
+  });
+
+  const obs::MetricsSummary m = obs::collect_metrics(rec, rt.traffic_total());
+  const double traced = m.traced_seconds();
+  const double comp = m.phase(obs::Phase::rhs).seconds +
+                      m.phase(obs::Phase::rk4_stage).seconds +
+                      m.phase(obs::Phase::boundary).seconds;
+
+  double imbalance_sum = 0.0;
+  for (const obs::StepAgg& a : sink.series()) imbalance_sum += a.imbalance;
+  const double imbalance_mean =
+      sink.series().empty() ? 1.0
+                            : imbalance_sum / static_cast<double>(
+                                                  sink.series().size());
+
+  // es_model drift at this process count: the predicted/measured share
+  // ratio for the compute bucket (1.0 = this machine splits the step
+  // exactly as the ES model says it should).
+  const perf::EsPerformanceModel model(perf::EarthSimulatorSpec{},
+                                       perf::EsCostParams{}, 3000.0);
+  const perf::RunConfig rc{world, cfg.nr, cfg.nt_core, cfg.np_core,
+                           perf::Parallelization::flat_mpi};
+  double pred_over_meas_compute = 0.0;
+  for (const perf::PhaseDriftRow& row : perf::phase_drift(m, model, rc))
+    if (row.label == "compute") pred_over_meas_compute = row.pred_over_meas;
+
+  std::uint64_t span_count = 0;
+  for (const obs::RankMetrics& rm : m.ranks)
+    for (const obs::PhaseMetrics& pm : rm.phase) span_count += pm.count;
+
+  std::vector<bench::BenchMetric> metrics;
+  // Timing: wide bands, machine noise dominates.
+  metrics.push_back({"steps_per_sec",
+                     loop_wall > 0.0 ? steps / loop_wall : 0.0, 0.60, 0.0,
+                     "min"});
+  // Structure: tight bands, these only move when the code changes.
+  metrics.push_back({"spans_per_step",
+                     static_cast<double>(span_count) / steps, 0.0, 2.0,
+                     "band"});
+  metrics.push_back({"compute_fraction", traced > 0.0 ? comp / traced : 0.0,
+                     0.0, 0.20, "band"});
+  metrics.push_back({"halo_fraction",
+                     traced > 0.0
+                         ? m.phase(obs::Phase::halo_wait).seconds / traced
+                         : 0.0,
+                     0.0, 0.15, "band"});
+  metrics.push_back({"overset_fraction",
+                     traced > 0.0
+                         ? m.phase(obs::Phase::overset_wait).seconds / traced
+                         : 0.0,
+                     0.0, 0.15, "band"});
+  // Thread ranks timeslicing real cores make wall-clock imbalance
+  // noisy; only a large sustained jump should fail.
+  metrics.push_back({"imbalance_mean", imbalance_mean, 0.0, 2.0, "max"});
+  metrics.push_back({"es_pred_over_meas_compute", pred_over_meas_compute,
+                     0.75, 0.0, "band"});
+
+  std::printf("solver: %.2f steps/s, imbalance %.2f, compute %.0f%%\n",
+              steps / loop_wall, imbalance_mean,
+              100.0 * (traced > 0.0 ? comp / traced : 0.0));
+  return write_doc(out_dir + "/BENCH_solver.json", "solver", man, metrics);
+}
+
+bool run_kernel_bench(const std::string& out_dir) {
+  const perf::KernelProfile prof = perf::KernelProfile::measure();
+  obs::RunManifest man = manifest_for("kernels", 1, bench_config());
+  man.mode = "kernels";
+
+  std::vector<bench::BenchMetric> metrics;
+  // flops/point is a property of the numerics, not the machine: it
+  // moves only when the stencils change, so the band is tight.
+  metrics.push_back(
+      {"flops_per_point_per_step", prof.flops_per_point_per_step, 0.02, 0.0,
+       "band"});
+  metrics.push_back(
+      {"local_gflops", prof.local_gflops, 0.60, 0.0, "min"});
+  metrics.push_back({"seconds_per_point_per_step",
+                     prof.seconds_per_point_per_step, 1.50, 0.0, "max"});
+
+  std::printf("kernels: %.0f flops/point/step, %.2f GFLOPS local\n",
+              prof.flops_per_point_per_step, prof.local_gflops);
+  return write_doc(out_dir + "/BENCH_kernels.json", "kernels", man, metrics);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_dir = ".";
+  int steps = 10;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc) {
+      steps = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--out DIR] [--steps N]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (steps < 1) steps = 1;
+
+  std::printf("== Perf-regression baseline run ============================\n");
+  const bool ok = run_solver_bench(out_dir, steps) && run_kernel_bench(out_dir);
+  return ok ? 0 : 1;
+}

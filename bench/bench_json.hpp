@@ -1,0 +1,58 @@
+/// \file bench_json.hpp
+/// The machine-readable benchmark-result schema ("yy-bench-1") shared
+/// by bench/baseline_runner, bench/obs_overhead and the comparator
+/// tools/bench_compare.py.  One document per bench:
+///
+///   {"schema":"yy-bench-1","name":"solver","manifest":{...},
+///    "metrics":{"steps_per_sec":{"value":12.3,"tol_rel":0.5,
+///               "direction":"min"}, ...}}
+///
+/// Each metric carries its own tolerance band, recorded at baseline
+/// time, so the comparator needs no external configuration:
+///   direction "min"  — higher is better; regression if
+///                      current < value - allowed
+///   direction "max"  — lower is better; regression if
+///                      current > value + allowed
+///   direction "band" — drift either way beyond `allowed` fails
+/// with allowed = max(tol_abs, |value| * tol_rel).
+#pragma once
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+
+namespace yy::bench {
+
+struct BenchMetric {
+  std::string name;
+  double value = 0.0;
+  double tol_rel = 0.0;
+  double tol_abs = 0.0;
+  const char* direction = "band";  ///< "min", "max" or "band"
+};
+
+inline void write_bench_json(std::ostream& out, const std::string& name,
+                             const obs::RunManifest& manifest,
+                             const std::vector<BenchMetric>& metrics) {
+  out << "{\"schema\":\"yy-bench-1\",\"name\":\"" << name
+      << "\",\"manifest\":";
+  manifest.write_json(out);
+  out << ",\"metrics\":{";
+  char buf[256];
+  bool first = true;
+  for (const BenchMetric& m : metrics) {
+    if (!first) out << ",";
+    first = false;
+    std::snprintf(buf, sizeof buf,
+                  "\n\"%s\":{\"value\":%.9e,\"tol_rel\":%.4f,"
+                  "\"tol_abs\":%.9e,\"direction\":\"%s\"}",
+                  m.name.c_str(), m.value, m.tol_rel, m.tol_abs, m.direction);
+    out << buf;
+  }
+  out << "\n}}\n";
+}
+
+}  // namespace yy::bench

@@ -9,7 +9,8 @@
 /// measured List-1-style report cross-checked against the Earth
 /// Simulator performance model's predicted phase split.
 ///
-/// Usage: parallel_dynamo [pt pp steps [mode]]  (default 2 x 2, 10 steps)
+/// Usage: parallel_dynamo [pt pp steps [mode]] [--heartbeat N]
+///        (default 2 x 2, 10 steps)
 ///
 /// mode selects the run-control layer:
 ///   plain      step loop, no checkpointing (default, the seed behaviour)
@@ -17,13 +18,22 @@
 ///   faulty     resilient + an injected overset-message drop and a torn
 ///              checkpoint commit — demonstrates automatic rewind; the
 ///              final state still matches the serial reference exactly.
+///
+/// --heartbeat N turns on in-run telemetry (obs/telemetry.hpp): every N
+/// steps the ranks gather their per-step phase timings to rank 0, which
+/// prints one rolling "[telemetry]" line per step (per-phase mean/max,
+/// imbalance ratio, straggler rank) and, at exit, writes the full
+/// manifest-stamped time series as telemetry.csv / telemetry.json.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "comm/fault.hpp"
 #include "comm/runtime.hpp"
@@ -32,6 +42,7 @@
 #include "core/serial_solver.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "perf/proginf.hpp"
 #include "resilience/resilient_runner.hpp"
@@ -40,10 +51,19 @@ using namespace yy;
 using yinyang::Panel;
 
 int main(int argc, char** argv) {
-  const int pt = argc > 1 ? std::atoi(argv[1]) : 2;
-  const int pp = argc > 2 ? std::atoi(argv[2]) : 2;
-  const int steps = argc > 3 ? std::atoi(argv[3]) : 10;
-  const std::string mode = argc > 4 ? argv[4] : "plain";
+  int heartbeat = 0;
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--heartbeat") == 0 && i + 1 < argc) {
+      heartbeat = std::atoi(argv[++i]);
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  const int pt = pos.size() > 0 ? std::atoi(pos[0]) : 2;
+  const int pp = pos.size() > 1 ? std::atoi(pos[1]) : 2;
+  const int steps = pos.size() > 2 ? std::atoi(pos[2]) : 10;
+  const std::string mode = pos.size() > 3 ? pos[3] : "plain";
   if (mode != "plain" && mode != "resilient" && mode != "faulty") {
     std::fprintf(stderr, "unknown mode '%s' (plain|resilient|faulty)\n",
                  mode.c_str());
@@ -70,6 +90,21 @@ int main(int argc, char** argv) {
   obs::TraceRecorder rec;
   comm::Runtime rt(world);
 
+  // Run identity, stamped into every export (and shown live when the
+  // heartbeat is on).
+  obs::RunManifest man = obs::RunManifest::current_build();
+  man.app = "parallel_dynamo";
+  man.mode = mode;
+  man.world = world;
+  man.pt = pt;
+  man.pp = pp;
+  man.nr = cfg.nr;
+  man.nt_core = cfg.nt_core;
+  man.np_core = cfg.np_core;
+  man.heartbeat_interval = heartbeat;
+  man.extra.emplace_back("steps", std::to_string(steps));
+  obs::TelemetrySink sink(man, heartbeat > 0 ? &std::cout : nullptr);
+
   if (mode == "faulty") {
     // Provoke the recovery machinery on purpose: one overset envelope
     // is dropped in the last quarter of the run and the mid-run
@@ -92,6 +127,13 @@ int main(int argc, char** argv) {
     core::DistributedSolver solver(cfg, w, pt, pp);
     solver.initialize();
     const double dt = solver.stable_dt();
+    std::unique_ptr<obs::RankTelemetry> tel;
+    if (heartbeat > 0) {
+      obs::TelemetryConfig tc;
+      tc.interval = heartbeat;
+      tel = std::make_unique<obs::RankTelemetry>(w, sink, tc);
+      solver.attach_telemetry(tel.get());
+    }
     resilience::RunReport rep;
     if (mode == "plain") {
       for (int i = 0; i < steps; ++i) solver.step(dt);
@@ -106,6 +148,7 @@ int main(int argc, char** argv) {
       resilience::ResilientRunner runner(solver, policy);
       rep = runner.run(steps, dt);
     }
+    if (tel) tel->flush();  // collective: drains any partial window
     const mhd::EnergyBudget e = solver.energies();
     if (w.rank() == 0) {
       std::lock_guard lock(mu);
@@ -145,16 +188,24 @@ int main(int argc, char** argv) {
               rel < 1e-9 ? "(trajectories match)" : "(MISMATCH!)");
 
   // ---- Observability exports: timeline, metrics, phase cross-check.
+  // All artifacts are stamped with the run manifest so they remain
+  // self-describing once they leave this directory.
   const obs::MetricsSummary metrics = obs::collect_metrics(rec, traffic);
-  if (obs::write_chrome_trace_file(rec, "yy_trace.json"))
+  if (obs::write_chrome_trace_file(rec, "yy_trace.json", man))
     std::printf("\nwrote yy_trace.json  (open in chrome://tracing or "
                 "ui.perfetto.dev)\n");
   {
     std::ofstream csv("yy_metrics.csv");
-    obs::write_metrics_csv(metrics, csv);
+    obs::write_metrics_csv(metrics, csv, man);
     std::ofstream js("yy_metrics.json");
-    obs::write_metrics_json(metrics, js);
+    obs::write_metrics_json(metrics, js, man);
     std::printf("wrote yy_metrics.csv, yy_metrics.json\n");
+  }
+  if (heartbeat > 0) {
+    if (sink.write_files("telemetry.csv", "telemetry.json"))
+      std::printf("wrote telemetry.csv, telemetry.json  (%zu aggregated "
+                  "steps)\n",
+                  sink.series().size());
   }
   for (int e = 0; e < obs::kNumEvents; ++e)
     if (metrics.events[static_cast<std::size_t>(e)] != 0)

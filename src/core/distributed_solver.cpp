@@ -5,6 +5,7 @@
 
 #include "core/ownership.hpp"
 #include "mhd/init.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 
 namespace yy::core {
@@ -86,19 +87,23 @@ void DistributedSolver::initialize() {
 
 void DistributedSolver::step(double dt) {
   obs::set_current_step(steps_);
+  if (telemetry_ != nullptr)
+    telemetry_->begin_step(steps_, dt, last_stable_dt_);
   std::vector<mhd::PatchDef> patches{{grid_.get(), eq_, state_.get()}};
   integrator_->step(patches, dt, [this](const std::vector<mhd::Fields*>& s) {
     fill_ghosts(*s[0]);
   });
   time_ += dt;
   ++steps_;
+  if (telemetry_ != nullptr) telemetry_->end_step();
 }
 
 double DistributedSolver::stable_dt() {
   const double local = mhd::stable_timestep(*grid_, eq_, *state_, *ws_,
                                             grid_->interior());
   YY_TRACE_SCOPE(obs::Phase::reduce);
-  return cfg_.cfl_safety * runner_->world().allreduce_min(local);
+  last_stable_dt_ = cfg_.cfl_safety * runner_->world().allreduce_min(local);
+  return last_stable_dt_;
 }
 
 mhd::EnergyBudget DistributedSolver::energies() {

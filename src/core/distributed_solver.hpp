@@ -22,6 +22,10 @@
 #include "yinyang/geometry.hpp"
 #include "yinyang/interpolator.hpp"
 
+namespace yy::obs {
+class RankTelemetry;
+}
+
 namespace yy::core {
 
 class DistributedSolver {
@@ -64,6 +68,13 @@ class DistributedSolver {
   /// (collective: every rank must call it together).
   void fill_ghosts(mhd::Fields& s);
 
+  /// Attaches (nullptr detaches) this rank's telemetry front end; every
+  /// step is then bracketed with begin_step/end_step, which folds the
+  /// step's spans into the per-step time series and joins the
+  /// cross-rank aggregation window (obs/telemetry.hpp).  The telemetry
+  /// object must outlive the solver or be detached first.
+  void attach_telemetry(obs::RankTelemetry* t) { telemetry_ = t; }
+
  private:
   SimulationConfig cfg_;
   yinyang::ComponentGeometry geom_;
@@ -82,6 +93,8 @@ class DistributedSolver {
   std::unique_ptr<mhd::ColumnWeights> weights_;
   double time_ = 0.0;
   long long steps_ = 0;
+  obs::RankTelemetry* telemetry_ = nullptr;
+  double last_stable_dt_ = 0.0;  ///< most recent collective CFL dt
 };
 
 }  // namespace yy::core

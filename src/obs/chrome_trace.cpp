@@ -8,6 +8,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/telemetry.hpp"
+
 namespace yy::obs {
 
 namespace {
@@ -26,9 +28,25 @@ const char* phase_category(Phase p) {
   }
 }
 
+/// Shared body; a non-null manifest becomes the document's "otherData".
+void write_chrome_trace_impl(const TraceRecorder& rec, std::ostream& out,
+                             const RunManifest* manifest);
+
 }  // namespace
 
 void write_chrome_trace(const TraceRecorder& rec, std::ostream& out) {
+  write_chrome_trace_impl(rec, out, nullptr);
+}
+
+void write_chrome_trace(const TraceRecorder& rec, std::ostream& out,
+                        const RunManifest& manifest) {
+  write_chrome_trace_impl(rec, out, &manifest);
+}
+
+namespace {
+
+void write_chrome_trace_impl(const TraceRecorder& rec, std::ostream& out,
+                             const RunManifest* manifest) {
   const std::vector<const RankTrace*> traces = rec.traces();
 
   // Re-zero the timeline to the earliest span so ts starts near 0.
@@ -61,8 +79,15 @@ void write_chrome_trace(const TraceRecorder& rec, std::ostream& out) {
       out << ",\n" << buf;
     }
   }
-  out << "\n]}\n";
+  out << "\n]";
+  if (manifest != nullptr) {
+    out << ",\"otherData\":";
+    manifest->write_json(out);
+  }
+  out << "}\n";
 }
+
+}  // namespace
 
 std::string chrome_trace_json(const TraceRecorder& rec) {
   std::ostringstream os;
@@ -75,6 +100,14 @@ bool write_chrome_trace_file(const TraceRecorder& rec,
   std::ofstream f(path);
   if (!f) return false;
   write_chrome_trace(rec, f);
+  return f.good();
+}
+
+bool write_chrome_trace_file(const TraceRecorder& rec, const std::string& path,
+                             const RunManifest& manifest) {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_chrome_trace(rec, f, manifest);
   return f.good();
 }
 

@@ -15,8 +15,14 @@
 
 namespace yy::obs {
 
-/// Writes the full trace JSON document to `out`.
+struct RunManifest;  // telemetry.hpp
+
+/// Writes the full trace JSON document to `out`.  The manifest
+/// overload stamps the run identity into the document's "otherData"
+/// member (shown by the tracing UI's metadata view).
 void write_chrome_trace(const TraceRecorder& rec, std::ostream& out);
+void write_chrome_trace(const TraceRecorder& rec, std::ostream& out,
+                        const RunManifest& manifest);
 
 /// Convenience: the document as a string (tests, small runs).
 std::string chrome_trace_json(const TraceRecorder& rec);
@@ -24,5 +30,7 @@ std::string chrome_trace_json(const TraceRecorder& rec);
 /// Writes the document to `path`; returns false on I/O failure.
 bool write_chrome_trace_file(const TraceRecorder& rec,
                              const std::string& path);
+bool write_chrome_trace_file(const TraceRecorder& rec, const std::string& path,
+                             const RunManifest& manifest);
 
 }  // namespace yy::obs

@@ -1,24 +1,27 @@
 #include "obs/events.hpp"
 
+#include <iterator>
+
 namespace yy::obs {
 
+namespace {
+
+// Indexed by Event; pinned to the enum like kPhaseNames in trace.cpp.
+constexpr const char* kEventNames[] = {
+    "checkpoint_saved", "checkpoint_save_failed", "checkpoint_rejected",
+    "restart_loaded",   "recovery_rewind",        "dt_backoff",
+    "comm_timeout",     "comm_corruption",        "health_check",
+    "health_nonfinite", "health_blowup",          "health_cfl_collapse",
+    "run_failed",
+};
+static_assert(std::size(kEventNames) == static_cast<std::size_t>(kNumEvents),
+              "event_name table and kNumEvents are out of sync");
+
+}  // namespace
+
 const char* event_name(Event e) {
-  switch (e) {
-    case Event::checkpoint_saved: return "checkpoint_saved";
-    case Event::checkpoint_save_failed: return "checkpoint_save_failed";
-    case Event::checkpoint_rejected: return "checkpoint_rejected";
-    case Event::restart_loaded: return "restart_loaded";
-    case Event::recovery_rewind: return "recovery_rewind";
-    case Event::dt_backoff: return "dt_backoff";
-    case Event::comm_timeout: return "comm_timeout";
-    case Event::comm_corruption: return "comm_corruption";
-    case Event::health_check: return "health_check";
-    case Event::health_nonfinite: return "health_nonfinite";
-    case Event::health_blowup: return "health_blowup";
-    case Event::health_cfl_collapse: return "health_cfl_collapse";
-    case Event::run_failed: return "run_failed";
-  }
-  return "?";
+  const int i = static_cast<int>(e);
+  return i >= 0 && i < kNumEvents ? kEventNames[i] : "?";
 }
 
 EventCounters& EventCounters::global() {

@@ -32,6 +32,12 @@ enum class Event : int {
 
 inline constexpr int kNumEvents = 13;
 
+// A new Event must bump kNumEvents (and the name table in events.cpp,
+// pinned by its own static_assert) before it compiles.
+static_assert(static_cast<int>(Event::run_failed) + 1 == kNumEvents,
+              "Event enum and kNumEvents are out of sync: keep "
+              "`run_failed` last and kNumEvents == last + 1");
+
 const char* event_name(Event e);
 
 class EventCounters {

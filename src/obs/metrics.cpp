@@ -7,6 +7,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/telemetry.hpp"
+
 namespace yy::obs {
 
 double MetricsSummary::traced_seconds() const {
@@ -57,6 +59,12 @@ MetricsSummary collect_metrics(const TraceRecorder& rec,
   m.steps = max_step + 1;
   m.events = EventCounters::global().snapshot();
   return m;
+}
+
+void write_metrics_csv(const MetricsSummary& m, std::ostream& out,
+                       const RunManifest& manifest) {
+  manifest.write_csv_comments(out);
+  write_metrics_csv(m, out);
 }
 
 void write_metrics_csv(const MetricsSummary& m, std::ostream& out) {
@@ -111,17 +119,9 @@ void json_phases(const std::array<PhaseMetrics, kNumPhases>& phases,
   out << "}";
 }
 
-}  // namespace
-
-void write_metrics_json(const MetricsSummary& m, std::ostream& out) {
+/// Everything after the "total" phases object: events + per-rank array.
+void write_metrics_json_tail(const MetricsSummary& m, std::ostream& out) {
   char buf[224];
-  std::snprintf(buf, sizeof buf,
-                "{\"steps\":%" PRId64 ",\"wall_seconds\":%.9f,"
-                "\"traffic\":{\"messages\":%" PRIu64 ",\"bytes\":%" PRIu64
-                "},\"total\":",
-                m.steps, m.wall_seconds, m.traffic.messages, m.traffic.bytes);
-  out << buf;
-  json_phases(m.total, out);
   out << ",\"events\":{";
   {
     bool first = true;
@@ -148,6 +148,36 @@ void write_metrics_json(const MetricsSummary& m, std::ostream& out) {
     out << "}";
   }
   out << "]}\n";
+}
+
+}  // namespace
+
+void write_metrics_json(const MetricsSummary& m, std::ostream& out,
+                        const RunManifest& manifest) {
+  out << "{\"manifest\":";
+  manifest.write_json(out);
+  out << ",";
+  char buf[224];
+  std::snprintf(buf, sizeof buf,
+                "\"steps\":%" PRId64 ",\"wall_seconds\":%.9f,"
+                "\"traffic\":{\"messages\":%" PRIu64 ",\"bytes\":%" PRIu64
+                "},\"total\":",
+                m.steps, m.wall_seconds, m.traffic.messages, m.traffic.bytes);
+  out << buf;
+  json_phases(m.total, out);
+  write_metrics_json_tail(m, out);
+}
+
+void write_metrics_json(const MetricsSummary& m, std::ostream& out) {
+  char buf[224];
+  std::snprintf(buf, sizeof buf,
+                "{\"steps\":%" PRId64 ",\"wall_seconds\":%.9f,"
+                "\"traffic\":{\"messages\":%" PRIu64 ",\"bytes\":%" PRIu64
+                "},\"total\":",
+                m.steps, m.wall_seconds, m.traffic.messages, m.traffic.bytes);
+  out << buf;
+  json_phases(m.total, out);
+  write_metrics_json_tail(m, out);
 }
 
 std::string metrics_csv(const MetricsSummary& m) {

@@ -57,11 +57,20 @@ struct MetricsSummary {
 MetricsSummary collect_metrics(const TraceRecorder& rec,
                                const comm::TrafficStats& traffic = {});
 
-/// CSV: header + one row per rank×phase + per-phase TOTAL rows.
-void write_metrics_csv(const MetricsSummary& m, std::ostream& out);
+struct RunManifest;  // telemetry.hpp
 
-/// JSON object mirroring MetricsSummary.
+/// CSV: header + one row per rank×phase + per-phase TOTAL rows.  The
+/// manifest overload prepends "# key=value" comment lines so the
+/// artifact is self-describing.
+void write_metrics_csv(const MetricsSummary& m, std::ostream& out);
+void write_metrics_csv(const MetricsSummary& m, std::ostream& out,
+                       const RunManifest& manifest);
+
+/// JSON object mirroring MetricsSummary; the manifest overload adds a
+/// "manifest" member.
 void write_metrics_json(const MetricsSummary& m, std::ostream& out);
+void write_metrics_json(const MetricsSummary& m, std::ostream& out,
+                        const RunManifest& manifest);
 
 std::string metrics_csv(const MetricsSummary& m);
 std::string metrics_json(const MetricsSummary& m);

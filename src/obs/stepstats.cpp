@@ -1,0 +1,160 @@
+#include "obs/stepstats.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace yy::obs {
+
+bool is_wait_phase(Phase p) {
+  switch (p) {
+    case Phase::halo_wait:
+    case Phase::overset_wait:
+    case Phase::reduce:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double StepStats::phase_seconds() const {
+  double s = 0.0;
+  for (double v : seconds) s += v;
+  return s;
+}
+
+double StepStats::compute_seconds() const {
+  double s = 0.0;
+  for (int p = 0; p < kNumPhases; ++p)
+    if (!is_wait_phase(static_cast<Phase>(p)))
+      s += seconds[static_cast<std::size_t>(p)];
+  return s;
+}
+
+double StepStats::wait_seconds() const {
+  double s = 0.0;
+  for (int p = 0; p < kNumPhases; ++p)
+    if (is_wait_phase(static_cast<Phase>(p)))
+      s += seconds[static_cast<std::size_t>(p)];
+  return s;
+}
+
+StepStatsRing::StepStatsRing(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  buf_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void StepStatsRing::push(const StepStats& s) {
+  if (buf_.size() < capacity_) {
+    buf_.push_back(s);
+  } else {
+    buf_[head_] = s;
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++pushed_;
+}
+
+void StepStatsRing::clear() {
+  buf_.clear();
+  head_ = 0;
+  pushed_ = 0;
+}
+
+const StepStats& StepStatsRing::from_oldest(std::size_t i) const {
+  if (i >= buf_.size()) throw std::out_of_range("StepStatsRing::from_oldest");
+  // Until the ring wraps, head_ == 0 and the buffer is in push order.
+  return buf_[(head_ + i) % buf_.size()];
+}
+
+const StepStats& StepStatsRing::from_newest(std::size_t i) const {
+  if (i >= buf_.size()) throw std::out_of_range("StepStatsRing::from_newest");
+  return from_oldest(buf_.size() - 1 - i);
+}
+
+double StepAgg::wait_fraction() const {
+  const double total = compute_mean_s + wait_mean_s;
+  return total > 0.0 ? wait_mean_s / total : 0.0;
+}
+
+StepAgg aggregate_step(const std::vector<StepStats>& per_rank) {
+  if (per_rank.empty())
+    throw std::invalid_argument("aggregate_step: no rank records");
+  StepAgg a;
+  a.step = per_rank[0].step;
+  a.dt = per_rank[0].dt;
+  a.cfl_limit_dt = per_rank[0].cfl_limit_dt;
+  a.ranks = static_cast<int>(per_rank.size());
+
+  double compute_sum = 0.0, wait_sum = 0.0, compute_max = -1.0;
+  for (int r = 0; r < a.ranks; ++r) {
+    const StepStats& s = per_rank[static_cast<std::size_t>(r)];
+    for (int p = 0; p < kNumPhases; ++p) {
+      PhaseAgg& pa = a.phase[static_cast<std::size_t>(p)];
+      const double v = s.seconds[static_cast<std::size_t>(p)];
+      if (r == 0 || v < pa.min_s) pa.min_s = v;
+      if (r == 0 || v > pa.max_s) {
+        pa.max_s = v;
+        pa.argmax_rank = r;
+      }
+      pa.sum_s += v;
+      pa.bytes += s.bytes[static_cast<std::size_t>(p)];
+    }
+    const double comp = s.compute_seconds();
+    const double wait = s.wait_seconds();
+    compute_sum += comp;
+    wait_sum += wait;
+    if (comp > compute_max) {
+      compute_max = comp;
+      a.straggler = r;
+    }
+    a.compute_max_s = std::max(a.compute_max_s, comp);
+    a.wait_max_s = std::max(a.wait_max_s, wait);
+    a.wall_max_s = std::max(a.wall_max_s, s.wall_seconds);
+    for (int e = 0; e < kNumEvents; ++e)
+      a.event_delta[static_cast<std::size_t>(e)] =
+          std::max(a.event_delta[static_cast<std::size_t>(e)],
+                   s.event_delta[static_cast<std::size_t>(e)]);
+    a.spans_dropped += s.spans_dropped;
+  }
+  for (PhaseAgg& pa : a.phase) pa.mean_s = pa.sum_s / a.ranks;
+  a.compute_mean_s = compute_sum / a.ranks;
+  a.wait_mean_s = wait_sum / a.ranks;
+  a.imbalance =
+      a.compute_mean_s > 0.0 ? a.compute_max_s / a.compute_mean_s : 1.0;
+  return a;
+}
+
+void pack_step_stats(const StepStats& s, double* out) {
+  std::size_t k = 0;
+  out[k++] = static_cast<double>(s.step);
+  out[k++] = s.dt;
+  out[k++] = s.cfl_limit_dt;
+  out[k++] = s.wall_seconds;
+  out[k++] = static_cast<double>(s.spans_dropped);
+  for (int p = 0; p < kNumPhases; ++p)
+    out[k++] = s.seconds[static_cast<std::size_t>(p)];
+  for (int p = 0; p < kNumPhases; ++p)
+    out[k++] = static_cast<double>(s.bytes[static_cast<std::size_t>(p)]);
+  for (int e = 0; e < kNumEvents; ++e)
+    out[k++] = static_cast<double>(s.event_delta[static_cast<std::size_t>(e)]);
+}
+
+StepStats unpack_step_stats(const double* in) {
+  StepStats s;
+  std::size_t k = 0;
+  s.step = static_cast<std::int64_t>(in[k++]);
+  s.dt = in[k++];
+  s.cfl_limit_dt = in[k++];
+  s.wall_seconds = in[k++];
+  s.spans_dropped = static_cast<std::uint64_t>(in[k++]);
+  for (int p = 0; p < kNumPhases; ++p)
+    s.seconds[static_cast<std::size_t>(p)] = in[k++];
+  for (int p = 0; p < kNumPhases; ++p)
+    s.bytes[static_cast<std::size_t>(p)] =
+        static_cast<std::uint64_t>(in[k++]);
+  for (int e = 0; e < kNumEvents; ++e)
+    s.event_delta[static_cast<std::size_t>(e)] =
+        static_cast<std::uint64_t>(in[k++]);
+  return s;
+}
+
+}  // namespace yy::obs

@@ -1,0 +1,319 @@
+#include "obs/telemetry.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace yy::obs {
+
+namespace {
+
+const char* detect_sanitizer() {
+#if defined(__SANITIZE_THREAD__)
+  return "thread";
+#elif defined(__SANITIZE_ADDRESS__)
+  return "address";
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  return "thread";
+#elif __has_feature(address_sanitizer)
+  return "address";
+#else
+  return "none";
+#endif
+#else
+  return "none";
+#endif
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+RunManifest RunManifest::current_build() {
+  RunManifest m;
+  m.trace_level = YY_TRACE_LEVEL;
+#ifdef YY_BUILD_TYPE
+  m.build_type = YY_BUILD_TYPE;
+#else
+  m.build_type = "unknown";
+#endif
+  m.sanitizer = detect_sanitizer();
+  return m;
+}
+
+void RunManifest::write_json(std::ostream& out) const {
+  char buf[256];
+  out << "{\"app\":\"" << json_escape(app) << "\",\"mode\":\""
+      << json_escape(mode) << "\",";
+  std::snprintf(buf, sizeof buf,
+                "\"world\":%d,\"pt\":%d,\"pp\":%d,"
+                "\"nr\":%d,\"nt_core\":%d,\"np_core\":%d,"
+                "\"trace_level\":%d,\"heartbeat_interval\":%d,",
+                world, pt, pp, nr, nt_core, np_core, trace_level,
+                heartbeat_interval);
+  out << buf;
+  out << "\"build_type\":\"" << json_escape(build_type)
+      << "\",\"sanitizer\":\"" << json_escape(sanitizer) << "\",\"extra\":{";
+  bool first = true;
+  for (const auto& [k, v] : extra) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(k) << "\":\"" << json_escape(v) << "\"";
+  }
+  out << "}}";
+}
+
+std::string RunManifest::json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+void RunManifest::write_csv_comments(std::ostream& out) const {
+  out << "# app=" << app << "\n# mode=" << mode << "\n";
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "# world=%d pt=%d pp=%d\n# nr=%d nt_core=%d np_core=%d\n",
+                world, pt, pp, nr, nt_core, np_core);
+  out << buf;
+  out << "# build_type=" << build_type << " sanitizer=" << sanitizer
+      << " trace_level=" << trace_level
+      << " heartbeat_interval=" << heartbeat_interval << "\n";
+  for (const auto& [k, v] : extra) out << "# " << k << "=" << v << "\n";
+}
+
+TelemetrySink::TelemetrySink(RunManifest manifest, std::ostream* heartbeat)
+    : manifest_(std::move(manifest)), heartbeat_(heartbeat) {}
+
+std::string TelemetrySink::heartbeat_line(const StepAgg& a) {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof buf,
+                "[telemetry] step %6lld  dt %.2e  comp %8.3fms  wait %8.3fms "
+                "(%2.0f%%)  imb %5.2f  straggler r%d |",
+                static_cast<long long>(a.step), a.dt, 1e3 * a.compute_mean_s,
+                1e3 * a.wait_mean_s, 100.0 * a.wait_fraction(), a.imbalance,
+                a.straggler);
+  out += buf;
+  static constexpr struct {
+    Phase phase;
+    const char* label;
+  } kShown[] = {{Phase::rhs, "rhs"},
+                {Phase::halo_wait, "halo"},
+                {Phase::overset_wait, "ovs"}};
+  for (const auto& sh : kShown) {
+    const PhaseAgg& pa = a.phase_agg(sh.phase);
+    if (pa.sum_s == 0.0) continue;
+    std::snprintf(buf, sizeof buf, " %s %.3f/%.3f", sh.label, 1e3 * pa.mean_s,
+                  1e3 * pa.max_s);
+    out += buf;
+  }
+  out += " ms";
+  return out;
+}
+
+void TelemetrySink::on_window(const std::vector<StepAgg>& steps) {
+  for (const StepAgg& a : steps) {
+    series_.push_back(a);
+    if (heartbeat_ != nullptr) *heartbeat_ << heartbeat_line(a) << "\n";
+  }
+  if (heartbeat_ != nullptr) heartbeat_->flush();
+}
+
+void TelemetrySink::write_csv(std::ostream& out) const {
+  manifest_.write_csv_comments(out);
+  out << "# columns(phase rows): "
+         "step,dt,phase,min_s,mean_s,max_s,sum_s,argmax_rank,bytes\n";
+  out << "# columns(STEP rows): step,dt,STEP,imbalance,compute_mean_s,"
+         "wait_mean_s,wall_max_s,straggler,spans_dropped\n";
+  out << "step,dt,phase,min_s,mean_s,max_s,sum_s,argmax_rank,bytes\n";
+  char buf[256];
+  for (const StepAgg& a : series_) {
+    for (int p = 0; p < kNumPhases; ++p) {
+      const PhaseAgg& pa = a.phase[static_cast<std::size_t>(p)];
+      if (pa.sum_s == 0.0 && pa.bytes == 0) continue;
+      std::snprintf(buf, sizeof buf,
+                    "%lld,%.9e,%s,%.9e,%.9e,%.9e,%.9e,%d,%" PRIu64 "\n",
+                    static_cast<long long>(a.step), a.dt,
+                    phase_name(static_cast<Phase>(p)), pa.min_s, pa.mean_s,
+                    pa.max_s, pa.sum_s, pa.argmax_rank, pa.bytes);
+      out << buf;
+    }
+    std::snprintf(buf, sizeof buf,
+                  "%lld,%.9e,STEP,%.9e,%.9e,%.9e,%.9e,%d,%" PRIu64 "\n",
+                  static_cast<long long>(a.step), a.dt, a.imbalance,
+                  a.compute_mean_s, a.wait_mean_s, a.wall_max_s, a.straggler,
+                  a.spans_dropped);
+    out << buf;
+  }
+}
+
+void TelemetrySink::write_json(std::ostream& out) const {
+  out << "{\"schema\":\"yy-telemetry-1\",\"manifest\":";
+  manifest_.write_json(out);
+  out << ",\"steps\":[";
+  char buf[320];
+  bool first_step = true;
+  for (const StepAgg& a : series_) {
+    if (!first_step) out << ",";
+    first_step = false;
+    std::snprintf(buf, sizeof buf,
+                  "\n{\"step\":%lld,\"dt\":%.9e,\"cfl_limit_dt\":%.9e,"
+                  "\"ranks\":%d,\"imbalance\":%.6f,\"straggler\":%d,"
+                  "\"compute_mean_s\":%.9e,\"compute_max_s\":%.9e,"
+                  "\"wait_mean_s\":%.9e,\"wait_max_s\":%.9e,"
+                  "\"wall_max_s\":%.9e,\"spans_dropped\":%" PRIu64
+                  ",\"phases\":{",
+                  static_cast<long long>(a.step), a.dt, a.cfl_limit_dt,
+                  a.ranks, a.imbalance, a.straggler, a.compute_mean_s,
+                  a.compute_max_s, a.wait_mean_s, a.wait_max_s, a.wall_max_s,
+                  a.spans_dropped);
+    out << buf;
+    bool first = true;
+    for (int p = 0; p < kNumPhases; ++p) {
+      const PhaseAgg& pa = a.phase[static_cast<std::size_t>(p)];
+      if (pa.sum_s == 0.0 && pa.bytes == 0) continue;
+      if (!first) out << ",";
+      first = false;
+      std::snprintf(buf, sizeof buf,
+                    "\"%s\":{\"min_s\":%.9e,\"mean_s\":%.9e,\"max_s\":%.9e,"
+                    "\"sum_s\":%.9e,\"argmax_rank\":%d,\"bytes\":%" PRIu64 "}",
+                    phase_name(static_cast<Phase>(p)), pa.min_s, pa.mean_s,
+                    pa.max_s, pa.sum_s, pa.argmax_rank, pa.bytes);
+      out << buf;
+    }
+    out << "},\"events\":{";
+    first = true;
+    for (int e = 0; e < kNumEvents; ++e) {
+      const std::uint64_t n = a.event_delta[static_cast<std::size_t>(e)];
+      if (n == 0) continue;
+      if (!first) out << ",";
+      first = false;
+      std::snprintf(buf, sizeof buf, "\"%s\":%" PRIu64,
+                    event_name(static_cast<Event>(e)), n);
+      out << buf;
+    }
+    out << "}}";
+  }
+  out << "\n]}\n";
+}
+
+std::string TelemetrySink::csv() const {
+  std::ostringstream os;
+  write_csv(os);
+  return os.str();
+}
+
+std::string TelemetrySink::json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+bool TelemetrySink::write_files(const std::string& csv_path,
+                                const std::string& json_path) const {
+  std::ofstream csv(csv_path);
+  if (csv) write_csv(csv);
+  std::ofstream js(json_path);
+  if (js) write_json(js);
+  return csv.good() && js.good();
+}
+
+RankTelemetry::RankTelemetry(const comm::Communicator& world,
+                             TelemetrySink& sink, const TelemetryConfig& cfg)
+    : world_(world), sink_(sink), cfg_(cfg), ring_(cfg.ring_capacity) {
+  if (cfg_.interval < 1) cfg_.interval = 1;
+}
+
+void RankTelemetry::begin_step(std::int64_t step, double dt,
+                               double cfl_limit_dt) {
+  cur_ = StepStats{};
+  cur_.step = step;
+  cur_.dt = dt;
+  cur_.cfl_limit_dt = cfl_limit_dt;
+  if (RankTrace* t = detail::current_trace()) {
+    if (cfg_.span_budget != 0 && t->span_budget() != cfg_.span_budget)
+      t->set_span_budget(cfg_.span_budget);
+    consumed_spans_ = t->evicted() + t->spans().size();
+    evicted_at_begin_ = t->evicted();
+  }
+  events_at_begin_ = EventCounters::global().snapshot();
+  t_begin_ns_ = now_ns();
+  step_open_ = true;
+}
+
+void RankTelemetry::end_step() {
+  if (!step_open_) return;
+  step_open_ = false;
+  cur_.wall_seconds = static_cast<double>(now_ns() - t_begin_ns_) / 1e9;
+  if (const RankTrace* t = detail::current_trace()) {
+    const std::vector<Span>& spans = t->spans();
+    const std::uint64_t evicted = t->evicted();
+    // Spans recorded before begin_step occupy [0, consumed_spans_ -
+    // evicted); anything the budget already evicted is simply gone.
+    const std::size_t begin =
+        consumed_spans_ > evicted
+            ? static_cast<std::size_t>(consumed_spans_ - evicted)
+            : 0;
+    for (std::size_t i = begin; i < spans.size(); ++i) {
+      const Span& s = spans[i];
+      const auto p = static_cast<std::size_t>(s.phase);
+      cur_.seconds[p] += static_cast<double>(s.t1_ns - s.t0_ns) / 1e9;
+      cur_.bytes[p] += s.bytes;
+    }
+    cur_.spans_dropped = evicted - evicted_at_begin_;
+  }
+  const auto events_now = EventCounters::global().snapshot();
+  for (int e = 0; e < kNumEvents; ++e)
+    cur_.event_delta[static_cast<std::size_t>(e)] =
+        events_now[static_cast<std::size_t>(e)] -
+        events_at_begin_[static_cast<std::size_t>(e)];
+  ring_.push(cur_);
+  if (++in_window_ >= cfg_.interval) {
+    collective_window(in_window_);
+    in_window_ = 0;
+  }
+}
+
+void RankTelemetry::flush() {
+  if (in_window_ > 0) {
+    collective_window(in_window_);
+    in_window_ = 0;
+  }
+}
+
+void RankTelemetry::collective_window(int nsteps) {
+  // Pack the window oldest-first; every rank contributes the same
+  // nsteps (the solver steps in lockstep), which gather() requires.
+  std::vector<double> payload(static_cast<std::size_t>(nsteps) *
+                              kStepStatsDoubles);
+  for (int k = 0; k < nsteps; ++k)
+    pack_step_stats(ring_.from_newest(static_cast<std::size_t>(nsteps - 1 - k)),
+                    &payload[static_cast<std::size_t>(k) * kStepStatsDoubles]);
+  const std::vector<double> all = world_.gather(payload, 0);
+  if (world_.rank() != 0) return;
+  const int nranks = world_.size();
+  std::vector<StepAgg> aggs;
+  aggs.reserve(static_cast<std::size_t>(nsteps));
+  std::vector<StepStats> per_rank(static_cast<std::size_t>(nranks));
+  for (int k = 0; k < nsteps; ++k) {
+    for (int r = 0; r < nranks; ++r)
+      per_rank[static_cast<std::size_t>(r)] = unpack_step_stats(
+          &all[(static_cast<std::size_t>(r) * nsteps + k) * kStepStatsDoubles]);
+    aggs.push_back(aggregate_step(per_rank));
+  }
+  sink_.on_window(aggs);
+}
+
+}  // namespace yy::obs

@@ -1,0 +1,141 @@
+/// \file telemetry.hpp
+/// In-run, cross-rank telemetry: the live counterpart of the post-hoc
+/// metrics aggregation (metrics.hpp), modelled on the Earth Simulator's
+/// PROGINF facility which let the paper's authors watch where every
+/// step's time went and which AP lagged.
+///
+/// Three pieces:
+///  * `RunManifest` — the run's identity (app, config, rank layout,
+///    build flags, trace level, sanitizer mode), stamped into every
+///    telemetry/metrics/trace export so artifacts are self-describing.
+///  * `RankTelemetry` — per-rank front end.  The solver brackets each
+///    step with begin_step()/end_step(); end_step folds the spans the
+///    step recorded (via the existing PhaseScope instrumentation) into
+///    a StepStats, pushes it onto a bounded ring, and every
+///    `interval` steps joins a collective gather that ships the window
+///    to world rank 0.  The gather is the only communication; its cost
+///    amortizes over the interval.
+///  * `TelemetrySink` — root-side collector.  Reduces each gathered
+///    step across ranks (stepstats.hpp aggregate_step), appends it to
+///    the run's time series, prints a rolling heartbeat line per step
+///    when a heartbeat stream is attached, and exports the series as
+///    telemetry.csv / telemetry.json.
+///
+/// The per-step phase sums in the exported series reconcile with the
+/// end-of-run MetricsSummary totals computed from the same spans
+/// (test-enforced in tests/obs/test_telemetry.cpp).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "obs/stepstats.hpp"
+
+namespace yy::obs {
+
+/// Everything needed to interpret an exported artifact later: run
+/// shape, grid, rank layout and the build's observability flags.
+struct RunManifest {
+  std::string app;   ///< producing binary ("parallel_dynamo", ...)
+  std::string mode;  ///< run mode ("plain", "resilient", ...)
+  int world = 0, pt = 0, pp = 0;      ///< rank layout (2 panels x pt x pp)
+  int nr = 0, nt_core = 0, np_core = 0;  ///< per-panel grid
+  int trace_level = YY_TRACE_LEVEL;
+  std::string build_type;  ///< CMAKE_BUILD_TYPE baked in at compile time
+  std::string sanitizer;   ///< "none", "thread" or "address"
+  int heartbeat_interval = 0;  ///< telemetry window (0 = telemetry off)
+  /// Free-form additions ("steps", "seed", ...), exported verbatim.
+  std::vector<std::pair<std::string, std::string>> extra;
+
+  /// Manifest pre-filled with the compile-time facts (trace level,
+  /// build type, sanitizer mode); the caller fills in the run shape.
+  static RunManifest current_build();
+
+  void write_json(std::ostream& out) const;  ///< one JSON object
+  std::string json() const;
+  /// "# key=value" comment lines, placed above CSV headers.
+  void write_csv_comments(std::ostream& out) const;
+};
+
+struct TelemetryConfig {
+  int interval = 10;  ///< steps per collective window (>= 1)
+  std::size_t ring_capacity = 4096;  ///< StepStats retained per rank
+  /// Span budget installed on the bound RankTrace so long telemetry
+  /// runs don't grow the raw span buffer unboundedly (0 = leave the
+  /// trace unbounded; spans are folded into StepStats each step, so a
+  /// bounded trace costs only raw-timeline detail).
+  std::size_t span_budget = 1 << 16;
+};
+
+/// Root-side collector and exporter.  Only the gather root (world rank
+/// 0) calls on_window(); the main thread reads/exports after the rank
+/// threads are joined.
+class TelemetrySink {
+ public:
+  explicit TelemetrySink(RunManifest manifest,
+                         std::ostream* heartbeat = nullptr);
+
+  const RunManifest& manifest() const { return manifest_; }
+  const std::vector<StepAgg>& series() const { return series_; }
+
+  /// Appends a window of aggregated steps and emits one heartbeat line
+  /// per step when a heartbeat stream is attached.
+  void on_window(const std::vector<StepAgg>& steps);
+
+  /// One-line cross-rank summary of an aggregated step (the heartbeat
+  /// format): per-phase mean/max, imbalance, straggler, wait share.
+  static std::string heartbeat_line(const StepAgg& a);
+
+  void write_csv(std::ostream& out) const;
+  void write_json(std::ostream& out) const;
+  std::string csv() const;
+  std::string json() const;
+  /// Writes both exports; returns false if either file failed.
+  bool write_files(const std::string& csv_path,
+                   const std::string& json_path) const;
+
+ private:
+  RunManifest manifest_;
+  std::ostream* heartbeat_;
+  std::vector<StepAgg> series_;
+};
+
+/// Per-rank telemetry front end (one per rank thread, like the solver).
+/// begin_step/end_step bracket each solver step; every `interval`
+/// completed steps end_step performs a collective gather over `world`,
+/// so all ranks must step in lockstep (they do: the solver step is
+/// itself collective).  flush() drains a partial window and is likewise
+/// collective.
+class RankTelemetry {
+ public:
+  RankTelemetry(const comm::Communicator& world, TelemetrySink& sink,
+                const TelemetryConfig& cfg = {});
+
+  void begin_step(std::int64_t step, double dt, double cfl_limit_dt = 0.0);
+  void end_step();
+  void flush();
+
+  const TelemetryConfig& config() const { return cfg_; }
+  const StepStatsRing& ring() const { return ring_; }
+
+ private:
+  void collective_window(int nsteps);
+
+  comm::Communicator world_;
+  TelemetrySink& sink_;
+  TelemetryConfig cfg_;
+  StepStatsRing ring_;
+  StepStats cur_;
+  std::uint64_t consumed_spans_ = 0;  ///< monotonic watermark, incl. evicted
+  std::uint64_t evicted_at_begin_ = 0;
+  std::array<std::uint64_t, kNumEvents> events_at_begin_{};
+  std::int64_t t_begin_ns_ = 0;
+  int in_window_ = 0;  ///< completed steps since the last gather
+  bool step_open_ = false;
+};
+
+}  // namespace yy::obs

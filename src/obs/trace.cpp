@@ -1,21 +1,36 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 namespace yy::obs {
 
+namespace {
+
+// Indexed by Phase; the static_assert pins the table to the enum so a
+// new phase cannot compile without a name (see kNumPhases assert in
+// trace.hpp for the matching count-side pin).
+constexpr const char* kPhaseNames[] = {
+    "rhs",      "rk4_stage", "halo_wait", "overset_wait",
+    "boundary", "reduce",    "io",        "other",
+};
+static_assert(std::size(kPhaseNames) == static_cast<std::size_t>(kNumPhases),
+              "phase_name table and kNumPhases are out of sync");
+
+}  // namespace
+
 const char* phase_name(Phase p) {
-  switch (p) {
-    case Phase::rhs: return "rhs";
-    case Phase::rk4_stage: return "rk4_stage";
-    case Phase::halo_wait: return "halo_wait";
-    case Phase::overset_wait: return "overset_wait";
-    case Phase::boundary: return "boundary";
-    case Phase::reduce: return "reduce";
-    case Phase::io: return "io";
-    case Phase::other: return "other";
-  }
-  return "?";
+  const int i = static_cast<int>(p);
+  return i >= 0 && i < kNumPhases ? kPhaseNames[i] : "?";
+}
+
+void RankTrace::evict_oldest() {
+  // Bulk-evict a quarter of the budget so the O(n) front erase is paid
+  // once per budget/4 records, not on every one.
+  const std::size_t n =
+      std::min(std::max<std::size_t>(budget_ / 4, 1), spans_.size());
+  spans_.erase(spans_.begin(), spans_.begin() + static_cast<std::ptrdiff_t>(n));
+  evicted_ += n;
 }
 
 std::int64_t now_ns() {

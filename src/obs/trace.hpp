@@ -53,6 +53,12 @@ enum class Phase : int {
 
 inline constexpr int kNumPhases = 8;
 
+// A new Phase must bump kNumPhases (and the name table in trace.cpp,
+// whose size is pinned by its own static_assert) before it compiles.
+static_assert(static_cast<int>(Phase::other) + 1 == kNumPhases,
+              "Phase enum and kNumPhases are out of sync: keep `other` "
+              "last and kNumPhases == last + 1");
+
 const char* phase_name(Phase p);
 
 /// One recorded [t0,t1) interval on one rank.
@@ -80,15 +86,35 @@ class RankTrace {
 
   void record(Phase phase, std::int64_t t0_ns, std::int64_t t1_ns,
               std::uint64_t bytes) {
+    if (budget_ != 0 && spans_.size() >= budget_) evict_oldest();
     spans_.push_back({phase, t0_ns, t1_ns, step_, bytes});
+    ++recorded_total_;
   }
+
+  /// Caps the span buffer for long runs: once it holds `budget` spans,
+  /// recording another first evicts the oldest quarter in one bulk move
+  /// (amortized O(1) per record).  0 = unbounded, the seed behaviour.
+  /// Telemetry consumers (obs/telemetry.hpp) downsample spans into
+  /// per-step StepStats before eviction can reach them, so a bounded
+  /// buffer loses only raw timeline detail, not the time series.
+  void set_span_budget(std::size_t budget) { budget_ = budget; }
+  std::size_t span_budget() const { return budget_; }
+
+  /// Spans ever recorded / evicted by the budget (monotonic).  The
+  /// buffer holds the last recorded_total() - evicted() of them.
+  std::uint64_t recorded_total() const { return recorded_total_; }
+  std::uint64_t evicted() const { return evicted_; }
 
  private:
   friend class TraceRecorder;
   explicit RankTrace(int rank) : rank_(rank) { spans_.reserve(1024); }
+  void evict_oldest();
   int rank_;
   std::int64_t step_ = -1;
   std::vector<Span> spans_;
+  std::size_t budget_ = 0;
+  std::uint64_t recorded_total_ = 0;
+  std::uint64_t evicted_ = 0;
 };
 
 /// Monotonic nanoseconds since a process-wide epoch (first use).  One

@@ -176,6 +176,45 @@ std::string format_measured_proginf(const obs::MetricsSummary& m) {
   return out;
 }
 
+std::vector<PhaseDriftRow> phase_drift(const obs::MetricsSummary& m,
+                                       const EsPerformanceModel& model,
+                                       const RunConfig& rc) {
+  const ModelResult r = model.predict(rc);
+  const double traced = m.traced_seconds();
+
+  // Measured shares of the traced step time; the model's comparable
+  // buckets are compute (rhs + stage update + boundary), halo and
+  // overset.  reduce/io are outside the model's step decomposition.
+  const double meas_comp = m.phase(obs::Phase::rhs).seconds +
+                           m.phase(obs::Phase::rk4_stage).seconds +
+                           m.phase(obs::Phase::boundary).seconds;
+  const struct {
+    const char* label;
+    double measured_s;
+    double predicted_share;  // < 0: not modelled
+  } raw[] = {
+      {"compute", meas_comp, r.comp_fraction},
+      {"halo_wait", m.phase(obs::Phase::halo_wait).seconds, r.halo_fraction},
+      {"overset_wait", m.phase(obs::Phase::overset_wait).seconds,
+       r.overset_fraction},
+      {"reduce", m.phase(obs::Phase::reduce).seconds, -1.0},
+      {"io", m.phase(obs::Phase::io).seconds, -1.0},
+  };
+  std::vector<PhaseDriftRow> rows;
+  for (const auto& rr : raw) {
+    if (rr.measured_s == 0.0 && rr.predicted_share < 0.0) continue;
+    PhaseDriftRow row;
+    row.label = rr.label;
+    row.measured_s = rr.measured_s;
+    row.measured_share = traced > 0.0 ? rr.measured_s / traced : 0.0;
+    row.predicted_share = rr.predicted_share;
+    if (rr.predicted_share >= 0.0 && row.measured_share > 0.0)
+      row.pred_over_meas = rr.predicted_share / row.measured_share;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
 std::string format_phase_report(const obs::MetricsSummary& m,
                                 const EsPerformanceModel& model,
                                 const RunConfig& rc) {
@@ -186,40 +225,19 @@ std::string format_phase_report(const obs::MetricsSummary& m,
   out += "==============================================================\n";
   out += "  phase          measured s    share   predicted   pred/meas\n";
 
-  // Measured shares of the traced step time; the model's comparable
-  // buckets are compute (rhs + stage update + boundary), halo and
-  // overset.  reduce/io are outside the model's step decomposition.
-  const double meas_comp = m.phase(obs::Phase::rhs).seconds +
-                           m.phase(obs::Phase::rk4_stage).seconds +
-                           m.phase(obs::Phase::boundary).seconds;
-  struct Row {
-    const char* label;
-    double measured_s;
-    double predicted_share;  // < 0: not modelled
-  };
-  const Row rows[] = {
-      {"compute", meas_comp, r.comp_fraction},
-      {"halo_wait", m.phase(obs::Phase::halo_wait).seconds, r.halo_fraction},
-      {"overset_wait", m.phase(obs::Phase::overset_wait).seconds,
-       r.overset_fraction},
-      {"reduce", m.phase(obs::Phase::reduce).seconds, -1.0},
-      {"io", m.phase(obs::Phase::io).seconds, -1.0},
-  };
   char buf[192];
-  for (const Row& row : rows) {
-    if (row.measured_s == 0.0 && row.predicted_share < 0.0) continue;
-    const double share = traced > 0.0 ? row.measured_s / traced : 0.0;
+  for (const PhaseDriftRow& row : phase_drift(m, model, rc)) {
     if (row.predicted_share >= 0.0) {
-      const double ratio =
-          share > 0.0 ? row.predicted_share / share : 0.0;
       std::snprintf(buf, sizeof buf,
-                    "  %-14s %10.6f %7.1f%% %10.1f%% %11.2f\n", row.label,
-                    row.measured_s, 100.0 * share,
-                    100.0 * row.predicted_share, ratio);
+                    "  %-14s %10.6f %7.1f%% %10.1f%% %11.2f\n",
+                    row.label.c_str(), row.measured_s,
+                    100.0 * row.measured_share, 100.0 * row.predicted_share,
+                    row.pred_over_meas);
     } else {
       std::snprintf(buf, sizeof buf,
                     "  %-14s %10.6f %7.1f%%          -           -\n",
-                    row.label, row.measured_s, 100.0 * share);
+                    row.label.c_str(), row.measured_s,
+                    100.0 * row.measured_share);
     }
     out += buf;
   }

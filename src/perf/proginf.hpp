@@ -14,6 +14,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "perf/es_model.hpp"
@@ -33,6 +34,23 @@ std::string format_proginf(const EsPerformanceModel& model,
 /// real min [rank], max [rank] and average seconds across the run's
 /// ranks, plus traffic totals — no synthetic jitter.
 std::string format_measured_proginf(const obs::MetricsSummary& m);
+
+/// One row of the predicted-vs-measured phase cross-check.
+struct PhaseDriftRow {
+  std::string label;              ///< "compute", "halo_wait", ...
+  double measured_s = 0.0;
+  double measured_share = 0.0;    ///< of the traced step time
+  double predicted_share = -1.0;  ///< < 0: phase outside the model
+  double pred_over_meas = 0.0;    ///< predicted/measured share (0 = n/a)
+};
+
+/// Numeric form of the phase cross-check: measured phase shares of a
+/// real run against the es_model's predicted split at the same process
+/// count.  format_phase_report renders these rows; the perf-regression
+/// baselines (bench/baseline_runner) track them as drift metrics.
+std::vector<PhaseDriftRow> phase_drift(const obs::MetricsSummary& m,
+                                       const EsPerformanceModel& model,
+                                       const RunConfig& rc);
 
 /// Per-phase cross-check of a measured run against the model's
 /// predicted step split.  Each comparable phase reports measured

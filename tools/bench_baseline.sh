@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# One-command perf-regression entry point (the bench-side companion of
+# tools/sanitize.sh): builds Release, runs bench/baseline_runner, and
+# either records the committed BENCH_*.json baselines or compares the
+# fresh run against them with tools/bench_compare.py.
+#
+# Usage: tools/bench_baseline.sh [check|record]   (default: check)
+#   check   run the benches, diff against committed BENCH_*.json,
+#           exit nonzero on any out-of-tolerance regression
+#   record  run the benches and overwrite the committed baselines
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode=${1:-check}
+case "${mode}" in check|record) ;; *)
+  echo "usage: tools/bench_baseline.sh [check|record]" >&2; exit 2;;
+esac
+
+build=build-bench
+cmake -B "${build}" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build "${build}" -j "$(nproc)" --target baseline_runner > /dev/null
+
+out=$(mktemp -d)
+trap 'rm -rf "${out}"' EXIT
+"./${build}/bench/baseline_runner" --out "${out}"
+
+if [ "${mode}" = record ]; then
+  cp "${out}"/BENCH_*.json .
+  echo "recorded: $(ls BENCH_*.json | tr '\n' ' ')"
+  exit 0
+fi
+
+status=0
+for fresh in "${out}"/BENCH_*.json; do
+  base=$(basename "${fresh}")
+  if [ ! -f "${base}" ]; then
+    echo "FAIL  no committed baseline ${base} (run: tools/bench_baseline.sh record)"
+    status=1
+    continue
+  fi
+  python3 tools/bench_compare.py "${base}" "${fresh}" || status=1
+done
+exit "${status}"

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Compare a fresh yy-bench-1 result against a committed baseline.
+
+Usage:
+    tools/bench_compare.py BASELINE.json CURRENT.json
+    tools/bench_compare.py --selftest
+
+Each baseline metric carries its own tolerance band, recorded when the
+baseline was written (see bench/bench_json.hpp):
+
+    allowed = max(tol_abs, |value| * tol_rel)
+    direction "min"  -> regression if current < value - allowed
+    direction "max"  -> regression if current > value + allowed
+    direction "band" -> regression if |current - value| > allowed
+
+Exit status: 0 when every baseline metric is present and within band,
+1 on any regression, missing metric, or schema mismatch.
+"""
+
+import json
+import sys
+
+SCHEMA = "yy-bench-1"
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: expected schema {SCHEMA!r}, "
+                         f"got {doc.get('schema')!r}")
+    return doc
+
+
+def check_metric(name, base, cur_value):
+    """Returns (ok, description)."""
+    value = base["value"]
+    allowed = max(base.get("tol_abs", 0.0),
+                  abs(value) * base.get("tol_rel", 0.0))
+    direction = base.get("direction", "band")
+    if direction == "min":
+        ok = cur_value >= value - allowed
+        bound = f">= {value - allowed:.6g}"
+    elif direction == "max":
+        ok = cur_value <= value + allowed
+        bound = f"<= {value + allowed:.6g}"
+    else:
+        ok = abs(cur_value - value) <= allowed
+        bound = f"within {value:.6g} +/- {allowed:.6g}"
+    return ok, (f"{name}: baseline {value:.6g}, current {cur_value:.6g} "
+                f"({direction}: {bound})")
+
+
+def compare(baseline, current):
+    """Compares two parsed documents; returns the number of failures."""
+    failures = 0
+    if baseline.get("name") != current.get("name"):
+        print(f"FAIL  bench name mismatch: baseline "
+              f"{baseline.get('name')!r} vs current {current.get('name')!r}")
+        failures += 1
+    cur_metrics = current.get("metrics", {})
+    for name, base in baseline.get("metrics", {}).items():
+        if name not in cur_metrics:
+            print(f"FAIL  {name}: missing from current result")
+            failures += 1
+            continue
+        ok, desc = check_metric(name, base, cur_metrics[name]["value"])
+        print(("ok    " if ok else "FAIL  ") + desc)
+        if not ok:
+            failures += 1
+    return failures
+
+
+def selftest():
+    """Exercises every direction both ways without touching the disk."""
+    base = {
+        "schema": SCHEMA, "name": "selftest",
+        "metrics": {
+            "rate": {"value": 100.0, "tol_rel": 0.10, "tol_abs": 0.0,
+                     "direction": "min"},
+            "cost": {"value": 2.0, "tol_rel": 0.0, "tol_abs": 0.5,
+                     "direction": "max"},
+            "share": {"value": 0.80, "tol_rel": 0.0, "tol_abs": 0.05,
+                      "direction": "band"},
+        },
+    }
+
+    def current(rate, cost, share):
+        return {"schema": SCHEMA, "name": "selftest",
+                "metrics": {"rate": {"value": rate},
+                            "cost": {"value": cost},
+                            "share": {"value": share}}}
+
+    cases = [
+        (current(100.0, 2.0, 0.80), 0),   # identical
+        (current(91.0, 2.4, 0.84), 0),    # inside every band
+        (current(89.0, 2.0, 0.80), 1),    # rate regressed past tol_rel
+        (current(100.0, 2.6, 0.80), 1),   # cost regressed past tol_abs
+        (current(100.0, 2.0, 0.86), 1),   # share drifted up past band
+        (current(100.0, 2.0, 0.74), 1),   # share drifted down past band
+        (current(120.0, 1.0, 0.80), 0),   # improvements never fail min/max
+        (current(89.0, 2.6, 0.80), 2),    # two independent regressions
+    ]
+    for i, (cur, want) in enumerate(cases):
+        got = compare(base, cur)
+        if got != want:
+            print(f"selftest case {i}: expected {want} failures, got {got}")
+            return 1
+    missing = {"schema": SCHEMA, "name": "selftest",
+               "metrics": {"rate": {"value": 100.0}}}
+    if compare(base, missing) != 2:
+        print("selftest: missing metrics must fail")
+        return 1
+    print("selftest ok")
+    return 0
+
+
+def main(argv):
+    if len(argv) == 2 and argv[1] == "--selftest":
+        return selftest()
+    if len(argv) != 3:
+        print(__doc__.strip())
+        return 2
+    try:
+        baseline = load(argv[1])
+        current = load(argv[2])
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"FAIL  {e}")
+        return 1
+    print(f"== {baseline.get('name')}: {argv[2]} vs baseline {argv[1]}")
+    failures = compare(baseline, current)
+    print(f"{'REGRESSION' if failures else 'ok'}: "
+          f"{failures} failing metric(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
