@@ -9,7 +9,7 @@
 /// measured List-1-style report cross-checked against the Earth
 /// Simulator performance model's predicted phase split.
 ///
-/// Usage: parallel_dynamo [pt pp steps [mode]] [--heartbeat N]
+/// Usage: parallel_dynamo [pt pp steps [mode]] [--heartbeat N] [--overlap]
 ///        (default 2 x 2, 10 steps)
 ///
 /// mode selects the run-control layer:
@@ -24,6 +24,14 @@
 /// prints one rolling "[telemetry]" line per step (per-phase mean/max,
 /// imbalance ratio, straggler rank) and, at exit, writes the full
 /// manifest-stamped time series as telemetry.csv / telemetry.json.
+///
+/// --overlap switches the RK4 stage fills to the overlapped mode
+/// (DESIGN.md §10): halo/overset exchanges are posted, the interior of
+/// the patch is swept while the messages are in flight, and only the
+/// ghost-dependent rim waits.  Bitwise-identical to the synchronous
+/// path (tests/core/test_overlap_equivalence.cpp), so the serial
+/// cross-check below still matches exactly.  Set YY_THREADS to also
+/// thread the interior sweep and stage updates.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -52,10 +60,13 @@ using yinyang::Panel;
 
 int main(int argc, char** argv) {
   int heartbeat = 0;
+  bool overlap = false;
   std::vector<const char*> pos;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--heartbeat") == 0 && i + 1 < argc) {
       heartbeat = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--overlap") == 0) {
+      overlap = true;
     } else {
       pos.push_back(argv[i]);
     }
@@ -78,10 +89,11 @@ int main(int argc, char** argv) {
   cfg.eq.omega = {0, 0, 10.0};
   cfg.ic.perturb_amp = 1e-2;
   cfg.ic.seed_b_amp = 1e-4;
+  cfg.overlap = overlap;
 
   const int world = 2 * pt * pp;
-  std::printf("== Distributed yycore: %d ranks = 2 panels x (%d x %d) ========\n\n",
-              world, pt, pp);
+  std::printf("== Distributed yycore: %d ranks = 2 panels x (%d x %d)%s ====\n\n",
+              world, pt, pp, overlap ? "  [overlapped]" : "");
 
   mhd::EnergyBudget dist_energy;
   double dist_dt = 0.0;
@@ -103,6 +115,7 @@ int main(int argc, char** argv) {
   man.np_core = cfg.np_core;
   man.heartbeat_interval = heartbeat;
   man.extra.emplace_back("steps", std::to_string(steps));
+  man.extra.emplace_back("overlap", overlap ? "1" : "0");
   obs::TelemetrySink sink(man, heartbeat > 0 ? &std::cout : nullptr);
 
   if (mode == "faulty") {

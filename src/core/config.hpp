@@ -28,6 +28,12 @@ struct SimulationConfig {
   /// Time scheme; the paper uses classical RK4 (§III), the others exist
   /// for ablation and order-verification tests.
   mhd::TimeScheme scheme = mhd::TimeScheme::rk4;
+
+  /// Overlapped stepping: the distributed solver hides halo/overset
+  /// exchange latency behind the interior RHS sweep of each RK4 stage
+  /// (bitwise-identical trajectories; see DESIGN.md §10).  Honoured by
+  /// the rk4 scheme; euler/rk2 fall back to synchronous fills.
+  bool overlap = false;
 };
 
 }  // namespace yy::core

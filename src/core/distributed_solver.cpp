@@ -69,6 +69,43 @@ void DistributedSolver::fill_ghosts(mhd::Fields& s) {
   bc_.fill_ghosts(*grid_, s);
 }
 
+void DistributedSolver::post_exchanges(mhd::Fields& s) {
+  const int gh = grid_->ghost();
+  {
+    YY_TRACE_SCOPE(obs::Phase::boundary);
+    bc_.enforce_walls(*grid_, s);
+    // Radial prefill of the owned columns: per-column local, so it can
+    // run before the horizontal exchanges — and must, so the interior
+    // RHS sees valid radial ghosts while the messages are in flight.
+    bc_.fill_ghosts(*grid_, s, gh, gh + grid_->spec().nt, gh,
+                    gh + grid_->spec().np);
+  }
+  YY_TRACE_SCOPE(obs::Phase::halo_overlap);
+  halo_posted_ = halo_->post(s);
+  overset_posted_ = overset_->post();
+}
+
+void DistributedSolver::finish_exchanges(mhd::Fields& s) {
+  {
+    YY_TRACE_SCOPE_V(span, obs::Phase::halo_wait);
+    span.add_bytes(halo_->finish(s, halo_posted_));
+  }
+  {
+    YY_TRACE_SCOPE_V(span, obs::Phase::overset_wait);
+    span.add_bytes(overset_->finish(s, overset_posted_));
+  }
+  // Radial fill of the freshly received ghost frame; with the owned
+  // prefill in post_exchanges this covers exactly one full fill_ghosts.
+  YY_TRACE_SCOPE(obs::Phase::boundary);
+  const int gh = grid_->ghost();
+  const int nt = grid_->spec().nt;
+  const int np = grid_->spec().np;
+  bc_.fill_ghosts(*grid_, s, 0, gh, 0, grid_->Np());
+  bc_.fill_ghosts(*grid_, s, gh + nt, grid_->Nt(), 0, grid_->Np());
+  bc_.fill_ghosts(*grid_, s, gh, gh + nt, 0, gh);
+  bc_.fill_ghosts(*grid_, s, gh, gh + nt, gh + np, grid_->Np());
+}
+
 void DistributedSolver::restore_state(const mhd::Fields& s, double time,
                                       long long step) {
   state_->copy_from(s);  // shape-checked inside
@@ -90,9 +127,22 @@ void DistributedSolver::step(double dt) {
   if (telemetry_ != nullptr)
     telemetry_->begin_step(steps_, dt, last_stable_dt_);
   std::vector<mhd::PatchDef> patches{{grid_.get(), eq_, state_.get()}};
-  integrator_->step(patches, dt, [this](const std::vector<mhd::Fields*>& s) {
+  const auto fill = [this](const std::vector<mhd::Fields*>& s) {
     fill_ghosts(*s[0]);
-  });
+  };
+  if (cfg_.overlap) {
+    mhd::OverlapHooks hooks;
+    hooks.post = [this](const std::vector<mhd::Fields*>& s) {
+      post_exchanges(*s[0]);
+    };
+    hooks.finish = [this](const std::vector<mhd::Fields*>& s) {
+      finish_exchanges(*s[0]);
+    };
+    hooks.rim_width = grid_->ghost();
+    integrator_->step(patches, dt, fill, &hooks);
+  } else {
+    integrator_->step(patches, dt, fill);
+  }
   time_ += dt;
   ++steps_;
   if (telemetry_ != nullptr) telemetry_->end_step();

@@ -68,6 +68,18 @@ class DistributedSolver {
   /// (collective: every rank must call it together).
   void fill_ghosts(mhd::Fields& s);
 
+  /// Split fill for the overlapped stepping mode (cfg.overlap).
+  /// post_exchanges: walls + radial prefill of the owned columns (the
+  /// interior RHS may then run on owned data), then all halo/overset
+  /// receives posted and the θ strips sent.  finish_exchanges:
+  /// completes halo then overset, then radial-fills the horizontal
+  /// ghost frame.  post immediately followed by finish ≡ fill_ghosts
+  /// (the radial reflection is per-column local, and the ghost-column
+  /// radial values carried by the messages are always overwritten by
+  /// the frame fill — so trajectories are bitwise mode-independent).
+  void post_exchanges(mhd::Fields& s);
+  void finish_exchanges(mhd::Fields& s);
+
   /// Attaches (nullptr detaches) this rank's telemetry front end; every
   /// step is then bracketed with begin_step/end_step, which folds the
   /// step's spans into the per-step time series and joins the
@@ -91,6 +103,8 @@ class DistributedSolver {
   std::unique_ptr<mhd::Workspace> ws_;
   std::unique_ptr<mhd::Integrator> integrator_;
   std::unique_ptr<mhd::ColumnWeights> weights_;
+  HaloExchanger::Posted halo_posted_;
+  OversetExchanger::Posted overset_posted_;
   double time_ = 0.0;
   long long steps_ = 0;
   obs::RankTelemetry* telemetry_ = nullptr;

@@ -21,115 +21,162 @@ HaloExchanger::HaloExchanger(const SphericalGrid& local,
   // needs at least `ghost` interior nodes in a decomposed direction.
   if (cart.dim(0) > 1) YY_REQUIRE(local.spec().nt >= local.ghost());
   if (cart.dim(1) > 1) YY_REQUIRE(local.spec().np >= local.ghost());
-  const std::size_t theta_strip = static_cast<std::size_t>(grid_->Nr()) *
-                                  grid_->ghost() * grid_->Np() *
-                                  mhd::Fields::kNumFields;
-  const std::size_t phi_strip = static_cast<std::size_t>(grid_->Nr()) *
-                                grid_->Nt() * grid_->ghost() *
-                                mhd::Fields::kNumFields;
-  const std::size_t cap = std::max(theta_strip, phi_strip);
-  send_low_.resize(cap);
-  send_high_.resize(cap);
-  recv_low_.resize(cap);
-  recv_high_.resize(cap);
+  send_t_low_.resize(theta_count());
+  send_t_high_.resize(theta_count());
+  recv_t_low_.resize(theta_count());
+  recv_t_high_.resize(theta_count());
+  send_p_low_.resize(phi_count());
+  send_p_high_.resize(phi_count());
+  recv_p_low_.resize(phi_count());
+  recv_p_high_.resize(phi_count());
 }
 
-std::uint64_t HaloExchanger::exchange_dim(mhd::Fields& s, int dim) const {
-  const auto [low, high] = cart_->shift(dim, 1);  // (source, dest)
-  if (low == comm::proc_null && high == comm::proc_null) return 0;
+std::size_t HaloExchanger::theta_count() const {
+  return static_cast<std::size_t>(grid_->Nr()) * grid_->ghost() *
+         grid_->Np() * mhd::Fields::kNumFields;
+}
+
+std::size_t HaloExchanger::phi_count() const {
+  return static_cast<std::size_t>(grid_->Nr()) * grid_->Nt() *
+         grid_->ghost() * mhd::Fields::kNumFields;
+}
+
+std::size_t HaloExchanger::pack(const mhd::Fields& s, std::vector<double>& buf,
+                                int it0, int it1, int ip0, int ip1) const {
+  const int Nr = grid_->Nr();
+  std::size_t k = 0;
+  for (const Field3* f : s.all())
+    for (int ip = ip0; ip < ip1; ++ip)
+      for (int it = it0; it < it1; ++it) {
+        auto line = f->line(it, ip);
+        std::copy(line.begin(), line.end(),
+                  buf.begin() + static_cast<std::ptrdiff_t>(k));
+        k += static_cast<std::size_t>(Nr);
+      }
+  return k;
+}
+
+std::size_t HaloExchanger::unpack(mhd::Fields& s,
+                                  const std::vector<double>& buf, int it0,
+                                  int it1, int ip0, int ip1) const {
+  const int Nr = grid_->Nr();
+  std::size_t k = 0;
+  for (Field3* f : s.all())
+    for (int ip = ip0; ip < ip1; ++ip)
+      for (int it = it0; it < it1; ++it) {
+        auto line = f->line(it, ip);
+        std::copy(buf.begin() + static_cast<std::ptrdiff_t>(k),
+                  buf.begin() +
+                      static_cast<std::ptrdiff_t>(k + static_cast<std::size_t>(Nr)),
+                  line.begin());
+        k += static_cast<std::size_t>(Nr);
+      }
+  return k;
+}
+
+HaloExchanger::Posted HaloExchanger::post(mhd::Fields& s) const {
+  YY_REQUIRE(!in_flight_);  // single-buffered: one exchange in flight max
+  in_flight_ = true;
 
   const SphericalGrid& g = *grid_;
   const int gh = g.ghost();
-  const int Nr = g.Nr();
-  // θ phase (dim 0): strips are gh rows × full φ range.
-  // φ phase (dim 1): strips are gh columns × full θ range (corners ride
-  // along, completing the diagonal ghosts).
-  const int t_lo_int = gh, t_hi_int = gh + g.spec().nt - gh;   // dim 0 strips
-  const int p_lo_int = gh, p_hi_int = gh + g.spec().np - gh;   // dim 1 strips
-
-  auto pack = [&](std::vector<double>& buf, int it0, int it1, int ip0,
-                  int ip1) {
-    std::size_t k = 0;
-    for (const Field3* f : const_cast<const mhd::Fields&>(s).all())
-      for (int ip = ip0; ip < ip1; ++ip)
-        for (int it = it0; it < it1; ++it) {
-          auto line = f->line(it, ip);
-          std::copy(line.begin(), line.end(), buf.begin() + static_cast<std::ptrdiff_t>(k));
-          k += static_cast<std::size_t>(Nr);
-        }
-    return k;
-  };
-  auto unpack = [&](const std::vector<double>& buf, int it0, int it1, int ip0,
-                    int ip1) {
-    std::size_t k = 0;
-    for (Field3* f : s.all())
-      for (int ip = ip0; ip < ip1; ++ip)
-        for (int it = it0; it < it1; ++it) {
-          auto line = f->line(it, ip);
-          std::copy(buf.begin() + static_cast<std::ptrdiff_t>(k),
-                    buf.begin() + static_cast<std::ptrdiff_t>(k + static_cast<std::size_t>(Nr)),
-                    line.begin());
-          k += static_cast<std::size_t>(Nr);
-        }
-    return k;
-  };
-
   const comm::Communicator& c = cart_->comm();
-  const int tag_to_low = dim == 0 ? tag_theta_to_low : tag_phi_to_low;
-  const int tag_to_high = dim == 0 ? tag_theta_to_high : tag_phi_to_high;
+  const auto [t_low, t_high] = cart_->shift(0, 1);
+  const auto [p_low, p_high] = cart_->shift(1, 1);
+  const std::size_t nt = theta_count();
+  const std::size_t np = phi_count();
 
-  std::size_t n = 0;
-  if (dim == 0) {
-    n = static_cast<std::size_t>(Nr) * gh * g.Np() * mhd::Fields::kNumFields;
-    // Receive into ghosts, send interior edge strips.
-    auto rl = c.irecv(low, tag_to_high, {recv_low_.data(), n});
-    auto rh = c.irecv(high, tag_to_low, {recv_high_.data(), n});
-    if (low != comm::proc_null) {
-      const std::size_t k = pack(send_low_, t_lo_int, t_lo_int + gh, 0, g.Np());
-      YY_ASSERT(k == n);
-      c.send(low, tag_to_low, {send_low_.data(), n});
-    }
-    if (high != comm::proc_null) {
-      const std::size_t k = pack(send_high_, t_hi_int, t_hi_int + gh, 0, g.Np());
-      YY_ASSERT(k == n);
-      c.send(high, tag_to_high, {send_high_.data(), n});
-    }
-    c.wait(rl);
-    c.wait(rh);
-    if (low != comm::proc_null) unpack(recv_low_, 0, gh, 0, g.Np());
-    if (high != comm::proc_null)
-      unpack(recv_high_, gh + g.spec().nt, gh + g.spec().nt + gh, 0, g.Np());
-  } else {
-    n = static_cast<std::size_t>(Nr) * g.Nt() * gh * mhd::Fields::kNumFields;
-    auto rl = c.irecv(low, tag_to_high, {recv_low_.data(), n});
-    auto rh = c.irecv(high, tag_to_low, {recv_high_.data(), n});
-    if (low != comm::proc_null) {
-      const std::size_t k = pack(send_low_, 0, g.Nt(), p_lo_int, p_lo_int + gh);
-      YY_ASSERT(k == n);
-      c.send(low, tag_to_low, {send_low_.data(), n});
-    }
-    if (high != comm::proc_null) {
-      const std::size_t k = pack(send_high_, 0, g.Nt(), p_hi_int, p_hi_int + gh);
-      YY_ASSERT(k == n);
-      c.send(high, tag_to_high, {send_high_.data(), n});
-    }
-    c.wait(rl);
-    c.wait(rh);
-    if (low != comm::proc_null) unpack(recv_low_, 0, g.Nt(), 0, gh);
-    if (high != comm::proc_null)
-      unpack(recv_high_, 0, g.Nt(), gh + g.spec().np, gh + g.spec().np + gh);
+  Posted po;
+  po.active = true;
+  // Pre-post every receive before any send (the paper's irecv-then-send
+  // idiom).  proc_null sides yield immediately-complete requests.
+  po.rt_low = c.irecv(t_low, tag_theta_to_high, {recv_t_low_.data(), nt});
+  po.rt_high = c.irecv(t_high, tag_theta_to_low, {recv_t_high_.data(), nt});
+  po.rp_low = c.irecv(p_low, tag_phi_to_high, {recv_p_low_.data(), np});
+  po.rp_high = c.irecv(p_high, tag_phi_to_low, {recv_p_high_.data(), np});
+
+  // θ strips depend only on owned interior data — send them now.
+  const int t_lo_int = gh;
+  const int t_hi_int = gh + g.spec().nt - gh;
+  if (t_low != comm::proc_null) {
+    const std::size_t k = pack(s, send_t_low_, t_lo_int, t_lo_int + gh, 0, g.Np());
+    YY_ASSERT(k == nt);
+    c.send(t_low, tag_theta_to_low, {send_t_low_.data(), nt});
   }
-  // Bytes moved by this rank in this dim: send + recv per live side.
+  if (t_high != comm::proc_null) {
+    const std::size_t k = pack(s, send_t_high_, t_hi_int, t_hi_int + gh, 0, g.Np());
+    YY_ASSERT(k == nt);
+    c.send(t_high, tag_theta_to_high, {send_t_high_.data(), nt});
+  }
+  return po;
+}
+
+std::uint64_t HaloExchanger::finish(mhd::Fields& s, Posted& p) const {
+  YY_REQUIRE(p.active && in_flight_);
+  // A faulted fabric surfaces timeouts from wait(); the recovery path
+  // (recovery_rendezvous) purges all in-flight traffic, so the next
+  // exchange must start from a clean slate — drop the in-flight state
+  // before letting the error unwind.
+  try {
+    return finish_impl(s, p);
+  } catch (...) {
+    p.active = false;
+    in_flight_ = false;
+    throw;
+  }
+}
+
+std::uint64_t HaloExchanger::finish_impl(mhd::Fields& s, Posted& p) const {
+  const SphericalGrid& g = *grid_;
+  const int gh = g.ghost();
+  const comm::Communicator& c = cart_->comm();
+  const auto [t_low, t_high] = cart_->shift(0, 1);
+  const auto [p_low, p_high] = cart_->shift(1, 1);
+  const std::size_t nt = theta_count();
+  const std::size_t np = phi_count();
+
+  // θ phase: land the ghost rows.
+  c.wait(p.rt_low);
+  c.wait(p.rt_high);
+  if (t_low != comm::proc_null) unpack(s, recv_t_low_, 0, gh, 0, g.Np());
+  if (t_high != comm::proc_null)
+    unpack(s, recv_t_high_, gh + g.spec().nt, gh + g.spec().nt + gh, 0, g.Np());
+
+  // φ phase: strips span the full ghost-inclusive θ range, so packing
+  // had to wait for the θ ghosts above — this completes the corners.
+  const int p_lo_int = gh;
+  const int p_hi_int = gh + g.spec().np - gh;
+  if (p_low != comm::proc_null) {
+    const std::size_t k = pack(s, send_p_low_, 0, g.Nt(), p_lo_int, p_lo_int + gh);
+    YY_ASSERT(k == np);
+    c.send(p_low, tag_phi_to_low, {send_p_low_.data(), np});
+  }
+  if (p_high != comm::proc_null) {
+    const std::size_t k = pack(s, send_p_high_, 0, g.Nt(), p_hi_int, p_hi_int + gh);
+    YY_ASSERT(k == np);
+    c.send(p_high, tag_phi_to_high, {send_p_high_.data(), np});
+  }
+  c.wait(p.rp_low);
+  c.wait(p.rp_high);
+  if (p_low != comm::proc_null) unpack(s, recv_p_low_, 0, g.Nt(), 0, gh);
+  if (p_high != comm::proc_null)
+    unpack(s, recv_p_high_, 0, g.Nt(), gh + g.spec().np, gh + g.spec().np + gh);
+
+  p.active = false;
+  in_flight_ = false;
+
   std::uint64_t bytes = 0;
-  if (low != comm::proc_null) bytes += 2 * n * sizeof(double);
-  if (high != comm::proc_null) bytes += 2 * n * sizeof(double);
+  if (t_low != comm::proc_null) bytes += 2 * nt * sizeof(double);
+  if (t_high != comm::proc_null) bytes += 2 * nt * sizeof(double);
+  if (p_low != comm::proc_null) bytes += 2 * np * sizeof(double);
+  if (p_high != comm::proc_null) bytes += 2 * np * sizeof(double);
   return bytes;
 }
 
 void HaloExchanger::exchange(mhd::Fields& s) const {
   YY_TRACE_SCOPE_V(span, obs::Phase::halo_wait);
-  span.add_bytes(exchange_dim(s, 0));  // θ strips
-  span.add_bytes(exchange_dim(s, 1));  // φ strips (full θ range → corners)
+  Posted p = post(s);
+  span.add_bytes(finish(s, p));
 }
 
 std::uint64_t HaloExchanger::bytes_per_exchange() const {

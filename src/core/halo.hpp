@@ -7,12 +7,26 @@
 /// the *full* (ghost-inclusive) θ range — so the diagonal ghost
 /// corners needed by the composite second-derivative stencils arrive
 /// without explicit corner messages.
+///
+/// Two entry points drive the same wire protocol:
+///  * exchange(): the synchronous seed path — post, then finish, in
+///    one call under a `halo_wait` span.
+///  * post()/finish(): the overlapped path.  post() pre-posts all four
+///    receives and launches the θ-strip sends (they depend only on
+///    owned interior data); finish() completes θ, then packs and sends
+///    the φ strips (they span the ghost-inclusive θ range, so they
+///    must wait for the θ ghosts to land) and completes them.  Between
+///    the two calls the caller may compute on any data the exchange
+///    does not write — the interior sweep of the overlapped stepping
+///    mode.  The wire messages are identical to exchange(), so the
+///    resulting ghosts are bitwise the same.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "comm/cart.hpp"
+#include "comm/communicator.hpp"
 #include "grid/spherical_grid.hpp"
 #include "mhd/state.hpp"
 
@@ -22,22 +36,52 @@ class HaloExchanger {
  public:
   HaloExchanger(const SphericalGrid& local, const comm::CartComm& cart);
 
+  /// In-flight state of one posted exchange.  Obtained from post(),
+  /// consumed exactly once by finish().
+  struct Posted {
+    comm::Request rt_low, rt_high;  ///< θ-strip receives
+    comm::Request rp_low, rp_high;  ///< φ-strip receives (pre-posted)
+    bool active = false;
+  };
+
   /// Refreshes the θ/φ ghost layers of `s` shared with cart neighbours;
   /// panel-boundary ghosts (proc_null sides) are left for the overset.
   /// Records one `halo_wait` trace span carrying the bytes moved.
   void exchange(mhd::Fields& s) const;
+
+  /// Posts all four receives and sends the θ strips.  At most one
+  /// exchange may be in flight per exchanger (the internal buffers are
+  /// single-buffered); a second post() before finish() throws.
+  Posted post(mhd::Fields& s) const;
+
+  /// Completes a posted exchange: θ wait/unpack, φ pack/send/wait/
+  /// unpack.  Returns the bytes moved (send + recv over live sides).
+  /// Records no trace span — the caller owns phase attribution.
+  std::uint64_t finish(mhd::Fields& s, Posted& p) const;
 
   /// Bytes moved per exchange by this rank (both directions, all
   /// fields); feeds the perf model's communication volumes.
   std::uint64_t bytes_per_exchange() const;
 
  private:
-  /// Returns the bytes moved (send + recv over live sides).
-  std::uint64_t exchange_dim(mhd::Fields& s, int dim) const;
+  std::uint64_t finish_impl(mhd::Fields& s, Posted& p) const;
+  std::size_t theta_count() const;  ///< doubles per θ strip
+  std::size_t phi_count() const;    ///< doubles per φ strip
+  std::size_t pack(const mhd::Fields& s, std::vector<double>& buf, int it0,
+                   int it1, int ip0, int ip1) const;
+  std::size_t unpack(mhd::Fields& s, const std::vector<double>& buf, int it0,
+                     int it1, int ip0, int ip1) const;
 
   const SphericalGrid* grid_;
   const comm::CartComm* cart_;
-  mutable std::vector<double> send_low_, send_high_, recv_low_, recv_high_;
+  mutable bool in_flight_ = false;
+  // Single-buffered per direction and dimension: sends are buffered by
+  // the fabric at send() time, but receive buffers stay pinned until
+  // the matching wait — hence the one-in-flight rule above.
+  mutable std::vector<double> send_t_low_, send_t_high_;
+  mutable std::vector<double> recv_t_low_, recv_t_high_;
+  mutable std::vector<double> send_p_low_, send_p_high_;
+  mutable std::vector<double> recv_p_low_, recv_p_high_;
 };
 
 }  // namespace yy::core

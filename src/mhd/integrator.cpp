@@ -21,7 +21,7 @@ Integrator::Integrator(TimeScheme scheme,
 }
 
 void Integrator::step(const std::vector<PatchDef>& patches, double dt,
-                      const FillFn& fill) {
+                      const FillFn& fill, const OverlapHooks* overlap) {
   switch (scheme_) {
     case TimeScheme::euler:
       step_euler(patches, dt, fill);
@@ -30,7 +30,7 @@ void Integrator::step(const std::vector<PatchDef>& patches, double dt,
       step_rk2(patches, dt, fill);
       return;
     case TimeScheme::rk4:
-      rk4_->step(patches, dt, fill);
+      rk4_->step(patches, dt, fill, overlap);
       return;
   }
 }

@@ -52,8 +52,11 @@ class Integrator {
   TimeScheme scheme() const { return scheme_; }
 
   /// Advances every patch by dt (see Rk4::step for the contract).
+  /// `overlap` (optional) enables the overlapped stage fills; it is
+  /// honoured by the rk4 scheme only — euler/rk2 fall back to the
+  /// synchronous fill, which the hooks contract guarantees equivalent.
   void step(const std::vector<PatchDef>& patches, double dt,
-            const FillFn& fill);
+            const FillFn& fill, const OverlapHooks* overlap = nullptr);
 
  private:
   void step_euler(const std::vector<PatchDef>& patches, double dt,

@@ -17,6 +17,8 @@
 /// by the outer derivative of the composite second-order operators).
 #pragma once
 
+#include <vector>
+
 #include "common/array3d.hpp"
 #include "grid/spherical_grid.hpp"
 #include "mhd/params.hpp"
@@ -43,6 +45,38 @@ struct Workspace {
 void compute_rhs(const SphericalGrid& g, const EquationParams& eq,
                  const Fields& state, Fields& rhs, Workspace& ws,
                  const IndexBox& box);
+
+/// Interior/boundary-shell decomposition of an RHS sweep for the
+/// overlapped stepping mode.  `interior` is `box` shrunk by the rim
+/// width in θ and φ only (never radially — radial ghosts are filled by
+/// the purely local wall reflection, so the interior sweep needs no
+/// exchanged data); `rim` is the leftover horizontal shell as at most
+/// four disjoint boxes.  Every point of `box` lands in exactly one
+/// piece.  On patches too small to hold an interior (extent ≤ 2·rim in
+/// a decomposed direction) the interior is empty and the rim covers
+/// the whole box.
+struct RhsSplit {
+  IndexBox interior{};             ///< may have zero volume
+  std::vector<IndexBox> rim;       ///< ≤ 4 boxes, all non-empty, disjoint
+
+  bool interior_empty() const { return interior.volume() == 0; }
+};
+
+/// Splits `box` for a stencil-width `rim` (≥ 0; the solver passes the
+/// grid's ghost width).  Pure index arithmetic, no grid required.
+RhsSplit split_rhs_box(const IndexBox& box, int rim);
+
+/// compute_rhs over `box` decomposed into `nthreads` contiguous φ-slabs
+/// evaluated concurrently (common/microtask.hpp), one workspace per
+/// slab — `ws_pool` is grown to `nthreads` entries on first use.  Every
+/// slab is an independent compute_rhs call, so the result is bitwise
+/// identical to the monolithic sweep for any thread count (the RHS is a
+/// pointwise function of the state's stencil neighbourhood; no
+/// cross-point reductions).  nthreads ≤ 1 is exactly compute_rhs.
+void compute_rhs_parallel(const SphericalGrid& g, const EquationParams& eq,
+                          const Fields& state, Fields& rhs,
+                          std::vector<Workspace>& ws_pool, const IndexBox& box,
+                          int nthreads);
 
 /// Pointwise-combination flop cost per grid point (the FD operators
 /// charge separately); documented for the perf model's cross-check.

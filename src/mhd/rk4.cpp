@@ -1,6 +1,7 @@
 #include "mhd/rk4.hpp"
 
 #include "common/error.hpp"
+#include "common/microtask.hpp"
 #include "obs/trace.hpp"
 
 namespace yy::mhd {
@@ -17,10 +18,11 @@ Rk4::Rk4(const std::vector<const SphericalGrid*>& grids) : grids_(grids) {
     acc_.emplace_back(*g);
     ws_.emplace_back(*g);
   }
+  ws_pool_.resize(grids.size());  // grown on demand by the overlap path
 }
 
 void Rk4::step(const std::vector<PatchDef>& patches, double dt,
-               const FillFn& fill) {
+               const FillFn& fill, const OverlapHooks* overlap) {
   const std::size_t n = patches.size();
   YY_REQUIRE(n == grids_.size());
 
@@ -32,68 +34,91 @@ void Rk4::step(const std::vector<PatchDef>& patches, double dt,
     state_ptrs[i] = patches[i].state;
   }
 
-  const IndexBox box0 = grids_[0]->interior();  // recomputed per patch below
+  const int nthreads = overlap ? common::env_threads() : 1;
 
-  // Stage 1: k1 = f(y).
-  for (std::size_t i = 0; i < n; ++i) {
-    const IndexBox box = grids_[i]->interior();
-    (void)box0;
-    {
+  // k_[i] = f(src[i]) over the full interior; the stage-1 evaluation
+  // and the synchronous path for stages 2-4.
+  auto rhs_full = [&](const std::vector<Fields*>& src) {
+    for (std::size_t i = 0; i < n; ++i) {
       YY_TRACE_SCOPE(obs::Phase::rhs);
-      compute_rhs(*grids_[i], patches[i].eq, *patches[i].state, k_[i], ws_[i],
-                  box);
+      if (nthreads > 1) {
+        compute_rhs_parallel(*grids_[i], patches[i].eq, *src[i], k_[i],
+                             ws_pool_[i], grids_[i]->interior(), nthreads);
+      } else {
+        compute_rhs(*grids_[i], patches[i].eq, *src[i], k_[i], ws_[i],
+                    grids_[i]->interior());
+      }
     }
+  };
+
+  // Refresh the ghosts of `src`, then k_[i] = f(src[i]).  Overlapped:
+  // post the exchanges, evaluate the rim-shrunk interior while the
+  // messages fly, complete the exchanges, evaluate the rim.  Each box
+  // is an independent pointwise sweep, so interior + rim is bitwise
+  // the monolithic evaluation.
+  auto fill_then_rhs = [&](const std::vector<Fields*>& src) {
+    if (overlap == nullptr) {
+      fill(src);
+      rhs_full(src);
+      return;
+    }
+    overlap->post(src);
+    for (std::size_t i = 0; i < n; ++i) {
+      YY_TRACE_SCOPE(obs::Phase::interior_rhs);
+      const RhsSplit sp =
+          split_rhs_box(grids_[i]->interior(), overlap->rim_width);
+      compute_rhs_parallel(*grids_[i], patches[i].eq, *src[i], k_[i],
+                           ws_pool_[i], sp.interior, nthreads);
+    }
+    overlap->finish(src);
+    for (std::size_t i = 0; i < n; ++i) {
+      YY_TRACE_SCOPE(obs::Phase::rim_rhs);
+      const RhsSplit sp =
+          split_rhs_box(grids_[i]->interior(), overlap->rim_width);
+      for (const IndexBox& b : sp.rim)
+        compute_rhs(*grids_[i], patches[i].eq, *src[i], k_[i], ws_[i], b);
+    }
+  };
+
+  // Stage 1: k1 = f(y) (incoming ghosts are valid; nothing to overlap).
+  rhs_full(state_ptrs);
+  {
     YY_TRACE_SCOPE(obs::Phase::rk4_stage);
-    acc_[i].copy_from(*patches[i].state);
-    acc_[i].axpy(dt / 6.0, k_[i]);
-    stage_[i].assign_axpy(*patches[i].state, dt / 2.0, k_[i]);
+    for (std::size_t i = 0; i < n; ++i) {
+      acc_[i].copy_from(*patches[i].state);
+      acc_[i].axpy(dt / 6.0, k_[i]);
+      stage_[i].assign_axpy(*patches[i].state, dt / 2.0, k_[i]);
+    }
   }
-  fill(stage_ptrs);
 
   // Stage 2: k2 = f(y + dt/2 k1).
-  for (std::size_t i = 0; i < n; ++i) {
-    {
-      YY_TRACE_SCOPE(obs::Phase::rhs);
-      compute_rhs(*grids_[i], patches[i].eq, stage_[i], k_[i], ws_[i],
-                  grids_[i]->interior());
-    }
-    YY_TRACE_SCOPE(obs::Phase::rk4_stage);
-    acc_[i].axpy(dt / 3.0, k_[i]);
-  }
+  fill_then_rhs(stage_ptrs);
   {
     YY_TRACE_SCOPE(obs::Phase::rk4_stage);
-    for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t i = 0; i < n; ++i) {
+      acc_[i].axpy(dt / 3.0, k_[i]);
       stage_[i].assign_axpy(*patches[i].state, dt / 2.0, k_[i]);
+    }
   }
-  fill(stage_ptrs);
 
   // Stage 3: k3 = f(y + dt/2 k2).
-  for (std::size_t i = 0; i < n; ++i) {
-    {
-      YY_TRACE_SCOPE(obs::Phase::rhs);
-      compute_rhs(*grids_[i], patches[i].eq, stage_[i], k_[i], ws_[i],
-                  grids_[i]->interior());
-    }
-    YY_TRACE_SCOPE(obs::Phase::rk4_stage);
-    acc_[i].axpy(dt / 3.0, k_[i]);
-  }
+  fill_then_rhs(stage_ptrs);
   {
     YY_TRACE_SCOPE(obs::Phase::rk4_stage);
-    for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t i = 0; i < n; ++i) {
+      acc_[i].axpy(dt / 3.0, k_[i]);
       stage_[i].assign_axpy(*patches[i].state, dt, k_[i]);
+    }
   }
-  fill(stage_ptrs);
 
   // Stage 4: k4 = f(y + dt k3); y ← acc + dt/6 k4.
-  for (std::size_t i = 0; i < n; ++i) {
-    {
-      YY_TRACE_SCOPE(obs::Phase::rhs);
-      compute_rhs(*grids_[i], patches[i].eq, stage_[i], k_[i], ws_[i],
-                  grids_[i]->interior());
-    }
+  fill_then_rhs(stage_ptrs);
+  {
     YY_TRACE_SCOPE(obs::Phase::rk4_stage);
-    patches[i].state->copy_from(acc_[i]);
-    patches[i].state->axpy(dt / 6.0, k_[i]);
+    for (std::size_t i = 0; i < n; ++i) {
+      patches[i].state->copy_from(acc_[i]);
+      patches[i].state->axpy(dt / 6.0, k_[i]);
+    }
   }
   fill(state_ptrs);
 }

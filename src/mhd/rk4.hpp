@@ -28,11 +28,29 @@ struct PatchDef {
   Fields* state = nullptr;
 };
 
+/// Ghost-refresh callback: invoked with the stage states (one per
+/// patch, same order as the PatchDefs).
+using Rk4FillFn = std::function<void(const std::vector<Fields*>&)>;
+
+/// Split ghost-fill protocol for the overlapped stepping mode: post()
+/// launches the exchanges (and must leave the states' *owned* data —
+/// including radial ghosts — valid, so the interior RHS can run while
+/// messages are in flight); finish() completes them and re-establishes
+/// the horizontal ghost frame.  post() immediately followed by
+/// finish() must be exactly equivalent to one synchronous fill.
+struct OverlapHooks {
+  Rk4FillFn post;
+  Rk4FillFn finish;
+  /// Stencil reach of the RHS in θ/φ (the grid's ghost width): the
+  /// interior sweep stays this many nodes away from the patch edge.
+  int rim_width = 0;
+};
+
 class Rk4 {
  public:
   /// Called with the stage states (one per patch, same order as the
   /// PatchDefs) whenever their ghosts must be refreshed.
-  using FillFn = std::function<void(const std::vector<Fields*>&)>;
+  using FillFn = Rk4FillFn;
 
   /// Allocates stage storage for the given patch shapes.
   explicit Rk4(const std::vector<const SphericalGrid*>& grids);
@@ -40,8 +58,15 @@ class Rk4 {
   /// Advances every patch by dt.  The incoming states must already
   /// have valid ghosts; on return the new states have valid ghosts
   /// (fill is invoked on them last).
+  ///
+  /// With `overlap` non-null, each stage fill runs as post → interior
+  /// RHS (on the rim-shrunk box, threaded per YY_THREADS) → finish →
+  /// rim RHS, hiding exchange latency behind the interior sweep.  The
+  /// RHS is a pointwise function of the state's stencil neighbourhood,
+  /// so the result is bitwise identical to the synchronous path.  The
+  /// final fill of the new states stays synchronous in both modes.
   void step(const std::vector<PatchDef>& patches, double dt,
-            const FillFn& fill);
+            const FillFn& fill, const OverlapHooks* overlap = nullptr);
 
  private:
   std::vector<const SphericalGrid*> grids_;
@@ -49,6 +74,7 @@ class Rk4 {
   std::vector<Fields> stage_;  // stage state
   std::vector<Fields> acc_;    // accumulated solution
   std::vector<Workspace> ws_;
+  std::vector<std::vector<Workspace>> ws_pool_;  // per patch, per thread
 };
 
 }  // namespace yy::mhd

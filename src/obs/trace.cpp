@@ -11,8 +11,9 @@ namespace {
 // new phase cannot compile without a name (see kNumPhases assert in
 // trace.hpp for the matching count-side pin).
 constexpr const char* kPhaseNames[] = {
-    "rhs",      "rk4_stage", "halo_wait", "overset_wait",
-    "boundary", "reduce",    "io",        "other",
+    "rhs",      "rk4_stage",    "halo_wait",    "overset_wait",
+    "boundary", "reduce",       "io",           "halo_overlap",
+    "interior_rhs", "rim_rhs",  "other",
 };
 static_assert(std::size(kPhaseNames) == static_cast<std::size_t>(kNumPhases),
               "phase_name table and kNumPhases are out of sync");

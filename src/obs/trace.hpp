@@ -48,10 +48,16 @@ enum class Phase : int {
   boundary,      ///< physical wall values and radial ghost fill
   reduce,        ///< collective reductions (CFL dt, energies)
   io,            ///< snapshot gather / file output
+  halo_overlap,  ///< overlapped mode: posting halo/overset exchanges
+                 ///< (pack + send + irecv) before the interior sweep
+  interior_rhs,  ///< overlapped mode: RHS interior sweep (no ghosts
+                 ///< needed; runs while exchanges are in flight)
+  rim_rhs,       ///< overlapped mode: RHS boundary-shell sweep after
+                 ///< the exchanges finish
   other,         ///< anything else worth a span
 };
 
-inline constexpr int kNumPhases = 8;
+inline constexpr int kNumPhases = 11;
 
 // A new Phase must bump kNumPhases (and the name table in trace.cpp,
 // whose size is pinned by its own static_assert) before it compiles.

@@ -1,0 +1,126 @@
+/// Tag-collision regression for the overlapped mode: with halo *and*
+/// overset messages simultaneously in flight, fault-injected delivery
+/// delays scramble arrival order — matching must still pair envelopes
+/// by (context, source, tag) FIFO, never by arrival.  The halo tags
+/// (100–103) live on the panel cart communicator and the overset tag
+/// (200) on the world communicator, so even equal tags could never
+/// cross-match; this test proves it end-to-end by demanding bitwise
+/// trajectories under heavy skew.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "comm/fault.hpp"
+#include "comm/runtime.hpp"
+#include "core/distributed_solver.hpp"
+
+namespace yy::core {
+namespace {
+
+using yinyang::Panel;
+
+SimulationConfig fault_config() {
+  SimulationConfig cfg;
+  cfg.nr = 9;
+  cfg.nt_core = 13;
+  cfg.np_core = 37;
+  cfg.eq.mu = 3e-3;
+  cfg.eq.kappa = 3e-3;
+  cfg.eq.eta = 3e-3;
+  cfg.eq.g0 = 2.0;
+  cfg.eq.omega = {0.0, 0.0, 8.0};
+  cfg.ic.perturb_amp = 1e-2;
+  cfg.ic.seed_b_amp = 1e-4;
+  return cfg;
+}
+
+std::vector<Field3> run_with_plan(const SimulationConfig& cfg, int pt, int pp,
+                                  int steps,
+                                  std::shared_ptr<comm::FaultPlan> plan) {
+  std::vector<Field3> result;
+  std::mutex mu;
+  comm::Runtime rt(2 * pt * pp);
+  if (plan != nullptr) rt.install_fault_plan(plan);
+  rt.run([&](comm::Communicator& w) {
+    DistributedSolver solver(cfg, w, pt, pp);
+    solver.initialize();
+    const double dt = solver.stable_dt();
+    for (int i = 0; i < steps; ++i) solver.step(dt);
+    std::vector<Field3> fields;
+    for (Panel p : {Panel::yin, Panel::yang})
+      for (int fi : {0, 4}) fields.push_back(solver.gather_field(fi, p));
+    if (w.rank() == 0) {
+      std::lock_guard lock(mu);
+      result = std::move(fields);
+    }
+  });
+  if (plan != nullptr) rt.install_fault_plan(nullptr);
+  return result;
+}
+
+TEST(OverlapFaults, DelayedDeliveriesNeverCrossMatch) {
+  SimulationConfig cfg = fault_config();
+  const int pt = 2, pp = 1, steps = 3;
+
+  cfg.overlap = false;
+  const std::vector<Field3> clean = run_with_plan(cfg, pt, pp, steps, nullptr);
+
+  // Uneven delays on both θ-halo directions and the overset stream:
+  // halo and overset envelopes are in flight together in the overlapped
+  // mode, and these delays invert their natural arrival order.
+  auto plan = std::make_shared<comm::FaultPlan>();
+  for (const auto& [tag, ms] : {std::pair{100, 4}, {101, 1}, {200, 2}}) {
+    comm::FaultPlan::Rule r;
+    r.kind = comm::FaultPlan::Kind::delay;
+    r.tag = tag;
+    r.max_count = 0;  // every envelope of the stream
+    r.delay_ms = ms;
+    plan->add_rule(r);
+  }
+
+  cfg.overlap = true;
+  const std::vector<Field3> skewed = run_with_plan(cfg, pt, pp, steps, plan);
+
+  EXPECT_GT(plan->injected(comm::FaultPlan::Kind::delay), 0u);
+  ASSERT_EQ(clean.size(), skewed.size());
+  for (std::size_t f = 0; f < clean.size(); ++f) {
+    ASSERT_TRUE(clean[f].same_shape(skewed[f]));
+    std::size_t diffs = 0;
+    for (std::size_t i = 0; i < clean[f].size(); ++i)
+      if (clean[f].flat()[i] != skewed[f].flat()[i]) ++diffs;
+    EXPECT_EQ(diffs, 0u) << "field slot " << f;
+  }
+}
+
+TEST(OverlapFaults, SynchronousModeEquallyImmune) {
+  // Same skew against the synchronous path: the posted-state refactor
+  // must not have weakened exchange() either.
+  SimulationConfig cfg = fault_config();
+  const int pt = 2, pp = 1, steps = 2;
+
+  const std::vector<Field3> clean = run_with_plan(cfg, pt, pp, steps, nullptr);
+
+  auto plan = std::make_shared<comm::FaultPlan>();
+  for (const auto& [tag, ms] : {std::pair{101, 3}, {200, 1}}) {
+    comm::FaultPlan::Rule r;
+    r.kind = comm::FaultPlan::Kind::delay;
+    r.tag = tag;
+    r.max_count = 0;
+    r.delay_ms = ms;
+    plan->add_rule(r);
+  }
+  const std::vector<Field3> skewed = run_with_plan(cfg, pt, pp, steps, plan);
+
+  ASSERT_EQ(clean.size(), skewed.size());
+  for (std::size_t f = 0; f < clean.size(); ++f) {
+    std::size_t diffs = 0;
+    for (std::size_t i = 0; i < clean[f].size(); ++i)
+      if (clean[f].flat()[i] != skewed[f].flat()[i]) ++diffs;
+    EXPECT_EQ(diffs, 0u) << "field slot " << f;
+  }
+}
+
+}  // namespace
+}  // namespace yy::core

@@ -1,0 +1,163 @@
+/// Pins the interior/rim decomposition of the RHS sweep (mhd/rhs.hpp
+/// RhsSplit): the split tiles the box exactly, and evaluating interior
+/// then rim reproduces the monolithic compute_rhs bitwise — including
+/// on the minimum patch where the rim covers everything, and under the
+/// threaded φ-slab sweep for several thread counts.
+#include "mhd/rhs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "grid/analytic_fields.hpp"
+
+namespace yy::mhd {
+namespace {
+
+using testutil::test_grid;
+
+void fill_smooth(const SphericalGrid& g, Fields& s) {
+  testutil::fill_scalar(g, s.rho, [](const Vec3& x) {
+    return 1.0 + 0.1 * std::sin(x.x) * std::cos(x.y);
+  });
+  testutil::fill_scalar(g, s.p, [](const Vec3& x) {
+    return 1.0 + 0.05 * std::cos(2.0 * x.z);
+  });
+  testutil::fill_vector(g, s.fr, s.ft, s.fp, [](const Vec3& x) {
+    return Vec3{0.2 * x.y, -0.1 * x.z, 0.3 * std::sin(x.x)};
+  });
+  testutil::fill_vector(g, s.ar, s.at, s.ap, [](const Vec3& x) {
+    return Vec3{0.02 * x.z * x.z, 0.01 * x.x, 0.03 * std::cos(x.y)};
+  });
+}
+
+EquationParams test_eq() {
+  EquationParams eq;
+  eq.mu = 2e-3;
+  eq.kappa = 1e-3;
+  eq.eta = 4e-3;
+  eq.g0 = 1.5;
+  eq.omega = {0.3, 0.0, 5.0};
+  return eq;
+}
+
+/// Every point of `box` must land in exactly one piece of the split.
+void expect_exact_tiling(const IndexBox& box, const RhsSplit& sp) {
+  std::int64_t vol = sp.interior.volume();
+  for (const IndexBox& b : sp.rim) {
+    EXPECT_GT(b.volume(), 0);
+    vol += b.volume();
+  }
+  EXPECT_EQ(vol, box.volume());  // total volume matches ...
+  std::set<std::tuple<int, int, int>> seen;  // ... and no point twice
+  auto collect = [&](const IndexBox& b) {
+    for_box(b, [&](int ir, int it, int ip) {
+      EXPECT_TRUE(seen.insert({ir, it, ip}).second)
+          << "duplicate point " << ir << "," << it << "," << ip;
+      EXPECT_TRUE(ir >= box.r0 && ir < box.r1 && it >= box.t0 &&
+                  it < box.t1 && ip >= box.p0 && ip < box.p1);
+    });
+  };
+  collect(sp.interior);
+  for (const IndexBox& b : sp.rim) collect(b);
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(box.volume()));
+}
+
+TEST(RhsSplit, TilesExactlyForVariousBoxesAndRims) {
+  for (const IndexBox box : {IndexBox{2, 9, 2, 14, 2, 20},
+                             IndexBox{0, 3, 1, 5, 1, 5},
+                             IndexBox{2, 4, 2, 4, 2, 4}}) {
+    for (int rim = 0; rim <= 4; ++rim) {
+      SCOPED_TRACE(rim);
+      expect_exact_tiling(box, split_rhs_box(box, rim));
+    }
+  }
+}
+
+TEST(RhsSplit, InteriorNeverShrinksRadially) {
+  const IndexBox box{1, 10, 2, 12, 2, 12};
+  const RhsSplit sp = split_rhs_box(box, 2);
+  EXPECT_EQ(sp.interior.r0, box.r0);
+  EXPECT_EQ(sp.interior.r1, box.r1);
+  EXPECT_EQ(sp.interior.t0, box.t0 + 2);
+  EXPECT_EQ(sp.interior.t1, box.t1 - 2);
+  EXPECT_EQ(sp.interior.p0, box.p0 + 2);
+  EXPECT_EQ(sp.interior.p1, box.p1 - 2);
+  EXPECT_FALSE(sp.interior_empty());
+}
+
+TEST(RhsSplit, DegeneratePatchIsAllRim) {
+  // Horizontal extent ≤ 2·rim: the interior collapses, the rim covers
+  // the whole box, and nothing is double-counted.
+  const IndexBox box{2, 9, 2, 6, 2, 6};
+  const RhsSplit sp = split_rhs_box(box, 2);
+  EXPECT_TRUE(sp.interior_empty());
+  expect_exact_tiling(box, sp);
+}
+
+TEST(RhsSplit, ZeroRimIsAllInterior) {
+  const IndexBox box{2, 9, 2, 12, 2, 16};
+  const RhsSplit sp = split_rhs_box(box, 0);
+  EXPECT_EQ(sp.interior.volume(), box.volume());
+  EXPECT_TRUE(sp.rim.empty());
+}
+
+class RhsSplitSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RhsSplitSweep, InteriorPlusRimMatchesMonolithicBitwise) {
+  // Grid edge length n: n = 6 is the minimum decomposable size with
+  // ghost 2 (rim covers the whole interior), larger sizes exercise a
+  // genuine interior.
+  const int n = GetParam();
+  const SphericalGrid g = test_grid(n);
+  const EquationParams eq = test_eq();
+  Fields s(g);
+  fill_smooth(g, s);
+
+  Fields mono(g), split(g);
+  Workspace ws(g);
+  compute_rhs(g, eq, s, mono, ws, g.interior());
+
+  const RhsSplit sp = split_rhs_box(g.interior(), g.ghost());
+  compute_rhs(g, eq, s, split, ws, sp.interior);
+  for (const IndexBox& b : sp.rim) compute_rhs(g, eq, s, split, ws, b);
+
+  for_box(g.interior(), [&](int ir, int it, int ip) {
+    for (int f = 0; f < Fields::kNumFields; ++f) {
+      ASSERT_EQ((*mono.all()[f])(ir, it, ip), (*split.all()[f])(ir, it, ip))
+          << "field " << f << " at " << ir << "," << it << "," << ip;
+    }
+  });
+}
+
+TEST_P(RhsSplitSweep, ThreadedSlabsMatchMonolithicBitwise) {
+  const int n = GetParam();
+  const SphericalGrid g = test_grid(n);
+  const EquationParams eq = test_eq();
+  Fields s(g);
+  fill_smooth(g, s);
+
+  Fields mono(g);
+  Workspace ws(g);
+  compute_rhs(g, eq, s, mono, ws, g.interior());
+
+  for (int nthreads : {1, 2, 3, 7}) {
+    SCOPED_TRACE(nthreads);
+    Fields par(g);
+    std::vector<Workspace> pool;
+    compute_rhs_parallel(g, eq, s, par, pool, g.interior(), nthreads);
+    for_box(g.interior(), [&](int ir, int it, int ip) {
+      for (int f = 0; f < Fields::kNumFields; ++f) {
+        ASSERT_EQ((*mono.all()[f])(ir, it, ip), (*par.all()[f])(ir, it, ip))
+            << "nthreads " << nthreads << " field " << f;
+      }
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GridSizes, RhsSplitSweep,
+                         ::testing::Values(6, 9, 14));
+
+}  // namespace
+}  // namespace yy::mhd
