@@ -19,6 +19,14 @@
 /// loop on the calling thread — no threads are created, so default
 /// builds behave exactly like the seed.
 ///
+/// Costs of raising YY_THREADS: the RHS sweep keeps one full-patch
+/// Workspace (19 Nr×Nt×Np arrays) per thread (mhd::compute_rhs_parallel),
+/// so resident scratch grows ~19×YY_THREADS patch-sized arrays; and the
+/// default backend spawns/joins fresh std::threads per sweep (several
+/// per RK4 step), whose churn can eat the overlap gain on small
+/// patches.  Prefer modest thread counts sized to the patch, or the
+/// -DYY_OPENMP=ON pooled runtime for production-sized runs.
+///
 /// Determinism contract: callers must give each region index a disjoint
 /// write set (e.g. one φ-slab of the RHS sweep per region).  Work
 /// partitioning may depend on n, but per-point arithmetic must not —

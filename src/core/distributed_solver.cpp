@@ -69,6 +69,11 @@ void DistributedSolver::fill_ghosts(mhd::Fields& s) {
   bc_.fill_ghosts(*grid_, s);
 }
 
+void DistributedSolver::cancel_exchanges() noexcept {
+  halo_->cancel(halo_posted_);
+  overset_->cancel(overset_posted_);
+}
+
 void DistributedSolver::post_exchanges(mhd::Fields& s) {
   const int gh = grid_->ghost();
   {
@@ -81,18 +86,33 @@ void DistributedSolver::post_exchanges(mhd::Fields& s) {
                     gh + grid_->spec().np);
   }
   YY_TRACE_SCOPE(obs::Phase::halo_overlap);
-  halo_posted_ = halo_->post(s);
-  overset_posted_ = overset_->post();
+  try {
+    halo_posted_ = halo_->post(s);
+    overset_posted_ = overset_->post();
+  } catch (...) {
+    // A partial post (e.g. overset_->post() after a successful halo
+    // post) must not leave the other exchanger wedged in flight.
+    cancel_exchanges();
+    throw;
+  }
 }
 
 void DistributedSolver::finish_exchanges(mhd::Fields& s) {
-  {
-    YY_TRACE_SCOPE_V(span, obs::Phase::halo_wait);
-    span.add_bytes(halo_->finish(s, halo_posted_));
-  }
-  {
-    YY_TRACE_SCOPE_V(span, obs::Phase::overset_wait);
-    span.add_bytes(overset_->finish(s, overset_posted_));
+  try {
+    {
+      YY_TRACE_SCOPE_V(span, obs::Phase::halo_wait);
+      span.add_bytes(halo_->finish(s, halo_posted_));
+    }
+    {
+      YY_TRACE_SCOPE_V(span, obs::Phase::overset_wait);
+      span.add_bytes(overset_->finish(s, overset_posted_));
+    }
+  } catch (...) {
+    // A faulted wait (comm timeout/corruption) unwinds the throwing
+    // exchanger itself, but the *other* one may still be in flight —
+    // cancel it so post-recovery steps can post afresh.
+    cancel_exchanges();
+    throw;
   }
   // Radial fill of the freshly received ghost frame; with the owned
   // prefill in post_exchanges this covers exactly one full fill_ghosts.
@@ -139,7 +159,15 @@ void DistributedSolver::step(double dt) {
       finish_exchanges(*s[0]);
     };
     hooks.rim_width = grid_->ghost();
-    integrator_->step(patches, dt, fill, &hooks);
+    try {
+      integrator_->step(patches, dt, fill, &hooks);
+    } catch (...) {
+      // The hooks unwind their own failures; this catches a throw from
+      // the compute between post and finish, where both exchanges are
+      // legitimately in flight with no finish() left to clean them up.
+      cancel_exchanges();
+      throw;
+    }
   } else {
     integrator_->step(patches, dt, fill);
   }

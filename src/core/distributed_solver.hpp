@@ -77,6 +77,12 @@ class DistributedSolver {
   /// (the radial reflection is per-column local, and the ghost-column
   /// radial values carried by the messages are always overwritten by
   /// the frame fill — so trajectories are bitwise mode-independent).
+  /// Both calls unwind to a clean exchanger state on error (a faulted
+  /// fabric surfaces timeouts from the waits): whichever exchange is
+  /// still in flight is cancelled before the exception escapes, so the
+  /// recovery path can rewind and re-enter stepping on the same solver
+  /// without tripping the exchangers' one-in-flight guards.  Abandoned
+  /// envelopes are purged by the recovery rendezvous.
   void post_exchanges(mhd::Fields& s);
   void finish_exchanges(mhd::Fields& s);
 
@@ -88,6 +94,8 @@ class DistributedSolver {
   void attach_telemetry(obs::RankTelemetry* t) { telemetry_ = t; }
 
  private:
+  void cancel_exchanges() noexcept;
+
   SimulationConfig cfg_;
   yinyang::ComponentGeometry geom_;
   std::unique_ptr<Runner> runner_;

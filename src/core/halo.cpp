@@ -173,6 +173,12 @@ std::uint64_t HaloExchanger::finish_impl(mhd::Fields& s, Posted& p) const {
   return bytes;
 }
 
+void HaloExchanger::cancel(Posted& p) const noexcept {
+  if (!p.active) return;
+  p = Posted{};  // requests are lazy matchers: dropping them abandons them
+  in_flight_ = false;
+}
+
 void HaloExchanger::exchange(mhd::Fields& s) const {
   YY_TRACE_SCOPE_V(span, obs::Phase::halo_wait);
   Posted p = post(s);

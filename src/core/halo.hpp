@@ -59,6 +59,17 @@ class HaloExchanger {
   /// Records no trace span — the caller owns phase attribution.
   std::uint64_t finish(mhd::Fields& s, Posted& p) const;
 
+  /// Abandons a posted exchange without completing it: invalidates the
+  /// handles in `p` and clears the in-flight guard so a later post() is
+  /// legal again.  Receives in this runtime are lazy matchers (nothing
+  /// is registered with the fabric until wait), so dropping the handles
+  /// is enough — but any envelopes already sent to or by this rank stay
+  /// queued, and the caller must purge them (recovery_rendezvous, as
+  /// the resilient recovery path does) before the next exchange, or
+  /// stale messages would satisfy its receives.  No-op when `p` was
+  /// never posted or has already finished.
+  void cancel(Posted& p) const noexcept;
+
   /// Bytes moved per exchange by this rank (both directions, all
   /// fields); feeds the perf model's communication volumes.
   std::uint64_t bytes_per_exchange() const;

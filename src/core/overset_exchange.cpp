@@ -120,6 +120,12 @@ std::uint64_t OversetExchanger::finish(mhd::Fields& s, Posted& p) const {
   }
 }
 
+void OversetExchanger::cancel(Posted& p) const noexcept {
+  if (!p.active) return;
+  p = Posted{};  // requests are lazy matchers: dropping them abandons them
+  in_flight_ = false;
+}
+
 std::uint64_t OversetExchanger::finish_impl(mhd::Fields& s, Posted& p) const {
   const comm::Communicator& world = runner_->world();
   const int gh = grid_->ghost();

@@ -59,6 +59,13 @@ class OversetExchanger {
   /// no trace span — the caller owns phase attribution.
   std::uint64_t finish(mhd::Fields& s, Posted& p) const;
 
+  /// Abandons a posted exchange without completing it (see
+  /// HaloExchanger::cancel for the contract): drops the receive handles
+  /// and clears the in-flight guard; undelivered envelopes must be
+  /// purged by the caller's recovery path.  No-op when `p` was never
+  /// posted or has already finished.
+  void cancel(Posted& p) const noexcept;
+
   /// Bytes this rank sends per exchange (perf-model input).
   std::uint64_t bytes_sent_per_exchange() const;
 

@@ -166,6 +166,11 @@ void compute_rhs_parallel(const SphericalGrid& g, const EquationParams& eq,
   // One slab per thread, at least one φ plane per slab.
   const int np = box.p1 - box.p0;
   const int n = std::clamp(nthreads, 1, np);
+  // Memory note: each pool entry is a full-grid Workspace (19 Nr×Nt×Np
+  // arrays — compute_rhs indexes scratch at global (ir,it,ip), so
+  // slab-shaped workspaces would need an index rebase).  Resident
+  // scratch therefore scales as ~19×YY_THREADS patch-sized arrays;
+  // see the YY_THREADS policy note in common/microtask.hpp.
   while (ws_pool.size() < static_cast<std::size_t>(n)) ws_pool.emplace_back(g);
   if (n == 1) {
     compute_rhs(g, eq, state, rhs, ws_pool[0], box);

@@ -44,8 +44,10 @@ std::array<const Field3*, Fields::kNumFields> Fields::all() const {
 void Fields::copy_from(const Fields& src) {
   auto dst = all();
   auto s = src.all();
+  // Shape checks stay serial: a throw on a worker thread would
+  // std::terminate instead of surfacing as a catchable yy::Error.
+  for (int i = 0; i < kNumFields; ++i) YY_REQUIRE(dst[i]->same_shape(*s[i]));
   over_fields([&](int i) {
-    YY_REQUIRE(dst[i]->same_shape(*s[i]));
     std::copy(s[i]->flat().begin(), s[i]->flat().end(),
               dst[i]->flat().begin());
   });
@@ -54,8 +56,8 @@ void Fields::copy_from(const Fields& src) {
 void Fields::axpy(double a, const Fields& x) {
   auto dst = all();
   auto s = x.all();
+  for (int i = 0; i < kNumFields; ++i) YY_REQUIRE(dst[i]->same_shape(*s[i]));
   over_fields([&](int i) {
-    YY_REQUIRE(dst[i]->same_shape(*s[i]));
     auto d = dst[i]->flat();
     auto v = s[i]->flat();
     for (std::size_t k = 0; k < d.size(); ++k) d[k] += a * v[k];
@@ -67,8 +69,9 @@ void Fields::assign_axpy(const Fields& base, double a, const Fields& x) {
   auto dst = all();
   auto b = base.all();
   auto s = x.all();
-  over_fields([&](int i) {
+  for (int i = 0; i < kNumFields; ++i)
     YY_REQUIRE(dst[i]->same_shape(*s[i]) && dst[i]->same_shape(*b[i]));
+  over_fields([&](int i) {
     auto d = dst[i]->flat();
     auto bb = b[i]->flat();
     auto v = s[i]->flat();

@@ -6,15 +6,23 @@
 /// (200) on the world communicator, so even equal tags could never
 /// cross-match; this test proves it end-to-end by demanding bitwise
 /// trajectories under heavy skew.
+///
+/// Also here: the timeout-recovery regression — a dropped message must
+/// not wedge the *other* posted exchanger (cancel-on-unwind), so an
+/// overlapped resilient run survives transient faults exactly like the
+/// synchronous mode does.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "comm/fault.hpp"
 #include "comm/runtime.hpp"
 #include "core/distributed_solver.hpp"
+#include "resilience/resilient_runner.hpp"
 
 namespace yy::core {
 namespace {
@@ -119,6 +127,109 @@ TEST(OverlapFaults, SynchronousModeEquallyImmune) {
     for (std::size_t i = 0; i < clean[f].size(); ++i)
       if (clean[f].flat()[i] != skewed[f].flat()[i]) ++diffs;
     EXPECT_EQ(diffs, 0u) << "field slot " << f;
+  }
+}
+
+/// The unrecoverable-wedge regression: when a timeout unwinds out of
+/// finish_exchanges mid-step, the exchange that did NOT throw is still
+/// in flight; unless it is cancelled, its one-in-flight guard trips
+/// (and aborts) on the first post-recovery step — one transient fault
+/// kills an overlapped run for good, while the synchronous mode
+/// recovers.  Two faults are injected so both orderings are exercised:
+/// a dropped θ-halo envelope (halo finish throws while the overset is
+/// posted) and a dropped overset envelope (overset finish throws after
+/// the halo completed).  Because a dropped envelope starves its FIFO
+/// stream only once the donor stops producing, ranks drift a step or
+/// two past the first fault before deadlocking — so the two drops may
+/// collapse into one collective recovery episode or surface as two,
+/// depending on machine speed.  Either way the run must complete and
+/// end bitwise equal to an unfaulted overlapped run on the same
+/// step/dt schedule (the rewind discards the whole drifted segment).
+TEST(OverlapFaults, TimeoutRecoveryUnwedgesPostedExchanges) {
+  SimulationConfig cfg = fault_config();
+  cfg.overlap = true;
+  const int pt = 2, pp = 1;
+  constexpr int kRanks = 4;  // 2 panels × pt × pp
+  constexpr long long kTarget = 12;
+  const std::string dir =
+      std::string(::testing::TempDir()) + "/overlap_recovery";
+  std::filesystem::remove_all(dir);
+
+  const auto flatten = [](const mhd::Fields& s) {
+    std::vector<double> out;
+    for (const Field3* f : s.all())
+      out.insert(out.end(), f->flat().begin(), f->flat().end());
+    return out;
+  };
+
+  std::vector<std::vector<double>> want(kRanks), got(kRanks);
+  std::vector<resilience::RunReport> reports(kRanks);
+
+  {  // Reference: uninterrupted overlapped stepping, no faults.
+    comm::Runtime rt(kRanks);
+    rt.run([&](comm::Communicator& w) {
+      DistributedSolver solver(cfg, w, pt, pp);
+      solver.initialize();
+      const double dt = solver.stable_dt();
+      for (long long i = 0; i < kTarget; ++i) solver.step(dt);
+      want[static_cast<std::size_t>(w.rank())] = flatten(solver.local_state());
+    });
+  }
+
+  {  // Faulted: one θ-halo envelope dropped at step 7 (halo finish
+     // times out with the overset receives posted), one overset
+     // envelope dropped at step 9 of the re-run (overset finish times
+     // out after the halo completed).
+    comm::Runtime rt(kRanks);
+    auto plan = std::make_shared<comm::FaultPlan>();
+    comm::FaultPlan::Rule drop_halo;
+    drop_halo.kind = comm::FaultPlan::Kind::drop;
+    drop_halo.tag = 100;  // θ-strip halo traffic
+    drop_halo.min_step = 7;
+    drop_halo.max_count = 1;
+    plan->add_rule(drop_halo);
+    comm::FaultPlan::Rule drop_overset;
+    drop_overset.kind = comm::FaultPlan::Kind::drop;
+    drop_overset.tag = 200;  // overset interpolation traffic
+    drop_overset.min_step = 9;
+    drop_overset.max_count = 1;
+    plan->add_rule(drop_overset);
+    rt.install_fault_plan(plan);
+
+    rt.run([&](comm::Communicator& w) {
+      DistributedSolver solver(cfg, w, pt, pp);
+      solver.initialize();
+      const double dt = solver.stable_dt();
+      resilience::RunPolicy policy;
+      policy.store = {dir, "ovl", 3};
+      policy.checkpoint_interval = 5;
+      policy.max_recoveries = 4;
+      policy.take_deadline_ms = 3000;  // generous for sanitizer builds
+      resilience::ResilientRunner runner(solver, policy);
+      reports[static_cast<std::size_t>(w.rank())] = runner.run(kTarget, dt);
+      got[static_cast<std::size_t>(w.rank())] = flatten(solver.local_state());
+    });
+    rt.install_fault_plan(nullptr);
+    EXPECT_EQ(plan->injected(comm::FaultPlan::Kind::drop), 2u);
+  }
+
+  for (int r = 0; r < kRanks; ++r) {
+    const resilience::RunReport& rep = reports[static_cast<std::size_t>(r)];
+    EXPECT_TRUE(rep.completed) << "rank " << r << ": " << rep.failure;
+    EXPECT_EQ(rep.final_step, kTarget) << "rank " << r;
+    // 1 or 2 episodes (see header comment); recovery is collective, so
+    // every rank must report the same count as rank 0.
+    EXPECT_GE(rep.recoveries, 1) << "rank " << r;
+    EXPECT_LE(rep.recoveries, 2) << "rank " << r;
+    EXPECT_EQ(rep.recoveries, reports[0].recoveries) << "rank " << r;
+    ASSERT_EQ(got[static_cast<std::size_t>(r)].size(),
+              want[static_cast<std::size_t>(r)].size());
+    std::size_t diffs = 0;
+    for (std::size_t i = 0; i < got[static_cast<std::size_t>(r)].size(); ++i)
+      if (got[static_cast<std::size_t>(r)][i] !=
+          want[static_cast<std::size_t>(r)][i])
+        ++diffs;
+    EXPECT_EQ(diffs, 0u) << "rank " << r;
   }
 }
 
