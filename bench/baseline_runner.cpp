@@ -239,23 +239,49 @@ bool run_solver_bench(const std::string& out_dir, int steps) {
 }
 
 bool run_kernel_bench(const std::string& out_dir) {
-  const perf::KernelProfile prof = perf::KernelProfile::measure();
+  // Both backends, same step: the fused pencil sweep is the recorded
+  // fast path; the reference chain is kept alongside so the speedup
+  // itself is a gated metric.
+  const perf::KernelProfile ref = perf::KernelProfile::measure();
+  const perf::KernelProfile fused =
+      perf::KernelProfile::measure(17, 13, 37, /*fused_rhs=*/true);
   obs::RunManifest man = manifest_for("kernels", 1, bench_config());
   man.mode = "kernels";
+  man.extra.emplace_back("rhs_backend", "fused");
+
+  const double speedup =
+      fused.seconds_per_point_per_step > 0.0
+          ? ref.seconds_per_point_per_step / fused.seconds_per_point_per_step
+          : 0.0;
 
   std::vector<bench::BenchMetric> metrics;
   // flops/point is a property of the numerics, not the machine: it
-  // moves only when the stencils change, so the band is tight.
+  // moves only when the stencils change, so the band is tight.  Both
+  // backends charge identically (tests/mhd/test_rhs_fused.cpp pins
+  // this), so one recorded value covers both.
   metrics.push_back(
-      {"flops_per_point_per_step", prof.flops_per_point_per_step, 0.02, 0.0,
+      {"flops_per_point_per_step", fused.flops_per_point_per_step, 0.02, 0.0,
        "band"});
   metrics.push_back(
-      {"local_gflops", prof.local_gflops, 0.60, 0.0, "min"});
+      {"local_gflops", fused.local_gflops, 0.60, 0.0, "min"});
+  // Tightened from the pre-fused 1.50: the fused sweep both lowered
+  // the value and cut its variance (no more whole-array scratch
+  // traffic), so the band no longer needs to absorb cache noise.
   metrics.push_back({"seconds_per_point_per_step",
-                     prof.seconds_per_point_per_step, 1.50, 0.0, "max"});
+                     fused.seconds_per_point_per_step, 0.80, 0.0, "max"});
+  metrics.push_back({"seconds_per_point_per_step_reference",
+                     ref.seconds_per_point_per_step, 1.50, 0.0, "max"});
+  // The fused-vs-reference gate: the tol_abs pins the lower bound at
+  // 1.15, so the comparison fails whenever the fused sweep's advantage
+  // drops below 15% regardless of the recorded value.
+  metrics.push_back({"rhs_fused_speedup", speedup, 0.0,
+                     std::max(0.05, speedup - 1.15), "min"});
 
-  std::printf("kernels: %.0f flops/point/step, %.2f GFLOPS local\n",
-              prof.flops_per_point_per_step, prof.local_gflops);
+  std::printf("kernels: %.0f flops/point/step, %.2f GFLOPS local (fused)\n",
+              fused.flops_per_point_per_step, fused.local_gflops);
+  std::printf("rhs backends: reference %.3e s/pt/step, fused %.3e (x%.2f)\n",
+              ref.seconds_per_point_per_step, fused.seconds_per_point_per_step,
+              speedup);
   return write_doc(out_dir + "/BENCH_kernels.json", "kernels", man, metrics);
 }
 

@@ -94,6 +94,20 @@ void BM_MhdRhs(benchmark::State& state) {
 }
 BENCHMARK(BM_MhdRhs)->Arg(16)->Arg(24);
 
+void BM_MhdRhsFused(benchmark::State& state) {
+  SphericalGrid g = bench_grid(static_cast<int>(state.range(0)));
+  mhd::Fields s(g), rhs(g);
+  mhd::PencilWorkspace pw;
+  mhd::EquationParams eq;
+  eq.omega = {0, 0, 8.0};
+  for (auto _ : state) {
+    mhd::compute_rhs_fused(g, eq, s, rhs, pw, g.interior());
+    benchmark::DoNotOptimize(rhs.rho.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.interior().volume());
+}
+BENCHMARK(BM_MhdRhsFused)->Arg(16)->Arg(24);
+
 void BM_YinYangStep(benchmark::State& state) {
   core::SimulationConfig cfg;
   cfg.nr = 13;
@@ -109,6 +123,23 @@ void BM_YinYangStep(benchmark::State& state) {
                           solver.grid().interior().volume());
 }
 BENCHMARK(BM_YinYangStep)->Arg(13)->Arg(17);
+
+void BM_YinYangStepFused(benchmark::State& state) {
+  core::SimulationConfig cfg;
+  cfg.nr = 13;
+  cfg.nt_core = static_cast<int>(state.range(0));
+  cfg.np_core = 3 * static_cast<int>(state.range(0)) - 2;
+  cfg.eq.g0 = 2.0;
+  cfg.eq.omega = {0, 0, 8.0};
+  cfg.fused_rhs = true;
+  core::SerialYinYangSolver solver(cfg);
+  solver.initialize();
+  const double dt = solver.stable_dt();
+  for (auto _ : state) solver.step(dt);
+  state.SetItemsProcessed(state.iterations() * 2 *
+                          solver.grid().interior().volume());
+}
+BENCHMARK(BM_YinYangStepFused)->Arg(13)->Arg(17);
 
 void BM_LatLonStep(benchmark::State& state) {
   baseline::LatLonConfig cfg;

@@ -89,7 +89,7 @@ int main(int argc, char** argv) {
                                   solver.grid().interior());
     io::write_vtk_panel(std::string("columns_") + name(p) + ".vtk",
                         solver.grid(), p,
-                        {{"temperature", &ws.T}, {"v_r", &ws.vr}});
+                        {{"temperature", ws.T}, {"v_r", ws.vr}});
     std::printf("wrote columns_%s.vtk\n", name(p));
   }
   std::printf("\nfinal slice written to columns_final.csv; the PPM images show\n");

@@ -38,18 +38,16 @@ int main(int argc, char** argv) {
 
   // Velocity on both panels.
   const SphericalGrid& g = solver.grid();
-  mhd::Workspace& ws = solver.workspace();
   Field3 vy[3], vg[3];
   for (int i = 0; i < 3; ++i) {
     vy[i] = Field3(g.Nr(), g.Nt(), g.Np());
     vg[i] = Field3(g.Nr(), g.Nt(), g.Np());
   }
+  Field3 t_yin(g.Nr(), g.Nt(), g.Np()), t_yang(g.Nr(), g.Nt(), g.Np());
   mhd::velocity_and_temperature(solver.panel(Panel::yin), vy[0], vy[1], vy[2],
-                                ws.T, g.full());
-  Field3 t_yin = ws.T;
+                                t_yin, g.full());
   mhd::velocity_and_temperature(solver.panel(Panel::yang), vg[0], vg[1], vg[2],
-                                ws.T, g.full());
-  Field3 t_yang = ws.T;
+                                t_yang, g.full());
 
   io::SphereSampler sampler(g, solver.geometry());
   io::TraceOptions opt;

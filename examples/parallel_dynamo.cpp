@@ -10,6 +10,7 @@
 /// Simulator performance model's predicted phase split.
 ///
 /// Usage: parallel_dynamo [pt pp steps [mode]] [--heartbeat N] [--overlap]
+///                        [--fused-rhs]
 ///        (default 2 x 2, 10 steps)
 ///
 /// mode selects the run-control layer:
@@ -32,6 +33,12 @@
 /// path (tests/core/test_overlap_equivalence.cpp), so the serial
 /// cross-check below still matches exactly.  Set YY_THREADS to also
 /// thread the interior sweep and stage updates.
+///
+/// --fused-rhs evaluates each stage's RHS with the fused cache-blocked
+/// pencil sweep (DESIGN.md §11) instead of the operator-at-a-time
+/// reference chain.  Bitwise-identical trajectories
+/// (tests/mhd/test_rhs_fused.cpp), so the serial cross-check still
+/// matches exactly; composes with --overlap.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -61,12 +68,15 @@ using yinyang::Panel;
 int main(int argc, char** argv) {
   int heartbeat = 0;
   bool overlap = false;
+  bool fused_rhs = false;
   std::vector<const char*> pos;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--heartbeat") == 0 && i + 1 < argc) {
       heartbeat = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--overlap") == 0) {
       overlap = true;
+    } else if (std::strcmp(argv[i], "--fused-rhs") == 0) {
+      fused_rhs = true;
     } else {
       pos.push_back(argv[i]);
     }
@@ -90,10 +100,12 @@ int main(int argc, char** argv) {
   cfg.ic.perturb_amp = 1e-2;
   cfg.ic.seed_b_amp = 1e-4;
   cfg.overlap = overlap;
+  cfg.fused_rhs = fused_rhs;
 
   const int world = 2 * pt * pp;
-  std::printf("== Distributed yycore: %d ranks = 2 panels x (%d x %d)%s ====\n\n",
-              world, pt, pp, overlap ? "  [overlapped]" : "");
+  std::printf("== Distributed yycore: %d ranks = 2 panels x (%d x %d)%s%s ====\n\n",
+              world, pt, pp, overlap ? "  [overlapped]" : "",
+              fused_rhs ? "  [fused rhs]" : "");
 
   mhd::EnergyBudget dist_energy;
   double dist_dt = 0.0;
@@ -116,6 +128,7 @@ int main(int argc, char** argv) {
   man.heartbeat_interval = heartbeat;
   man.extra.emplace_back("steps", std::to_string(steps));
   man.extra.emplace_back("overlap", overlap ? "1" : "0");
+  man.extra.emplace_back("rhs_backend", fused_rhs ? "fused" : "reference");
   obs::TelemetrySink sink(man, heartbeat > 0 ? &std::cout : nullptr);
 
   if (mode == "faulty") {

@@ -10,9 +10,11 @@
 #include <algorithm>
 #include <cstddef>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/index_box.hpp"
 
 namespace yy {
 
@@ -73,5 +75,65 @@ class Array3D {
 };
 
 using Field3 = Array3D<double>;
+
+/// Non-owning 3-D view addressed in *patch* indices: the view covers the
+/// half-open box `cover()` and translates (ir, it, ip) to its own
+/// compact storage, so stencil code written against patch indices runs
+/// unchanged over full-grid arrays (origin 0) and rebased scratch
+/// blocks (origin at the box corner).  Constructors from Array3D are
+/// intentionally implicit — every pre-existing call site that passes a
+/// Field3 keeps compiling; the radial index stays unit-stride.
+template <typename T>
+class View3D {
+ public:
+  using Plain = std::remove_const_t<T>;
+
+  View3D() = default;
+
+  View3D(T* data, const IndexBox& cover)
+      : d_(data), r0_(cover.r0), t0_(cover.t0), p0_(cover.p0),
+        nr_(cover.r1 - cover.r0), nt_(cover.t1 - cover.t0),
+        np_(cover.p1 - cover.p0) {}
+
+  /// Whole-array view with origin 0 (patch index == storage index).
+  View3D(Array3D<Plain>& a)  // NOLINT(google-explicit-constructor)
+      : View3D(a.data(), IndexBox{0, a.nr(), 0, a.nt(), 0, a.np()}) {}
+
+  template <typename U = T, typename = std::enable_if_t<std::is_const_v<U>>>
+  View3D(const Array3D<Plain>& a)  // NOLINT(google-explicit-constructor)
+      : View3D(a.data(), IndexBox{0, a.nr(), 0, a.nt(), 0, a.np()}) {}
+
+  /// Mutable view decays to a read-only view.
+  template <typename U = T, typename = std::enable_if_t<std::is_const_v<U>>>
+  View3D(const View3D<Plain>& o)  // NOLINT(google-explicit-constructor)
+      : d_(o.data()), r0_(o.cover().r0), t0_(o.cover().t0),
+        p0_(o.cover().p0), nr_(o.cover().r1 - o.cover().r0),
+        nt_(o.cover().t1 - o.cover().t0), np_(o.cover().p1 - o.cover().p0) {}
+
+  T& operator()(int ir, int it, int ip) const {
+    YY_ASSERT_DBG(ir >= r0_ && ir < r0_ + nr_);
+    YY_ASSERT_DBG(it >= t0_ && it < t0_ + nt_);
+    YY_ASSERT_DBG(ip >= p0_ && ip < p0_ + np_);
+    return d_[static_cast<std::size_t>(ir - r0_) +
+              static_cast<std::size_t>(nr_) *
+                  (static_cast<std::size_t>(it - t0_) +
+                   static_cast<std::size_t>(nt_) *
+                       static_cast<std::size_t>(ip - p0_))];
+  }
+
+  IndexBox cover() const {
+    return {r0_, r0_ + nr_, t0_, t0_ + nt_, p0_, p0_ + np_};
+  }
+  bool covers(const IndexBox& b) const { return cover().covers(b); }
+  T* data() const { return d_; }
+
+ private:
+  T* d_ = nullptr;
+  int r0_ = 0, t0_ = 0, p0_ = 0;
+  int nr_ = 0, nt_ = 0, np_ = 0;
+};
+
+using FieldView = View3D<double>;
+using ConstFieldView = View3D<const double>;
 
 }  // namespace yy

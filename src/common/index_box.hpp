@@ -1,0 +1,51 @@
+/// \file index_box.hpp
+/// Half-open 3-D index boxes in (r, θ, φ) patch indices, and the
+/// canonical radial-innermost traversal.  Lives in common (not grid) so
+/// layout-level containers — rebased scratch fields, pencil rings — can
+/// speak boxes without depending on the grid layer.
+#pragma once
+
+namespace yy {
+
+/// Half-open index box [r0,r1) × [t0,t1) × [p0,p1) in patch indices.
+struct IndexBox {
+  int r0 = 0, r1 = 0, t0 = 0, t1 = 0, p0 = 0, p1 = 0;
+
+  long long volume() const {
+    return static_cast<long long>(r1 - r0) * (t1 - t0) * (p1 - p0);
+  }
+  /// Box grown by `n` on every face.
+  IndexBox grown(int n) const {
+    return {r0 - n, r1 + n, t0 - n, t1 + n, p0 - n, p1 + n};
+  }
+  bool contains(int ir, int it, int ip) const {
+    return ir >= r0 && ir < r1 && it >= t0 && it < t1 && ip >= p0 && ip < p1;
+  }
+  /// True when every point of `b` lies inside this box (empty `b` always
+  /// qualifies — there is nothing to cover).
+  bool covers(const IndexBox& b) const {
+    if (b.volume() <= 0) return true;
+    return b.r0 >= r0 && b.r1 <= r1 && b.t0 >= t0 && b.t1 <= t1 &&
+           b.p0 >= p0 && b.p1 <= p1;
+  }
+  /// Smallest box containing both this box and `b` (empty boxes are
+  /// identity elements).
+  IndexBox hull(const IndexBox& b) const {
+    if (volume() <= 0) return b;
+    if (b.volume() <= 0) return *this;
+    return {r0 < b.r0 ? r0 : b.r0, r1 > b.r1 ? r1 : b.r1,
+            t0 < b.t0 ? t0 : b.t0, t1 > b.t1 ? t1 : b.t1,
+            p0 < b.p0 ? p0 : b.p0, p1 > b.p1 ? p1 : b.p1};
+  }
+};
+
+/// Visits every index of `box` with the radial index innermost
+/// (unit stride), mirroring the code's radial vectorization.
+template <typename F>
+void for_box(const IndexBox& box, F&& f) {
+  for (int ip = box.p0; ip < box.p1; ++ip)
+    for (int it = box.t0; it < box.t1; ++it)
+      for (int ir = box.r0; ir < box.r1; ++ir) f(ir, it, ip);
+}
+
+}  // namespace yy

@@ -19,13 +19,17 @@
 /// loop on the calling thread — no threads are created, so default
 /// builds behave exactly like the seed.
 ///
-/// Costs of raising YY_THREADS: the RHS sweep keeps one full-patch
-/// Workspace (19 Nr×Nt×Np arrays) per thread (mhd::compute_rhs_parallel),
-/// so resident scratch grows ~19×YY_THREADS patch-sized arrays; and the
-/// default backend spawns/joins fresh std::threads per sweep (several
-/// per RK4 step), whose churn can eat the overlap gain on small
-/// patches.  Prefer modest thread counts sized to the patch, or the
-/// -DYY_OPENMP=ON pooled runtime for production-sized runs.
+/// Costs of raising YY_THREADS: the reference RHS sweep keeps one
+/// Workspace per thread (mhd::compute_rhs_parallel), but each pool
+/// entry is sized to its φ-slab, not the full patch, so total scratch
+/// stays within ~2× one patch-sized Workspace regardless of thread
+/// count (tests/mhd/test_workspace_footprint.cpp pins this; the fused
+/// backend's per-thread pencil rings are smaller still).  The remaining
+/// cost is thread churn: the default backend spawns/joins fresh
+/// std::threads per sweep (several per RK4 step), which can eat the
+/// overlap gain on small patches.  Prefer modest thread counts sized to
+/// the patch, or the -DYY_OPENMP=ON pooled runtime for production-sized
+/// runs.
 ///
 /// Determinism contract: callers must give each region index a disjoint
 /// write set (e.g. one φ-slab of the RHS sweep per region).  Work

@@ -1,0 +1,152 @@
+/// \file pencil.hpp
+/// Compact scratch containers addressed in patch indices: the memory
+/// layer of the fused RHS path and the shrunken per-thread workspaces.
+///
+/// Two shapes cover every scratch need of the RHS sweep:
+///  * ScratchField — a box-shaped block with its origin at the box
+///    corner.  Code keeps indexing at global (ir, it, ip); the field
+///    subtracts its origin internally and converts implicitly to the
+///    FieldView / ConstFieldView the fd operators take.  This is what
+///    lets mhd::Workspace allocate grown-box extents instead of full
+///    Nr×Nt×Np arrays per thread (the documented ~19×YY_THREADS
+///    multiplier).
+///  * PlaneRing — a rolling ring of (r, θ) planes over φ, depth = the
+///    stencil footprint in φ (3 or 5).  The fused sweep computes plane
+///    ip+k once, keeps it resident while the φ stencil needs it, and
+///    overwrites it (ip mod depth) when the sweep moves on: the whole
+///    derived-field working set shrinks from O(Nr·Nt·Np) to
+///    O(depth·Nr·Nt), which is what turns the RHS from
+///    bandwidth-bound whole-array passes into cache-resident fusion.
+///
+/// Both containers grow monotonically (`ensure`/`grow_to` reallocate
+/// only when the requested cover exceeds the current one), so steady-
+/// state stepping is allocation-free even when interior and rim boxes
+/// alternate.  Contents are NOT preserved across a growing reallocation
+/// — these are single-sweep scratch, never carried between sweeps.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/array3d.hpp"
+#include "common/error.hpp"
+#include "common/index_box.hpp"
+
+namespace yy::common {
+
+/// Box-shaped scratch field addressed in patch indices (see file
+/// comment).  Default-constructed it covers nothing; reset()/grow_to()
+/// establish coverage.
+class ScratchField {
+ public:
+  ScratchField() = default;
+  explicit ScratchField(const IndexBox& cover) { reset(cover); }
+
+  /// Re-covers exactly `cover` (contents undefined afterwards).
+  void reset(const IndexBox& cover) {
+    cover_ = cover;
+    const std::size_t need = cover.volume() > 0
+                                 ? static_cast<std::size_t>(cover.volume())
+                                 : 0;
+    data_.assign(need, 0.0);
+  }
+
+  /// Grows coverage to the hull of the current cover and `b`; no-op
+  /// when already covering (steady-state stepping stays allocation-free).
+  void grow_to(const IndexBox& b) {
+    if (cover_.covers(b)) return;
+    reset(cover_.hull(b));
+  }
+
+  bool covers(const IndexBox& b) const { return cover_.covers(b); }
+  const IndexBox& cover() const { return cover_; }
+  std::size_t allocated_doubles() const { return data_.size(); }
+
+  double& operator()(int ir, int it, int ip) {
+    return data_[index(ir, it, ip)];
+  }
+  double operator()(int ir, int it, int ip) const {
+    return data_[index(ir, it, ip)];
+  }
+
+  operator FieldView() {  // NOLINT(google-explicit-constructor)
+    return FieldView(data_.data(), cover_);
+  }
+  operator ConstFieldView() const {  // NOLINT(google-explicit-constructor)
+    return ConstFieldView(data_.data(), cover_);
+  }
+
+ private:
+  std::size_t index(int ir, int it, int ip) const {
+    YY_ASSERT_DBG(cover_.contains(ir, it, ip));
+    const std::size_t nr = static_cast<std::size_t>(cover_.r1 - cover_.r0);
+    const std::size_t nt = static_cast<std::size_t>(cover_.t1 - cover_.t0);
+    return static_cast<std::size_t>(ir - cover_.r0) +
+           nr * (static_cast<std::size_t>(it - cover_.t0) +
+                 nt * static_cast<std::size_t>(ip - cover_.p0));
+  }
+
+  IndexBox cover_{};
+  std::vector<double> data_;
+};
+
+/// Rolling ring of (r, θ) planes over φ (see file comment).  Plane φ
+/// indices must be non-negative (patch indices always are — ghost
+/// offsets keep box.p0 ≥ 0); the ring maps ip → slot ip mod depth, so
+/// at most `depth` consecutive φ planes are resident at once.
+class PlaneRing {
+ public:
+  /// Grows the ring to at least `depth` planes covering at least
+  /// [r0,r1)×[t0,t1); monotone like ScratchField::grow_to.
+  void ensure(int depth, int r0, int r1, int t0, int t1) {
+    YY_REQUIRE(depth >= 1 && r1 >= r0 && t1 >= t0);
+    if (depth <= depth_ && r0 >= r0_ && r1 <= r0_ + nr_ && t0 >= t0_ &&
+        t1 <= t0_ + nt_)
+      return;
+    const int nr0 = nr_ > 0 ? std::min(r0, r0_) : r0;
+    const int nr1 = nr_ > 0 ? std::max(r1, r0_ + nr_) : r1;
+    const int nt0 = nt_ > 0 ? std::min(t0, t0_) : t0;
+    const int nt1 = nt_ > 0 ? std::max(t1, t0_ + nt_) : t1;
+    depth_ = std::max(depth, depth_);
+    r0_ = nr0;
+    nr_ = nr1 - nr0;
+    t0_ = nt0;
+    nt_ = nt1 - nt0;
+    data_.assign(static_cast<std::size_t>(depth_) * nr_ * nt_, 0.0);
+  }
+
+  double& at(int ir, int it, int ip) { return data_[index(ir, it, ip)]; }
+  double at(int ir, int it, int ip) const { return data_[index(ir, it, ip)]; }
+
+  /// Accessor with the Field3 call signature, for the shared per-point
+  /// stencils of grid/fd_stencils.hpp.
+  struct View {
+    const PlaneRing* ring = nullptr;
+    double operator()(int ir, int it, int ip) const {
+      return ring->at(ir, it, ip);
+    }
+  };
+  View view() const { return {this}; }
+
+  int depth() const { return depth_; }
+  std::size_t allocated_doubles() const { return data_.size(); }
+
+ private:
+  std::size_t index(int ir, int it, int ip) const {
+    YY_ASSERT_DBG(ip >= 0 && depth_ > 0);
+    YY_ASSERT_DBG(ir >= r0_ && ir < r0_ + nr_);
+    YY_ASSERT_DBG(it >= t0_ && it < t0_ + nt_);
+    const std::size_t plane = static_cast<std::size_t>(ip % depth_);
+    return plane * (static_cast<std::size_t>(nr_) * nt_) +
+           static_cast<std::size_t>(ir - r0_) +
+           static_cast<std::size_t>(nr_) * static_cast<std::size_t>(it - t0_);
+  }
+
+  int depth_ = 0;
+  int r0_ = 0, nr_ = 0;
+  int t0_ = 0, nt_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace yy::common

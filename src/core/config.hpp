@@ -34,6 +34,11 @@ struct SimulationConfig {
   /// (bitwise-identical trajectories; see DESIGN.md §10).  Honoured by
   /// the rk4 scheme; euler/rk2 fall back to synchronous fills.
   bool overlap = false;
+
+  /// RHS backend: false = reference operator-at-a-time chain, true =
+  /// fused cache-blocked pencil sweep (bitwise-identical trajectories;
+  /// see DESIGN.md §11).  Composes with `overlap`.
+  bool fused_rhs = false;
 };
 
 }  // namespace yy::core

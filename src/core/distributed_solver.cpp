@@ -53,7 +53,8 @@ DistributedSolver::DistributedSolver(const SimulationConfig& cfg,
   state_ = std::make_unique<mhd::Fields>(*grid_);
   ws_ = std::make_unique<mhd::Workspace>(*grid_);
   integrator_ = std::make_unique<mhd::Integrator>(
-      cfg.scheme, std::vector<const SphericalGrid*>{grid_.get()});
+      cfg.scheme, std::vector<const SphericalGrid*>{grid_.get()},
+      cfg.fused_rhs ? mhd::RhsBackend::fused : mhd::RhsBackend::reference);
   weights_ = std::make_unique<mhd::ColumnWeights>(
       ownership_weights(geom_, *grid_, extent_.t0, extent_.p0));
 }

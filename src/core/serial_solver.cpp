@@ -24,7 +24,9 @@ SerialYinYangSolver::SerialYinYangSolver(const SimulationConfig& cfg)
       yin_(grid_),
       yang_(grid_),
       ws_(grid_),
-      integrator_(cfg.scheme, {&grid_, &grid_}),
+      integrator_(cfg.scheme, {&grid_, &grid_},
+                  cfg.fused_rhs ? mhd::RhsBackend::fused
+                                : mhd::RhsBackend::reference),
       weights_(ownership_weights(geom_, grid_, 0, 0)) {}
 
 void SerialYinYangSolver::initialize() {

@@ -1,17 +1,25 @@
 #include "grid/fd_ops.hpp"
 
 #include "common/flops.hpp"
+#include "grid/fd_stencils.hpp"
 
 namespace yy::fd {
 
 namespace {
 
-void check_shapes(const SphericalGrid& g, const Field3& a) {
-  YY_REQUIRE(a.nr() == g.Nr() && a.nt() == g.Nt() && a.np() == g.Np());
+/// Inputs are read over box.grown(1), outputs written over box; each
+/// view's cover must contain its access set.
+void check_reads(const ConstFieldView& a, const IndexBox& box) {
+  YY_REQUIRE(a.covers(box.grown(1)));
+}
+
+void check_writes(const FieldView& a, const IndexBox& box) {
+  YY_REQUIRE(a.covers(box));
 }
 
 void check_box(const SphericalGrid& g, const IndexBox& box) {
-  // The operator reads box.grown(1); it must stay inside the patch.
+  // The operator reads box.grown(1); it must stay inside the patch
+  // (the grid's metric tables are only defined there).
   const IndexBox need = box.grown(1);
   YY_REQUIRE(need.r0 >= 0 && need.r1 <= g.Nr());
   YY_REQUIRE(need.t0 >= 0 && need.t1 <= g.Nt());
@@ -20,10 +28,10 @@ void check_box(const SphericalGrid& g, const IndexBox& box) {
 
 }  // namespace
 
-void deriv_r(const SphericalGrid& g, const Field3& a, Field3& out,
+void deriv_r(const SphericalGrid& g, ConstFieldView a, FieldView out,
              const IndexBox& box) {
-  check_shapes(g, a);
-  check_shapes(g, out);
+  check_reads(a, box);
+  check_writes(out, box);
   check_box(g, box);
   const double c = 1.0 / (2.0 * g.dr());
   for_box(box, [&](int ir, int it, int ip) {
@@ -32,10 +40,10 @@ void deriv_r(const SphericalGrid& g, const Field3& a, Field3& out,
   flops::add(static_cast<std::uint64_t>(box.volume()) * kFlopsDeriv);
 }
 
-void deriv_t(const SphericalGrid& g, const Field3& a, Field3& out,
+void deriv_t(const SphericalGrid& g, ConstFieldView a, FieldView out,
              const IndexBox& box) {
-  check_shapes(g, a);
-  check_shapes(g, out);
+  check_reads(a, box);
+  check_writes(out, box);
   check_box(g, box);
   const double c = 1.0 / (2.0 * g.dt());
   for_box(box, [&](int ir, int it, int ip) {
@@ -44,10 +52,10 @@ void deriv_t(const SphericalGrid& g, const Field3& a, Field3& out,
   flops::add(static_cast<std::uint64_t>(box.volume()) * kFlopsDeriv);
 }
 
-void deriv_p(const SphericalGrid& g, const Field3& a, Field3& out,
+void deriv_p(const SphericalGrid& g, ConstFieldView a, FieldView out,
              const IndexBox& box) {
-  check_shapes(g, a);
-  check_shapes(g, out);
+  check_reads(a, box);
+  check_writes(out, box);
   check_box(g, box);
   const double c = 1.0 / (2.0 * g.dp());
   for_box(box, [&](int ir, int it, int ip) {
@@ -56,32 +64,31 @@ void deriv_p(const SphericalGrid& g, const Field3& a, Field3& out,
   flops::add(static_cast<std::uint64_t>(box.volume()) * kFlopsDeriv);
 }
 
-void grad(const SphericalGrid& g, const Field3& s, Field3& gr, Field3& gt,
-          Field3& gp, const IndexBox& box) {
-  check_shapes(g, s);
-  check_shapes(g, gr);
-  check_shapes(g, gt);
-  check_shapes(g, gp);
+void grad(const SphericalGrid& g, ConstFieldView s, FieldView gr, FieldView gt,
+          FieldView gp, const IndexBox& box) {
+  check_reads(s, box);
+  check_writes(gr, box);
+  check_writes(gt, box);
+  check_writes(gp, box);
   check_box(g, box);
   const double c_r = 1.0 / (2.0 * g.dr());
   const double c_t = 1.0 / (2.0 * g.dt());
   const double c_p = 1.0 / (2.0 * g.dp());
   for_box(box, [&](int ir, int it, int ip) {
-    const double ri = g.inv_r(ir);
-    gr(ir, it, ip) = c_r * (s(ir + 1, it, ip) - s(ir - 1, it, ip));
-    gt(ir, it, ip) = ri * c_t * (s(ir, it + 1, ip) - s(ir, it - 1, ip));
-    gp(ir, it, ip) =
-        ri * g.inv_sin_t(it) * c_p * (s(ir, it, ip + 1) - s(ir, it, ip - 1));
+    const Triple o = grad_point(g, s, c_r, c_t, c_p, ir, it, ip);
+    gr(ir, it, ip) = o.r;
+    gt(ir, it, ip) = o.t;
+    gp(ir, it, ip) = o.p;
   });
   flops::add(static_cast<std::uint64_t>(box.volume()) * kFlopsGrad);
 }
 
-void div(const SphericalGrid& g, const Field3& vr, const Field3& vt,
-         const Field3& vp, Field3& out, const IndexBox& box) {
-  check_shapes(g, vr);
-  check_shapes(g, vt);
-  check_shapes(g, vp);
-  check_shapes(g, out);
+void div(const SphericalGrid& g, ConstFieldView vr, ConstFieldView vt,
+         ConstFieldView vp, FieldView out, const IndexBox& box) {
+  check_reads(vr, box);
+  check_reads(vt, box);
+  check_reads(vp, box);
+  check_writes(out, box);
   check_box(g, box);
   const double c_r = 1.0 / (2.0 * g.dr());
   const double c_t = 1.0 / (2.0 * g.dt());
@@ -89,26 +96,20 @@ void div(const SphericalGrid& g, const Field3& vr, const Field3& vt,
   // Expanded form: ∂r vr + 2 vr/r + (1/r)(∂θ vt + cotθ vt)
   //                + (1/(r sinθ)) ∂φ vp
   for_box(box, [&](int ir, int it, int ip) {
-    const double ri = g.inv_r(ir);
-    out(ir, it, ip) =
-        c_r * (vr(ir + 1, it, ip) - vr(ir - 1, it, ip)) +
-        2.0 * ri * vr(ir, it, ip) +
-        ri * (c_t * (vt(ir, it + 1, ip) - vt(ir, it - 1, ip)) +
-              g.cot_t(it) * vt(ir, it, ip)) +
-        ri * g.inv_sin_t(it) * c_p * (vp(ir, it, ip + 1) - vp(ir, it, ip - 1));
+    out(ir, it, ip) = div_point(g, vr, vt, vp, c_r, c_t, c_p, ir, it, ip);
   });
   flops::add(static_cast<std::uint64_t>(box.volume()) * kFlopsDiv);
 }
 
-void curl(const SphericalGrid& g, const Field3& vr, const Field3& vt,
-          const Field3& vp, Field3& cr, Field3& ct, Field3& cp,
+void curl(const SphericalGrid& g, ConstFieldView vr, ConstFieldView vt,
+          ConstFieldView vp, FieldView cr, FieldView ct, FieldView cp,
           const IndexBox& box) {
-  check_shapes(g, vr);
-  check_shapes(g, vt);
-  check_shapes(g, vp);
-  check_shapes(g, cr);
-  check_shapes(g, ct);
-  check_shapes(g, cp);
+  check_reads(vr, box);
+  check_reads(vt, box);
+  check_reads(vp, box);
+  check_writes(cr, box);
+  check_writes(ct, box);
+  check_writes(cp, box);
   check_box(g, box);
   const double d_r = 1.0 / (2.0 * g.dr());
   const double d_t = 1.0 / (2.0 * g.dt());
@@ -117,26 +118,18 @@ void curl(const SphericalGrid& g, const Field3& vr, const Field3& vt,
   // (∇×v)_θ = (1/(r sinθ)) ∂φ vr − vφ/r − ∂r vφ
   // (∇×v)_φ = vθ/r + ∂r vθ − (1/r) ∂θ vr
   for_box(box, [&](int ir, int it, int ip) {
-    const double ri = g.inv_r(ir);
-    const double ist = g.inv_sin_t(it);
-    cr(ir, it, ip) =
-        ri * (d_t * (vp(ir, it + 1, ip) - vp(ir, it - 1, ip)) +
-              g.cot_t(it) * vp(ir, it, ip)) -
-        ri * ist * d_p * (vt(ir, it, ip + 1) - vt(ir, it, ip - 1));
-    ct(ir, it, ip) =
-        ri * ist * d_p * (vr(ir, it, ip + 1) - vr(ir, it, ip - 1)) -
-        ri * vp(ir, it, ip) - d_r * (vp(ir + 1, it, ip) - vp(ir - 1, it, ip));
-    cp(ir, it, ip) =
-        ri * vt(ir, it, ip) + d_r * (vt(ir + 1, it, ip) - vt(ir - 1, it, ip)) -
-        ri * d_t * (vr(ir, it + 1, ip) - vr(ir, it - 1, ip));
+    const Triple o = curl_point(g, vr, vt, vp, d_r, d_t, d_p, ir, it, ip);
+    cr(ir, it, ip) = o.r;
+    ct(ir, it, ip) = o.t;
+    cp(ir, it, ip) = o.p;
   });
   flops::add(static_cast<std::uint64_t>(box.volume()) * kFlopsCurl);
 }
 
-void laplacian(const SphericalGrid& g, const Field3& s, Field3& out,
+void laplacian(const SphericalGrid& g, ConstFieldView s, FieldView out,
                const IndexBox& box) {
-  check_shapes(g, s);
-  check_shapes(g, out);
+  check_reads(s, box);
+  check_writes(out, box);
   check_box(g, box);
   const double irr = 1.0 / (g.dr() * g.dr());
   const double itt = 1.0 / (g.dt() * g.dt());
@@ -146,139 +139,73 @@ void laplacian(const SphericalGrid& g, const Field3& s, Field3& out,
   // ∇²s = ∂rr s + (2/r)∂r s
   //       + (1/r²)(∂θθ s + cotθ ∂θ s + (1/sin²θ)∂φφ s)
   for_box(box, [&](int ir, int it, int ip) {
-    const double ri = g.inv_r(ir);
-    const double ist = g.inv_sin_t(it);
-    const double sc = s(ir, it, ip);
     out(ir, it, ip) =
-        irr * (s(ir + 1, it, ip) - 2.0 * sc + s(ir - 1, it, ip)) +
-        2.0 * ri * c_r * (s(ir + 1, it, ip) - s(ir - 1, it, ip)) +
-        ri * ri *
-            (itt * (s(ir, it + 1, ip) - 2.0 * sc + s(ir, it - 1, ip)) +
-             g.cot_t(it) * c_t * (s(ir, it + 1, ip) - s(ir, it - 1, ip)) +
-             ist * ist * ipp *
-                 (s(ir, it, ip + 1) - 2.0 * sc + s(ir, it, ip - 1)));
+        laplacian_point(g, s, irr, itt, ipp, c_r, c_t, ir, it, ip);
   });
   flops::add(static_cast<std::uint64_t>(box.volume()) * kFlopsLaplacian);
 }
 
-void advect(const SphericalGrid& g, const Field3& vr, const Field3& vt,
-            const Field3& vp, const Field3& s, Field3& out,
+void advect(const SphericalGrid& g, ConstFieldView vr, ConstFieldView vt,
+            ConstFieldView vp, ConstFieldView s, FieldView out,
             const IndexBox& box) {
-  check_shapes(g, vr);
-  check_shapes(g, vt);
-  check_shapes(g, vp);
-  check_shapes(g, s);
-  check_shapes(g, out);
+  check_reads(vr, box);
+  check_reads(vt, box);
+  check_reads(vp, box);
+  check_reads(s, box);
+  check_writes(out, box);
   check_box(g, box);
   const double c_r = 1.0 / (2.0 * g.dr());
   const double c_t = 1.0 / (2.0 * g.dt());
   const double c_p = 1.0 / (2.0 * g.dp());
   for_box(box, [&](int ir, int it, int ip) {
-    const double ri = g.inv_r(ir);
     out(ir, it, ip) =
-        vr(ir, it, ip) * c_r * (s(ir + 1, it, ip) - s(ir - 1, it, ip)) +
-        vt(ir, it, ip) * ri * c_t * (s(ir, it + 1, ip) - s(ir, it - 1, ip)) +
-        vp(ir, it, ip) * ri * g.inv_sin_t(it) * c_p *
-            (s(ir, it, ip + 1) - s(ir, it, ip - 1));
+        advect_point(g, vr, vt, vp, s, c_r, c_t, c_p, ir, it, ip);
   });
   flops::add(static_cast<std::uint64_t>(box.volume()) * kFlopsAdvect);
 }
 
-void div_vf(const SphericalGrid& g, const Field3& vr, const Field3& vt,
-            const Field3& vp, const Field3& fr, const Field3& ft,
-            const Field3& fp, Field3& outr, Field3& outt, Field3& outp,
+void div_vf(const SphericalGrid& g, ConstFieldView vr, ConstFieldView vt,
+            ConstFieldView vp, ConstFieldView fr, ConstFieldView ft,
+            ConstFieldView fp, FieldView outr, FieldView outt, FieldView outp,
             const IndexBox& box) {
-  check_shapes(g, vr);
-  check_shapes(g, vt);
-  check_shapes(g, vp);
-  check_shapes(g, fr);
-  check_shapes(g, ft);
-  check_shapes(g, fp);
-  check_shapes(g, outr);
-  check_shapes(g, outt);
-  check_shapes(g, outp);
+  check_reads(vr, box);
+  check_reads(vt, box);
+  check_reads(vp, box);
+  check_reads(fr, box);
+  check_reads(ft, box);
+  check_reads(fp, box);
+  check_writes(outr, box);
+  check_writes(outt, box);
+  check_writes(outp, box);
   check_box(g, box);
   const double c_r = 1.0 / (2.0 * g.dr());
   const double c_t = 1.0 / (2.0 * g.dt());
   const double c_p = 1.0 / (2.0 * g.dp());
-  // [∇·(v⊗f)]_c = div(v f_c) + curvature terms (second-rank tensor
-  // divergence in spherical coordinates, T_ij = v_i f_j):
-  //   r: − (v_θ f_θ + v_φ f_φ)/r
-  //   θ: + v_θ f_r /r − cotθ v_φ f_φ /r
-  //   φ: + v_φ f_r /r + cotθ v_φ f_θ /r
+  // See fd_stencils.hpp div_vf_point for the component formulas.
   for_box(box, [&](int ir, int it, int ip) {
-    const double ri = g.inv_r(ir);
-    const double ist = g.inv_sin_t(it);
-    const double cot = g.cot_t(it);
-    const double vrc = vr(ir, it, ip);
-    const double vtc = vt(ir, it, ip);
-    const double vpc = vp(ir, it, ip);
-
-    auto div_v_scaled = [&](const Field3& F) {
-      // Spherical divergence of the vector (v_r F, v_θ F, v_φ F),
-      // product-differenced to stay 2nd-order.
-      return c_r * (vr(ir + 1, it, ip) * F(ir + 1, it, ip) -
-                    vr(ir - 1, it, ip) * F(ir - 1, it, ip)) +
-             2.0 * ri * vrc * F(ir, it, ip) +
-             ri * (c_t * (vt(ir, it + 1, ip) * F(ir, it + 1, ip) -
-                          vt(ir, it - 1, ip) * F(ir, it - 1, ip)) +
-                   cot * vtc * F(ir, it, ip)) +
-             ri * ist * c_p *
-                 (vp(ir, it, ip + 1) * F(ir, it, ip + 1) -
-                  vp(ir, it, ip - 1) * F(ir, it, ip - 1));
-    };
-
-    const double frc = fr(ir, it, ip);
-    const double ftc = ft(ir, it, ip);
-    const double fpc = fp(ir, it, ip);
-    outr(ir, it, ip) = div_v_scaled(fr) - ri * (vtc * ftc + vpc * fpc);
-    outt(ir, it, ip) = div_v_scaled(ft) + ri * (vtc * frc - cot * vpc * fpc);
-    outp(ir, it, ip) = div_v_scaled(fp) + ri * (vpc * frc + cot * vpc * ftc);
+    const Triple o =
+        div_vf_point(g, vr, vt, vp, fr, ft, fp, c_r, c_t, c_p, ir, it, ip);
+    outr(ir, it, ip) = o.r;
+    outt(ir, it, ip) = o.t;
+    outp(ir, it, ip) = o.p;
   });
   flops::add(static_cast<std::uint64_t>(box.volume()) * kFlopsDivVf);
 }
 
-void strain_invariant(const SphericalGrid& g, const Field3& vr,
-                      const Field3& vt, const Field3& vp, Field3& out,
+void strain_invariant(const SphericalGrid& g, ConstFieldView vr,
+                      ConstFieldView vt, ConstFieldView vp, FieldView out,
                       const IndexBox& box) {
-  check_shapes(g, vr);
-  check_shapes(g, vt);
-  check_shapes(g, vp);
-  check_shapes(g, out);
+  check_reads(vr, box);
+  check_reads(vt, box);
+  check_reads(vp, box);
+  check_writes(out, box);
   check_box(g, box);
   const double c_r = 1.0 / (2.0 * g.dr());
   const double c_t = 1.0 / (2.0 * g.dt());
   const double c_p = 1.0 / (2.0 * g.dp());
   for_box(box, [&](int ir, int it, int ip) {
-    const double ri = g.inv_r(ir);
-    const double ist = g.inv_sin_t(it);
-    const double cot = g.cot_t(it);
-
-    const double vrc = vr(ir, it, ip);
-    const double vtc = vt(ir, it, ip);
-    const double vpc = vp(ir, it, ip);
-
-    const double dvr_r = c_r * (vr(ir + 1, it, ip) - vr(ir - 1, it, ip));
-    const double dvt_r = c_r * (vt(ir + 1, it, ip) - vt(ir - 1, it, ip));
-    const double dvp_r = c_r * (vp(ir + 1, it, ip) - vp(ir - 1, it, ip));
-    const double dvr_t = c_t * (vr(ir, it + 1, ip) - vr(ir, it - 1, ip));
-    const double dvt_t = c_t * (vt(ir, it + 1, ip) - vt(ir, it - 1, ip));
-    const double dvp_t = c_t * (vp(ir, it + 1, ip) - vp(ir, it - 1, ip));
-    const double dvr_p = c_p * (vr(ir, it, ip + 1) - vr(ir, it, ip - 1));
-    const double dvt_p = c_p * (vt(ir, it, ip + 1) - vt(ir, it, ip - 1));
-    const double dvp_p = c_p * (vp(ir, it, ip + 1) - vp(ir, it, ip - 1));
-
-    const double err = dvr_r;
-    const double ett = ri * dvt_t + ri * vrc;
-    const double epp = ri * ist * dvp_p + ri * vrc + ri * cot * vtc;
-    const double ert = 0.5 * (ri * dvr_t + dvt_r - ri * vtc);
-    const double erp = 0.5 * (ri * ist * dvr_p + dvp_r - ri * vpc);
-    const double etp = 0.5 * (ri * dvp_t - ri * cot * vpc + ri * ist * dvt_p);
-
-    const double divv = err + ett + epp;
-    out(ir, it, ip) = err * err + ett * ett + epp * epp +
-                      2.0 * (ert * ert + erp * erp + etp * etp) -
-                      divv * divv / 3.0;
+    out(ir, it, ip) =
+        strain_point(g, vr, vt, vp, c_r, c_t, c_p, ir, it, ip);
   });
   flops::add(static_cast<std::uint64_t>(box.volume()) * kFlopsStrain);
 }

@@ -9,6 +9,13 @@
 /// All operators charge their documented flop cost to yy::flops so the
 /// perf model can measure the true flops-per-grid-point of each kernel.
 ///
+/// Fields are passed as views (FieldView / ConstFieldView, implicitly
+/// constructible from Field3): the view's cover box must contain the
+/// indices the operator touches, which lets rebased scratch blocks
+/// (common/pencil.hpp ScratchField) flow through unchanged.  The
+/// per-point arithmetic lives in grid/fd_stencils.hpp, shared with the
+/// fused RHS sweep.
+///
 /// Component convention throughout: (r, θ, φ) physical components on
 /// the local panel's spherical coordinates.
 #pragma once
@@ -19,43 +26,47 @@
 namespace yy::fd {
 
 /// Plain coordinate derivatives ∂/∂r, ∂/∂θ, ∂/∂φ (no metric factors).
-void deriv_r(const SphericalGrid& g, const Field3& a, Field3& out, const IndexBox& box);
-void deriv_t(const SphericalGrid& g, const Field3& a, Field3& out, const IndexBox& box);
-void deriv_p(const SphericalGrid& g, const Field3& a, Field3& out, const IndexBox& box);
+void deriv_r(const SphericalGrid& g, ConstFieldView a, FieldView out,
+             const IndexBox& box);
+void deriv_t(const SphericalGrid& g, ConstFieldView a, FieldView out,
+             const IndexBox& box);
+void deriv_p(const SphericalGrid& g, ConstFieldView a, FieldView out,
+             const IndexBox& box);
 
 /// Spherical gradient of a scalar: (∂r s, (1/r)∂θ s, (1/(r sinθ))∂φ s).
-void grad(const SphericalGrid& g, const Field3& s, Field3& gr, Field3& gt,
-          Field3& gp, const IndexBox& box);
+void grad(const SphericalGrid& g, ConstFieldView s, FieldView gr, FieldView gt,
+          FieldView gp, const IndexBox& box);
 
 /// Spherical divergence of a vector field.
-void div(const SphericalGrid& g, const Field3& vr, const Field3& vt,
-         const Field3& vp, Field3& out, const IndexBox& box);
+void div(const SphericalGrid& g, ConstFieldView vr, ConstFieldView vt,
+         ConstFieldView vp, FieldView out, const IndexBox& box);
 
 /// Spherical curl of a vector field.
-void curl(const SphericalGrid& g, const Field3& vr, const Field3& vt,
-          const Field3& vp, Field3& cr, Field3& ct, Field3& cp,
+void curl(const SphericalGrid& g, ConstFieldView vr, ConstFieldView vt,
+          ConstFieldView vp, FieldView cr, FieldView ct, FieldView cp,
           const IndexBox& box);
 
 /// Scalar Laplacian ∇²s in spherical coordinates.
-void laplacian(const SphericalGrid& g, const Field3& s, Field3& out,
+void laplacian(const SphericalGrid& g, ConstFieldView s, FieldView out,
                const IndexBox& box);
 
 /// Scalar advection v·∇s.
-void advect(const SphericalGrid& g, const Field3& vr, const Field3& vt,
-            const Field3& vp, const Field3& s, Field3& out, const IndexBox& box);
+void advect(const SphericalGrid& g, ConstFieldView vr, ConstFieldView vt,
+            ConstFieldView vp, ConstFieldView s, FieldView out,
+            const IndexBox& box);
 
 /// Momentum-flux divergence [∇·(v⊗f)] with the spherical curvature
 /// terms, writing the three components (the −∇·(vf) term of eq. 3 is
 /// the negative of this).
-void div_vf(const SphericalGrid& g, const Field3& vr, const Field3& vt,
-            const Field3& vp, const Field3& fr, const Field3& ft,
-            const Field3& fp, Field3& outr, Field3& outt, Field3& outp,
+void div_vf(const SphericalGrid& g, ConstFieldView vr, ConstFieldView vt,
+            ConstFieldView vp, ConstFieldView fr, ConstFieldView ft,
+            ConstFieldView fp, FieldView outr, FieldView outt, FieldView outp,
             const IndexBox& box);
 
 /// Strain-rate invariant e_ij e_ij − (1/3)(∇·v)² of eq. (6); the viscous
 /// heating is Φ = 2µ × this.
-void strain_invariant(const SphericalGrid& g, const Field3& vr,
-                      const Field3& vt, const Field3& vp, Field3& out,
+void strain_invariant(const SphericalGrid& g, ConstFieldView vr,
+                      ConstFieldView vt, ConstFieldView vp, FieldView out,
                       const IndexBox& box);
 
 // Documented per-point flop costs (used by tests that pin the counter

@@ -1,0 +1,177 @@
+/// \file fd_stencils.hpp
+/// Per-point bodies of the 2nd-order central FD operators, templated on
+/// the field accessor (anything callable as a(ir, it, ip) → double:
+/// Field3, FieldView, a pencil-ring view…).
+///
+/// These are the *single source of truth* for the stencil arithmetic:
+/// the whole-array operators in fd_ops.cpp and the fused RHS sweep in
+/// mhd/rhs_fused.cpp both call them, with the metric-free difference
+/// coefficients (c_r = 1/(2Δr) etc.) computed by the caller from the
+/// same expressions.  The build carries no FMA contraction (see the
+/// top-level CMakeLists), so one expression tree instantiated for two
+/// accessor types yields bitwise-identical IEEE doubles — the property
+/// the fused-vs-reference equivalence tests pin exactly.
+///
+/// None of these helpers charge flops; the sweep that calls them
+/// charges the documented per-operator cost over its box.
+#pragma once
+
+#include "grid/spherical_grid.hpp"
+
+namespace yy::fd {
+
+/// Spherical (r, θ, φ) component triple returned by the vector stencils.
+struct Triple {
+  double r = 0.0, t = 0.0, p = 0.0;
+};
+
+/// Spherical gradient of a scalar at one node.
+template <typename S>
+inline Triple grad_point(const SphericalGrid& g, const S& s, double c_r,
+                         double c_t, double c_p, int ir, int it, int ip) {
+  const double ri = g.inv_r(ir);
+  Triple out;
+  out.r = c_r * (s(ir + 1, it, ip) - s(ir - 1, it, ip));
+  out.t = ri * c_t * (s(ir, it + 1, ip) - s(ir, it - 1, ip));
+  out.p =
+      ri * g.inv_sin_t(it) * c_p * (s(ir, it, ip + 1) - s(ir, it, ip - 1));
+  return out;
+}
+
+/// Spherical divergence of a vector field at one node.
+template <typename Vr, typename Vt, typename Vp>
+inline double div_point(const SphericalGrid& g, const Vr& vr, const Vt& vt,
+                        const Vp& vp, double c_r, double c_t, double c_p,
+                        int ir, int it, int ip) {
+  const double ri = g.inv_r(ir);
+  return c_r * (vr(ir + 1, it, ip) - vr(ir - 1, it, ip)) +
+         2.0 * ri * vr(ir, it, ip) +
+         ri * (c_t * (vt(ir, it + 1, ip) - vt(ir, it - 1, ip)) +
+               g.cot_t(it) * vt(ir, it, ip)) +
+         ri * g.inv_sin_t(it) * c_p * (vp(ir, it, ip + 1) - vp(ir, it, ip - 1));
+}
+
+/// Spherical curl of a vector field at one node.
+template <typename Vr, typename Vt, typename Vp>
+inline Triple curl_point(const SphericalGrid& g, const Vr& vr, const Vt& vt,
+                         const Vp& vp, double d_r, double d_t, double d_p,
+                         int ir, int it, int ip) {
+  const double ri = g.inv_r(ir);
+  const double ist = g.inv_sin_t(it);
+  Triple out;
+  out.r = ri * (d_t * (vp(ir, it + 1, ip) - vp(ir, it - 1, ip)) +
+                g.cot_t(it) * vp(ir, it, ip)) -
+          ri * ist * d_p * (vt(ir, it, ip + 1) - vt(ir, it, ip - 1));
+  out.t = ri * ist * d_p * (vr(ir, it, ip + 1) - vr(ir, it, ip - 1)) -
+          ri * vp(ir, it, ip) -
+          d_r * (vp(ir + 1, it, ip) - vp(ir - 1, it, ip));
+  out.p = ri * vt(ir, it, ip) +
+          d_r * (vt(ir + 1, it, ip) - vt(ir - 1, it, ip)) -
+          ri * d_t * (vr(ir, it + 1, ip) - vr(ir, it - 1, ip));
+  return out;
+}
+
+/// Scalar Laplacian ∇²s at one node.
+template <typename S>
+inline double laplacian_point(const SphericalGrid& g, const S& s, double irr,
+                              double itt, double ipp, double c_r, double c_t,
+                              int ir, int it, int ip) {
+  const double ri = g.inv_r(ir);
+  const double ist = g.inv_sin_t(it);
+  const double sc = s(ir, it, ip);
+  return irr * (s(ir + 1, it, ip) - 2.0 * sc + s(ir - 1, it, ip)) +
+         2.0 * ri * c_r * (s(ir + 1, it, ip) - s(ir - 1, it, ip)) +
+         ri * ri *
+             (itt * (s(ir, it + 1, ip) - 2.0 * sc + s(ir, it - 1, ip)) +
+              g.cot_t(it) * c_t * (s(ir, it + 1, ip) - s(ir, it - 1, ip)) +
+              ist * ist * ipp *
+                  (s(ir, it, ip + 1) - 2.0 * sc + s(ir, it, ip - 1)));
+}
+
+/// Scalar advection v·∇s at one node.
+template <typename Vr, typename Vt, typename Vp, typename S>
+inline double advect_point(const SphericalGrid& g, const Vr& vr, const Vt& vt,
+                           const Vp& vp, const S& s, double c_r, double c_t,
+                           double c_p, int ir, int it, int ip) {
+  const double ri = g.inv_r(ir);
+  return vr(ir, it, ip) * c_r * (s(ir + 1, it, ip) - s(ir - 1, it, ip)) +
+         vt(ir, it, ip) * ri * c_t * (s(ir, it + 1, ip) - s(ir, it - 1, ip)) +
+         vp(ir, it, ip) * ri * g.inv_sin_t(it) * c_p *
+             (s(ir, it, ip + 1) - s(ir, it, ip - 1));
+}
+
+/// Momentum-flux divergence [∇·(v⊗f)] with the spherical curvature
+/// terms at one node (see fd_ops.hpp for the component formulas).
+template <typename Vr, typename Vt, typename Vp, typename Fr, typename Ft,
+          typename Fp>
+inline Triple div_vf_point(const SphericalGrid& g, const Vr& vr, const Vt& vt,
+                           const Vp& vp, const Fr& fr, const Ft& ft,
+                           const Fp& fp, double c_r, double c_t, double c_p,
+                           int ir, int it, int ip) {
+  const double ri = g.inv_r(ir);
+  const double ist = g.inv_sin_t(it);
+  const double cot = g.cot_t(it);
+  const double vrc = vr(ir, it, ip);
+  const double vtc = vt(ir, it, ip);
+  const double vpc = vp(ir, it, ip);
+
+  auto div_v_scaled = [&](const auto& F) {
+    // Spherical divergence of the vector (v_r F, v_θ F, v_φ F),
+    // product-differenced to stay 2nd-order.
+    return c_r * (vr(ir + 1, it, ip) * F(ir + 1, it, ip) -
+                  vr(ir - 1, it, ip) * F(ir - 1, it, ip)) +
+           2.0 * ri * vrc * F(ir, it, ip) +
+           ri * (c_t * (vt(ir, it + 1, ip) * F(ir, it + 1, ip) -
+                        vt(ir, it - 1, ip) * F(ir, it - 1, ip)) +
+                 cot * vtc * F(ir, it, ip)) +
+           ri * ist * c_p *
+               (vp(ir, it, ip + 1) * F(ir, it, ip + 1) -
+                vp(ir, it, ip - 1) * F(ir, it, ip - 1));
+  };
+
+  const double frc = fr(ir, it, ip);
+  const double ftc = ft(ir, it, ip);
+  const double fpc = fp(ir, it, ip);
+  Triple out;
+  out.r = div_v_scaled(fr) - ri * (vtc * ftc + vpc * fpc);
+  out.t = div_v_scaled(ft) + ri * (vtc * frc - cot * vpc * fpc);
+  out.p = div_v_scaled(fp) + ri * (vpc * frc + cot * vpc * ftc);
+  return out;
+}
+
+/// Strain-rate invariant e_ij e_ij − (1/3)(∇·v)² at one node.
+template <typename Vr, typename Vt, typename Vp>
+inline double strain_point(const SphericalGrid& g, const Vr& vr, const Vt& vt,
+                           const Vp& vp, double c_r, double c_t, double c_p,
+                           int ir, int it, int ip) {
+  const double ri = g.inv_r(ir);
+  const double ist = g.inv_sin_t(it);
+  const double cot = g.cot_t(it);
+
+  const double vrc = vr(ir, it, ip);
+  const double vtc = vt(ir, it, ip);
+  const double vpc = vp(ir, it, ip);
+
+  const double dvr_r = c_r * (vr(ir + 1, it, ip) - vr(ir - 1, it, ip));
+  const double dvt_r = c_r * (vt(ir + 1, it, ip) - vt(ir - 1, it, ip));
+  const double dvp_r = c_r * (vp(ir + 1, it, ip) - vp(ir - 1, it, ip));
+  const double dvr_t = c_t * (vr(ir, it + 1, ip) - vr(ir, it - 1, ip));
+  const double dvt_t = c_t * (vt(ir, it + 1, ip) - vt(ir, it - 1, ip));
+  const double dvp_t = c_t * (vp(ir, it + 1, ip) - vp(ir, it - 1, ip));
+  const double dvr_p = c_p * (vr(ir, it, ip + 1) - vr(ir, it, ip - 1));
+  const double dvt_p = c_p * (vt(ir, it, ip + 1) - vt(ir, it, ip - 1));
+  const double dvp_p = c_p * (vp(ir, it, ip + 1) - vp(ir, it, ip - 1));
+
+  const double err = dvr_r;
+  const double ett = ri * dvt_t + ri * vrc;
+  const double epp = ri * ist * dvp_p + ri * vrc + ri * cot * vtc;
+  const double ert = 0.5 * (ri * dvr_t + dvt_r - ri * vtc);
+  const double erp = 0.5 * (ri * ist * dvr_p + dvp_r - ri * vpc);
+  const double etp = 0.5 * (ri * dvp_t - ri * cot * vpc + ri * ist * dvt_p);
+
+  const double divv = err + ett + epp;
+  return err * err + ett * ett + epp * epp +
+         2.0 * (ert * ert + erp * erp + etp * etp) - divv * divv / 3.0;
+}
+
+}  // namespace yy::fd

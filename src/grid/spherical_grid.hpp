@@ -13,24 +13,9 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/index_box.hpp"
 
 namespace yy {
-
-/// Half-open index box [r0,r1) × [t0,t1) × [p0,p1) in patch indices.
-struct IndexBox {
-  int r0 = 0, r1 = 0, t0 = 0, t1 = 0, p0 = 0, p1 = 0;
-
-  long long volume() const {
-    return static_cast<long long>(r1 - r0) * (t1 - t0) * (p1 - p0);
-  }
-  /// Box grown by `n` on every face.
-  IndexBox grown(int n) const {
-    return {r0 - n, r1 + n, t0 - n, t1 + n, p0 - n, p1 + n};
-  }
-  bool contains(int ir, int it, int ip) const {
-    return ir >= r0 && ir < r1 && it >= t0 && it < t1 && ip >= p0 && ip < p1;
-  }
-};
 
 struct GridSpec {
   int nr = 0, nt = 0, np = 0;  ///< interior node counts
@@ -103,14 +88,5 @@ class SphericalGrid {
   std::vector<double> sin_t_, cos_t_, cot_t_, inv_sin_t_;
   std::vector<double> sin_p_, cos_p_;
 };
-
-/// Visits every index of `box` with the radial index innermost
-/// (unit stride), mirroring the code's radial vectorization.
-template <typename F>
-void for_box(const IndexBox& box, F&& f) {
-  for (int ip = box.p0; ip < box.p1; ++ip)
-    for (int it = box.t0; it < box.t1; ++it)
-      for (int ir = box.r0; ir < box.r1; ++ir) f(ir, it, ip);
-}
 
 }  // namespace yy

@@ -11,9 +11,7 @@ bool write_vtk_panel(const std::string& path, const SphericalGrid& grid,
                      yinyang::Panel panel,
                      const std::vector<VtkScalar>& scalars) {
   for (const VtkScalar& s : scalars) {
-    YY_REQUIRE(s.field != nullptr);
-    YY_REQUIRE(s.field->nr() == grid.Nr() && s.field->nt() == grid.Nt() &&
-               s.field->np() == grid.Np());
+    YY_REQUIRE(s.field.covers(grid.interior()));
   }
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
@@ -42,7 +40,7 @@ bool write_vtk_panel(const std::string& path, const SphericalGrid& grid,
     for (int ip = in.p0; ip < in.p1; ++ip)
       for (int it = in.t0; it < in.t1; ++it)
         for (int ir = in.r0; ir < in.r1; ++ir)
-          std::fprintf(f, "%g\n", (*s.field)(ir, it, ip));
+          std::fprintf(f, "%g\n", s.field(ir, it, ip));
   }
   const bool ok = std::ferror(f) == 0;
   std::fclose(f);

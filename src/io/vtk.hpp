@@ -17,10 +17,11 @@
 
 namespace yy::io {
 
-/// A named scalar field to export (non-owning).
+/// A named scalar field to export (non-owning view; must cover the
+/// panel interior).
 struct VtkScalar {
   std::string name;
-  const Field3* field = nullptr;
+  ConstFieldView field;
 };
 
 /// Writes the interior of a panel patch as an ASCII legacy VTK

@@ -5,8 +5,8 @@
 
 namespace yy::mhd {
 
-void velocity_and_temperature(const Fields& s, Field3& vr, Field3& vt,
-                              Field3& vp, Field3& T, const IndexBox& box) {
+void velocity_and_temperature(const Fields& s, FieldView vr, FieldView vt,
+                              FieldView vp, FieldView T, const IndexBox& box) {
   for_box(box, [&](int ir, int it, int ip) {
     const double inv_rho = 1.0 / s.rho(ir, it, ip);
     vr(ir, it, ip) = s.fr(ir, it, ip) * inv_rho;
@@ -17,21 +17,21 @@ void velocity_and_temperature(const Fields& s, Field3& vr, Field3& vt,
   flops::add(static_cast<std::uint64_t>(box.volume()) * kFlopsVelTemp);
 }
 
-void magnetic_field(const SphericalGrid& g, const Fields& s, Field3& br,
-                    Field3& bt, Field3& bp, const IndexBox& box) {
+void magnetic_field(const SphericalGrid& g, const Fields& s, FieldView br,
+                    FieldView bt, FieldView bp, const IndexBox& box) {
   fd::curl(g, s.ar, s.at, s.ap, br, bt, bp, box);
 }
 
-void current_density(const SphericalGrid& g, const Field3& br,
-                     const Field3& bt, const Field3& bp, Field3& jr,
-                     Field3& jt, Field3& jp, const IndexBox& box) {
+void current_density(const SphericalGrid& g, ConstFieldView br,
+                     ConstFieldView bt, ConstFieldView bp, FieldView jr,
+                     FieldView jt, FieldView jp, const IndexBox& box) {
   fd::curl(g, br, bt, bp, jr, jt, jp, box);
 }
 
-void electric_field(double eta, const Field3& vr, const Field3& vt,
-                    const Field3& vp, const Field3& br, const Field3& bt,
-                    const Field3& bp, const Field3& jr, const Field3& jt,
-                    const Field3& jp, Field3& er, Field3& et, Field3& ep,
+void electric_field(double eta, ConstFieldView vr, ConstFieldView vt,
+                    ConstFieldView vp, ConstFieldView br, ConstFieldView bt,
+                    ConstFieldView bp, ConstFieldView jr, ConstFieldView jt,
+                    ConstFieldView jp, FieldView er, FieldView et, FieldView ep,
                     const IndexBox& box) {
   for_box(box, [&](int ir, int it, int ip) {
     const double vrc = vr(ir, it, ip), vtc = vt(ir, it, ip), vpc = vp(ir, it, ip);

@@ -12,23 +12,23 @@
 namespace yy::mhd {
 
 /// v = f/ρ and T = p/ρ over `box` (pointwise).
-void velocity_and_temperature(const Fields& s, Field3& vr, Field3& vt,
-                              Field3& vp, Field3& T, const IndexBox& box);
+void velocity_and_temperature(const Fields& s, FieldView vr, FieldView vt,
+                              FieldView vp, FieldView T, const IndexBox& box);
 
 /// B = ∇×A over `box` (reads A over box.grown(1)).
-void magnetic_field(const SphericalGrid& g, const Fields& s, Field3& br,
-                    Field3& bt, Field3& bp, const IndexBox& box);
+void magnetic_field(const SphericalGrid& g, const Fields& s, FieldView br,
+                    FieldView bt, FieldView bp, const IndexBox& box);
 
 /// j = ∇×B over `box` (reads B over box.grown(1)).
-void current_density(const SphericalGrid& g, const Field3& br,
-                     const Field3& bt, const Field3& bp, Field3& jr,
-                     Field3& jt, Field3& jp, const IndexBox& box);
+void current_density(const SphericalGrid& g, ConstFieldView br,
+                     ConstFieldView bt, ConstFieldView bp, FieldView jr,
+                     FieldView jt, FieldView jp, const IndexBox& box);
 
 /// E = −v×B + ηj over `box` (pointwise).
-void electric_field(double eta, const Field3& vr, const Field3& vt,
-                    const Field3& vp, const Field3& br, const Field3& bt,
-                    const Field3& bp, const Field3& jr, const Field3& jt,
-                    const Field3& jp, Field3& er, Field3& et, Field3& ep,
+void electric_field(double eta, ConstFieldView vr, ConstFieldView vt,
+                    ConstFieldView vp, ConstFieldView br, ConstFieldView bt,
+                    ConstFieldView bp, ConstFieldView jr, ConstFieldView jt,
+                    ConstFieldView jp, FieldView er, FieldView et, FieldView ep,
                     const IndexBox& box);
 
 inline constexpr int kFlopsVelTemp = 5;  // 1 div + 4 mul

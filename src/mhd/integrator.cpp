@@ -6,17 +6,29 @@
 namespace yy::mhd {
 
 Integrator::Integrator(TimeScheme scheme,
-                       const std::vector<const SphericalGrid*>& grids)
-    : scheme_(scheme), grids_(grids) {
+                       const std::vector<const SphericalGrid*>& grids,
+                       RhsBackend backend)
+    : scheme_(scheme), backend_(backend), grids_(grids) {
   YY_REQUIRE(!grids.empty());
   if (scheme == TimeScheme::rk4) {
-    rk4_ = std::make_unique<Rk4>(grids);
+    rk4_ = std::make_unique<Rk4>(grids, backend);
     return;
   }
   for (const SphericalGrid* g : grids_) {
     k_.emplace_back(*g);
     if (scheme == TimeScheme::rk2) stage_.emplace_back(*g);
-    ws_.emplace_back(*g);
+    if (backend_ == RhsBackend::reference) ws_.emplace_back(*g);
+  }
+  if (backend_ == RhsBackend::fused) pw_.resize(grids_.size());
+}
+
+void Integrator::eval_rhs(std::size_t i, const EquationParams& eq,
+                          const Fields& src) {
+  if (backend_ == RhsBackend::fused) {
+    compute_rhs_fused(*grids_[i], eq, src, k_[i], pw_[i],
+                      grids_[i]->interior());
+  } else {
+    compute_rhs(*grids_[i], eq, src, k_[i], ws_[i], grids_[i]->interior());
   }
 }
 
@@ -42,8 +54,7 @@ void Integrator::step_euler(const std::vector<PatchDef>& patches, double dt,
   std::vector<Fields*> state_ptrs(n);
   for (std::size_t i = 0; i < n; ++i) {
     YY_TRACE_SCOPE(obs::Phase::rhs);
-    compute_rhs(*grids_[i], patches[i].eq, *patches[i].state, k_[i], ws_[i],
-                grids_[i]->interior());
+    eval_rhs(i, patches[i].eq, *patches[i].state);
     state_ptrs[i] = patches[i].state;
   }
   {
@@ -66,8 +77,7 @@ void Integrator::step_rk2(const std::vector<PatchDef>& patches, double dt,
   for (std::size_t i = 0; i < n; ++i) {
     {
       YY_TRACE_SCOPE(obs::Phase::rhs);
-      compute_rhs(*grids_[i], patches[i].eq, *patches[i].state, k_[i], ws_[i],
-                  grids_[i]->interior());
+      eval_rhs(i, patches[i].eq, *patches[i].state);
     }
     YY_TRACE_SCOPE(obs::Phase::rk4_stage);
     stage_[i].assign_axpy(*patches[i].state, dt / 2.0, k_[i]);
@@ -75,8 +85,7 @@ void Integrator::step_rk2(const std::vector<PatchDef>& patches, double dt,
   fill(stage_ptrs);
   for (std::size_t i = 0; i < n; ++i) {
     YY_TRACE_SCOPE(obs::Phase::rhs);
-    compute_rhs(*grids_[i], patches[i].eq, stage_[i], k_[i], ws_[i],
-                grids_[i]->interior());
+    eval_rhs(i, patches[i].eq, stage_[i]);
   }
   {
     YY_TRACE_SCOPE(obs::Phase::rk4_stage);

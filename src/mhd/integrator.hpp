@@ -47,9 +47,11 @@ class Integrator {
  public:
   using FillFn = Rk4::FillFn;
 
-  Integrator(TimeScheme scheme, const std::vector<const SphericalGrid*>& grids);
+  Integrator(TimeScheme scheme, const std::vector<const SphericalGrid*>& grids,
+             RhsBackend backend = RhsBackend::reference);
 
   TimeScheme scheme() const { return scheme_; }
+  RhsBackend backend() const { return backend_; }
 
   /// Advances every patch by dt (see Rk4::step for the contract).
   /// `overlap` (optional) enables the overlapped stage fills; it is
@@ -64,10 +66,15 @@ class Integrator {
   void step_rk2(const std::vector<PatchDef>& patches, double dt,
                 const FillFn& fill);
 
+  /// k_[i] = f(src) over patch i's interior via the selected backend.
+  void eval_rhs(std::size_t i, const EquationParams& eq, const Fields& src);
+
   TimeScheme scheme_;
+  RhsBackend backend_;
   std::vector<const SphericalGrid*> grids_;
   std::vector<Fields> k_, stage_;
-  std::vector<Workspace> ws_;
+  std::vector<Workspace> ws_;        // reference backend
+  std::vector<PencilWorkspace> pw_;  // fused backend
   std::unique_ptr<Rk4> rk4_;  // reused for the rk4 scheme
 };
 

@@ -10,21 +10,47 @@
 
 namespace yy::mhd {
 
-Workspace::Workspace(const SphericalGrid& g)
-    : vr(g.Nr(), g.Nt(), g.Np()), vt(g.Nr(), g.Nt(), g.Np()),
-      vp(g.Nr(), g.Nt(), g.Np()), T(g.Nr(), g.Nt(), g.Np()),
-      br(g.Nr(), g.Nt(), g.Np()), bt(g.Nr(), g.Nt(), g.Np()),
-      bp(g.Nr(), g.Nt(), g.Np()), jr(g.Nr(), g.Nt(), g.Np()),
-      jt(g.Nr(), g.Nt(), g.Np()), jp(g.Nr(), g.Nt(), g.Np()),
-      divv(g.Nr(), g.Nt(), g.Np()), cvr(g.Nr(), g.Nt(), g.Np()),
-      cvt(g.Nr(), g.Nt(), g.Np()), cvp(g.Nr(), g.Nt(), g.Np()),
-      t0(g.Nr(), g.Nt(), g.Np()), t1(g.Nr(), g.Nt(), g.Np()),
-      t2(g.Nr(), g.Nt(), g.Np()), s0(g.Nr(), g.Nt(), g.Np()),
-      s1(g.Nr(), g.Nt(), g.Np()) {}
+Workspace::Workspace(const SphericalGrid& g) { ensure(g.interior()); }
+
+Workspace::Workspace(const IndexBox& box) { ensure(box); }
+
+void Workspace::ensure(const IndexBox& box) {
+  const IndexBox g2 = box.grown(2);
+  const IndexBox g1 = box.grown(1);
+  // v and T feed the composite second-order operators, so they are
+  // established over box.grown(2); the once-differentiated derived
+  // fields over box.grown(1); plain operator outputs over box.
+  for (common::ScratchField* f : {&vr, &vt, &vp, &T}) f->grow_to(g2);
+  for (common::ScratchField* f : {&br, &bt, &bp, &divv, &cvr, &cvt, &cvp})
+    f->grow_to(g1);
+  for (common::ScratchField* f : {&jr, &jt, &jp, &t0, &t1, &t2, &s0, &s1})
+    f->grow_to(box);
+}
+
+bool Workspace::covers(const IndexBox& box) const {
+  const IndexBox g2 = box.grown(2);
+  const IndexBox g1 = box.grown(1);
+  return vr.covers(g2) && vt.covers(g2) && vp.covers(g2) && T.covers(g2) &&
+         br.covers(g1) && bt.covers(g1) && bp.covers(g1) && divv.covers(g1) &&
+         cvr.covers(g1) && cvt.covers(g1) && cvp.covers(g1) &&
+         jr.covers(box) && jt.covers(box) && jp.covers(box) &&
+         t0.covers(box) && t1.covers(box) && t2.covers(box) &&
+         s0.covers(box) && s1.covers(box);
+}
+
+std::size_t Workspace::allocated_doubles() const {
+  std::size_t n = 0;
+  for (const common::ScratchField* f :
+       {&vr, &vt, &vp, &T, &br, &bt, &bp, &jr, &jt, &jp, &divv, &cvr, &cvt,
+        &cvp, &t0, &t1, &t2, &s0, &s1})
+    n += f->allocated_doubles();
+  return n;
+}
 
 void compute_rhs(const SphericalGrid& g, const EquationParams& eq,
                  const Fields& state, Fields& rhs, Workspace& ws,
                  const IndexBox& box) {
+  ws.ensure(box);
   const IndexBox ext = box.grown(1);
 
   // --- derived fields -------------------------------------------------
@@ -158,6 +184,16 @@ RhsSplit split_rhs_box(const IndexBox& box, int rim) {
   return s;
 }
 
+IndexBox phi_slab(const IndexBox& box, int n, int k) {
+  const int np = box.p1 - box.p0;
+  const int base = np / n, extra = np % n;
+  IndexBox slab = box;
+  // Contiguous φ-slabs; the first (np % n) slabs take one extra plane.
+  slab.p0 = box.p0 + k * base + std::min(k, extra);
+  slab.p1 = slab.p0 + base + (k < extra ? 1 : 0);
+  return slab;
+}
+
 void compute_rhs_parallel(const SphericalGrid& g, const EquationParams& eq,
                           const Fields& state, Fields& rhs,
                           std::vector<Workspace>& ws_pool, const IndexBox& box,
@@ -166,23 +202,38 @@ void compute_rhs_parallel(const SphericalGrid& g, const EquationParams& eq,
   // One slab per thread, at least one φ plane per slab.
   const int np = box.p1 - box.p0;
   const int n = std::clamp(nthreads, 1, np);
-  // Memory note: each pool entry is a full-grid Workspace (19 Nr×Nt×Np
-  // arrays — compute_rhs indexes scratch at global (ir,it,ip), so
-  // slab-shaped workspaces would need an index rebase).  Resident
-  // scratch therefore scales as ~19×YY_THREADS patch-sized arrays;
-  // see the YY_THREADS policy note in common/microtask.hpp.
-  while (ws_pool.size() < static_cast<std::size_t>(n)) ws_pool.emplace_back(g);
+  // Each pool entry grows to cover only its slab (compute_rhs ensures
+  // on entry), so resident scratch is ~19 slab-sized blocks per thread
+  // — the full-box total plus one stencil halo per extra thread —
+  // instead of the historic 19×YY_THREADS full-grid arrays; see the
+  // YY_THREADS policy note in common/microtask.hpp.
+  while (ws_pool.size() < static_cast<std::size_t>(n)) ws_pool.emplace_back();
   if (n == 1) {
     compute_rhs(g, eq, state, rhs, ws_pool[0], box);
     return;
   }
   common::parallel_regions(n, [&](int k) {
-    IndexBox slab = box;
-    // Contiguous φ-slabs; the first (np % n) slabs take one extra plane.
-    const int base = np / n, extra = np % n;
-    slab.p0 = box.p0 + k * base + std::min(k, extra);
-    slab.p1 = slab.p0 + base + (k < extra ? 1 : 0);
-    compute_rhs(g, eq, state, rhs, ws_pool[static_cast<std::size_t>(k)], slab);
+    compute_rhs(g, eq, state, rhs, ws_pool[static_cast<std::size_t>(k)],
+                phi_slab(box, n, k));
+  });
+}
+
+void compute_rhs_parallel_fused(const SphericalGrid& g,
+                                const EquationParams& eq, const Fields& state,
+                                Fields& rhs,
+                                std::vector<PencilWorkspace>& pw_pool,
+                                const IndexBox& box, int nthreads) {
+  if (box.volume() == 0) return;
+  const int np = box.p1 - box.p0;
+  const int n = std::clamp(nthreads, 1, np);
+  while (pw_pool.size() < static_cast<std::size_t>(n)) pw_pool.emplace_back();
+  if (n == 1) {
+    compute_rhs_fused(g, eq, state, rhs, pw_pool[0], box);
+    return;
+  }
+  common::parallel_regions(n, [&](int k) {
+    compute_rhs_fused(g, eq, state, rhs, pw_pool[static_cast<std::size_t>(k)],
+                      phi_slab(box, n, k));
   });
 }
 

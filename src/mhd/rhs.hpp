@@ -12,39 +12,115 @@
 /// µ(4/3 ∇(∇·v) − ∇×(∇×v)) — every differential operator is then one
 /// of the scalar/vector primitives in grid/fd_ops.hpp.
 ///
+/// Two backends evaluate the same arithmetic (DESIGN.md §11):
+///  * compute_rhs — the reference operator-at-a-time chain: one fd::*
+///    pass per operator with box-sized scratch.  Simple, auditable, the
+///    oracle the equivalence tests compare against.
+///  * compute_rhs_fused — one cache-blocked sweep over φ with rolling
+///    pencil rings of derived-field planes and radial-innermost loops;
+///    same per-point expression trees (grid/fd_stencils.hpp), so the
+///    result is bitwise identical on this build (no FMA contraction),
+///    while the working set shrinks to O(depth·Nr·Nt).
+///
 /// The RHS is valid on any IndexBox whose grown(2) data is filled
 /// (2 ghost layers: one consumed by the derived fields B and ∇·v, one
 /// by the outer derivative of the composite second-order operators).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "common/array3d.hpp"
+#include "common/pencil.hpp"
 #include "grid/spherical_grid.hpp"
 #include "mhd/params.hpp"
 #include "mhd/state.hpp"
 
 namespace yy::mhd {
 
-/// Preallocated temporaries for one RHS evaluation (reusable across
-/// steps; allocation-free hot loop, see Core Guidelines Per.14).
-struct Workspace {
-  explicit Workspace(const SphericalGrid& g);
-
-  Field3 vr, vt, vp, T;          // derived pointwise fields
-  Field3 br, bt, bp;             // B = ∇×A
-  Field3 jr, jt, jp;             // j = ∇×B
-  Field3 divv;                   // ∇·v
-  Field3 cvr, cvt, cvp;          // ∇×v
-  Field3 t0, t1, t2;             // operator output scratch (vector)
-  Field3 s0, s1;                 // operator output scratch (scalar)
+/// RHS evaluation strategy (see file comment); plumbed from
+/// core::SimulationConfig::fused_rhs through the integrators.
+enum class RhsBackend {
+  reference,  ///< operator-at-a-time fd::* chain (the oracle)
+  fused,      ///< cache-blocked pencil sweep (bitwise-equal, faster)
 };
+
+constexpr const char* backend_name(RhsBackend b) {
+  return b == RhsBackend::fused ? "fused" : "reference";
+}
+
+/// Preallocated temporaries for one reference-path RHS evaluation
+/// (reusable across steps; allocation-free hot loop once grown, see
+/// Core Guidelines Per.14).  Each member is a rebased scratch block
+/// covering only the extents the evaluation over `box` actually
+/// indexes — v/T on box.grown(2), the differentiated derived fields on
+/// box.grown(1), operator outputs on box — instead of the historic
+/// full-grid Nr×Nt×Np arrays (the ~19×YY_THREADS memory multiplier;
+/// tests/mhd/test_workspace_footprint.cpp pins the bound).
+struct Workspace {
+  /// Covers nothing; compute_rhs grows it on first use.
+  Workspace() = default;
+  /// Full-patch coverage (every box inside g.interior() works without
+  /// reallocation) — what long-lived solver workspaces use.
+  explicit Workspace(const SphericalGrid& g);
+  /// Sized for RHS evaluation over exactly `box`.
+  explicit Workspace(const IndexBox& box);
+
+  /// Grows every member to the coverage an evaluation over `box`
+  /// needs; monotone (hull with current coverage), so alternating
+  /// interior/rim sweeps stay allocation-free in steady state.
+  void ensure(const IndexBox& box);
+  bool covers(const IndexBox& box) const;
+  std::size_t allocated_doubles() const;
+
+  common::ScratchField vr, vt, vp, T;   // derived pointwise fields
+  common::ScratchField br, bt, bp;      // B = ∇×A
+  common::ScratchField jr, jt, jp;      // j = ∇×B
+  common::ScratchField divv;            // ∇·v
+  common::ScratchField cvr, cvt, cvp;   // ∇×v
+  common::ScratchField t0, t1, t2;      // operator output scratch (vector)
+  common::ScratchField s0, s1;          // operator output scratch (scalar)
+};
+
+/// Number of box-sized scratch arrays in Workspace (the footprint
+/// regression test's accounting constant).
+inline constexpr int kWorkspaceFields = 19;
 
 /// Evaluates d(state)/dt into `rhs` over `box`; `state` must hold valid
 /// data on box.grown(2).  `rhs` ghost regions are left untouched.
 void compute_rhs(const SphericalGrid& g, const EquationParams& eq,
                  const Fields& state, Fields& rhs, Workspace& ws,
                  const IndexBox& box);
+
+/// Pencil scratch of the fused backend: rolling φ-plane rings sized by
+/// the stencil footprint — v and T planes are consumed by second-order
+/// composites two φ layers away (depth 5, (r,θ) extent box.grown(2)),
+/// the differentiated derived fields one layer (depth 3, box.grown(1)).
+/// j = ∇×B needs no storage at all: it is evaluated per output point
+/// from the resident B ring.  Total: 41 pencil planes versus the
+/// reference path's 19 box-sized volumes.
+struct PencilWorkspace {
+  common::PlaneRing vr, vt, vp, T;        // depth 5
+  common::PlaneRing br, bt, bp;           // depth 3, B = ∇×A
+  common::PlaneRing divv, cvr, cvt, cvp;  // depth 3, ∇·v and ∇×v
+
+  /// Grows the rings for a sweep over `box` (monotone, like
+  /// Workspace::ensure).
+  void ensure(const IndexBox& box);
+  std::size_t allocated_doubles() const;
+};
+
+/// Pencil planes resident in a PencilWorkspace (4 rings of depth 5 +
+/// 7 of depth 3); the footprint test's accounting constant.
+inline constexpr int kPencilPlanes = 4 * 5 + 7 * 3;
+
+/// The fused backend: same contract and bitwise-identical result as
+/// compute_rhs (see file comment), evaluated in one rolling-pencil
+/// sweep over φ with radial-innermost loops; charges exactly the same
+/// flop count.
+void compute_rhs_fused(const SphericalGrid& g, const EquationParams& eq,
+                       const Fields& state, Fields& rhs, PencilWorkspace& pw,
+                       const IndexBox& box);
 
 /// Interior/boundary-shell decomposition of an RHS sweep for the
 /// overlapped stepping mode.  `interior` is `box` shrunk by the rim
@@ -66,17 +142,33 @@ struct RhsSplit {
 /// grid's ghost width).  Pure index arithmetic, no grid required.
 RhsSplit split_rhs_box(const IndexBox& box, int rim);
 
+/// The k-th of n contiguous φ-slabs of `box` (the first np mod n slabs
+/// take one extra plane).  Shared by both parallel backends so the
+/// partition — and therefore the bitwise result — cannot diverge.
+IndexBox phi_slab(const IndexBox& box, int n, int k);
+
 /// compute_rhs over `box` decomposed into `nthreads` contiguous φ-slabs
 /// evaluated concurrently (common/microtask.hpp), one workspace per
-/// slab — `ws_pool` is grown to `nthreads` entries on first use.  Every
-/// slab is an independent compute_rhs call, so the result is bitwise
-/// identical to the monolithic sweep for any thread count (the RHS is a
-/// pointwise function of the state's stencil neighbourhood; no
-/// cross-point reductions).  nthreads ≤ 1 is exactly compute_rhs.
+/// slab — `ws_pool` is grown to `nthreads` entries on first use, each
+/// sized to its slab (not the full grid).  Every slab is an independent
+/// compute_rhs call, so the result is bitwise identical to the
+/// monolithic sweep for any thread count (the RHS is a pointwise
+/// function of the state's stencil neighbourhood; no cross-point
+/// reductions).  nthreads ≤ 1 is exactly compute_rhs.
 void compute_rhs_parallel(const SphericalGrid& g, const EquationParams& eq,
                           const Fields& state, Fields& rhs,
                           std::vector<Workspace>& ws_pool, const IndexBox& box,
                           int nthreads);
+
+/// The fused analogue of compute_rhs_parallel: identical φ-slab
+/// partition (phi_slab), one PencilWorkspace per slab, bitwise
+/// identical to compute_rhs_fused — and therefore to compute_rhs — for
+/// any thread count.
+void compute_rhs_parallel_fused(const SphericalGrid& g,
+                                const EquationParams& eq, const Fields& state,
+                                Fields& rhs,
+                                std::vector<PencilWorkspace>& pw_pool,
+                                const IndexBox& box, int nthreads);
 
 /// Pointwise-combination flop cost per grid point (the FD operators
 /// charge separately); documented for the perf model's cross-check.

@@ -1,0 +1,211 @@
+/// \file rhs_fused.cpp
+/// The fused RHS backend: one rolling-pencil sweep over φ evaluating all
+/// eight tendencies per point, bitwise identical to the reference
+/// operator-at-a-time chain in rhs.cpp (see DESIGN.md §11).
+///
+/// Sweep structure — for each output plane ip the stencils need
+///  * v and T two φ layers out (second-order composites differentiate
+///    first-derivative fields, which themselves read ±1): depth-5 rings
+///    over (r,θ) ∈ box.grown(2);
+///  * the once-differentiated fields B, ∇·v, ∇×v one layer out:
+///    depth-3 rings over box.grown(1);
+///  * j = ∇×B only at the output point itself — evaluated on the fly
+///    from the resident B ring, never stored.
+/// So the steady-state loop is: fill v/T plane ip+2, fill derived plane
+/// ip+1, combine plane ip — each plane computed exactly once, exactly as
+/// many point-evaluations as the reference path performs over the same
+/// boxes (the flop charge below is the same sum, term for term).
+#include "mhd/rhs.hpp"
+
+#include "common/error.hpp"
+#include "common/flops.hpp"
+#include "grid/fd_ops.hpp"
+#include "grid/fd_stencils.hpp"
+#include "mhd/derived.hpp"
+
+namespace yy::mhd {
+
+void PencilWorkspace::ensure(const IndexBox& box) {
+  const IndexBox e2 = box.grown(2);
+  const IndexBox e1 = box.grown(1);
+  for (common::PlaneRing* r : {&vr, &vt, &vp, &T})
+    r->ensure(5, e2.r0, e2.r1, e2.t0, e2.t1);
+  for (common::PlaneRing* r : {&br, &bt, &bp, &divv, &cvr, &cvt, &cvp})
+    r->ensure(3, e1.r0, e1.r1, e1.t0, e1.t1);
+}
+
+std::size_t PencilWorkspace::allocated_doubles() const {
+  std::size_t n = 0;
+  for (const common::PlaneRing* r :
+       {&vr, &vt, &vp, &T, &br, &bt, &bp, &divv, &cvr, &cvt, &cvp})
+    n += r->allocated_doubles();
+  return n;
+}
+
+void compute_rhs_fused(const SphericalGrid& g, const EquationParams& eq,
+                       const Fields& state, Fields& rhs, PencilWorkspace& pw,
+                       const IndexBox& box) {
+  if (box.volume() == 0) return;
+  const IndexBox e2 = box.grown(2);
+  const IndexBox e1 = box.grown(1);
+  // Same reach as the reference chain: the sweep touches box.grown(2)
+  // (metric tables and state ghosts must exist there).
+  YY_REQUIRE(e2.r0 >= 0 && e2.r1 <= g.Nr());
+  YY_REQUIRE(e2.t0 >= 0 && e2.t1 <= g.Nt());
+  YY_REQUIRE(e2.p0 >= 0 && e2.p1 <= g.Np());
+  pw.ensure(box);
+
+  // Difference coefficients — the same expressions the fd::* operators
+  // compute, so the shared per-point stencils see identical values.
+  const double c_r = 1.0 / (2.0 * g.dr());
+  const double c_t = 1.0 / (2.0 * g.dt());
+  const double c_p = 1.0 / (2.0 * g.dp());
+  const double irr = 1.0 / (g.dr() * g.dr());
+  const double itt = 1.0 / (g.dt() * g.dt());
+  const double ipp = 1.0 / (g.dp() * g.dp());
+
+  const auto Vr = pw.vr.view(), Vt = pw.vt.view(), Vp = pw.vp.view(),
+             Tp = pw.T.view();
+  const auto Br = pw.br.view(), Bt = pw.bt.view(), Bp = pw.bp.view();
+  const auto Dv = pw.divv.view();
+  const auto Cr = pw.cvr.view(), Ct = pw.cvt.view(), Cp = pw.cvp.view();
+
+  // v = f/ρ, T = p/ρ on one φ plane over (r,θ) ∈ box.grown(2); same
+  // expression as mhd::velocity_and_temperature.
+  const auto fill_vt = [&](int q) {
+    for (int it = e2.t0; it < e2.t1; ++it) {
+      for (int ir = e2.r0; ir < e2.r1; ++ir) {
+        const double inv_rho = 1.0 / state.rho(ir, it, q);
+        pw.vr.at(ir, it, q) = state.fr(ir, it, q) * inv_rho;
+        pw.vt.at(ir, it, q) = state.ft(ir, it, q) * inv_rho;
+        pw.vp.at(ir, it, q) = state.fp(ir, it, q) * inv_rho;
+        pw.T.at(ir, it, q) = state.p(ir, it, q) * inv_rho;
+      }
+    }
+  };
+
+  // B = ∇×A, ∇·v and ∇×v on one φ plane over (r,θ) ∈ box.grown(1).
+  const auto fill_derived = [&](int q) {
+    for (int it = e1.t0; it < e1.t1; ++it) {
+      for (int ir = e1.r0; ir < e1.r1; ++ir) {
+        const fd::Triple b = fd::curl_point(g, state.ar, state.at, state.ap,
+                                            c_r, c_t, c_p, ir, it, q);
+        pw.br.at(ir, it, q) = b.r;
+        pw.bt.at(ir, it, q) = b.t;
+        pw.bp.at(ir, it, q) = b.p;
+        pw.divv.at(ir, it, q) =
+            fd::div_point(g, Vr, Vt, Vp, c_r, c_t, c_p, ir, it, q);
+        const fd::Triple cv =
+            fd::curl_point(g, Vr, Vt, Vp, c_r, c_t, c_p, ir, it, q);
+        pw.cvr.at(ir, it, q) = cv.r;
+        pw.cvt.at(ir, it, q) = cv.t;
+        pw.cvp.at(ir, it, q) = cv.p;
+      }
+    }
+  };
+
+  const double c43 = 4.0 / 3.0 * eq.mu;
+  const double gm1 = eq.gamma - 1.0;
+  const double cstr = (eq.gamma - 1.0) * 2.0 * eq.mu;
+
+  // All eight tendencies on one φ plane, accumulated in the reference
+  // chain's order so every intermediate matches it bitwise.
+  const auto combine = [&](int ip) {
+    for (int it = box.t0; it < box.t1; ++it) {
+      const double st = g.sin_t(it), ct = g.cos_t(it);
+      for (int ir = box.r0; ir < box.r1; ++ir) {
+        // --- eq. (2): ∂ρ/∂t = −∇·f -----------------------------------
+        rhs.rho(ir, it, ip) = -fd::div_point(g, state.fr, state.ft, state.fp,
+                                             c_r, c_t, c_p, ir, it, ip);
+
+        // --- eq. (3): momentum ---------------------------------------
+        const fd::Triple dvf =
+            fd::div_vf_point(g, Vr, Vt, Vp, state.fr, state.ft, state.fp, c_r,
+                             c_t, c_p, ir, it, ip);
+        const fd::Triple gp =
+            fd::grad_point(g, state.p, c_r, c_t, c_p, ir, it, ip);
+        double fr_acc = -dvf.r - gp.r;
+        double ft_acc = -dvf.t - gp.t;
+        double fp_acc = -dvf.p - gp.p;
+        const fd::Triple gd = fd::grad_point(g, Dv, c_r, c_t, c_p, ir, it, ip);
+        fr_acc += c43 * gd.r;
+        ft_acc += c43 * gd.t;
+        fp_acc += c43 * gd.p;
+        const fd::Triple cc =
+            fd::curl_point(g, Cr, Ct, Cp, c_r, c_t, c_p, ir, it, ip);
+        fr_acc -= eq.mu * cc.r;
+        ft_acc -= eq.mu * cc.t;
+        fp_acc -= eq.mu * cc.p;
+
+        const double sp = g.sin_p(ip), cp = g.cos_p(ip);
+        const double o_r =
+            eq.omega.x * st * cp + eq.omega.y * st * sp + eq.omega.z * ct;
+        const double o_t =
+            eq.omega.x * ct * cp + eq.omega.y * ct * sp - eq.omega.z * st;
+        const double o_p = -eq.omega.x * sp + eq.omega.y * cp;
+
+        const double rho = state.rho(ir, it, ip);
+        const double vrc = Vr(ir, it, ip), vtc = Vt(ir, it, ip),
+                     vpc = Vp(ir, it, ip);
+        const double brc = Br(ir, it, ip), btc = Bt(ir, it, ip),
+                     bpc = Bp(ir, it, ip);
+        const fd::Triple j =
+            fd::curl_point(g, Br, Bt, Bp, c_r, c_t, c_p, ir, it, ip);
+        const double jrc = j.r, jtc = j.t, jpc = j.p;
+
+        const double gr = -eq.g0 * g.inv_r(ir) * g.inv_r(ir);  // g = −g0/r² r̂
+
+        fr_acc += (jtc * bpc - jpc * btc) + rho * gr +
+                  2.0 * rho * (vtc * o_p - vpc * o_t);
+        ft_acc += (jpc * brc - jrc * bpc) + 2.0 * rho * (vpc * o_r - vrc * o_p);
+        fp_acc += (jrc * btc - jtc * brc) + 2.0 * rho * (vrc * o_t - vtc * o_r);
+        rhs.fr(ir, it, ip) = fr_acc;
+        rhs.ft(ir, it, ip) = ft_acc;
+        rhs.fp(ir, it, ip) = fp_acc;
+
+        // --- eq. (4): pressure ---------------------------------------
+        const double adv = fd::advect_point(g, Vr, Vt, Vp, state.p, c_r, c_t,
+                                            c_p, ir, it, ip);
+        const double lap =
+            fd::laplacian_point(g, Tp, irr, itt, ipp, c_r, c_t, ir, it, ip);
+        const double j2 = jrc * jrc + jtc * jtc + jpc * jpc;
+        double p_acc = -adv - eq.gamma * state.p(ir, it, ip) * Dv(ir, it, ip) +
+                       gm1 * (eq.kappa * lap + eq.eta * j2);
+        p_acc +=
+            cstr * fd::strain_point(g, Vr, Vt, Vp, c_r, c_t, c_p, ir, it, ip);
+        rhs.p(ir, it, ip) = p_acc;
+
+        // --- eq. (5): ∂A/∂t = −E = v×B − ηj --------------------------
+        rhs.ar(ir, it, ip) = (vtc * bpc - vpc * btc) - eq.eta * jrc;
+        rhs.at(ir, it, ip) = (vpc * brc - vrc * bpc) - eq.eta * jtc;
+        rhs.ap(ir, it, ip) = (vrc * btc - vtc * brc) - eq.eta * jpc;
+      }
+    }
+  };
+
+  // Prime the rings, then roll: each iteration establishes the planes
+  // plane ip's stencils reach before combining it.
+  for (int q = box.p0 - 2; q < box.p0 + 2; ++q) fill_vt(q);
+  for (int q = box.p0 - 1; q < box.p0 + 1; ++q) fill_derived(q);
+  for (int ip = box.p0; ip < box.p1; ++ip) {
+    fill_vt(ip + 2);
+    fill_derived(ip + 1);
+    combine(ip);
+  }
+
+  // Identical charge to the reference chain, term for term: v/T over
+  // box.grown(2); B, ∇·v, ∇×v over box.grown(1); every remaining
+  // operator (including the on-the-fly j = ∇×B) over box.
+  const auto vol = [](const IndexBox& b) {
+    return static_cast<std::uint64_t>(b.volume());
+  };
+  flops::add(vol(e2) * kFlopsVelTemp +
+             vol(e1) * (2 * fd::kFlopsCurl + fd::kFlopsDiv) +
+             vol(box) *
+                 (fd::kFlopsCurl + fd::kFlopsDiv + fd::kFlopsDivVf +
+                  2 * fd::kFlopsGrad + fd::kFlopsCurl + fd::kFlopsAdvect +
+                  fd::kFlopsLaplacian + fd::kFlopsStrain +
+                  kFlopsPointwiseCombine));
+}
+
+}  // namespace yy::mhd

@@ -6,19 +6,26 @@
 
 namespace yy::mhd {
 
-Rk4::Rk4(const std::vector<const SphericalGrid*>& grids) : grids_(grids) {
+Rk4::Rk4(const std::vector<const SphericalGrid*>& grids, RhsBackend backend)
+    : grids_(grids), backend_(backend) {
   YY_REQUIRE(!grids.empty());
   k_.reserve(grids.size());
   stage_.reserve(grids.size());
   acc_.reserve(grids.size());
-  ws_.reserve(grids.size());
   for (const SphericalGrid* g : grids) {
     k_.emplace_back(*g);
     stage_.emplace_back(*g);
     acc_.emplace_back(*g);
-    ws_.emplace_back(*g);
+    // Pre-grow the reference workspaces to the full patch; the fused
+    // backend's pencil rings size themselves on first sweep.
+    if (backend_ == RhsBackend::reference) ws_.emplace_back(*g);
   }
-  ws_pool_.resize(grids.size());  // grown on demand by the overlap path
+  if (backend_ == RhsBackend::reference) {
+    ws_pool_.resize(grids.size());  // grown on demand by the overlap path
+  } else {
+    pw_.resize(grids.size());
+    pw_pool_.resize(grids.size());
+  }
 }
 
 void Rk4::step(const std::vector<PatchDef>& patches, double dt,
@@ -36,17 +43,35 @@ void Rk4::step(const std::vector<PatchDef>& patches, double dt,
 
   const int nthreads = overlap ? common::env_threads() : 1;
 
+  // Backend dispatch: the two paths are bitwise equivalent (rhs.hpp),
+  // they differ only in scratch shape and sweep structure.
+  auto rhs_box = [&](std::size_t i, const Fields& src, const IndexBox& box) {
+    if (backend_ == RhsBackend::fused) {
+      compute_rhs_fused(*grids_[i], patches[i].eq, src, k_[i], pw_[i], box);
+    } else {
+      compute_rhs(*grids_[i], patches[i].eq, src, k_[i], ws_[i], box);
+    }
+  };
+  auto rhs_box_parallel = [&](std::size_t i, const Fields& src,
+                              const IndexBox& box) {
+    if (backend_ == RhsBackend::fused) {
+      compute_rhs_parallel_fused(*grids_[i], patches[i].eq, src, k_[i],
+                                 pw_pool_[i], box, nthreads);
+    } else {
+      compute_rhs_parallel(*grids_[i], patches[i].eq, src, k_[i], ws_pool_[i],
+                           box, nthreads);
+    }
+  };
+
   // k_[i] = f(src[i]) over the full interior; the stage-1 evaluation
   // and the synchronous path for stages 2-4.
   auto rhs_full = [&](const std::vector<Fields*>& src) {
     for (std::size_t i = 0; i < n; ++i) {
       YY_TRACE_SCOPE(obs::Phase::rhs);
       if (nthreads > 1) {
-        compute_rhs_parallel(*grids_[i], patches[i].eq, *src[i], k_[i],
-                             ws_pool_[i], grids_[i]->interior(), nthreads);
+        rhs_box_parallel(i, *src[i], grids_[i]->interior());
       } else {
-        compute_rhs(*grids_[i], patches[i].eq, *src[i], k_[i], ws_[i],
-                    grids_[i]->interior());
+        rhs_box(i, *src[i], grids_[i]->interior());
       }
     }
   };
@@ -67,16 +92,14 @@ void Rk4::step(const std::vector<PatchDef>& patches, double dt,
       YY_TRACE_SCOPE(obs::Phase::interior_rhs);
       const RhsSplit sp =
           split_rhs_box(grids_[i]->interior(), overlap->rim_width);
-      compute_rhs_parallel(*grids_[i], patches[i].eq, *src[i], k_[i],
-                           ws_pool_[i], sp.interior, nthreads);
+      rhs_box_parallel(i, *src[i], sp.interior);
     }
     overlap->finish(src);
     for (std::size_t i = 0; i < n; ++i) {
       YY_TRACE_SCOPE(obs::Phase::rim_rhs);
       const RhsSplit sp =
           split_rhs_box(grids_[i]->interior(), overlap->rim_width);
-      for (const IndexBox& b : sp.rim)
-        compute_rhs(*grids_[i], patches[i].eq, *src[i], k_[i], ws_[i], b);
+      for (const IndexBox& b : sp.rim) rhs_box(i, *src[i], b);
     }
   };
 

@@ -52,8 +52,11 @@ class Rk4 {
   /// PatchDefs) whenever their ghosts must be refreshed.
   using FillFn = Rk4FillFn;
 
-  /// Allocates stage storage for the given patch shapes.
-  explicit Rk4(const std::vector<const SphericalGrid*>& grids);
+  /// Allocates stage storage for the given patch shapes; `backend`
+  /// selects the RHS evaluation strategy (bitwise-equivalent paths,
+  /// see rhs.hpp).
+  explicit Rk4(const std::vector<const SphericalGrid*>& grids,
+               RhsBackend backend = RhsBackend::reference);
 
   /// Advances every patch by dt.  The incoming states must already
   /// have valid ghosts; on return the new states have valid ghosts
@@ -70,11 +73,14 @@ class Rk4 {
 
  private:
   std::vector<const SphericalGrid*> grids_;
+  RhsBackend backend_ = RhsBackend::reference;
   std::vector<Fields> k_;      // stage derivative
   std::vector<Fields> stage_;  // stage state
   std::vector<Fields> acc_;    // accumulated solution
-  std::vector<Workspace> ws_;
+  std::vector<Workspace> ws_;                    // reference backend
   std::vector<std::vector<Workspace>> ws_pool_;  // per patch, per thread
+  std::vector<PencilWorkspace> pw_;                    // fused backend
+  std::vector<std::vector<PencilWorkspace>> pw_pool_;  // per patch, per thread
 };
 
 }  // namespace yy::mhd

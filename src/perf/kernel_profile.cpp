@@ -6,12 +6,14 @@
 
 namespace yy::perf {
 
-KernelProfile KernelProfile::measure(int nr, int nt_core, int np_core) {
+KernelProfile KernelProfile::measure(int nr, int nt_core, int np_core,
+                                     bool fused_rhs) {
   core::SimulationConfig cfg;
   cfg.nr = nr;
   cfg.nt_core = nt_core;
   cfg.np_core = np_core;
   cfg.eq.omega = {0.0, 0.0, 5.0};
+  cfg.fused_rhs = fused_rhs;
   core::SerialYinYangSolver solver(cfg);
   solver.initialize();
   const double dt = solver.stable_dt();

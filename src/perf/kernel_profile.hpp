@@ -15,8 +15,10 @@ struct KernelProfile {
   /// software flop counter.  Flops per point are resolution-independent
   /// up to ghost-fraction effects, so a small grid suffices; the
   /// (nr, nt, np) arguments allow convergence checks of that claim.
-  static KernelProfile measure(int nr = 17, int nt_core = 13,
-                               int np_core = 37);
+  /// `fused_rhs` selects the RHS backend — both charge identical flops,
+  /// so only the seconds/gflops figures move.
+  static KernelProfile measure(int nr = 17, int nt_core = 13, int np_core = 37,
+                               bool fused_rhs = false);
 };
 
 }  // namespace yy::perf

@@ -19,7 +19,7 @@ TEST(Vtk, WritesValidStructuredGridHeader) {
   Field3 temp(g.Nr(), g.Nt(), g.Np(), 1.5);
   const std::string path = std::string(::testing::TempDir()) + "/panel.vtk";
   ASSERT_TRUE(write_vtk_panel(path, g, yinyang::Panel::yin,
-                              {{"temperature", &temp}}));
+                              {{"temperature", temp}}));
   std::ifstream in(path);
   std::string line;
   std::getline(in, line);
@@ -45,7 +45,7 @@ TEST(Vtk, PointCountMatchesDimensions) {
   SphericalGrid g = vtk_grid();
   Field3 temp(g.Nr(), g.Nt(), g.Np());
   const std::string path = std::string(::testing::TempDir()) + "/count.vtk";
-  ASSERT_TRUE(write_vtk_panel(path, g, yinyang::Panel::yang, {{"t", &temp}}));
+  ASSERT_TRUE(write_vtk_panel(path, g, yinyang::Panel::yang, {{"t", temp}}));
   std::ifstream in(path);
   std::string line;
   long long expected = 5ll * g.spec().nt * g.spec().np;
@@ -71,8 +71,8 @@ TEST(Vtk, YangPointsAreAxisSwapped) {
   Field3 temp(g.Nr(), g.Nt(), g.Np());
   const std::string p1 = std::string(::testing::TempDir()) + "/yin.vtk";
   const std::string p2 = std::string(::testing::TempDir()) + "/yang.vtk";
-  ASSERT_TRUE(write_vtk_panel(p1, g, yinyang::Panel::yin, {{"t", &temp}}));
-  ASSERT_TRUE(write_vtk_panel(p2, g, yinyang::Panel::yang, {{"t", &temp}}));
+  ASSERT_TRUE(write_vtk_panel(p1, g, yinyang::Panel::yin, {{"t", temp}}));
+  ASSERT_TRUE(write_vtk_panel(p2, g, yinyang::Panel::yang, {{"t", temp}}));
   auto first_point = [](const std::string& path) {
     std::ifstream in(path);
     std::string line;
@@ -89,7 +89,7 @@ TEST(Vtk, MultipleScalarsListed) {
   Field3 a(g.Nr(), g.Nt(), g.Np()), b(g.Nr(), g.Nt(), g.Np());
   const std::string path = std::string(::testing::TempDir()) + "/multi.vtk";
   ASSERT_TRUE(write_vtk_panel(path, g, yinyang::Panel::yin,
-                              {{"rho", &a}, {"pressure", &b}}));
+                              {{"rho", a}, {"pressure", b}}));
   std::ifstream in(path);
   std::string all((std::istreambuf_iterator<char>(in)),
                   std::istreambuf_iterator<char>());

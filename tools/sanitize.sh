@@ -16,6 +16,6 @@ for mode in "${modes[@]}"; do
   cmake -B "${build}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DYY_SANITIZE="${mode}" > /dev/null
   cmake --build "${build}" -j "$(nproc)" --target \
-    test_comm test_core test_obs test_resilience test_overlap > /dev/null
+    test_comm test_core test_obs test_resilience test_overlap test_rhs_fused > /dev/null
   (cd "${build}" && ctest -L 'sanitize|resilience' --output-on-failure)
 done
