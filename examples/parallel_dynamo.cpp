@@ -10,7 +10,7 @@
 /// Simulator performance model's predicted phase split.
 ///
 /// Usage: parallel_dynamo [pt pp steps [mode]] [--heartbeat N] [--overlap]
-///                        [--fused-rhs]
+///                        [--fused-rhs] [--chaos rank-death:<step>]
 ///        (default 2 x 2, 10 steps)
 ///
 /// mode selects the run-control layer:
@@ -39,6 +39,15 @@
 /// reference chain.  Bitwise-identical trajectories
 /// (tests/mhd/test_rhs_fused.cpp), so the serial cross-check still
 /// matches exactly; composes with --overlap.
+///
+/// --chaos rank-death:<step> kills world rank 1 after it completes
+/// step <step>: the rank stops responding, the survivors detect the
+/// silence, shrink the world around it and restore its patch from its
+/// buddy's diskless replica (DESIGN.md §12), then finish the run on
+/// one rank fewer.  Forces resilient mode; the serial cross-check
+/// still matches exactly because the restored trajectory is bitwise
+/// the shrunk-layout trajectory.  Needs at least 2 ranks per panel so
+/// each panel keeps a survivor (the default 2 x 2 works).
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -69,6 +78,7 @@ int main(int argc, char** argv) {
   int heartbeat = 0;
   bool overlap = false;
   bool fused_rhs = false;
+  long long chaos_death_step = -1;
   std::vector<const char*> pos;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--heartbeat") == 0 && i + 1 < argc) {
@@ -77,6 +87,16 @@ int main(int argc, char** argv) {
       overlap = true;
     } else if (std::strcmp(argv[i], "--fused-rhs") == 0) {
       fused_rhs = true;
+    } else if (std::strcmp(argv[i], "--chaos") == 0 && i + 1 < argc) {
+      const char* spec = argv[++i];
+      if (std::strncmp(spec, "rank-death:", 11) == 0) {
+        chaos_death_step = std::atoll(spec + 11);
+      }
+      if (chaos_death_step <= 0) {
+        std::fprintf(stderr, "bad chaos spec '%s' (rank-death:<step>)\n",
+                     spec);
+        return 1;
+      }
     } else {
       pos.push_back(argv[i]);
     }
@@ -84,11 +104,19 @@ int main(int argc, char** argv) {
   const int pt = pos.size() > 0 ? std::atoi(pos[0]) : 2;
   const int pp = pos.size() > 1 ? std::atoi(pos[1]) : 2;
   const int steps = pos.size() > 2 ? std::atoi(pos[2]) : 10;
-  const std::string mode = pos.size() > 3 ? pos[3] : "plain";
+  std::string mode = pos.size() > 3 ? pos[3] : "plain";
   if (mode != "plain" && mode != "resilient" && mode != "faulty") {
     std::fprintf(stderr, "unknown mode '%s' (plain|resilient|faulty)\n",
                  mode.c_str());
     return 1;
+  }
+  if (chaos_death_step > 0) {
+    if (mode == "plain") mode = "resilient";  // survival needs the runner
+    if (heartbeat > 0) {
+      std::printf("note: --chaos disables --heartbeat (the telemetry "
+                  "window cannot span a dead rank)\n");
+      heartbeat = 0;
+    }
   }
 
   core::SimulationConfig cfg;
@@ -129,14 +157,18 @@ int main(int argc, char** argv) {
   man.extra.emplace_back("steps", std::to_string(steps));
   man.extra.emplace_back("overlap", overlap ? "1" : "0");
   man.extra.emplace_back("rhs_backend", fused_rhs ? "fused" : "reference");
+  if (chaos_death_step > 0)
+    man.extra.emplace_back("chaos",
+                           "rank-death:" + std::to_string(chaos_death_step));
   obs::TelemetrySink sink(man, heartbeat > 0 ? &std::cout : nullptr);
 
+  std::shared_ptr<comm::FaultPlan> plan;
   if (mode == "faulty") {
     // Provoke the recovery machinery on purpose: one overset envelope
     // is dropped in the last quarter of the run and the mid-run
     // checkpoint commit is torn on rank 0.  The runner rewinds to the
     // newest CRC-valid set and re-runs the tail — bit-exactly.
-    auto plan = std::make_shared<comm::FaultPlan>();
+    plan = std::make_shared<comm::FaultPlan>();
     comm::FaultPlan::Rule drop;
     drop.kind = comm::FaultPlan::Kind::drop;
     drop.tag = 200;  // overset interpolation traffic
@@ -144,8 +176,16 @@ int main(int argc, char** argv) {
     plan->add_rule(drop);
     plan->schedule_io_fault(std::max(1, steps / 2), /*world_rank=*/0,
                             comm::FaultPlan::IoFault::torn);
-    rt.install_fault_plan(plan);
   }
+  constexpr int kChaosVictim = 1;
+  if (chaos_death_step > 0) {
+    if (!plan) plan = std::make_shared<comm::FaultPlan>();
+    plan->schedule_rank_death(kChaosVictim, chaos_death_step);
+    std::printf("chaos: world rank %d stops responding after step %lld; "
+                "the survivors shrink around it\n\n",
+                kChaosVictim, chaos_death_step);
+  }
+  if (plan) rt.install_fault_plan(plan);
 
   WallTimer timer;
   rt.run([&](comm::Communicator& w) {
@@ -174,13 +214,19 @@ int main(int argc, char** argv) {
       resilience::ResilientRunner runner(solver, policy);
       rep = runner.run(steps, dt);
     }
-    if (tel) tel->flush();  // collective: drains any partial window
-    const mhd::EnergyBudget e = solver.energies();
-    if (w.rank() == 0) {
-      std::lock_guard lock(mu);
-      dist_energy = e;
-      dist_dt = rep.final_dt;
-      report = rep;
+    // A rank killed by the chaos schedule has retired from the fabric:
+    // it must not join the survivors' post-run collectives.
+    const bool i_died = !rep.completed &&
+                        rep.failure.find("rank death") != std::string::npos;
+    if (tel && !i_died) tel->flush();  // collective: drains any window
+    if (!i_died) {
+      const mhd::EnergyBudget e = solver.energies();
+      if (w.rank() == 0) {
+        std::lock_guard lock(mu);
+        dist_energy = e;
+        dist_dt = rep.final_dt;
+        report = rep;
+      }
     }
   });
   const double wall = timer.seconds();
@@ -193,6 +239,10 @@ int main(int argc, char** argv) {
                 "%d checkpoints (dir yy_checkpoints/)\n",
                 report.completed ? "completed" : "FAILED", report.final_step,
                 report.recoveries, report.checkpoints_saved);
+    if (report.shrinks > 0)
+      std::printf("rank loss survived: %d shrink(s), world %d -> %d "
+                  "surviving ranks\n",
+                  report.shrinks, world, report.final_world_size);
     if (!report.failure.empty())
       std::printf("failure: %s\n", report.failure.c_str());
   }

@@ -24,6 +24,8 @@ constexpr int sys_gather = -5;
 constexpr int sys_bcast = -6;
 constexpr int sys_split_up = -7;
 constexpr int sys_split_down = -8;
+constexpr int sys_shrink_up = -9;
+constexpr int sys_shrink_down = -10;
 }  // namespace
 
 void Fabric::install_fault_plan(std::shared_ptr<FaultPlan> plan) {
@@ -42,6 +44,12 @@ void Fabric::deliver(int dest_world, Envelope env) {
   auto& t = traffic_[static_cast<std::size_t>(env.src_world)];
   t.messages.fetch_add(1, std::memory_order_relaxed);
   t.bytes.fetch_add(env.data.size() * sizeof(double), std::memory_order_relaxed);
+  // A retired destination swallows traffic (metered as sent, like a
+  // plan-dropped envelope), so survivors' buffered sends never block or
+  // accumulate in a mailbox nobody will drain.
+  if (dead_[static_cast<std::size_t>(dest_world)].load(
+          std::memory_order_acquire))
+    return;
   env.seq =
       1 + seq_[static_cast<std::size_t>(env.src_world)].next.fetch_add(1);
   if (validate_.load(std::memory_order_relaxed)) {
@@ -119,6 +127,19 @@ Envelope Fabric::take(int self_world, int ctx, int src_world, int tag,
       box.last_seq[key] = env.seq;
       return env;
     }
+    // Queue exhausted: a retired sender will never satisfy this take,
+    // so fail fast (the already-delivered messages above were still
+    // consumable — a rank's pre-death sends stay matchable).
+    if (src_world >= 0 && src_world < nranks() &&
+        dead_[static_cast<std::size_t>(src_world)].load(
+            std::memory_order_acquire)) {
+      char msg[160];
+      std::snprintf(msg, sizeof msg,
+                    "receive from failed peer: world rank %d has retired "
+                    "(tag %d, ctx %d) awaited at world rank %d",
+                    src_world, tag, ctx, self_world);
+      throw Error(Error::Kind::timeout, msg);
+    }
     if (deadline_ms <= 0) {
       box.cv.wait(lock);
     } else if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
@@ -132,20 +153,25 @@ Envelope Fabric::take(int self_world, int ctx, int src_world, int tag,
   }
 }
 
+void Fabric::complete_rendezvous_locked() {
+  // Last live arriver (or a retirement that removed the straggler):
+  // with every live rank parked here, nobody is sending or matching,
+  // so the purge cannot race a live exchange.
+  for (auto& box : boxes_) {
+    std::lock_guard bl(box.mu);
+    box.queue.clear();
+    box.last_seq.clear();
+  }
+  rdv_arrived_ = 0;
+  ++rdv_generation_;
+  rdv_cv_.notify_all();
+}
+
 void Fabric::recovery_rendezvous(int deadline_ms) {
   std::unique_lock lock(rdv_mu_);
   const std::uint64_t gen = rdv_generation_;
-  if (++rdv_arrived_ == nranks()) {
-    // Last arriver: with every rank parked here, nobody is sending or
-    // matching, so the purge cannot race a live exchange.
-    for (auto& box : boxes_) {
-      std::lock_guard bl(box.mu);
-      box.queue.clear();
-      box.last_seq.clear();
-    }
-    rdv_arrived_ = 0;
-    ++rdv_generation_;
-    rdv_cv_.notify_all();
+  if (++rdv_arrived_ >= live_locked()) {
+    complete_rendezvous_locked();
     return;
   }
   const auto arrived = [&] { return rdv_generation_ != gen; };
@@ -156,11 +182,42 @@ void Fabric::recovery_rendezvous(int deadline_ms) {
     --rdv_arrived_;
     char msg[128];
     std::snprintf(msg, sizeof msg,
-                  "recovery rendezvous timeout after %d ms: %d of %d ranks "
-                  "arrived",
-                  deadline_ms, rdv_arrived_ + 1, nranks());
+                  "recovery rendezvous timeout after %d ms: %d of %d live "
+                  "ranks arrived",
+                  deadline_ms, rdv_arrived_ + 1, live_locked());
     throw Error(Error::Kind::timeout, msg);
   }
+}
+
+void Fabric::retire(int world_rank) {
+  YY_REQUIRE(world_rank >= 0 && world_rank < nranks());
+  {
+    std::lock_guard lock(rdv_mu_);
+    if (dead_[static_cast<std::size_t>(world_rank)].load(
+            std::memory_order_acquire))
+      return;
+    dead_[static_cast<std::size_t>(world_rank)].store(
+        true, std::memory_order_release);
+    retired_.insert(
+        std::lower_bound(retired_.begin(), retired_.end(), world_rank),
+        world_rank);
+    // The straggler everyone was waiting on may have been this rank:
+    // with the live count reduced, a pending rendezvous can complete.
+    if (rdv_arrived_ > 0 && rdv_arrived_ >= live_locked())
+      complete_rendezvous_locked();
+  }
+  // Wake every blocked take so waits on the retired rank fail fast.
+  // Locking each mailbox orders the wakeup after any in-progress
+  // scan-then-wait, so no waiter can miss the flag.
+  for (auto& box : boxes_) {
+    std::lock_guard bl(box.mu);
+    box.cv.notify_all();
+  }
+}
+
+std::vector<int> Fabric::retired() const {
+  std::lock_guard lock(rdv_mu_);
+  return retired_;
 }
 
 TrafficStats Fabric::traffic(int world_rank) const {
@@ -283,33 +340,44 @@ void Communicator::barrier() const {
 }
 
 namespace {
+/// `deadline_ms` > 0 bounds every receive of the rank-0 star — both the
+/// root's up-collection and the leaves' wait for the result — so a hung
+/// peer fails the reduction on every rank instead of wedging it;
+/// <= 0 falls back to the fabric default like any plain receive.
 template <typename Op>
-double allreduce_impl(const Communicator& c, double v, Op op) {
+double allreduce_impl(const Communicator& c, double v, Op op,
+                      int deadline_ms) {
   if (c.size() == 1) return v;
   double acc = v;
   if (c.rank() == 0) {
     double incoming = 0.0;
     for (int r = 1; r < c.size(); ++r) {
-      c.recv(r, sys_reduce_up, {&incoming, 1});
+      c.recv(r, sys_reduce_up, {&incoming, 1}, deadline_ms > 0 ? deadline_ms : -1);
       acc = op(acc, incoming);
     }
     for (int r = 1; r < c.size(); ++r) c.send(r, sys_reduce_down, {&acc, 1});
   } else {
     c.send(0, sys_reduce_up, {&acc, 1});
-    c.recv(0, sys_reduce_down, {&acc, 1});
+    c.recv(0, sys_reduce_down, {&acc, 1}, deadline_ms > 0 ? deadline_ms : -1);
   }
   return acc;
 }
 }  // namespace
 
 double Communicator::allreduce_sum(double v) const {
-  return allreduce_impl(*this, v, [](double a, double b) { return a + b; });
+  return allreduce_impl(*this, v, [](double a, double b) { return a + b; }, -1);
 }
 double Communicator::allreduce_min(double v) const {
-  return allreduce_impl(*this, v, [](double a, double b) { return std::min(a, b); });
+  return allreduce_impl(*this, v, [](double a, double b) { return std::min(a, b); }, -1);
 }
 double Communicator::allreduce_max(double v) const {
-  return allreduce_impl(*this, v, [](double a, double b) { return std::max(a, b); });
+  return allreduce_impl(*this, v, [](double a, double b) { return std::max(a, b); }, -1);
+}
+double Communicator::allreduce_min(double v, int deadline_ms) const {
+  return allreduce_impl(*this, v, [](double a, double b) { return std::min(a, b); }, deadline_ms);
+}
+double Communicator::allreduce_max(double v, int deadline_ms) const {
+  return allreduce_impl(*this, v, [](double a, double b) { return std::max(a, b); }, deadline_ms);
 }
 
 void Communicator::allreduce_sum(std::span<double> inout) const {
@@ -422,6 +490,84 @@ Communicator Communicator::split(int color, int key) const {
   std::vector<int> group(static_cast<std::size_t>(group_size));
   for (int i = 0; i < group_size; ++i)
     group[static_cast<std::size_t>(i)] = static_cast<int>(reply[static_cast<std::size_t>(3 + i)]);
+  return Communicator(fabric_, new_ctx, std::move(group), new_rank);
+}
+
+void Communicator::retire() const {
+  YY_REQUIRE(fabric_ != nullptr);
+  fabric_->retire(group_[static_cast<std::size_t>(rank_)]);
+}
+
+std::vector<int> Communicator::retired_ranks() const {
+  YY_REQUIRE(fabric_ != nullptr);
+  std::vector<int> out;
+  for (int r = 0; r < size(); ++r)
+    if (fabric_->is_retired(group_[static_cast<std::size_t>(r)]))
+      out.push_back(r);
+  return out;
+}
+
+Communicator Communicator::shrink(const std::vector<int>& survivors,
+                                  int deadline_ms) const {
+  YY_REQUIRE(fabric_ != nullptr);
+  YY_REQUIRE(!survivors.empty());
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    YY_REQUIRE(survivors[i] >= 0 && survivors[i] < size());
+    YY_REQUIRE(i == 0 || survivors[i] > survivors[i - 1]);
+  }
+  const auto me = std::find(survivors.begin(), survivors.end(), rank_);
+  YY_REQUIRE(me != survivors.end());
+  const int new_rank = static_cast<int>(me - survivors.begin());
+  const int n = static_cast<int>(survivors.size());
+  const int root = survivors.front();
+
+  // Propose-validate-agree on the *old* communicator (same discipline
+  // as CheckpointManager::restore_newest): every survivor proposes its
+  // survivor list to the lowest survivor, which validates that all
+  // proposals are identical, allocates the agreed context, and answers.
+  // Deadline-bounded receives turn an unreachable "survivor" into a
+  // clean error rather than a hang.
+  std::vector<double> prop;
+  prop.reserve(survivors.size() + 1);
+  prop.push_back(static_cast<double>(n));
+  for (const int s : survivors) prop.push_back(static_cast<double>(s));
+
+  int new_ctx = 0;
+  const int dl = deadline_ms > 0 ? deadline_ms : -1;
+  if (rank_ == root) {
+    for (int i = 1; i < n; ++i) {
+      // Raw take: a divergent proposal may have a different length, and
+      // that must surface as a protocol error, not a size abort.
+      Envelope env = fabric_->take(
+          group_[static_cast<std::size_t>(rank_)], ctx_,
+          group_[static_cast<std::size_t>(survivors[static_cast<std::size_t>(i)])],
+          sys_shrink_up, dl);
+      if (env.data != prop) {
+        char msg[128];
+        std::snprintf(msg, sizeof msg,
+                      "shrink: rank %d proposed a divergent survivor set "
+                      "(%zu entries vs %zu here)",
+                      survivors[static_cast<std::size_t>(i)],
+                      env.data.empty() ? 0 : env.data.size() - 1,
+                      prop.size() - 1);
+        throw Error(Error::Kind::corruption, msg);
+      }
+    }
+    new_ctx = fabric_->allocate_contexts(1);
+    const double reply[1] = {static_cast<double>(new_ctx)};
+    for (int i = 1; i < n; ++i)
+      send(survivors[static_cast<std::size_t>(i)], sys_shrink_down, reply);
+  } else {
+    send(root, sys_shrink_up, prop);
+    double reply[1] = {0.0};
+    recv(root, sys_shrink_down, reply, dl);
+    new_ctx = static_cast<int>(reply[0]);
+  }
+
+  std::vector<int> group;
+  group.reserve(survivors.size());
+  for (const int s : survivors)
+    group.push_back(group_[static_cast<std::size_t>(s)]);
   return Communicator(fabric_, new_ctx, std::move(group), new_rank);
 }
 

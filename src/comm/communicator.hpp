@@ -104,6 +104,13 @@ class Communicator {
   double allreduce_max(double v) const;
   void allreduce_sum(std::span<double> inout) const;
 
+  /// Deadline-bounded reductions: every internal receive of the rank-0
+  /// star honours `deadline_ms` (> 0; <= 0 = fabric default), so a hung
+  /// or failed peer surfaces as a yy::Error on every rank instead of
+  /// blocking the collective forever.
+  double allreduce_min(double v, int deadline_ms) const;
+  double allreduce_max(double v, int deadline_ms) const;
+
   /// Collective: root receives the concatenation of equal-size
   /// contributions ordered by rank; other ranks get an empty vector.
   std::vector<double> gather(std::span<const double> v, int root) const;
@@ -134,11 +141,29 @@ class Communicator {
   void install_fault_plan(std::shared_ptr<FaultPlan> plan) const;
   FaultPlan* fault_plan() const;
 
-  /// Collective over ALL fabric ranks (call it from a world
-  /// communicator): waits for everyone, purges all in-flight traffic,
-  /// then releases the ranks together.  Positive deadline bounds the
-  /// wait for stragglers.
+  /// Collective over all LIVE fabric ranks (call it from a world
+  /// communicator): waits for everyone alive, purges all in-flight
+  /// traffic, then releases the ranks together.  Positive deadline
+  /// bounds the wait for stragglers.
   void recovery_rendezvous(int deadline_ms = 0) const;
+
+  /// Declares this rank permanently failed, fabric-wide and
+  /// irreversibly: it stops counting toward rendezvous, messages to it
+  /// are swallowed, and receives awaiting it fail fast once drained.
+  void retire() const;
+
+  /// Ranks of this communicator whose backing world rank has retired
+  /// (ascending).
+  std::vector<int> retired_ranks() const;
+
+  /// Collective over `survivors` (strictly ascending ranks of this
+  /// communicator, which must include the caller): builds a dense new
+  /// communicator over exactly those ranks, preserving order, via the
+  /// same propose-validate-agree discipline as checkpoint restore.
+  /// Divergent proposals raise Kind::corruption; an unreachable
+  /// "survivor" raises Kind::timeout when `deadline_ms` > 0.
+  Communicator shrink(const std::vector<int>& survivors,
+                      int deadline_ms = 0) const;
 
  private:
   friend class Runtime;

@@ -7,7 +7,10 @@
 /// takes can be given a deadline so a lost message raises a
 /// descriptive yy::Error instead of hanging the world forever, and
 /// recovery_rendezvous() lets all ranks flush in-flight traffic before
-/// rewinding to a checkpoint.
+/// rewinding to a checkpoint.  A rank that permanently fails calls
+/// retire(): it leaves every collective (rendezvous counts only live
+/// ranks), messages to it are swallowed, and takes waiting on it fail
+/// fast so survivors can shrink to a smaller world.
 #pragma once
 
 #include <array>
@@ -42,7 +45,8 @@ class Fabric {
   explicit Fabric(int nranks)
       : boxes_(static_cast<std::size_t>(nranks)),
         traffic_(static_cast<std::size_t>(nranks)),
-        seq_(static_cast<std::size_t>(nranks)) {}
+        seq_(static_cast<std::size_t>(nranks)),
+        dead_(static_cast<std::size_t>(nranks)) {}
 
   int nranks() const { return static_cast<int>(boxes_.size()); }
 
@@ -72,13 +76,25 @@ class Fabric {
   void install_fault_plan(std::shared_ptr<FaultPlan> plan);
   FaultPlan* fault_plan() const;
 
-  /// Collective over ALL world ranks: blocks until everyone arrives,
-  /// then purges every mailbox (in-flight and stale envelopes plus
-  /// duplicate-suppression state) and releases all ranks together.
+  /// Collective over all LIVE world ranks: blocks until every live rank
+  /// arrives, then purges every mailbox (in-flight and stale envelopes
+  /// plus duplicate-suppression state) and releases all ranks together.
   /// This is the comm-layer half of rewinding to a checkpoint: after
   /// the rendezvous the fabric is as quiet as at startup.  A positive
   /// deadline bounds the wait for stragglers (timeout -> yy::Error).
   void recovery_rendezvous(int deadline_ms = 0);
+
+  /// Declares `world_rank` permanently failed: pending and future
+  /// messages to it are swallowed, takes waiting on it throw a fast
+  /// Kind::timeout error once their queue holds no match, and it is no
+  /// longer counted by recovery_rendezvous.  Irreversible.
+  void retire(int world_rank);
+  bool is_retired(int world_rank) const {
+    return dead_[static_cast<std::size_t>(world_rank)].load(
+        std::memory_order_acquire);
+  }
+  /// Ascending world ranks retired so far.
+  std::vector<int> retired() const;
 
   TrafficStats traffic(int world_rank) const;
   TrafficStats traffic_total() const;
@@ -110,10 +126,23 @@ class Fabric {
   std::shared_ptr<FaultPlan> plan_;
   std::atomic<bool> validate_{false};
 
-  std::mutex rdv_mu_;
+  /// Completes a pending rendezvous (all live ranks arrived) and wakes
+  /// the waiters; caller holds rdv_mu_.
+  void complete_rendezvous_locked();
+  int live_locked() const {
+    return nranks() - static_cast<int>(retired_.size());
+  }
+
+  mutable std::mutex rdv_mu_;
   std::condition_variable rdv_cv_;
   int rdv_arrived_ = 0;
   std::uint64_t rdv_generation_ = 0;
+
+  /// Rank-death state: per-rank flag for the hot paths, ordered list
+  /// (under rdv_mu_, which also keeps retirement coherent with the
+  /// rendezvous live count) for survivor enumeration.
+  std::vector<std::atomic<bool>> dead_;
+  std::vector<int> retired_;  // guarded by rdv_mu_
 };
 
 }  // namespace yy::comm

@@ -24,6 +24,29 @@ FaultPlan::IoFault FaultPlan::take_io_fault(long long step, int world_rank) {
   return f;
 }
 
+void FaultPlan::schedule_rank_death(int world_rank, long long step) {
+  std::lock_guard lock(mu_);
+  death_schedule_[world_rank] = step;
+}
+
+long long FaultPlan::rank_death_step(int world_rank) const {
+  std::lock_guard lock(mu_);
+  const auto it = death_schedule_.find(world_rank);
+  return it == death_schedule_.end() ? -1 : it->second;
+}
+
+void FaultPlan::mark_rank_death_fired(int world_rank) {
+  std::lock_guard lock(mu_);
+  if (!death_fired_[world_rank]) {
+    death_fired_[world_rank] = true;
+    deaths_fired_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t FaultPlan::rank_deaths_fired() const {
+  return deaths_fired_.load(std::memory_order_relaxed);
+}
+
 void FaultPlan::note_step(long long step) {
   long long cur = step_.load(std::memory_order_relaxed);
   while (step > cur &&

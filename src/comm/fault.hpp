@@ -75,6 +75,17 @@ class FaultPlan {
   void note_step(long long step);
   long long step() const { return step_.load(std::memory_order_relaxed); }
 
+  /// Rank-death schedule: `world_rank` permanently stops participating
+  /// once it has completed `step` solver steps.  The resilient runner
+  /// polls rank_death_step() at the top of its loop, retires the rank
+  /// on the fabric and returns a failed report for it; survivors then
+  /// shrink to a smaller world.
+  void schedule_rank_death(int world_rank, long long step);
+  /// Scheduled death step for `world_rank`, or -1 when none.
+  long long rank_death_step(int world_rank) const;
+  void mark_rank_death_fired(int world_rank);
+  std::uint64_t rank_deaths_fired() const;
+
   /// Consulted by Fabric::deliver for each envelope; returns the first
   /// rule that fires, advancing its counters.
   std::optional<Rule> on_deliver(int src_world, int dest_world, int tag);
@@ -91,6 +102,9 @@ class FaultPlan {
   std::vector<int> matched_;  // per rule: envelopes matched so far
   std::vector<int> fired_;    // per rule: times fired
   std::map<std::pair<long long, int>, IoFault> io_schedule_;
+  std::map<int, long long> death_schedule_;  // world rank -> death step
+  std::map<int, bool> death_fired_;
+  std::atomic<std::uint64_t> deaths_fired_{0};
   std::atomic<long long> step_{-1};
   std::array<std::atomic<std::uint64_t>, kNumKinds> injected_{};
   std::atomic<std::uint64_t> io_fired_{0};

@@ -17,6 +17,19 @@ struct PatchExtent {
   int p0 = 0, np = 0;  ///< first φ node and count
 };
 
+/// Overlap of two extents; an empty intersection has nt == 0 or
+/// np == 0 (starts clamped to the max of the origins).  Used by the
+/// shrink-to-survive redistribution to route old patches onto a new
+/// decomposition.
+inline PatchExtent intersect(const PatchExtent& a, const PatchExtent& b) {
+  PatchExtent e;
+  e.t0 = std::max(a.t0, b.t0);
+  e.p0 = std::max(a.p0, b.p0);
+  e.nt = std::max(0, std::min(a.t0 + a.nt, b.t0 + b.nt) - e.t0);
+  e.np = std::max(0, std::min(a.p0 + a.np, b.p0 + b.np) - e.p0);
+  return e;
+}
+
 class PanelDecomposition {
  public:
   /// Splits panel_nt × panel_np interior nodes over pt × pp ranks,

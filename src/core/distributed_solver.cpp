@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
+#include "comm/cart.hpp"
 #include "core/ownership.hpp"
 #include "mhd/init.hpp"
 #include "obs/telemetry.hpp"
@@ -28,6 +30,16 @@ GridSpec patch_spec(const yinyang::ComponentGeometry& geom,
   s.p1 = geom.p_min() + (e.p0 + e.np - 1) * geom.dp();
   s.ghost = geom.ghost();
   s.phi_periodic = false;
+  // Align the patch with the whole-panel grid: exact parent spacings
+  // and global node indices make the coordinate and metric tables
+  // bitwise identical across every decomposition of the panel — the
+  // property the shrink-to-survive bitwise-restore guarantee rests on.
+  s.t_spacing = geom.dt();
+  s.p_spacing = geom.dp();
+  s.t_origin = geom.t_min();
+  s.p_origin = geom.p_min();
+  s.t_offset = e.t0;
+  s.p_offset = e.p0;
   return s;
 }
 
@@ -36,11 +48,19 @@ GridSpec patch_spec(const yinyang::ComponentGeometry& geom,
 DistributedSolver::DistributedSolver(const SimulationConfig& cfg,
                                      const comm::Communicator& world, int pt,
                                      int pp)
+    : DistributedSolver(cfg, world, PanelLayout{pt, pp}, PanelLayout{pt, pp}) {}
+
+DistributedSolver::DistributedSolver(const SimulationConfig& cfg,
+                                     const comm::Communicator& world,
+                                     PanelLayout yin, PanelLayout yang)
     : cfg_(cfg),
       geom_(yinyang::ComponentGeometry::with_auto_margin(cfg.nt_core,
                                                          cfg.np_core)),
-      runner_(std::make_unique<Runner>(world, pt, pp)),
-      decomp_(geom_.nt(), geom_.np(), pt, pp),
+      runner_(std::make_unique<Runner>(world, yin, yang)),
+      decomp_(geom_.nt(), geom_.np(), runner_->pt(), runner_->pp()),
+      partner_decomp_(geom_.nt(), geom_.np(),
+                      runner_->layout(yinyang::other(runner_->panel())).pt,
+                      runner_->layout(yinyang::other(runner_->panel())).pp),
       extent_(decomp_.patch(runner_->cart().coord(0), runner_->cart().coord(1))),
       bc_(cfg.thermal),
       eq_(runner_->panel() == Panel::yin ? cfg.eq : cfg.eq.for_partner_panel()) {
@@ -48,8 +68,8 @@ DistributedSolver::DistributedSolver(const SimulationConfig& cfg,
       patch_spec(geom_, extent_, cfg.nr, cfg.shell.r_inner, cfg.shell.r_outer));
   interp_ = std::make_unique<yinyang::OversetInterpolator>(geom_);
   halo_ = std::make_unique<HaloExchanger>(*grid_, runner_->cart());
-  overset_ = std::make_unique<OversetExchanger>(*interp_, decomp_, *runner_,
-                                                *grid_, extent_);
+  overset_ = std::make_unique<OversetExchanger>(
+      *interp_, decomp_, partner_decomp_, *runner_, *grid_, extent_);
   state_ = std::make_unique<mhd::Fields>(*grid_);
   ws_ = std::make_unique<mhd::Workspace>(*grid_);
   integrator_ = std::make_unique<mhd::Integrator>(
@@ -221,10 +241,13 @@ Field3 DistributedSolver::gather_field(int field_index, Panel p) {
   Field3 out;
   if (world.rank() == 0) {
     out = Field3(cfg_.nr, geom_.nt(), geom_.np());
-    const int nranks_panel = runner_->pt() * runner_->pp();
-    for (int pr = 0; pr < nranks_panel; ++pr) {
+    // Panel p's own layout/decomposition (the panels differ after a
+    // shrink-to-survive rebuild).
+    const PanelLayout& pl = runner_->layout(p);
+    const PanelDecomposition& pd = decomp_of(p);
+    for (int pr = 0; pr < pl.size(); ++pr) {
       const int src = runner_->world_rank(p, pr);
-      const auto pe = decomp_.patch(pr / runner_->pp(), pr % runner_->pp());
+      const auto pe = pd.patch(pr / pl.pp, pr % pl.pp);
       std::vector<double> msg(4 + static_cast<std::size_t>(cfg_.nr) * pe.nt *
                                       pe.np);
       world.recv(src, tag_gather, msg);
@@ -240,6 +263,195 @@ Field3 DistributedSolver::gather_field(int field_index, Panel p) {
     }
   }
   return out;
+}
+
+std::pair<PanelLayout, PanelLayout> DistributedSolver::shrunk_layouts(
+    PanelLayout old_yin, PanelLayout old_yang,
+    const std::vector<int>& survivors) {
+  int n_yin = 0, n_yang = 0;
+  for (const int s : survivors) {
+    YY_REQUIRE(s >= 0 && s < old_yin.size() + old_yang.size());
+    (s < old_yin.size() ? n_yin : n_yang) += 1;
+  }
+  YY_REQUIRE(n_yin >= 1 && n_yang >= 1);
+  const auto relayout = [](PanelLayout old, int n) {
+    if (n == old.size()) return old;  // untouched panel keeps its shape
+    const auto [d0, d1] = comm::CartComm::choose_dims(n);
+    return PanelLayout{d0, d1};
+  };
+  return {relayout(old_yin, n_yin), relayout(old_yang, n_yang)};
+}
+
+void DistributedSolver::rebuild(const comm::Communicator& new_world,
+                                const std::vector<int>& survivors,
+                                const RebuildSource& src) {
+  YY_REQUIRE(src.load != nullptr);
+  YY_REQUIRE(static_cast<int>(survivors.size()) == new_world.size());
+  const int old_world_size = runner_->world().size();
+  YY_REQUIRE(static_cast<int>(src.holder_of.size()) == old_world_size);
+  cancel_exchanges();
+
+  // ---- capture the old layout before any member is replaced.
+  const PanelLayout old_yin = runner_->layout(Panel::yin);
+  const PanelLayout old_yang = runner_->layout(Panel::yang);
+  const PanelDecomposition old_decomp[2] = {
+      PanelDecomposition(geom_.nt(), geom_.np(), old_yin.pt, old_yin.pp),
+      PanelDecomposition(geom_.nt(), geom_.np(), old_yang.pt, old_yang.pp)};
+
+  std::vector<int> new_rank_of(static_cast<std::size_t>(old_world_size), -1);
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    const int s = survivors[i];
+    YY_REQUIRE(s >= 0 && s < old_world_size);
+    YY_REQUIRE(i == 0 || s > survivors[i - 1]);
+    new_rank_of[static_cast<std::size_t>(s)] = static_cast<int>(i);
+  }
+
+  const auto [new_yin, new_yang] =
+      shrunk_layouts(old_yin, old_yang, survivors);
+  YY_REQUIRE(new_yin.size() + new_yang.size() == new_world.size());
+
+  // ---- rebuild the solver structure on the shrunk world (geom_ and
+  // interp_ are global knowledge and survive as-is; a Yin survivor
+  // stays Yin because survivor order preserves the panel partition).
+  runner_ = std::make_unique<Runner>(new_world, new_yin, new_yang);
+  const Panel panel = runner_->panel();
+  decomp_ =
+      PanelDecomposition(geom_.nt(), geom_.np(), runner_->pt(), runner_->pp());
+  const PanelLayout& partner = runner_->layout(yinyang::other(panel));
+  partner_decomp_ =
+      PanelDecomposition(geom_.nt(), geom_.np(), partner.pt, partner.pp);
+  extent_ = decomp_.patch(runner_->cart().coord(0), runner_->cart().coord(1));
+  grid_ = std::make_unique<SphericalGrid>(
+      patch_spec(geom_, extent_, cfg_.nr, cfg_.shell.r_inner,
+                 cfg_.shell.r_outer));
+  halo_ = std::make_unique<HaloExchanger>(*grid_, runner_->cart());
+  overset_ = std::make_unique<OversetExchanger>(
+      *interp_, decomp_, partner_decomp_, *runner_, *grid_, extent_);
+  state_ = std::make_unique<mhd::Fields>(*grid_);
+  ws_ = std::make_unique<mhd::Workspace>(*grid_);
+  integrator_ = std::make_unique<mhd::Integrator>(
+      cfg_.scheme, std::vector<const SphericalGrid*>{grid_.get()},
+      cfg_.fused_rhs ? mhd::RhsBackend::fused : mhd::RhsBackend::reference);
+  weights_ = std::make_unique<mhd::ColumnWeights>(
+      ownership_weights(geom_, *grid_, extent_.t0, extent_.p0));
+  eq_ = panel == Panel::yin ? cfg_.eq : cfg_.eq.for_partner_panel();
+  halo_posted_ = HaloExchanger::Posted{};
+  overset_posted_ = OversetExchanger::Posted{};
+  telemetry_ = nullptr;  // its aggregation window was over the old world
+
+  // ---- deterministic redistribution plan, identical on every rank:
+  // for each old patch, the rank serving its snapshot ships the
+  // intersection with every new patch of the same panel.  Sends are
+  // buffered and receives complete in the same global order, so the
+  // two passes cannot deadlock or mismatch.
+  struct Xfer {
+    Panel p;
+    int server;     // new world rank serving the old patch's snapshot
+    int dest;       // new world rank owning the new patch
+    int old_world;  // old world rank whose snapshot is shipped
+    PatchExtent inter, old_e;
+  };
+  std::vector<Xfer> plan;
+  for (const Panel p : {Panel::yin, Panel::yang}) {
+    const int pi = p == Panel::yin ? 0 : 1;
+    const PanelLayout& ol = pi == 0 ? old_yin : old_yang;
+    const PanelDecomposition& od = old_decomp[pi];
+    const PanelLayout& nl = runner_->layout(p);
+    const PanelDecomposition& nd = decomp_of(p);
+    const int old_base = pi == 0 ? 0 : old_yin.size();
+    for (int o = 0; o < ol.size(); ++o) {
+      const int w = old_base + o;
+      const int holder = src.holder_of[static_cast<std::size_t>(w)];
+      YY_REQUIRE(holder >= 0 && holder < old_world_size);
+      const int server = new_rank_of[static_cast<std::size_t>(holder)];
+      YY_REQUIRE(server >= 0);  // a dead holder cannot serve
+      const PatchExtent oe = od.patch(o / ol.pp, o % ol.pp);
+      for (int nn = 0; nn < nl.size(); ++nn) {
+        const PatchExtent ne = nd.patch(nn / nl.pp, nn % nl.pp);
+        const PatchExtent ov = intersect(oe, ne);
+        if (ov.nt == 0 || ov.np == 0) continue;
+        plan.push_back({p, server, runner_->world_rank(p, nn), w, ov, oe});
+      }
+    }
+  }
+
+  // Snapshots this rank serves, decoded once per old rank.
+  std::map<int, std::unique_ptr<mhd::Fields>> served;
+  const auto serve = [&](const Xfer& x) -> const mhd::Fields& {
+    auto it = served.find(x.old_world);
+    if (it == served.end()) {
+      const SphericalGrid g(patch_spec(geom_, x.old_e, cfg_.nr,
+                                       cfg_.shell.r_inner,
+                                       cfg_.shell.r_outer));
+      auto f = std::make_unique<mhd::Fields>(g);
+      if (!src.load(x.old_world, *f)) {
+        char msg[96];
+        std::snprintf(msg, sizeof msg,
+                      "rebuild: snapshot for old world rank %d cannot be "
+                      "served",
+                      x.old_world);
+        throw Error(Error::Kind::corruption, msg);
+      }
+      it = served.emplace(x.old_world, std::move(f)).first;
+    }
+    return *it->second;
+  };
+  const auto pack = [&](const Xfer& x, std::vector<double>& buf) {
+    const mhd::Fields& f = serve(x);
+    buf.reserve(static_cast<std::size_t>(mhd::Fields::kNumFields) *
+                static_cast<std::size_t>(cfg_.nr) *
+                static_cast<std::size_t>(x.inter.nt) *
+                static_cast<std::size_t>(x.inter.np));
+    const int gh = geom_.ghost();
+    for (const Field3* fld : f.all())
+      for (int ip = 0; ip < x.inter.np; ++ip)
+        for (int it = 0; it < x.inter.nt; ++it)
+          for (int ir = 0; ir < cfg_.nr; ++ir)
+            buf.push_back((*fld)(gh + ir, gh + (x.inter.t0 - x.old_e.t0) + it,
+                                 gh + (x.inter.p0 - x.old_e.p0) + ip));
+  };
+
+  const int me = new_world.rank();
+  const int gh = grid_->ghost();
+  constexpr int tag_rebuild = 400;
+
+  // Pass 1: post every send (self-copies are handled in pass 2).
+  for (const Xfer& x : plan) {
+    if (x.server != me || x.dest == me) continue;
+    std::vector<double> buf;
+    pack(x, buf);
+    new_world.send(x.dest, tag_rebuild, buf);
+  }
+
+  // Pass 2: receives and self-copies, in the same global plan order.
+  for (const Xfer& x : plan) {
+    if (x.dest != me) continue;
+    std::vector<double> buf;
+    if (x.server == me) {
+      pack(x, buf);
+    } else {
+      buf.resize(static_cast<std::size_t>(mhd::Fields::kNumFields) *
+                 static_cast<std::size_t>(cfg_.nr) *
+                 static_cast<std::size_t>(x.inter.nt) *
+                 static_cast<std::size_t>(x.inter.np));
+      new_world.recv(x.server, tag_rebuild, buf);
+    }
+    std::size_t k = 0;
+    for (Field3* fld : state_->all())
+      for (int ip = 0; ip < x.inter.np; ++ip)
+        for (int it = 0; it < x.inter.nt; ++it)
+          for (int ir = 0; ir < cfg_.nr; ++ir)
+            (*fld)(gh + ir, gh + (x.inter.t0 - extent_.t0) + it,
+                   gh + (x.inter.p0 - extent_.p0) + ip) = buf[k++];
+  }
+  served.clear();
+
+  // Interiors are exact; the ghost frame (walls, halos, overset,
+  // radial) is recomputed collectively, exactly as the end of a step
+  // leaves it — completing the bitwise-equivalence argument.
+  time_ = src.time;
+  steps_ = src.step;
+  fill_ghosts(*state_);
 }
 
 }  // namespace yy::core

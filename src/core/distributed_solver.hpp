@@ -7,7 +7,11 @@
 /// match the serial reference solver to floating-point roundoff.
 #pragma once
 
+#include <functional>
+#include <map>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "comm/communicator.hpp"
 #include "core/config.hpp"
@@ -33,6 +37,13 @@ class DistributedSolver {
   /// Collective over `world` (size must be 2·pt·pp).
   DistributedSolver(const SimulationConfig& cfg,
                     const comm::Communicator& world, int pt, int pp);
+
+  /// Collective over `world` with asymmetric per-panel layouts (world
+  /// size = yin.size() + yang.size()) — the layout a shrink-to-survive
+  /// recovery leaves behind, constructible directly for reference runs.
+  DistributedSolver(const SimulationConfig& cfg,
+                    const comm::Communicator& world, PanelLayout yin,
+                    PanelLayout yang);
 
   void initialize();
   void step(double dt);
@@ -63,6 +74,41 @@ class DistributedSolver {
   /// the arrays are exactly what the uninterrupted run held after step
   /// `step` (rank-local, no communication).
   void restore_state(const mhd::Fields& s, double time, long long step);
+
+  /// Where rebuild() finds every old rank's snapshot after a shrink.
+  struct RebuildSource {
+    long long step = 0;  ///< solver step the snapshots were taken at
+    double time = 0.0;   ///< solver time at that step
+    /// For each OLD world rank, the OLD world rank whose survivor now
+    /// serves that patch: identity for survivors, the buddy holder for
+    /// dead ranks.
+    std::vector<int> holder_of;
+    /// Decodes old rank `w`'s snapshot into `out` (shaped as w's old
+    /// patch full arrays); false when it cannot be served.
+    std::function<bool(int w, mhd::Fields& out)> load;
+  };
+
+  /// Collective over `new_world` (the communicator shrink() built over
+  /// `survivors`, the ascending surviving OLD world ranks).  Rebuilds
+  /// runner, decompositions, grid, exchangers and integrator on the
+  /// shrunk_layouts() layout, redistributes every old patch's interior
+  /// from the rank serving it (tag 400, deterministic plan), then
+  /// recomputes the ghosts.  Because every step ends in fill_ghosts and
+  /// trajectories are decomposition-invariant, the rebuilt state is
+  /// bitwise what a run launched directly on the shrunk layout holds
+  /// after `src.step` steps.  Detaches telemetry (its aggregation
+  /// window is tied to the old world); re-attach afterwards if wanted.
+  void rebuild(const comm::Communicator& new_world,
+               const std::vector<int>& survivors, const RebuildSource& src);
+
+  /// Per-panel layouts after shrinking to `survivors` (old world ranks,
+  /// ascending; panel boundary at old_yin.size()): a panel that lost no
+  /// rank keeps its layout, otherwise its survivor count is re-factored
+  /// near-square (comm::CartComm::choose_dims).  Each panel must keep
+  /// at least one survivor.
+  static std::pair<PanelLayout, PanelLayout> shrunk_layouts(
+      PanelLayout old_yin, PanelLayout old_yang,
+      const std::vector<int>& survivors);
 
   /// Walls → halo → overset → radial ghosts, on this rank's patch
   /// (collective: every rank must call it together).
@@ -96,10 +142,16 @@ class DistributedSolver {
  private:
   void cancel_exchanges() noexcept;
 
+  /// Decomposition of either panel (mine or the partner's).
+  const PanelDecomposition& decomp_of(yinyang::Panel p) const {
+    return p == runner_->panel() ? decomp_ : partner_decomp_;
+  }
+
   SimulationConfig cfg_;
   yinyang::ComponentGeometry geom_;
   std::unique_ptr<Runner> runner_;
-  PanelDecomposition decomp_;
+  PanelDecomposition decomp_;          ///< my panel's decomposition
+  PanelDecomposition partner_decomp_;  ///< the other panel's
   PatchExtent extent_;
   std::unique_ptr<SphericalGrid> grid_;
   std::unique_ptr<yinyang::OversetInterpolator> interp_;

@@ -11,64 +11,68 @@ constexpr int kFieldsPerColumn = mhd::Fields::kNumFields;
 }  // namespace
 
 OversetExchanger::OversetExchanger(const yinyang::OversetInterpolator& interp,
-                                   const PanelDecomposition& decomp,
+                                   const PanelDecomposition& my_decomp,
+                                   const PanelDecomposition& partner_decomp,
                                    const Runner& runner,
                                    const SphericalGrid& local,
                                    const PatchExtent& extent)
     : grid_(&local), runner_(&runner), nr_(local.spec().nr) {
-  (void)extent;  // the plan derives patch offsets from `decomp` directly
   const int gh = local.ghost();
   const yinyang::Panel me_panel = runner.panel();
   const yinyang::Panel partner_panel = yinyang::other(me_panel);
   const int my_panel_rank = runner.panel_rank();
-  const int pp = runner.pp();
 
   // The plan derives from the global stencil table.  Entry indices are
   // panel full-array positions of a *whole-panel* grid with the same
-  // ghost width; interior index = full − gh.
+  // ghost width; interior index = full − gh.  Donor and receiver walk
+  // the table in the same order with mirrored predicates, so the
+  // per-(sender, receiver) message streams agree even when the two
+  // panels carry different decompositions.
   for (const yinyang::StencilEntry& e : interp.entries()) {
-    // --- donor side: the unique partner-panel rank owning the donor
-    // cell's base node provides the whole 2×2 stencil (its +1 rows may
-    // live in its halo, which is valid because halo exchange precedes
-    // the overset exchange).
     const int jt_int = e.donor_jt - gh;
     const int jp_int = e.donor_jp - gh;
-    const int donor_ct = decomp.owner_t(jt_int);
-    const int donor_cp = decomp.owner_p(jp_int);
-    const int donor_rank = donor_ct * pp + donor_cp;
 
-    // --- receiver side: every rank of the receiving panel whose patch
-    // array contains the ghost column needs the value (ghost frames of
-    // adjacent edge patches overlap at panel corners).
-    // Receivers of Yin-panel ghosts are Yin ranks fed by Yang donors
-    // and vice versa; the table is panel-symmetric so it serves both
-    // directions simultaneously.
-    for (int ct = 0; ct < decomp.pt(); ++ct) {
-      for (int cp = 0; cp < decomp.pp(); ++cp) {
-        const PatchExtent pe = decomp.patch(ct, cp);
-        const int itloc = e.recv_it - pe.t0;  // local full-array index
-        const int iploc = e.recv_ip - pe.p0;
-        if (itloc < 0 || itloc >= pe.nt + 2 * gh) continue;
-        if (iploc < 0 || iploc >= pe.np + 2 * gh) continue;
-        const int recv_rank = ct * pp + cp;
-
-        // I donate when I am the donor rank in MY panel and the
-        // receiver is the corresponding rank of the partner panel.
-        if (donor_rank == my_panel_rank) {
+    // --- donor side: I donate when MY panel's decomposition assigns me
+    // the donor cell's base node (the 2×2 stencil's +1 rows may live in
+    // my halo, which is valid because halo exchange precedes the
+    // overset exchange).  Receivers are every partner-panel rank whose
+    // patch array contains the ghost column (ghost frames of adjacent
+    // edge patches overlap at panel corners).
+    const int donor_ct = my_decomp.owner_t(jt_int);
+    const int donor_cp = my_decomp.owner_p(jp_int);
+    if (donor_ct * my_decomp.pp() + donor_cp == my_panel_rank) {
+      const PatchExtent mine = my_decomp.patch(donor_ct, donor_cp);
+      for (int ct = 0; ct < partner_decomp.pt(); ++ct) {
+        for (int cp = 0; cp < partner_decomp.pp(); ++cp) {
+          const PatchExtent pe = partner_decomp.patch(ct, cp);
+          const int itloc = e.recv_it - pe.t0;  // receiver full-array index
+          const int iploc = e.recv_ip - pe.p0;
+          if (itloc < 0 || itloc >= pe.nt + 2 * gh) continue;
+          if (iploc < 0 || iploc >= pe.np + 2 * gh) continue;
           SendItem si;
           si.entry = e;
-          const PatchExtent mine = decomp.patch(donor_ct, donor_cp);
           si.entry.donor_jt = e.donor_jt - mine.t0;  // rebase to my patch
           si.entry.donor_jp = e.donor_jp - mine.p0;
-          send_plan_[runner.world_rank(partner_panel, recv_rank)].push_back(si);
-        }
-        // I receive when I am that receiver in MY panel; the donor sits
-        // in the partner panel.
-        if (recv_rank == my_panel_rank) {
-          recv_plan_[runner.world_rank(partner_panel, donor_rank)].push_back(
-              {itloc, iploc});
+          send_plan_[runner.world_rank(partner_panel,
+                                       ct * partner_decomp.pp() + cp)]
+              .push_back(si);
         }
       }
+    }
+
+    // --- receiver side: I receive when my own patch array contains the
+    // ghost column; the donor is the partner panel's owner of the donor
+    // base node.  The table is panel-symmetric, so it serves both
+    // directions simultaneously.
+    const int itloc = e.recv_it - extent.t0;
+    const int iploc = e.recv_ip - extent.p0;
+    if (itloc >= 0 && itloc < extent.nt + 2 * gh && iploc >= 0 &&
+        iploc < extent.np + 2 * gh) {
+      const int donor_rank =
+          partner_decomp.owner_t(jt_int) * partner_decomp.pp() +
+          partner_decomp.owner_p(jp_int);
+      recv_plan_[runner.world_rank(partner_panel, donor_rank)].push_back(
+          {itloc, iploc});
     }
   }
 

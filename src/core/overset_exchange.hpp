@@ -30,11 +30,16 @@ namespace yy::core {
 class OversetExchanger {
  public:
   /// `local` is this rank's patch grid, `extent` its panel-interior
-  /// extent.  All ranks of both panels must construct this collectively
-  /// (the exchange pairs messages by the shared deterministic plan).
+  /// extent.  `my_decomp` decomposes this rank's panel, `partner_decomp`
+  /// the other panel — they differ after a shrink-to-survive rebuild
+  /// (pass the same object twice for the symmetric layout).  All ranks
+  /// of both panels must construct this collectively (the exchange
+  /// pairs messages by the shared deterministic plan).
   OversetExchanger(const yinyang::OversetInterpolator& interp,
-                   const PanelDecomposition& decomp, const Runner& runner,
-                   const SphericalGrid& local, const PatchExtent& extent);
+                   const PanelDecomposition& my_decomp,
+                   const PanelDecomposition& partner_decomp,
+                   const Runner& runner, const SphericalGrid& local,
+                   const PatchExtent& extent);
 
   /// In-flight state of one posted exchange: the pre-posted receives,
   /// in plan order.  Obtained from post(), consumed once by finish().

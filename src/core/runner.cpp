@@ -5,18 +5,24 @@
 namespace yy::core {
 
 Runner::Runner(const comm::Communicator& world, int pt, int pp)
-    : world_(world), pt_(pt), pp_(pp) {
-  YY_REQUIRE(world.size() == 2 * pt * pp);
-  const int half = world.size() / 2;
-  panel_ = world.rank() < half ? yinyang::Panel::yin : yinyang::Panel::yang;
+    : Runner(world, PanelLayout{pt, pp}, PanelLayout{pt, pp}) {}
+
+Runner::Runner(const comm::Communicator& world, PanelLayout yin,
+               PanelLayout yang)
+    : world_(world), layouts_{yin, yang} {
+  YY_REQUIRE(yin.pt >= 1 && yin.pp >= 1 && yang.pt >= 1 && yang.pp >= 1);
+  YY_REQUIRE(world.size() == yin.size() + yang.size());
+  panel_ = world.rank() < yin.size() ? yinyang::Panel::yin
+                                     : yinyang::Panel::yang;
   // MPI_COMM_SPLIT by panel colour, keeping world order within a panel.
   comm::Communicator panel_comm =
       world_.split(static_cast<int>(panel_), world.rank());
-  YY_ASSERT(panel_comm.size() == half);
+  const PanelLayout& mine = layout(panel_);
+  YY_ASSERT(panel_comm.size() == mine.size());
   // 2-D cartesian topology inside the panel; neither direction is
   // periodic (a panel is a bounded rectangle in (θ, φ)).
   cart_ = std::make_unique<comm::CartComm>(
-      comm::CartComm::create(panel_comm, pt, pp, false, false));
+      comm::CartComm::create(panel_comm, mine.pt, mine.pp, false, false));
 }
 
 }  // namespace yy::core

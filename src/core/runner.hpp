@@ -17,23 +17,42 @@
 
 namespace yy::core {
 
+/// One panel's process-grid shape.  The two panels usually share a
+/// layout (the paper's symmetric 2·pt·pp world), but after a
+/// shrink-to-survive recovery each panel keeps its own (see
+/// DistributedSolver::rebuild), so the structure is per panel.
+struct PanelLayout {
+  int pt = 0, pp = 0;
+  int size() const { return pt * pp; }
+};
+
 class Runner {
  public:
   /// Collective over `world`; world size must equal 2 * pt * pp.
   /// Ranks [0, n/2) become the Yin panel, [n/2, n) the Yang panel.
   Runner(const comm::Communicator& world, int pt, int pp);
 
+  /// Asymmetric per-panel layouts: ranks [0, yin.size()) form the Yin
+  /// panel, the remaining yang.size() ranks the Yang panel.  World size
+  /// must equal yin.size() + yang.size().
+  Runner(const comm::Communicator& world, PanelLayout yin, PanelLayout yang);
+
   const comm::Communicator& world() const { return world_; }
   yinyang::Panel panel() const { return panel_; }
   const comm::Communicator& panel_comm() const { return cart_->comm(); }
   const comm::CartComm& cart() const { return *cart_; }
-  int pt() const { return pt_; }
-  int pp() const { return pp_; }
+  int pt() const { return layout(panel_).pt; }
+  int pp() const { return layout(panel_).pp; }
+
+  /// Process-grid shape of either panel.
+  const PanelLayout& layout(yinyang::Panel p) const {
+    return layouts_[p == yinyang::Panel::yin ? 0 : 1];
+  }
+  int panel_size(yinyang::Panel p) const { return layout(p).size(); }
 
   /// World rank backing a panel rank of either panel.
   int world_rank(yinyang::Panel p, int panel_rank) const {
-    const int half = world_.size() / 2;
-    return (p == yinyang::Panel::yin ? 0 : half) + panel_rank;
+    return (p == yinyang::Panel::yin ? 0 : layouts_[0].size()) + panel_rank;
   }
 
   /// This rank's panel rank (its rank within the panel communicator).
@@ -43,7 +62,7 @@ class Runner {
   comm::Communicator world_;
   yinyang::Panel panel_;
   std::unique_ptr<comm::CartComm> cart_;
-  int pt_, pp_;
+  PanelLayout layouts_[2];  ///< [0] = Yin, [1] = Yang
 };
 
 }  // namespace yy::core

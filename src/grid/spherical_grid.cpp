@@ -8,11 +8,18 @@ SphericalGrid::SphericalGrid(const GridSpec& spec) : spec_(spec) {
   YY_REQUIRE(spec.nr >= 2 && spec.nt >= 2 && spec.np >= 2);
   YY_REQUIRE(spec.ghost >= 0);
   YY_REQUIRE(spec.r1 > spec.r0 && spec.t1 > spec.t0 && spec.p1 > spec.p0);
+  // Alignment is all-or-nothing: both horizontal spacings, or neither.
+  YY_REQUIRE((spec.t_spacing > 0.0) == (spec.p_spacing > 0.0));
 
   dr_ = (spec.r1 - spec.r0) / (spec.nr - 1);
-  dt_ = (spec.t1 - spec.t0) / (spec.nt - 1);
-  dp_ = spec.phi_periodic ? (spec.p1 - spec.p0) / spec.np
-                          : (spec.p1 - spec.p0) / (spec.np - 1);
+  // Aligned grids inherit the parent's spacings verbatim; re-deriving
+  // them from a patch sub-span would perturb them by ulps relative to
+  // sibling patches (see the GridSpec alignment comment).
+  dt_ = spec.t_spacing > 0.0 ? spec.t_spacing
+                             : (spec.t1 - spec.t0) / (spec.nt - 1);
+  dp_ = spec.t_spacing > 0.0   ? spec.p_spacing
+        : spec.phi_periodic ? (spec.p1 - spec.p0) / spec.np
+                            : (spec.p1 - spec.p0) / (spec.np - 1);
 
   // Ghost nodes must not cross the coordinate origin: operators never
   // evaluate metrics there, but 1/r tables are built for all indices.

@@ -27,6 +27,21 @@ struct GridSpec {
   /// (exclusive right endpoint, full circle); otherwise nodes span
   /// [p0, p1] inclusively like r and θ.
   bool phi_periodic = false;
+
+  /// Optional exact horizontal alignment with a parent (whole-panel)
+  /// grid.  When aligned (t_spacing > 0), the θ/φ spacings are taken
+  /// verbatim instead of being re-derived from the node spans, and node
+  /// coordinates come from the *global* node index:
+  ///     θ(it) = t_origin + (t_offset + it − ghost) · t_spacing
+  /// so every coordinate and metric-table entry is bitwise identical to
+  /// the parent grid's at shared nodes no matter how the panel is cut
+  /// into patches.  (Re-deriving the spacing from a patch sub-span
+  /// perturbs it by ulps, which perturbs every φ-derivative in a
+  /// decomposition-dependent way — fatal for layout-invariance
+  /// guarantees like shrink-to-survive's bitwise restore.)
+  double t_spacing = 0.0, p_spacing = 0.0;
+  double t_origin = 0.0, p_origin = 0.0;
+  int t_offset = 0, p_offset = 0;
 };
 
 class SphericalGrid {
@@ -46,9 +61,19 @@ class SphericalGrid {
   double dp() const { return dp_; }
 
   /// Node coordinates by patch index (ghost indices extrapolate).
+  /// Aligned grids (GridSpec::t_spacing > 0) evaluate from the global
+  /// node index so patches of one panel agree bitwise at shared nodes.
   double r(int ir) const { return spec_.r0 + (ir - spec_.ghost) * dr_; }
-  double theta(int it) const { return spec_.t0 + (it - spec_.ghost) * dt_; }
-  double phi(int ip) const { return spec_.p0 + (ip - spec_.ghost) * dp_; }
+  double theta(int it) const {
+    return spec_.t_spacing > 0.0
+               ? spec_.t_origin + (spec_.t_offset + it - spec_.ghost) * dt_
+               : spec_.t0 + (it - spec_.ghost) * dt_;
+  }
+  double phi(int ip) const {
+    return spec_.t_spacing > 0.0
+               ? spec_.p_origin + (spec_.p_offset + ip - spec_.ghost) * dp_
+               : spec_.p0 + (ip - spec_.ghost) * dp_;
+  }
 
   // Precomputed metric tables over all patch indices.
   double inv_r(int ir) const { return inv_r_[idx(ir, Nr())]; }

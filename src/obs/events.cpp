@@ -12,7 +12,8 @@ constexpr const char* kEventNames[] = {
     "restart_loaded",   "recovery_rewind",        "dt_backoff",
     "comm_timeout",     "comm_corruption",        "health_check",
     "health_nonfinite", "health_blowup",          "health_cfl_collapse",
-    "run_failed",
+    "rank_death_detected", "world_shrunk",        "buddy_restore",
+    "dt_reramp",        "run_failed",
 };
 static_assert(std::size(kEventNames) == static_cast<std::size_t>(kNumEvents),
               "event_name table and kNumEvents are out of sync");

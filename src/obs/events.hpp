@@ -27,10 +27,14 @@ enum class Event : int {
   health_nonfinite,         ///< NaN/Inf detected in the state
   health_blowup,            ///< field magnitude above the blow-up threshold
   health_cfl_collapse,      ///< stable dt collapsed below the floor
+  rank_death_detected,      ///< a peer was confirmed dead (per survivor)
+  world_shrunk,             ///< the world shrank to the survivor set
+  buddy_restore,            ///< a dead rank's patch restored from replica
+  dt_reramp,                ///< dt grown back toward the CFL-stable dt
   run_failed,               ///< resilient run gave up (structured failure)
 };
 
-inline constexpr int kNumEvents = 13;
+inline constexpr int kNumEvents = 17;
 
 // A new Event must bump kNumEvents (and the name table in events.cpp,
 // pinned by its own static_assert) before it compiles.

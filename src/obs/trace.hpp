@@ -54,10 +54,12 @@ enum class Phase : int {
                  ///< needed; runs while exchanges are in flight)
   rim_rhs,       ///< overlapped mode: RHS boundary-shell sweep after
                  ///< the exchanges finish
+  shrink,        ///< rebuilding the communicator over the survivors
+  buddy_restore, ///< redistribution/restore from buddy replicas
   other,         ///< anything else worth a span
 };
 
-inline constexpr int kNumPhases = 11;
+inline constexpr int kNumPhases = 13;
 
 // A new Phase must bump kNumPhases (and the name table in trace.cpp,
 // whose size is pinned by its own static_assert) before it compiles.

@@ -126,25 +126,62 @@ bool fields_shape_is(const mhd::Fields& s, const CheckpointMetaV2& m) {
   return f.nr() == m.nr && f.nt() == m.nt && f.np() == m.np;
 }
 
-/// Streams one panel's 8 fields, tracking a section CRC; returns false
-/// on a short write.
-bool write_panel(std::FILE* f, const mhd::Fields& s) {
-  std::uint32_t crc = crc32_init();
-  std::string len;
-  std::uint64_t bytes = 0;
-  for (const Field3* fld : s.all())
-    bytes += fld->flat().size() * sizeof(double);
-  put_u64(len, bytes);
-  if (std::fwrite(len.data(), 1, len.size(), f) != len.size()) return false;
-  for (const Field3* fld : s.all()) {
-    const auto flat = fld->flat();
-    const std::size_t n = flat.size() * sizeof(double);
-    if (std::fwrite(flat.data(), 1, n, f) != n) return false;
-    crc = crc32_update(crc, flat.data(), n);
+/// Shared decode core over an in-memory image.  With `deep` false and
+/// panel0 == nullptr only the header is validated (peek); `deep` true
+/// walks every payload section against the header dims even without
+/// Fields targets, so a replica of a foreign-shaped patch can still be
+/// fully CRC-vetted.
+LoadStatus decode_impl(const unsigned char* data, std::size_t size,
+                       CheckpointMetaV2& m, mhd::Fields* panel0,
+                       mhd::Fields* panel1, bool deep) {
+  if (size < sizeof kMagic || std::memcmp(data, kMagic, sizeof kMagic) != 0)
+    return LoadStatus::bad_magic;
+  Reader r{data, size, sizeof kMagic};
+  const std::uint32_t hlen = r.u32();
+  if (!r.ok || hlen == 0 || hlen > 4096) return LoadStatus::bad_header;
+  if (r.off + hlen + 4 > size) return LoadStatus::bad_header;
+  const std::string header(reinterpret_cast<const char*>(data + r.off), hlen);
+  r.off += hlen;
+  if (r.u32() != crc32(header.data(), header.size()) || !r.ok)
+    return LoadStatus::bad_header;
+  if (!parse_header(header, m) || m.nr <= 0 || m.nt <= 0 || m.np <= 0 ||
+      (m.panels != 1 && m.panels != 2))
+    return LoadStatus::bad_header;
+
+  if (panel0 == nullptr && !deep) return LoadStatus::ok;  // header peek
+  if (panel0 != nullptr) {
+    if (!fields_shape_is(*panel0, m)) return LoadStatus::bad_shape;
+    if (m.panels == 2 && (panel1 == nullptr || !fields_shape_is(*panel1, m)))
+      return LoadStatus::bad_shape;
   }
-  std::string tail;
-  put_u32(tail, crc32_final(crc));
-  return std::fwrite(tail.data(), 1, tail.size(), f) == tail.size();
+
+  const std::size_t nd = panel_doubles(m);
+  std::size_t payload_off[2] = {0, 0};
+  for (int p = 0; p < m.panels; ++p) {
+    const std::uint64_t plen = r.u64();
+    if (!r.ok || plen != nd * sizeof(double)) return LoadStatus::bad_payload;
+    if (r.off + plen + 4 > size) return LoadStatus::bad_payload;
+    payload_off[p] = r.off;
+    const std::uint32_t want = crc32(data + r.off, static_cast<std::size_t>(plen));
+    r.off += static_cast<std::size_t>(plen);
+    if (r.u32() != want || !r.ok) return LoadStatus::bad_payload;
+  }
+  if (r.off != size) return LoadStatus::bad_payload;
+
+  // Every section validated: only now touch the caller's Fields (the
+  // image itself is the staging area).
+  if (panel0 != nullptr) {
+    mhd::Fields* targets[2] = {panel0, panel1};
+    for (int p = 0; p < m.panels; ++p) {
+      const unsigned char* src = data + payload_off[p];
+      for (Field3* fld : targets[p]->all()) {
+        auto flat = fld->flat();
+        std::memcpy(flat.data(), src, flat.size() * sizeof(double));
+        src += flat.size() * sizeof(double);
+      }
+    }
+  }
+  return LoadStatus::ok;
 }
 
 }  // namespace
@@ -161,18 +198,14 @@ const char* load_status_name(LoadStatus s) {
   return "?";
 }
 
-bool save_checkpoint_v2(const std::string& path, const CheckpointMetaV2& meta,
-                        const mhd::Fields* panel0, const mhd::Fields* panel1,
-                        IoFaultSim fault) {
+std::vector<unsigned char> encode_checkpoint_v2(const CheckpointMetaV2& meta,
+                                                const mhd::Fields* panel0,
+                                                const mhd::Fields* panel1) {
   YY_REQUIRE(panel0 != nullptr);
   YY_REQUIRE(meta.panels == 1 || meta.panels == 2);
   YY_REQUIRE((meta.panels == 2) == (panel1 != nullptr));
   YY_REQUIRE(fields_shape_is(*panel0, meta));
   YY_REQUIRE(panel1 == nullptr || fields_shape_is(*panel1, meta));
-
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) return false;
 
   const std::string header = serialize_header(meta);
   std::string head;
@@ -181,9 +214,55 @@ bool save_checkpoint_v2(const std::string& path, const CheckpointMetaV2& meta,
   head += header;
   put_u32(head, crc32(header.data(), header.size()));
 
-  bool ok = std::fwrite(head.data(), 1, head.size(), f) == head.size();
-  if (ok) ok = write_panel(f, *panel0);
-  if (ok && panel1 != nullptr) ok = write_panel(f, *panel1);
+  std::vector<unsigned char> out(head.begin(), head.end());
+  const std::size_t nd = panel_doubles(meta);
+  out.reserve(out.size() + static_cast<std::size_t>(meta.panels) *
+                               (nd * sizeof(double) + 12));
+  const mhd::Fields* panels[2] = {panel0, panel1};
+  for (int p = 0; p < meta.panels; ++p) {
+    std::string len;
+    put_u64(len, static_cast<std::uint64_t>(nd * sizeof(double)));
+    out.insert(out.end(), len.begin(), len.end());
+    std::uint32_t crc = crc32_init();
+    for (const Field3* fld : panels[p]->all()) {
+      const auto flat = fld->flat();
+      const auto* bytes = reinterpret_cast<const unsigned char*>(flat.data());
+      out.insert(out.end(), bytes, bytes + flat.size() * sizeof(double));
+      crc = crc32_update(crc, flat.data(), flat.size() * sizeof(double));
+    }
+    std::string tail;
+    put_u32(tail, crc32_final(crc));
+    out.insert(out.end(), tail.begin(), tail.end());
+  }
+  return out;
+}
+
+LoadStatus decode_checkpoint_v2(const unsigned char* data, std::size_t size,
+                                CheckpointMetaV2& meta, mhd::Fields* panel0,
+                                mhd::Fields* panel1) {
+  return decode_impl(data, size, meta, panel0, panel1, /*deep=*/false);
+}
+
+LoadStatus validate_checkpoint_image(const unsigned char* data,
+                                     std::size_t size,
+                                     CheckpointMetaV2* meta) {
+  CheckpointMetaV2 m;
+  const LoadStatus s = decode_impl(data, size, m, nullptr, nullptr,
+                                   /*deep=*/true);
+  if (s == LoadStatus::ok && meta != nullptr) *meta = m;
+  return s;
+}
+
+bool save_checkpoint_v2(const std::string& path, const CheckpointMetaV2& meta,
+                        const mhd::Fields* panel0, const mhd::Fields* panel1,
+                        IoFaultSim fault) {
+  const std::vector<unsigned char> image =
+      encode_checkpoint_v2(meta, panel0, panel1);
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = std::fwrite(image.data(), 1, image.size(), f) == image.size();
   ok = std::fflush(f) == 0 && ok;
   std::fclose(f);
 
@@ -209,79 +288,27 @@ LoadStatus load_checkpoint_v2(const std::string& path, CheckpointMetaV2& meta,
                               mhd::Fields* panel0, mhd::Fields* panel1) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return LoadStatus::io_error;
-  struct Closer {
-    std::FILE* f;
-    ~Closer() { std::fclose(f); }
-  } closer{f};
 
-  char magic[8];
-  if (std::fread(magic, 1, sizeof magic, f) != sizeof magic ||
-      std::memcmp(magic, kMagic, sizeof magic) != 0)
-    return LoadStatus::bad_magic;
-
-  unsigned char len4[4];
-  if (std::fread(len4, 1, 4, f) != 4) return LoadStatus::bad_header;
-  Reader lr{len4, 4};
-  const std::uint32_t hlen = lr.u32();
-  if (hlen == 0 || hlen > 4096) return LoadStatus::bad_header;
-
-  std::string header(hlen, '\0');
-  unsigned char crc4[4];
-  if (std::fread(header.data(), 1, hlen, f) != hlen ||
-      std::fread(crc4, 1, 4, f) != 4)
-    return LoadStatus::bad_header;
-  Reader cr{crc4, 4};
-  if (cr.u32() != crc32(header.data(), header.size()))
-    return LoadStatus::bad_header;
+  // Slurp the whole file (patches are small) and decode in memory; the
+  // image is its own staging area, so a failed validation never leaves
+  // the caller's state partially overwritten.
+  std::vector<unsigned char> image;
+  unsigned char buf[1 << 16];
+  for (;;) {
+    const std::size_t n = std::fread(buf, 1, sizeof buf, f);
+    image.insert(image.end(), buf, buf + n);
+    if (n < sizeof buf) break;
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return LoadStatus::io_error;
 
   CheckpointMetaV2 m;
-  if (!parse_header(header, m) || m.nr <= 0 || m.nt <= 0 || m.np <= 0 ||
-      (m.panels != 1 && m.panels != 2))
-    return LoadStatus::bad_header;
-
-  if (panel0 == nullptr) {  // header peek
-    meta = m;
-    return LoadStatus::ok;
-  }
-  if (!fields_shape_is(*panel0, m)) return LoadStatus::bad_shape;
-  if (m.panels == 2 &&
-      (panel1 == nullptr || !fields_shape_is(*panel1, m)))
-    return LoadStatus::bad_shape;
-
-  // Stage both panels in scratch memory; the caller's Fields are only
-  // touched after every section has validated.
-  const std::size_t nd = panel_doubles(m);
-  std::vector<std::vector<double>> scratch(
-      static_cast<std::size_t>(m.panels));
-  for (auto& s : scratch) {
-    unsigned char plen8[8];
-    if (std::fread(plen8, 1, 8, f) != 8) return LoadStatus::bad_payload;
-    Reader pr{plen8, 8};
-    if (pr.u64() != nd * sizeof(double)) return LoadStatus::bad_payload;
-    s.resize(nd);
-    if (std::fread(s.data(), 1, nd * sizeof(double), f) !=
-        nd * sizeof(double))
-      return LoadStatus::bad_payload;
-    unsigned char pcrc4[4];
-    if (std::fread(pcrc4, 1, 4, f) != 4) return LoadStatus::bad_payload;
-    Reader pc{pcrc4, 4};
-    if (pc.u32() != crc32(s.data(), nd * sizeof(double)))
-      return LoadStatus::bad_payload;
-  }
-  char extra;
-  if (std::fread(&extra, 1, 1, f) == 1) return LoadStatus::bad_payload;
-
-  mhd::Fields* targets[2] = {panel0, panel1};
-  for (int p = 0; p < m.panels; ++p) {
-    const double* src = scratch[static_cast<std::size_t>(p)].data();
-    for (Field3* fld : targets[p]->all()) {
-      auto flat = fld->flat();
-      std::memcpy(flat.data(), src, flat.size() * sizeof(double));
-      src += flat.size();
-    }
-  }
-  meta = m;
-  return LoadStatus::ok;
+  const LoadStatus s =
+      decode_impl(image.data(), image.size(), m, panel0, panel1,
+                  /*deep=*/false);
+  if (s == LoadStatus::ok) meta = m;
+  return s;
 }
 
 }  // namespace yy::resilience

@@ -31,7 +31,9 @@
 /// garbage) yields a status, not a crash or a silently wrong state.
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "mhd/state.hpp"
 
@@ -84,5 +86,30 @@ bool save_checkpoint_v2(const std::string& path, const CheckpointMetaV2& meta,
 /// are untouched.
 LoadStatus load_checkpoint_v2(const std::string& path, CheckpointMetaV2& meta,
                               mhd::Fields* panel0, mhd::Fields* panel1);
+
+/// In-memory YYCORE02 image, byte-identical to the file that
+/// save_checkpoint_v2 commits.  The diskless buddy store replicates
+/// these images over the message fabric instead of through the
+/// filesystem; same preconditions as save_checkpoint_v2.
+std::vector<unsigned char> encode_checkpoint_v2(const CheckpointMetaV2& meta,
+                                                const mhd::Fields* panel0,
+                                                const mhd::Fields* panel1);
+
+/// Validating decode of an in-memory image: statuses and staging
+/// semantics mirror load_checkpoint_v2 exactly (panel0 == nullptr peeks
+/// the header only; targets are untouched unless the whole image
+/// validates).
+LoadStatus decode_checkpoint_v2(const unsigned char* data, std::size_t size,
+                                CheckpointMetaV2& meta, mhd::Fields* panel0,
+                                mhd::Fields* panel1);
+
+/// Full structural + CRC validation of an image WITHOUT Fields of the
+/// matching shape: payload lengths are checked against the header dims,
+/// every section CRC is verified, and trailing bytes are rejected.  A
+/// buddy rank uses this to vet a replica whose patch shape differs from
+/// its own.  Optionally returns the parsed header.
+LoadStatus validate_checkpoint_image(const unsigned char* data,
+                                     std::size_t size,
+                                     CheckpointMetaV2* meta = nullptr);
 
 }  // namespace yy::resilience

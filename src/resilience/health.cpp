@@ -54,7 +54,10 @@ HealthVerdict HealthMonitor::check(const core::DistributedSolver& s,
   }
   {
     YY_TRACE_SCOPE(obs::Phase::reduce);
-    code = s.runner().world().allreduce_max(code);
+    // The verdict must not outlive its peers: bound the collective so a
+    // failed rank turns into a timeout the recovery tier can act on.
+    code = s.runner().world().allreduce_max(code,
+                                            policy_.verdict_deadline_ms);
   }
 
   const comm::Communicator& world = s.runner().world();

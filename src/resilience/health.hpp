@@ -18,6 +18,11 @@ struct HealthPolicy {
   int check_interval = 5;          ///< scan every N steps (>= 1)
   double blowup_threshold = 1e6;   ///< max |field| before "blow-up"
   double min_dt = 0.0;             ///< dt below this = CFL collapse (0 = off)
+  /// Deadline for the verdict collective's internal receives (ms).  A
+  /// dead or hung peer then surfaces as a comm timeout on every rank
+  /// instead of wedging the health sweep forever (<= 0 = fabric
+  /// default).  The ResilientRunner propagates its take deadline here.
+  int verdict_deadline_ms = 0;
 };
 
 enum class HealthVerdict {

@@ -13,11 +13,22 @@
 /// checkpoints hold the full local arrays and rewound steps re-run
 /// with the same dt schedule, a recovered run is bitwise identical to
 /// an unfaulted one.
+///
+/// Rank death gets its own recovery tier: a peer confirmed dead (its
+/// fabric rank retired) cannot be rewound around, so the survivors
+/// shrink the world (Communicator::shrink), rebuild the solver on the
+/// survivor layout and restore every patch — the dead rank's from its
+/// buddy's in-memory replica (BuddyStore), their own from their local
+/// images — then continue on the smaller world.  The restored state is
+/// bitwise what a run launched directly on the shrunk layout holds at
+/// the snapshot step, so the post-shrink trajectory is exactly the
+/// shrunk-layout trajectory.
 #pragma once
 
 #include <string>
 
 #include "core/distributed_solver.hpp"
+#include "resilience/buddy_store.hpp"
 #include "resilience/checkpoint_manager.hpp"
 #include "resilience/health.hpp"
 
@@ -31,6 +42,13 @@ struct RunPolicy {
   double dt_backoff = 0.5;            ///< dt multiplier after a blow-up
   int take_deadline_ms = 2000;        ///< receive deadline while running
                                       ///  (0 keeps blocking receives)
+  int max_shrinks = 1;                ///< rank-death shrinks before giving up
+  bool buddy_checkpoints = true;      ///< keep diskless buddy replicas
+  /// Bounded dt re-ramp after a backoff: at every healthy scheduled
+  /// health check, dt grows by dt_growth up to
+  /// min(run-entry dt, dt_ramp_fraction × current CFL-stable dt).
+  double dt_growth = 1.25;
+  double dt_ramp_fraction = 0.95;
 };
 
 struct RunReport {
@@ -39,29 +57,41 @@ struct RunReport {
   double final_dt = 0.0;
   int recoveries = 0;         ///< rewinds performed
   int checkpoints_saved = 0;  ///< committed sets during this run
+  int shrinks = 0;            ///< rank-death shrink recoveries performed
+  int final_world_size = 0;   ///< world size when the run ended
   std::string failure;        ///< empty when completed
 };
 
 class ResilientRunner {
  public:
   /// Collective: all ranks construct together with identical policy.
+  /// When policy.health.verdict_deadline_ms is unset (<= 0), it
+  /// inherits take_deadline_ms so the health collective can never
+  /// outwait a dead peer.
   ResilientRunner(core::DistributedSolver& solver, RunPolicy policy);
 
   /// Collective: advances the solver to `target_steps` total steps with
   /// fixed timestep `dt`, recovering from faults along the way.  Every
-  /// rank returns an identical verdict (completed/failure, recoveries).
+  /// surviving rank returns an identical verdict (completed/failure,
+  /// recoveries, shrinks); a rank scheduled to die retires from the
+  /// fabric and returns a failed report naming the injected death.
   RunReport run(long long target_steps, double dt);
 
   CheckpointManager& checkpoints() { return ckpt_; }
+  const BuddyStore& buddies() const { return buddy_; }
 
  private:
   RunReport fail(RunReport r, const std::string& why);
   bool recover(RunReport& r, double& dt, bool blowup_local);
+  bool recover_from_rank_death(RunReport& r, double& dt);
 
   core::DistributedSolver& solver_;
   RunPolicy policy_;
   CheckpointManager ckpt_;
   HealthMonitor health_;
+  BuddyStore buddy_;
+  double dt_entry_ = 0.0;     ///< dt the current run() was entered with
+  bool dt_reduced_ = false;   ///< a backoff is in effect; re-ramp allowed
 };
 
 }  // namespace yy::resilience

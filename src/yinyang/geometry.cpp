@@ -93,6 +93,15 @@ GridSpec ComponentGeometry::make_grid_spec(int nr, double r_inner,
   s.p1 = p_max_;
   s.ghost = ghost_;
   s.phi_periodic = false;
+  // Whole-panel grids carry the same alignment a patch grid derives
+  // from them, so serial and distributed solvers (on any layout) build
+  // bitwise-identical coordinate and metric tables.
+  s.t_spacing = dt_;
+  s.p_spacing = dp_;
+  s.t_origin = t_min_;
+  s.p_origin = p_min_;
+  s.t_offset = 0;
+  s.p_offset = 0;
   return s;
 }
 

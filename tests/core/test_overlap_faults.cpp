@@ -13,6 +13,8 @@
 /// synchronous mode does.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <memory>
 #include <mutex>
@@ -151,8 +153,9 @@ TEST(OverlapFaults, TimeoutRecoveryUnwedgesPostedExchanges) {
   const int pt = 2, pp = 1;
   constexpr int kRanks = 4;  // 2 panels × pt × pp
   constexpr long long kTarget = 12;
-  const std::string dir =
-      std::string(::testing::TempDir()) + "/overlap_recovery";
+  // Pid-unique: concurrent suite instances must not share the dir.
+  const std::string dir = std::string(::testing::TempDir()) +
+                          "/overlap_recovery." + std::to_string(::getpid());
   std::filesystem::remove_all(dir);
 
   const auto flatten = [](const mhd::Fields& s) {

@@ -89,6 +89,8 @@ TEST_F(OwnershipTest, PatchWeightsTileThePanelWeights) {
       sp.t1 = geom.t_min() + (e.t0 + e.nt - 1) * geom.dt();
       sp.p0 = geom.p_min() + e.p0 * geom.dp();
       sp.p1 = geom.p_min() + (e.p0 + e.np - 1) * geom.dp();
+      sp.t_offset = e.t0;  // global alignment, as core::patch_spec sets
+      sp.p_offset = e.p0;
       SphericalGrid pg(sp);
       mhd::ColumnWeights pw = ownership_weights(geom, pg, e.t0, e.p0);
       const IndexBox in = pg.interior();

@@ -1,0 +1,222 @@
+#include "resilience/buddy_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "comm/runtime.hpp"
+#include "resilience/checkpoint2.hpp"
+
+namespace yy::resilience {
+namespace {
+
+core::SimulationConfig buddy_config() {
+  core::SimulationConfig cfg;
+  cfg.nr = 9;
+  cfg.nt_core = 13;
+  cfg.np_core = 37;
+  cfg.eq.mu = 3e-3;
+  cfg.eq.kappa = 3e-3;
+  cfg.eq.eta = 3e-3;
+  cfg.eq.g0 = 2.0;
+  cfg.eq.omega = {0.0, 0.0, 8.0};
+  cfg.ic.perturb_amp = 1e-2;
+  cfg.ic.seed_b_amp = 1e-4;
+  return cfg;
+}
+
+SphericalGrid tiny_grid() {
+  GridSpec s;
+  s.nr = 3;
+  s.nt = 4;
+  s.np = 4;
+  s.r0 = 0.4;
+  s.r1 = 1.0;
+  s.t0 = 0.9;
+  s.t1 = 2.2;
+  s.p0 = -1.0;
+  s.p1 = 1.0;
+  s.ghost = 1;
+  return SphericalGrid(s);
+}
+
+CheckpointMetaV2 tiny_meta(const SphericalGrid& g) {
+  CheckpointMetaV2 m;
+  m.nr = g.Nr();
+  m.nt = g.Nt();
+  m.np = g.Np();
+  m.panels = 1;
+  m.time = 1.25;
+  m.step = 42;
+  m.dt = 3.5e-4;
+  m.world_size = 4;
+  m.world_rank = 1;
+  m.pt = 1;
+  m.pp = 2;
+  m.panel = 0;
+  return m;
+}
+
+void fill_pattern(mhd::Fields& s, double scale) {
+  int k = 0;
+  for (Field3* f : s.all())
+    for (double& v : f->flat()) v = scale * ++k;
+}
+
+std::vector<double> flatten(const mhd::Fields& s) {
+  std::vector<double> out;
+  for (const Field3* f : s.all())
+    out.insert(out.end(), f->flat().begin(), f->flat().end());
+  return out;
+}
+
+TEST(BuddyStore, RingPairingWrapsAround) {
+  EXPECT_EQ(BuddyStore::holder_of(0, 4), 1);
+  EXPECT_EQ(BuddyStore::holder_of(3, 4), 0);  // wrap
+  EXPECT_EQ(BuddyStore::ward_of(0, 4), 3);    // wrap
+  EXPECT_EQ(BuddyStore::ward_of(1, 4), 0);
+  for (int n = 2; n <= 5; ++n)
+    for (int r = 0; r < n; ++r) {
+      EXPECT_EQ(BuddyStore::ward_of(BuddyStore::holder_of(r, n), n), r);
+      EXPECT_NE(BuddyStore::holder_of(r, n), r);  // never self-buddied
+    }
+}
+
+/// The diskless image IS the on-disk format: encode must produce the
+/// exact bytes save_checkpoint_v2 commits, so one validation/decoding
+/// machinery covers both transports.
+TEST(BuddyStore, EncodedImageMatchesSavedFileBytes) {
+  SphericalGrid g = tiny_grid();
+  mhd::Fields s(g);
+  fill_pattern(s, 0.001);
+  const CheckpointMetaV2 meta = tiny_meta(g);
+
+  const std::vector<unsigned char> img =
+      encode_checkpoint_v2(meta, &s, nullptr);
+  const std::string path = std::string(::testing::TempDir()) +
+                           "/buddy_bytes." + std::to_string(::getpid()) +
+                           ".yyc2";
+  ASSERT_TRUE(save_checkpoint_v2(path, meta, &s, nullptr));
+  std::ifstream in(path, std::ios::binary);
+  const std::string file((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  ASSERT_EQ(file.size(), img.size());
+  EXPECT_EQ(0, std::memcmp(file.data(), img.data(), img.size()));
+
+  // And the image round-trips bit-exactly through the decoder.
+  mhd::Fields t(g);
+  CheckpointMetaV2 back;
+  ASSERT_EQ(decode_checkpoint_v2(img.data(), img.size(), back, &t, nullptr),
+            LoadStatus::ok);
+  EXPECT_EQ(flatten(t), flatten(s));
+  EXPECT_EQ(back.step, meta.step);
+  EXPECT_EQ(back.world_rank, meta.world_rank);
+}
+
+/// validate_checkpoint_image needs no Fields of the right shape — the
+/// property the buddy ring depends on (a replica's shape differs from
+/// its holder's) — and must reject every corruption class.
+TEST(BuddyStore, ValidateCatchesCorruptionSweep) {
+  SphericalGrid g = tiny_grid();
+  mhd::Fields s(g);
+  fill_pattern(s, 0.01);
+  std::vector<unsigned char> img =
+      encode_checkpoint_v2(tiny_meta(g), &s, nullptr);
+
+  CheckpointMetaV2 m;
+  ASSERT_EQ(validate_checkpoint_image(img.data(), img.size(), &m),
+            LoadStatus::ok);
+  EXPECT_EQ(m.step, 42);
+  EXPECT_EQ(m.nr, g.Nr());
+
+  // Truncations at every structural boundary.
+  EXPECT_EQ(validate_checkpoint_image(img.data(), 0), LoadStatus::bad_magic);
+  EXPECT_EQ(validate_checkpoint_image(img.data(), 4), LoadStatus::bad_magic);
+  for (const std::size_t cut : {std::size_t{10}, img.size() / 2,
+                                img.size() - 1})
+    EXPECT_NE(validate_checkpoint_image(img.data(), cut), LoadStatus::ok)
+        << "cut at " << cut;
+
+  // Trailing garbage after the last section.
+  std::vector<unsigned char> grown = img;
+  grown.push_back(0);
+  EXPECT_EQ(validate_checkpoint_image(grown.data(), grown.size()),
+            LoadStatus::bad_payload);
+
+  // Single-bit flips in the magic, the header and the payload.
+  const auto flipped = [&](std::size_t at) {
+    std::vector<unsigned char> c = img;
+    c[at] ^= 0x10;
+    return c;
+  };
+  EXPECT_EQ(validate_checkpoint_image(flipped(0).data(), img.size()),
+            LoadStatus::bad_magic);
+  EXPECT_EQ(validate_checkpoint_image(flipped(20).data(), img.size()),
+            LoadStatus::bad_header);
+  EXPECT_EQ(
+      validate_checkpoint_image(flipped(img.size() - 40).data(), img.size()),
+      LoadStatus::bad_payload);
+}
+
+/// Four ranks refresh the ring: every rank must be able to serve its
+/// own patch AND its ward's, and the served bytes must decode to the
+/// ward's state bitwise (the shapes differ across ranks, which is the
+/// point of validating without a reference shape).
+TEST(BuddyStore, RingRefreshServesSelfAndWardBitwise) {
+  constexpr int kRanks = 4;
+  comm::Runtime rt(kRanks);
+  std::vector<const SphericalGrid*> grids(kRanks, nullptr);
+  std::vector<std::vector<double>> states(kRanks);
+  std::atomic<int> ok{0};
+  rt.run([&](comm::Communicator& w) {
+    core::DistributedSolver solver(buddy_config(), w, 1, 2);
+    solver.initialize();
+    const double dt = solver.stable_dt();
+    solver.step(dt);
+    solver.step(dt);
+    const int r = w.rank();
+    grids[static_cast<std::size_t>(r)] = &solver.local_grid();
+    states[static_cast<std::size_t>(r)] = flatten(solver.local_state());
+    w.barrier();  // publish grids/states before anyone loads a replica
+
+    BuddyStore store;
+    ASSERT_TRUE(store.refresh(solver, dt, 3000));
+    EXPECT_TRUE(store.armed());
+    EXPECT_EQ(store.snapshot_step(), 2);
+    EXPECT_DOUBLE_EQ(store.snapshot_dt(), dt);
+
+    const int ward = BuddyStore::ward_of(r, kRanks);
+    EXPECT_TRUE(store.can_serve(r));
+    EXPECT_TRUE(store.can_serve(ward));
+    EXPECT_FALSE(store.can_serve(BuddyStore::holder_of(r, kRanks)));
+
+    mhd::Fields mine(*grids[static_cast<std::size_t>(r)]);
+    ASSERT_TRUE(store.load(r, mine));
+    EXPECT_EQ(flatten(mine), states[static_cast<std::size_t>(r)]);
+
+    mhd::Fields theirs(*grids[static_cast<std::size_t>(ward)]);
+    ASSERT_TRUE(store.load(ward, theirs));
+    EXPECT_EQ(flatten(theirs), states[static_cast<std::size_t>(ward)]);
+
+    // A later refresh supersedes the snapshot on the whole ring.
+    solver.step(dt);
+    ASSERT_TRUE(store.refresh(solver, dt, 3000));
+    EXPECT_EQ(store.snapshot_step(), 3);
+
+    store.reset();
+    EXPECT_FALSE(store.armed());
+    EXPECT_FALSE(store.can_serve(r));
+    EXPECT_FALSE(store.can_serve(ward));
+    ++ok;
+  });
+  EXPECT_EQ(ok.load(), kRanks);
+}
+
+}  // namespace
+}  // namespace yy::resilience

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -60,7 +62,10 @@ void write_file(const std::string& path, const std::string& bytes) {
 }
 
 std::string temp_path(const char* name) {
-  return std::string(::testing::TempDir()) + "/" + name;
+  // Pid-unique: concurrent suite instances (e.g. ctest in two build
+  // trees at once) must never clobber each other's files.
+  return std::string(::testing::TempDir()) + "/" + name + "." +
+         std::to_string(::getpid());
 }
 
 TEST(CheckpointV2, SinglePanelRoundTripBitExact) {

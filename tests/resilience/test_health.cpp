@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "comm/runtime.hpp"
+#include "common/error.hpp"
 #include "obs/events.hpp"
 
 namespace yy::resilience {
@@ -92,6 +93,31 @@ TEST(HealthMonitor, DueFollowsCheckInterval) {
   EXPECT_TRUE(mon.due(5));
   EXPECT_FALSE(mon.due(6));
   EXPECT_TRUE(mon.due(10));
+}
+
+/// Satellite regression for the rank-death PR: the verdict collective
+/// must honour the policy deadline.  One rank goes silent before the
+/// sweep; with verdict_deadline_ms set, every participating rank gets
+/// a timeout Error instead of wedging in the allreduce forever (which
+/// is exactly how the ResilientRunner learns a health sweep lost a
+/// peer).
+TEST(HealthMonitor, VerdictCollectiveHonorsDeadline) {
+  comm::Runtime rt(4);
+  std::atomic<int> timeouts{0};
+  rt.run([&](comm::Communicator& w) {
+    core::DistributedSolver solver(health_config(), w, 1, 2);
+    solver.initialize();
+    if (w.rank() == 2) return;  // dead-silent peer: never joins the sweep
+    HealthPolicy policy;
+    policy.verdict_deadline_ms = 300;
+    HealthMonitor mon(policy);
+    try {
+      mon.check(solver, 1e-4);
+    } catch (const Error& e) {
+      if (e.kind() == Error::Kind::timeout) ++timeouts;
+    }
+  });
+  EXPECT_EQ(timeouts.load(), 3);
 }
 
 TEST(HealthMonitor, VerdictsAreCountedAsEvents) {

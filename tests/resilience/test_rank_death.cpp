@@ -1,0 +1,282 @@
+/// Rank-death fault model and shrink-to-survive recovery.
+///
+/// The acceptance scenario of the PR: a 4-rank run loses a rank
+/// mid-flight, the survivors shrink to 3 ranks, restore the dead
+/// rank's patch from its buddy's diskless replica and complete — and
+/// the final state is BITWISE equal to an unfaulted run executed
+/// directly on the shrunk 3-rank layout, verified per rank and per
+/// gathered panel, in both the synchronous and the overlapped
+/// stepping modes, for an interior victim and for world rank 0 (root
+/// failover in every collective).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/fault.hpp"
+#include "comm/runtime.hpp"
+#include "common/error.hpp"
+#include "core/distributed_solver.hpp"
+#include "obs/events.hpp"
+#include "resilience/resilient_runner.hpp"
+
+namespace yy::resilience {
+namespace {
+
+core::SimulationConfig death_config(bool overlap = false) {
+  core::SimulationConfig cfg;
+  cfg.nr = 9;
+  cfg.nt_core = 13;
+  cfg.np_core = 37;
+  cfg.eq.mu = 3e-3;
+  cfg.eq.kappa = 3e-3;
+  cfg.eq.eta = 3e-3;
+  cfg.eq.g0 = 2.0;
+  cfg.eq.omega = {0.0, 0.0, 8.0};
+  cfg.ic.perturb_amp = 1e-2;
+  cfg.ic.seed_b_amp = 1e-4;
+  cfg.overlap = overlap;
+  return cfg;
+}
+
+std::string fresh_dir(const std::string& name) {
+  // Pid-unique: concurrent suite instances (e.g. ctest in two build
+  // trees at once) must never clobber each other's directories.
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name +
+                          "." + std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::vector<double> flatten(const mhd::Fields& s) {
+  std::vector<double> out;
+  for (const Field3* f : s.all())
+    out.insert(out.end(), f->flat().begin(), f->flat().end());
+  return out;
+}
+
+std::vector<double> field_data(const Field3& f) {
+  return {f.flat().begin(), f.flat().end()};
+}
+
+TEST(RankDeath, RetiredPeerFailsReceivesFastButPreDeathSendsSurvive) {
+  comm::Runtime rt(2);
+  std::atomic<int> delivered{0}, fast_failed{0};
+  rt.run([&](comm::Communicator& w) {
+    if (w.rank() == 0) {
+      const double v[1] = {7.0};
+      w.send(1, 5, v);  // queued before death: must stay consumable
+      w.retire();
+      return;
+    }
+    double buf[1] = {0.0};
+    w.recv(0, 5, buf);
+    if (buf[0] == 7.0) ++delivered;
+    try {
+      // Even a generous deadline must not be waited out: the queue is
+      // exhausted and the peer is retired, so this fails immediately.
+      w.recv(0, 5, buf, 60000);
+    } catch (const Error& e) {
+      if (e.kind() == Error::Kind::timeout) ++fast_failed;
+    }
+  });
+  EXPECT_EQ(delivered.load(), 1);
+  EXPECT_EQ(fast_failed.load(), 1);
+}
+
+TEST(RankDeath, ShrinkBuildsDenseSurvivorCommunicator) {
+  constexpr int kRanks = 4;
+  comm::Runtime rt(kRanks);
+  std::atomic<int> ok{0};
+  rt.run([&](comm::Communicator& w) {
+    w.barrier();
+    if (w.rank() == 1) {
+      w.retire();
+      return;
+    }
+    // Wait until the retirement is visible, then agree on survivors.
+    while (w.retired_ranks().empty())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_EQ(w.retired_ranks(), (std::vector<int>{1}));
+
+    comm::Communicator small = w.shrink({0, 2, 3}, 5000);
+    EXPECT_EQ(small.size(), 3);
+    const int want_rank = w.rank() == 0 ? 0 : w.rank() - 1;
+    EXPECT_EQ(small.rank(), want_rank);
+    // Dense renumbering still addresses the original fabric ranks.
+    EXPECT_EQ(small.world_rank_of(small.rank()), w.rank());
+
+    // The new context carries collectives and point-to-point alike.
+    EXPECT_DOUBLE_EQ(small.allreduce_sum(1.0), 3.0);
+    const double mine[1] = {10.0 + small.rank()};
+    small.send((small.rank() + 1) % 3, 9, mine);
+    double got[1] = {0.0};
+    small.recv((small.rank() + 2) % 3, 9, got, 5000);
+    EXPECT_DOUBLE_EQ(got[0], 10.0 + (small.rank() + 2) % 3);
+    ++ok;
+  });
+  EXPECT_EQ(ok.load(), 3);
+}
+
+TEST(RankDeath, ShrunkLayoutsKeepUntouchedPanelsAndRefactorLossy) {
+  using core::DistributedSolver;
+  using core::PanelLayout;
+  // Yin loses one of two -> refactored to 1x1; Yang untouched.
+  auto [yin, yang] =
+      DistributedSolver::shrunk_layouts({1, 2}, {1, 2}, {0, 2, 3});
+  EXPECT_EQ(yin.pt * yin.pp, 1);
+  EXPECT_EQ(yang.pt, 1);
+  EXPECT_EQ(yang.pp, 2);
+  // Both panels lose one of four -> each refactored near-square.
+  auto [y2, g2] =
+      DistributedSolver::shrunk_layouts({2, 2}, {2, 2}, {0, 1, 2, 4, 6, 7});
+  EXPECT_EQ(y2.size(), 3);
+  EXPECT_EQ(g2.size(), 3);
+  EXPECT_EQ(y2.pt, 1);  // choose_dims(3) = (1, 3)
+  EXPECT_EQ(y2.pp, 3);
+}
+
+/// The PR acceptance run.  `victim` dies after completing `kDeath`
+/// steps; the survivors must finish all kTarget steps on 3 ranks with
+/// per-rank state and per-panel gathered fields bitwise equal to a
+/// direct 3-rank run of the same dt schedule.
+void expect_shrink_to_survive_bitwise(int victim, bool overlap) {
+  const core::SimulationConfig cfg = death_config(overlap);
+  constexpr int kRanks = 4;  // (1x2) Yin + (1x2) Yang
+  constexpr long long kTarget = 20;
+  constexpr long long kDeath = 13;  // checkpoint cadence 5 -> snapshot 10
+  const std::string dir = fresh_dir(
+      "rankdeath_" + std::to_string(victim) + (overlap ? "_ov" : "_sync"));
+  obs::EventCounters::global().reset();
+
+  std::vector<int> survivors;
+  for (int r = 0; r < kRanks; ++r)
+    if (r != victim) survivors.push_back(r);
+  const auto [yin, yang] =
+      core::DistributedSolver::shrunk_layouts({1, 2}, {1, 2}, survivors);
+
+  // ---- Reference: an unfaulted run executed DIRECTLY on the shrunk
+  // 3-rank layout for the whole trajectory.
+  std::vector<std::vector<double>> want(3);
+  std::vector<std::vector<double>> want_panel(2);
+  {
+    comm::Runtime rt(3);
+    rt.run([&](comm::Communicator& w) {
+      core::DistributedSolver solver(cfg, w, yin, yang);
+      solver.initialize();
+      const double dt = solver.stable_dt();
+      for (long long i = 0; i < kTarget; ++i) solver.step(dt);
+      want[static_cast<std::size_t>(w.rank())] =
+          flatten(solver.local_state());
+      for (int p = 0; p < 2; ++p) {
+        const Field3 gathered = solver.gather_field(
+            0, p == 0 ? yinyang::Panel::yin : yinyang::Panel::yang);
+        if (w.rank() == 0)
+          want_panel[static_cast<std::size_t>(p)] = field_data(gathered);
+      }
+    });
+  }
+
+  // ---- Faulted: 4 ranks, `victim` dies after step kDeath; the
+  // survivors shrink and continue.
+  std::vector<std::vector<double>> got(3);
+  std::vector<std::vector<double>> got_panel(2);
+  std::vector<RunReport> reports(kRanks);
+  {
+    comm::Runtime rt(kRanks);
+    auto plan = std::make_shared<comm::FaultPlan>();
+    plan->schedule_rank_death(victim, kDeath);
+    rt.install_fault_plan(plan);
+    rt.run([&](comm::Communicator& w) {
+      core::DistributedSolver solver(cfg, w, 1, 2);
+      solver.initialize();
+      const double dt = solver.stable_dt();
+      RunPolicy policy;
+      policy.store = {dir, "rd", 2};
+      policy.checkpoint_interval = 5;
+      policy.take_deadline_ms = 3000;  // generous for sanitizer builds
+      ResilientRunner runner(solver, policy);
+      const RunReport rep = runner.run(kTarget, dt);
+      reports[static_cast<std::size_t>(w.rank())] = rep;
+      if (!rep.completed) return;  // the victim: retired from the fabric
+
+      const int nr = solver.runner().world().rank();  // post-shrink rank
+      got[static_cast<std::size_t>(nr)] = flatten(solver.local_state());
+      for (int p = 0; p < 2; ++p) {
+        const Field3 gathered = solver.gather_field(
+            0, p == 0 ? yinyang::Panel::yin : yinyang::Panel::yang);
+        if (nr == 0)
+          got_panel[static_cast<std::size_t>(p)] = field_data(gathered);
+      }
+    });
+    rt.install_fault_plan(nullptr);
+    EXPECT_EQ(plan->rank_deaths_fired(), 1u);
+  }
+
+  // The victim reports the injected death; every survivor reports a
+  // completed run with exactly one shrink and no rewind recoveries.
+  for (int r = 0; r < kRanks; ++r) {
+    const RunReport& rep = reports[static_cast<std::size_t>(r)];
+    if (r == victim) {
+      EXPECT_FALSE(rep.completed);
+      EXPECT_NE(rep.failure.find("rank death"), std::string::npos)
+          << rep.failure;
+      continue;
+    }
+    EXPECT_TRUE(rep.completed) << "rank " << r << ": " << rep.failure;
+    EXPECT_EQ(rep.final_step, kTarget) << "rank " << r;
+    EXPECT_EQ(rep.shrinks, 1) << "rank " << r;
+    EXPECT_EQ(rep.recoveries, 0) << "rank " << r;
+    EXPECT_EQ(rep.final_world_size, 3) << "rank " << r;
+    EXPECT_GE(rep.checkpoints_saved, 4) << "rank " << r;
+  }
+
+  // Bitwise equality, per surviving rank and per gathered panel.
+  for (int nr = 0; nr < 3; ++nr) {
+    ASSERT_EQ(got[static_cast<std::size_t>(nr)].size(),
+              want[static_cast<std::size_t>(nr)].size())
+        << "new rank " << nr;
+    std::size_t diffs = 0;
+    for (std::size_t i = 0; i < got[static_cast<std::size_t>(nr)].size();
+         ++i)
+      if (got[static_cast<std::size_t>(nr)][i] !=
+          want[static_cast<std::size_t>(nr)][i])
+        ++diffs;
+    EXPECT_EQ(diffs, 0u) << "new rank " << nr;
+  }
+  for (int p = 0; p < 2; ++p)
+    EXPECT_EQ(got_panel[static_cast<std::size_t>(p)],
+              want_panel[static_cast<std::size_t>(p)])
+        << "panel " << p;
+
+  // The recovery must be visible in the obs event counters.
+  const auto& ev = obs::EventCounters::global();
+  EXPECT_GE(ev.count(obs::Event::rank_death_detected), 1u);
+  EXPECT_EQ(ev.count(obs::Event::world_shrunk), 1u);
+  EXPECT_GE(ev.count(obs::Event::buddy_restore), 1u);
+  EXPECT_GE(ev.count(obs::Event::comm_timeout), 1u);
+}
+
+TEST(RankDeath, ShrinkToSurviveMatchesDirectShrunkRunSync) {
+  expect_shrink_to_survive_bitwise(/*victim=*/1, /*overlap=*/false);
+}
+
+TEST(RankDeath, ShrinkToSurviveMatchesDirectShrunkRunOverlapped) {
+  expect_shrink_to_survive_bitwise(/*victim=*/1, /*overlap=*/true);
+}
+
+TEST(RankDeath, ShrinkSurvivesDeathOfWorldRankZero) {
+  // Root failover: every rank-0-star collective (reductions, gathers,
+  // shrink itself) must re-root on the lowest survivor.
+  expect_shrink_to_survive_bitwise(/*victim=*/0, /*overlap=*/false);
+}
+
+}  // namespace
+}  // namespace yy::resilience

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -31,7 +33,10 @@ core::SimulationConfig runner_config() {
 }
 
 std::string fresh_dir(const std::string& name) {
-  const std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  // Pid-unique: concurrent suite instances (e.g. ctest in two build
+  // trees at once) must never clobber each other's directories.
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name +
+                          "." + std::to_string(::getpid());
   std::filesystem::remove_all(dir);
   return dir;
 }
@@ -171,6 +176,55 @@ TEST(ResilientRunner, BlowupTriggersDtBackoffAndCompletes) {
   EXPECT_GE(ev.count(obs::Event::dt_backoff), 1u);
   EXPECT_GE(ev.count(obs::Event::health_check), 1u);
   EXPECT_GE(ev.count(obs::Event::recovery_rewind), 1u);
+}
+
+/// Satellite regression: after a blow-up backoff, every healthy
+/// scheduled health sweep grows dt by dt_growth, bounded by
+/// min(run-entry dt, dt_ramp_fraction x current CFL-stable dt) — so a
+/// long enough healthy tail climbs well clear of the backed-off value
+/// without ever crossing the stable ceiling, identically on all ranks.
+TEST(ResilientRunner, DtReRampRecoversTowardStableAfterBackoff) {
+  const core::SimulationConfig cfg = runner_config();
+  const std::string dir = fresh_dir("reramp");
+  constexpr int kRanks = 4;
+  constexpr long long kSteps = 20;
+  obs::EventCounters::global().reset();
+
+  std::vector<RunReport> reports(kRanks);
+  std::vector<double> stable(kRanks, 0.0);
+  comm::Runtime rt(kRanks);
+  rt.run([&](comm::Communicator& w) {
+    core::DistributedSolver solver(cfg, w, 1, 2);
+    solver.initialize();
+    const double dt = solver.stable_dt();
+    stable[static_cast<std::size_t>(w.rank())] = dt;
+    RunPolicy policy;
+    policy.store = {dir, "rr", 2};
+    policy.checkpoint_interval = 4;
+    policy.health.check_interval = 1;  // a ramp opportunity every step
+    policy.max_recoveries = 4;
+    policy.dt_backoff = 0.002;  // backed-off dt lands at 0.2x stable
+    policy.take_deadline_ms = 3000;
+    ResilientRunner runner(solver, policy);
+    reports[static_cast<std::size_t>(w.rank())] = runner.run(kSteps, 100.0 * dt);
+  });
+
+  for (int r = 0; r < kRanks; ++r) {
+    const RunReport& rep = reports[static_cast<std::size_t>(r)];
+    EXPECT_TRUE(rep.completed) << "rank " << r << ": " << rep.failure;
+    EXPECT_EQ(rep.final_step, kSteps);
+    EXPECT_GE(rep.recoveries, 1) << "rank " << r;
+    const double s = stable[static_cast<std::size_t>(r)];
+    // Climbed well past the post-backoff 0.2x stable...
+    EXPECT_GT(rep.final_dt, 0.5 * s) << "rank " << r;
+    // ...but stayed under the CFL-stable ceiling.
+    EXPECT_LT(rep.final_dt, s) << "rank " << r;
+    // stable_dt() is an exact collective: the ramp is rank-identical.
+    EXPECT_EQ(rep.final_dt, reports[0].final_dt) << "rank " << r;
+  }
+  const auto& ev = obs::EventCounters::global();
+  EXPECT_GE(ev.count(obs::Event::dt_backoff), 1u);
+  EXPECT_GE(ev.count(obs::Event::dt_reramp), 3u);
 }
 
 TEST(ResilientRunner, PersistentFaultFailsCleanlyWithoutHanging) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -28,7 +30,10 @@ core::SimulationConfig restart_config() {
 }
 
 std::string fresh_dir(const std::string& name) {
-  const std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  // Pid-unique: concurrent suite instances (e.g. ctest in two build
+  // trees at once) must never clobber each other's directories.
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name +
+                          "." + std::to_string(::getpid());
   std::filesystem::remove_all(dir);
   return dir;
 }
@@ -160,6 +165,63 @@ TEST(CheckpointManager, RestoreSkipsTornNewestSet) {
   });
   EXPECT_EQ(restored[0], 1);
   EXPECT_EQ(restored[1], 1);
+}
+
+/// Satellite sweep for the rank-death PR: torn commits and
+/// fail-before-commit faults scattered across SIX rotation generations
+/// (keep_last = 2).  The rotation must keep exactly the last two
+/// committed sets, a failed commit must leave the committed list
+/// untouched, and restore_newest must demote past a torn newest set to
+/// the newest generation that is intact on every rank — bitwise.
+TEST(CheckpointManager, TornAndFailedCommitsAcrossRotationGenerations) {
+  const core::SimulationConfig cfg = restart_config();
+  const std::string dir = fresh_dir("rotation_sweep");
+  comm::Runtime rt(2);
+  std::vector<long long> restored(2, -2);
+  std::vector<std::vector<long long>> committed(2);
+  std::vector<std::vector<double>> at5(2), got(2);
+  std::vector<double> dt_back(2, 0.0);
+  rt.run([&](comm::Communicator& w) {
+    core::DistributedSolver s(cfg, w, 1, 1);
+    s.initialize();
+    const double dt = s.stable_dt();
+    CheckpointManager mgr({dir, "sw", 2});
+    comm::FaultPlan faults;
+    faults.schedule_io_fault(3, /*world_rank=*/0,
+                             comm::FaultPlan::IoFault::torn);
+    faults.schedule_io_fault(4, /*world_rank=*/1,
+                             comm::FaultPlan::IoFault::fail);
+    faults.schedule_io_fault(6, /*world_rank=*/1,
+                             comm::FaultPlan::IoFault::torn);
+    for (int i = 1; i <= 6; ++i) {
+      s.step(dt);
+      const bool saved = mgr.save(s, dt, &faults);
+      // A torn commit *claims* success (only the loader's CRC catches
+      // it); a failed commit aborts the whole set collectively.
+      EXPECT_EQ(saved, i != 4) << "generation " << i;
+      if (i == 5)
+        at5[static_cast<std::size_t>(w.rank())] = flatten(s.local_state());
+    }
+    committed[static_cast<std::size_t>(w.rank())] = mgr.committed_steps();
+
+    core::DistributedSolver fresh(cfg, w, 1, 1);
+    CheckpointManager loader({dir, "sw", 2});
+    restored[static_cast<std::size_t>(w.rank())] = loader.restore_newest(
+        fresh, &dt_back[static_cast<std::size_t>(w.rank())]);
+    got[static_cast<std::size_t>(w.rank())] = flatten(fresh.local_state());
+  });
+  for (int r = 0; r < 2; ++r) {
+    // Generations 1..6 minus the aborted 4, rotated down to the last 2.
+    EXPECT_EQ(committed[static_cast<std::size_t>(r)],
+              (std::vector<long long>{5, 6}))
+        << "rank " << r;
+    // 6 is torn on rank 1 -> the collective demotes to the intact 5.
+    EXPECT_EQ(restored[static_cast<std::size_t>(r)], 5) << "rank " << r;
+    EXPECT_GT(dt_back[static_cast<std::size_t>(r)], 0.0);
+    EXPECT_EQ(got[static_cast<std::size_t>(r)],
+              at5[static_cast<std::size_t>(r)])
+        << "rank " << r;
+  }
 }
 
 TEST(CheckpointManager, FailedWriteAbortsWholeSet) {
