@@ -24,13 +24,17 @@
 
 #include "comm/fault.hpp"
 #include "comm/runtime.hpp"
+#include "common/flops.hpp"
 #include "common/timer.hpp"
 #include "core/distributed_solver.hpp"
+#include "core/serial_solver.hpp"
+#include "obs/hwcounters.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "perf/kernel_profile.hpp"
 #include "perf/proginf.hpp"
+#include "perf/roofline.hpp"
 
 #include "bench_json.hpp"
 
@@ -249,6 +253,34 @@ bool run_kernel_bench(const std::string& out_dir) {
   man.mode = "kernels";
   man.extra.emplace_back("rhs_backend", "fused");
 
+  // Measured-MPIPROGINF leg: an instrumented serial run with whatever
+  // counter backend this host grants (perf_event where permitted, the
+  // software charge counter otherwise — the manifest says which).
+  obs::CounterGroup ctrs(obs::CounterGroup::config_from_env());
+  man.counter_backend = obs::counter_backend_name(ctrs.backend());
+  obs::TraceRecorder rec;
+  std::uint64_t global_flops = 0;
+  {
+    obs::ScopedRankBind bind(rec, 0);
+    obs::ScopedCounterBind cbind(ctrs);
+    core::SimulationConfig cfg;
+    cfg.nr = 17;
+    cfg.nt_core = 13;
+    cfg.np_core = 37;
+    core::SerialYinYangSolver solver(cfg);
+    solver.initialize();
+    const double dt = solver.stable_dt();
+    solver.step(dt);  // warm-up, outside the charged window
+    flops::global_reset();
+    for (int s = 0; s < 3; ++s) {
+      obs::set_current_step(s);
+      solver.step(dt);
+    }
+    global_flops = flops::global_count();
+  }
+  const perf::RooflineReport roof = perf::RooflineReport::build(
+      obs::collect_metrics(rec), ctrs.backend(), global_flops);
+
   const double speedup =
       fused.seconds_per_point_per_step > 0.0
           ? ref.seconds_per_point_per_step / fused.seconds_per_point_per_step
@@ -277,6 +309,34 @@ bool run_kernel_bench(const std::string& out_dir) {
   metrics.push_back({"rhs_fused_speedup", speedup, 0.0,
                      std::max(0.05, speedup - 1.15), "min"});
 
+  // Counter-derived gates.  The measured/charged flop ratio is exactly
+  // 1.0 under the software backend (the measured column *is* the
+  // charge) and must stay near 1.0 under perf_event — a real hardware
+  // count drifting far from the analytic charge means either the
+  // charge table or the kernels changed.
+  const double flops_vs_charge =
+      roof.total.charged_flops > 0
+          ? static_cast<double>(roof.total.measured_flops()) /
+                static_cast<double>(roof.total.charged_flops)
+          : 0.0;
+  metrics.push_back({"counter_flops_vs_charge", flops_vs_charge, 0.0, 0.25,
+                     "band"});
+  // Achieved GFlop/s over the traced phases: a timing metric, so a
+  // wide min band like local_gflops.
+  metrics.push_back({"counter_achieved_gflops", roof.total.achieved_gflops(),
+                     0.60, 0.0, "min"});
+  if (ctrs.backend() == obs::CounterBackend::perf_event) {
+    // IPC floor: only meaningful (and only recorded) when real hardware
+    // counters are available; the comparator skips metrics absent from
+    // the baseline, so software-backend hosts stay consistent.
+    metrics.push_back({"counter_ipc", roof.total.ipc(), 0.0,
+                       std::max(0.25, 0.5 * roof.total.ipc()), "min"});
+  }
+
+  std::printf("counters: backend %s, measured/charged %.4f, %.2f GF/s\n",
+              obs::counter_backend_name(ctrs.backend()), flops_vs_charge,
+              roof.total.achieved_gflops());
+  std::printf("%s", roof.format().c_str());
   std::printf("kernels: %.0f flops/point/step, %.2f GFLOPS local (fused)\n",
               fused.flops_per_point_per_step, fused.local_gflops);
   std::printf("rhs backends: reference %.3e s/pt/step, fused %.3e (x%.2f)\n",

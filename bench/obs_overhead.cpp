@@ -4,9 +4,14 @@
 /// building with -DYY_TRACE_LEVEL=0 compiles every YY_TRACE_SCOPE to a
 /// no-op object, making the overhead exactly zero by construction.
 ///
-/// Besides the text report, the measurement is exported as
+/// A third leg measures counter sampling (obs/hwcounters): tracing plus
+/// a bound CounterGroup, so every PhaseScope additionally samples the
+/// backend twice.  The same <2% bar applies to the counter increment
+/// over plain tracing.
+///
+/// Besides the text report, the measurements are exported as
 /// `obs_overhead.json` (yy-bench-1 schema, see bench_json.hpp /
-/// `--out FILE`) so the <2% claim is tracked in the perf-regression
+/// `--out FILE`) so the <2% claims are tracked in the perf-regression
 /// trajectory alongside the BENCH_* baselines.
 #include <algorithm>
 #include <cstddef>
@@ -17,6 +22,7 @@
 
 #include "common/timer.hpp"
 #include "core/serial_solver.hpp"
+#include "obs/hwcounters.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -37,11 +43,20 @@ core::SimulationConfig bench_config() {
   return cfg;
 }
 
-/// Seconds for `steps` RK4 steps; records into `rec` when non-null.
-double run_once(obs::TraceRecorder* rec, int steps) {
+/// Seconds for `steps` RK4 steps; records into `rec` when non-null and
+/// additionally samples counters per span when `ctrs` is non-null.
+double run_once(obs::TraceRecorder* rec, obs::CounterGroup* ctrs, int steps) {
   core::SerialYinYangSolver solver(bench_config());
   if (rec != nullptr) {
     obs::ScopedRankBind bind(*rec, 0);
+    if (ctrs != nullptr) {
+      obs::ScopedCounterBind cbind(*ctrs);
+      solver.initialize();
+      const double dt = solver.stable_dt();
+      WallTimer t;
+      for (int i = 0; i < steps; ++i) solver.step(dt);
+      return t.seconds();
+    }
     solver.initialize();
     const double dt = solver.stable_dt();
     WallTimer t;
@@ -76,31 +91,41 @@ int main(int argc, char** argv) {
               steps, reps);
 
   // Warm-up: populate caches and fault in the working set once.
-  run_once(nullptr, 2);
+  run_once(nullptr, nullptr, 2);
 
-  double best_off = 1e30, best_on = 1e30;
+  obs::CounterGroup ctrs(obs::CounterGroup::config_from_env());
+  double best_off = 1e30, best_on = 1e30, best_ctr = 1e30;
   std::size_t spans = 0;
   for (int r = 0; r < reps; ++r) {
-    best_off = std::min(best_off, run_once(nullptr, steps));
+    best_off = std::min(best_off, run_once(nullptr, nullptr, steps));
     obs::TraceRecorder rec;
-    best_on = std::min(best_on, run_once(&rec, steps));
+    best_on = std::min(best_on, run_once(&rec, nullptr, steps));
     const auto traces = rec.traces();
     spans = traces.empty() ? 0 : traces[0]->spans().size();
+    obs::TraceRecorder rec_ctr;
+    best_ctr = std::min(best_ctr, run_once(&rec_ctr, &ctrs, steps));
   }
 
   const double overhead = best_on / best_off - 1.0;
-  std::printf("untraced : %9.4f s\n", best_off);
-  std::printf("traced   : %9.4f s   (%zu spans recorded per run)\n", best_on,
-              spans);
-  std::printf("overhead : %+8.2f %%   (acceptance: < 2%% enabled; 0%% when\n",
+  const double ctr_overhead = best_ctr / best_on - 1.0;
+  std::printf("untraced          : %9.4f s\n", best_off);
+  std::printf("traced            : %9.4f s   (%zu spans recorded per run)\n",
+              best_on, spans);
+  std::printf("traced + counters : %9.4f s   (backend: %s)\n", best_ctr,
+              obs::counter_backend_name(ctrs.backend()));
+  std::printf("trace overhead    : %+8.2f %%   (acceptance: < 2%% enabled;\n",
               overhead * 100.0);
-  std::printf("            built with -DYY_TRACE_LEVEL=0 — the macros then\n"
+  std::printf("            0%% with -DYY_TRACE_LEVEL=0 — the macros then\n"
               "            expand to NullPhaseScope and vanish entirely)\n");
+  std::printf("counter overhead  : %+8.2f %%   over plain tracing "
+              "(acceptance: < 2%%)\n",
+              ctr_overhead * 100.0);
 
 #if YY_TRACE_LEVEL
-  const bool pass = overhead < 0.02;
+  const bool pass = overhead < 0.02 && ctr_overhead < 0.02;
 #else
-  // Compiled out: both runs execute the identical instruction stream.
+  // Compiled out: all runs execute the identical instruction stream
+  // (counter binding without scopes never samples).
   const bool pass = true;
 #endif
 
@@ -112,9 +137,12 @@ int main(int argc, char** argv) {
     man.app = "obs_overhead";
     man.mode = "serial";
     man.world = 1;
+    man.counter_backend = obs::counter_backend_name(ctrs.backend());
     man.extra.emplace_back("steps", std::to_string(steps));
     std::vector<yy::bench::BenchMetric> metrics;
     metrics.push_back({"overhead_frac", overhead, 0.0, 0.02, "max"});
+    metrics.push_back({"counter_overhead_frac", ctr_overhead, 0.0, 0.02,
+                       "max"});
     metrics.push_back({"spans_per_run", static_cast<double>(spans), 0.0,
                        2.0 * steps, "band"});
     std::ofstream f(out_path);

@@ -10,7 +10,8 @@
 /// Simulator performance model's predicted phase split.
 ///
 /// Usage: parallel_dynamo [pt pp steps [mode]] [--heartbeat N] [--overlap]
-///                        [--fused-rhs] [--chaos rank-death:<step>]
+///                        [--fused-rhs] [--counters]
+///                        [--chaos rank-death:<step>]
 ///        (default 2 x 2, 10 steps)
 ///
 /// mode selects the run-control layer:
@@ -40,6 +41,17 @@
 /// (tests/mhd/test_rhs_fused.cpp), so the serial cross-check still
 /// matches exactly; composes with --overlap.
 ///
+/// --counters samples per-phase performance counters on every rank
+/// (obs/hwcounters.hpp): each rank thread opens its own CounterGroup —
+/// real perf_event hardware counters where the kernel permits, the
+/// software charge counter otherwise — and every span then carries a
+/// counter delta.  The backend actually used is stamped into the
+/// manifest (`counter_backend`) and all exports; the run ends with a
+/// roofline attribution table (perf/roofline.hpp) joining the measured
+/// counters against the analytic flop charges.  Environment:
+/// YY_COUNTERS=software forces the fallback, YY_COUNTER_FPOPS_RAW=<ev>
+/// opens a raw FP-ops event on microarchitectures that have one.
+///
 /// --chaos rank-death:<step> kills world rank 1 after it completes
 /// step <step>: the rank stops responding, the survivors detect the
 /// silence, shrink the world around it and restore its patch from its
@@ -65,10 +77,12 @@
 #include "core/distributed_solver.hpp"
 #include "core/serial_solver.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/hwcounters.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "perf/proginf.hpp"
+#include "perf/roofline.hpp"
 #include "resilience/resilient_runner.hpp"
 
 using namespace yy;
@@ -78,6 +92,7 @@ int main(int argc, char** argv) {
   int heartbeat = 0;
   bool overlap = false;
   bool fused_rhs = false;
+  bool counters = false;
   long long chaos_death_step = -1;
   std::vector<const char*> pos;
   for (int i = 1; i < argc; ++i) {
@@ -87,6 +102,8 @@ int main(int argc, char** argv) {
       overlap = true;
     } else if (std::strcmp(argv[i], "--fused-rhs") == 0) {
       fused_rhs = true;
+    } else if (std::strcmp(argv[i], "--counters") == 0) {
+      counters = true;
     } else if (std::strcmp(argv[i], "--chaos") == 0 && i + 1 < argc) {
       const char* spec = argv[++i];
       if (std::strncmp(spec, "rank-death:", 11) == 0) {
@@ -154,6 +171,17 @@ int main(int argc, char** argv) {
   man.nt_core = cfg.nt_core;
   man.np_core = cfg.np_core;
   man.heartbeat_interval = heartbeat;
+  // Probe which counter backend this host grants before freezing the
+  // manifest: the rank threads open identical groups below, so the
+  // probe's outcome is the run's (honest degradation, DESIGN.md §13).
+  obs::CounterBackend ctr_backend = obs::CounterBackend::off;
+  std::string ctr_detail = "off";
+  if (counters) {
+    obs::CounterGroup probe(obs::CounterGroup::config_from_env());
+    ctr_backend = probe.backend();
+    ctr_detail = probe.backend_detail();
+  }
+  man.counter_backend = obs::counter_backend_name(ctr_backend);
   man.extra.emplace_back("steps", std::to_string(steps));
   man.extra.emplace_back("overlap", overlap ? "1" : "0");
   man.extra.emplace_back("rhs_backend", fused_rhs ? "fused" : "reference");
@@ -190,6 +218,16 @@ int main(int argc, char** argv) {
   WallTimer timer;
   rt.run([&](comm::Communicator& w) {
     obs::ScopedRankBind bind(rec, w.rank());
+    // Counter groups are per-thread (perf_event counts the opening
+    // thread only), so each rank opens its own and binds it for the
+    // run; every span this rank records then carries a counter delta.
+    std::unique_ptr<obs::CounterGroup> ctrs;
+    std::unique_ptr<obs::ScopedCounterBind> cbind;
+    if (counters) {
+      ctrs = std::make_unique<obs::CounterGroup>(
+          obs::CounterGroup::config_from_env());
+      cbind = std::make_unique<obs::ScopedCounterBind>(*ctrs);
+    }
     core::DistributedSolver solver(cfg, w, pt, pp);
     solver.initialize();
     const double dt = solver.stable_dt();
@@ -300,5 +338,13 @@ int main(int argc, char** argv) {
   const perf::RunConfig rc{world, cfg.nr, cfg.nt_core, cfg.np_core,
                            perf::Parallelization::flat_mpi};
   std::printf("%s\n", perf::format_phase_report(metrics, model, rc).c_str());
+
+  if (counters) {
+    std::printf("counter backend: %s\n", ctr_detail.c_str());
+    std::printf("%s\n",
+                perf::RooflineReport::build(metrics, ctr_backend)
+                    .format()
+                    .c_str());
+  }
   return 0;
 }

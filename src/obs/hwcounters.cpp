@@ -1,0 +1,200 @@
+#include "obs/hwcounters.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/flops.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace yy::obs {
+
+namespace {
+
+const char* kBackendNames[] = {"off", "software", "perf_event"};
+static_assert(sizeof(kBackendNames) / sizeof(kBackendNames[0]) ==
+                  static_cast<std::size_t>(kNumCounterBackends),
+              "counter_backend_name table out of sync");
+
+}  // namespace
+
+const char* counter_backend_name(CounterBackend b) {
+  const int i = static_cast<int>(b);
+  return i >= 0 && i < kNumCounterBackends ? kBackendNames[i] : "?";
+}
+
+CounterConfig CounterGroup::config_from_env() {
+  CounterConfig cfg;
+  if (const char* mode = std::getenv("YY_COUNTERS")) {
+    if (std::strcmp(mode, "software") == 0 || std::strcmp(mode, "off") == 0)
+      cfg.want_perf_event = false;
+  }
+  if (const char* raw = std::getenv("YY_COUNTER_FPOPS_RAW")) {
+    cfg.fp_raw_event =
+        static_cast<long long>(std::strtoll(raw, nullptr, /*base=*/0));
+    if (cfg.fp_raw_event == 0) cfg.fp_raw_event = -1;
+  }
+  return cfg;
+}
+
+#if defined(__linux__)
+
+namespace {
+
+int open_perf_event(std::uint32_t type, std::uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.type = type;
+  attr.size = sizeof attr;
+  attr.config = config;
+  attr.disabled = 0;
+  attr.exclude_kernel = 1;  // paranoid<=2 compatible; user time is what
+  attr.exclude_hv = 1;      // the roofline wants anyway
+  attr.read_format = PERF_FORMAT_GROUP;
+  // pid=0, cpu=-1: this thread, any CPU; inherit stays off so worker
+  // threads never pollute the owning rank's deltas.
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, group_fd, 0));
+}
+
+const char* errno_name(int e) {
+  switch (e) {
+    case EPERM: return "EPERM";
+    case EACCES: return "EACCES";
+    case ENOENT: return "ENOENT";
+    case ENOSYS: return "ENOSYS";
+    case ENODEV: return "ENODEV";
+    default: return "errno";
+  }
+}
+
+}  // namespace
+
+CounterGroup::CounterGroup(const CounterConfig& cfg) {
+  if (!cfg.want_perf_event) {
+    detail_ = "software backend requested";
+    return;
+  }
+  // The leader must open for the group to exist at all; members are
+  // individually optional (a VM PMU often exposes fewer events).
+  const int leader = open_perf_event(PERF_TYPE_HARDWARE,
+                                     PERF_COUNT_HW_CPU_CYCLES, -1);
+  if (leader < 0) {
+    const int e = errno;
+    detail_ = std::string("perf_event_open(cycles): ") + errno_name(e) + " (" +
+              std::strerror(e) + "); software fallback";
+    return;
+  }
+  group_fd_ = leader;
+  fds_[nevents_] = leader;
+  idx_cycles_ = nevents_++;
+  struct Member {
+    std::uint32_t type;
+    std::uint64_t config;
+    int* idx;
+  } members[] = {
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, &idx_instructions_},
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES, &idx_cache_refs_},
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, &idx_cache_misses_},
+  };
+  for (const Member& m : members) {
+    const int fd = open_perf_event(m.type, m.config, group_fd_);
+    if (fd >= 0) {
+      fds_[nevents_] = fd;
+      *m.idx = nevents_++;
+    }
+  }
+  if (cfg.fp_raw_event >= 0) {
+    const int fd = open_perf_event(
+        PERF_TYPE_RAW, static_cast<std::uint64_t>(cfg.fp_raw_event),
+        group_fd_);
+    if (fd >= 0) {
+      fds_[nevents_] = fd;
+      idx_hw_flops_ = nevents_++;
+    }
+  }
+  if (idx_instructions_ < 0) {
+    // cycles without instructions cannot produce an IPC — degrade
+    // honestly rather than report a half-empty hardware row.
+    close_all();
+    idx_cycles_ = -1;
+    detail_ = "perf_event_open(instructions) unavailable; software fallback";
+    return;
+  }
+  backend_ = CounterBackend::perf_event;
+  detail_ = "perf_event (" + std::to_string(nevents_) + " hw counters" +
+            (idx_hw_flops_ >= 0 ? ", raw fp-ops" : "") + ")";
+}
+
+void CounterGroup::close_all() {
+  for (int i = 0; i < nevents_; ++i)
+    if (fds_[i] >= 0) {
+      close(fds_[i]);
+      fds_[i] = -1;
+    }
+  group_fd_ = -1;
+  nevents_ = 0;
+}
+
+CounterGroup::~CounterGroup() { close_all(); }
+
+CounterValues CounterGroup::sample() const {
+  CounterValues v;
+  v.flops = flops::count();
+  if (backend_ != CounterBackend::perf_event) return v;
+  // PERF_FORMAT_GROUP layout: u64 nr, then one u64 per event in open
+  // order.  One syscall samples the whole group coherently.
+  std::uint64_t buf[2 + 8] = {0};
+  const ssize_t want =
+      static_cast<ssize_t>((1 + static_cast<std::size_t>(nevents_)) *
+                           sizeof(std::uint64_t));
+  if (read(group_fd_, buf, static_cast<std::size_t>(want)) != want) return v;
+  const std::uint64_t* vals = buf + 1;
+  const auto pick = [&](int idx) -> std::uint64_t {
+    return idx >= 0 && idx < static_cast<int>(buf[0]) ? vals[idx] : 0;
+  };
+  v.cycles = pick(idx_cycles_);
+  v.instructions = pick(idx_instructions_);
+  v.cache_refs = pick(idx_cache_refs_);
+  v.cache_misses = pick(idx_cache_misses_);
+  v.hw_flops = pick(idx_hw_flops_);
+  return v;
+}
+
+#else  // !__linux__
+
+CounterGroup::CounterGroup(const CounterConfig& cfg) {
+  (void)cfg;
+  detail_ = "perf_event unavailable on this platform; software fallback";
+}
+
+CounterGroup::~CounterGroup() = default;
+
+void CounterGroup::close_all() {}
+
+CounterValues CounterGroup::sample() const {
+  CounterValues v;
+  v.flops = flops::count();
+  return v;
+}
+
+#endif
+
+namespace detail {
+
+namespace {
+thread_local CounterGroup* tls_counters = nullptr;
+}  // namespace
+
+CounterGroup* current_counters() { return tls_counters; }
+void set_current_counters(CounterGroup* g) { tls_counters = g; }
+
+}  // namespace detail
+
+}  // namespace yy::obs

@@ -1,0 +1,142 @@
+/// \file hwcounters.hpp
+/// Measured MPIPROGINF: per-thread hardware performance counters.
+///
+/// The paper's 15.2 TFlops / 46%-of-peak headline came straight from
+/// the Earth Simulator's hardware counters (MPIPROGINF).  Everything in
+/// src/perf reproduces that report *analytically* — charged flops from
+/// common/flops.hpp plus the es_model.  This module adds the measured
+/// side: a `CounterGroup` samples real CPU counters through Linux
+/// `perf_event_open` (cycles, instructions, cache references/misses,
+/// and optionally a raw FP-ops event), so every traced phase can report
+/// achieved IPC, GFlop/s and memory traffic instead of predictions.
+///
+/// Honesty rules (DESIGN.md §13):
+///  * Backend selection is *reported, never faked*.  When the kernel
+///    refuses `perf_event_open` (containers, CI, locked-down hosts:
+///    EPERM/EACCES; VMs without a PMU: ENOENT) the group degrades to
+///    the `software` backend — timestamps plus the charged flop counter
+///    — and says so via backend()/backend_detail(), which RunManifest
+///    stamps into every export as `counter_backend`.
+///  * The software backend's "measured" flop column is *defined* to be
+///    the analytic charge (flops::count()), so model-vs-measured
+///    reconciliation is exact by construction there; only a real
+///    perf_event backend can produce an independent measurement.
+///  * A `CounterGroup` counts the thread that constructed it (pid=0,
+///    inherit off) and must be sampled from that thread only — the same
+///    single-writer discipline as RankTrace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace yy::obs {
+
+/// Which measurement source a CounterGroup ended up with.
+enum class CounterBackend : int {
+  off = 0,     ///< no group bound: spans carry zero counter deltas
+  software,    ///< charged flops + timestamps only (portable fallback)
+  perf_event,  ///< real hardware counters via perf_event_open
+};
+
+inline constexpr int kNumCounterBackends = 3;
+
+const char* counter_backend_name(CounterBackend b);
+
+/// One point-in-time reading (monotonic since group creation).  Span
+/// deltas subtract two of these; per-phase totals add deltas.
+struct CounterValues {
+  std::uint64_t cycles = 0;        ///< PERF_COUNT_HW_CPU_CYCLES
+  std::uint64_t instructions = 0;  ///< PERF_COUNT_HW_INSTRUCTIONS
+  std::uint64_t cache_refs = 0;    ///< PERF_COUNT_HW_CACHE_REFERENCES
+  std::uint64_t cache_misses = 0;  ///< PERF_COUNT_HW_CACHE_MISSES
+  std::uint64_t hw_flops = 0;      ///< raw FP-ops event (0 if not opened)
+  std::uint64_t flops = 0;         ///< software charge (flops::count())
+
+  CounterValues operator-(const CounterValues& o) const {
+    return {cycles - o.cycles,         instructions - o.instructions,
+            cache_refs - o.cache_refs, cache_misses - o.cache_misses,
+            hw_flops - o.hw_flops,     flops - o.flops};
+  }
+  CounterValues& operator+=(const CounterValues& o) {
+    cycles += o.cycles;
+    instructions += o.instructions;
+    cache_refs += o.cache_refs;
+    cache_misses += o.cache_misses;
+    hw_flops += o.hw_flops;
+    flops += o.flops;
+    return *this;
+  }
+  bool any() const {
+    return (cycles | instructions | cache_refs | cache_misses | hw_flops |
+            flops) != 0;
+  }
+};
+
+struct CounterConfig {
+  /// Try perf_event_open first; false selects the software backend
+  /// outright (what sanitizer builds do: the interceptors make syscall
+  /// timing meaningless and TSan dislikes the fd lifecycle).
+  bool want_perf_event = true;
+  /// Optional raw FP-operations event code (PERF_TYPE_RAW), because no
+  /// portable PERF_COUNT_* FP event exists; microarchitecture-specific.
+  /// < 0 disables.  Settable via YY_COUNTER_FPOPS_RAW (hex or decimal).
+  long long fp_raw_event = -1;
+};
+
+/// Per-thread counter group.  Construct on the thread to be measured;
+/// sample() from that thread only.
+class CounterGroup {
+ public:
+  /// Reads YY_COUNTERS (off|software|perf) and YY_COUNTER_FPOPS_RAW.
+  static CounterConfig config_from_env();
+
+  explicit CounterGroup(const CounterConfig& cfg = {});
+  ~CounterGroup();
+  CounterGroup(const CounterGroup&) = delete;
+  CounterGroup& operator=(const CounterGroup&) = delete;
+
+  CounterBackend backend() const { return backend_; }
+  /// Human-readable provenance: "perf_event (4 hw counters)" or the
+  /// errno that forced the fallback ("perf_event_open: EPERM ...").
+  const std::string& backend_detail() const { return detail_; }
+
+  /// Current accumulated values.  Always cheap for the software
+  /// backend; one group read() syscall for perf_event.
+  CounterValues sample() const;
+
+ private:
+  CounterBackend backend_ = CounterBackend::software;
+  std::string detail_;
+  int group_fd_ = -1;  ///< perf group leader (cycles); -1 when software
+  int nevents_ = 0;    ///< events in the group, read() layout size
+  int fds_[8] = {-1, -1, -1, -1, -1, -1, -1, -1};  ///< every open event fd
+  int idx_cycles_ = -1, idx_instructions_ = -1, idx_cache_refs_ = -1,
+      idx_cache_misses_ = -1, idx_hw_flops_ = -1;
+  void close_all();
+};
+
+namespace detail {
+CounterGroup* current_counters();
+void set_current_counters(CounterGroup* g);
+}  // namespace detail
+
+/// Binds the calling thread's PhaseScopes to a counter group for the
+/// binder's lifetime, exactly like ScopedRankBind does for the span
+/// buffer.  Place next to ScopedRankBind at the top of the rank
+/// function; unbound threads record zero counter deltas (the seed
+/// behaviour) at the cost of one branch per scope.
+class ScopedCounterBind {
+ public:
+  explicit ScopedCounterBind(CounterGroup& g)
+      : prev_(detail::current_counters()) {
+    detail::set_current_counters(&g);
+  }
+  ~ScopedCounterBind() { detail::set_current_counters(prev_); }
+  ScopedCounterBind(const ScopedCounterBind&) = delete;
+  ScopedCounterBind& operator=(const ScopedCounterBind&) = delete;
+
+ private:
+  CounterGroup* prev_;
+};
+
+}  // namespace yy::obs

@@ -35,6 +35,7 @@ MetricsSummary collect_metrics(const TraceRecorder& rec,
       pm.seconds += static_cast<double>(s.t1_ns - s.t0_ns) / 1e9;
       pm.count += 1;
       pm.bytes += s.bytes;
+      pm.ctr += s.ctr;
       r_min = std::min(r_min, s.t0_ns);
       r_max = std::max(r_max, s.t1_ns);
       max_step = std::max(max_step, s.step);
@@ -51,6 +52,8 @@ MetricsSummary collect_metrics(const TraceRecorder& rec,
           rm.phase[static_cast<std::size_t>(p)].count;
       m.total[static_cast<std::size_t>(p)].bytes +=
           rm.phase[static_cast<std::size_t>(p)].bytes;
+      m.total[static_cast<std::size_t>(p)].ctr +=
+          rm.phase[static_cast<std::size_t>(p)].ctr;
     }
     m.ranks.push_back(rm);
   }
@@ -67,31 +70,45 @@ void write_metrics_csv(const MetricsSummary& m, std::ostream& out,
   write_metrics_csv(m, out);
 }
 
+namespace {
+
+/// One rank×phase (or TOTAL×phase) CSV row, counter columns included.
+void csv_phase_row(std::ostream& out, const char* rank_label,
+                   Phase p, const PhaseMetrics& pm) {
+  char buf[288];
+  std::snprintf(buf, sizeof buf,
+                "%s,%s,%.9f,%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 "\n",
+                rank_label, phase_name(p), pm.seconds, pm.count, pm.bytes,
+                pm.ctr.cycles, pm.ctr.instructions, pm.ctr.cache_refs,
+                pm.ctr.cache_misses, pm.ctr.hw_flops, pm.ctr.flops);
+  out << buf;
+}
+
+}  // namespace
+
 void write_metrics_csv(const MetricsSummary& m, std::ostream& out) {
-  out << "rank,phase,seconds,count,bytes\n";
+  out << "rank,phase,seconds,count,bytes,cycles,instructions,cache_refs,"
+         "cache_misses,hw_flops,flops\n";
   char buf[160];
+  char rank_label[16];
   for (const RankMetrics& rm : m.ranks) {
+    std::snprintf(rank_label, sizeof rank_label, "%d", rm.rank);
     for (int p = 0; p < kNumPhases; ++p) {
       const PhaseMetrics& pm = rm.phase[static_cast<std::size_t>(p)];
       if (pm.count == 0) continue;
-      std::snprintf(buf, sizeof buf, "%d,%s,%.9f,%" PRIu64 ",%" PRIu64 "\n",
-                    rm.rank, phase_name(static_cast<Phase>(p)), pm.seconds,
-                    pm.count, pm.bytes);
-      out << buf;
+      csv_phase_row(out, rank_label, static_cast<Phase>(p), pm);
     }
   }
   for (int p = 0; p < kNumPhases; ++p) {
     const PhaseMetrics& pm = m.total[static_cast<std::size_t>(p)];
     if (pm.count == 0) continue;
-    std::snprintf(buf, sizeof buf, "TOTAL,%s,%.9f,%" PRIu64 ",%" PRIu64 "\n",
-                  phase_name(static_cast<Phase>(p)), pm.seconds, pm.count,
-                  pm.bytes);
-    out << buf;
+    csv_phase_row(out, "TOTAL", static_cast<Phase>(p), pm);
   }
   for (int e = 0; e < kNumEvents; ++e) {
     const std::uint64_t n = m.events[static_cast<std::size_t>(e)];
     if (n == 0) continue;
-    std::snprintf(buf, sizeof buf, "EVENT,%s,0,%" PRIu64 ",0\n",
+    std::snprintf(buf, sizeof buf, "EVENT,%s,0,%" PRIu64 ",0,0,0,0,0,0,0\n",
                   event_name(static_cast<Event>(e)), n);
     out << buf;
   }
@@ -103,7 +120,7 @@ void json_phases(const std::array<PhaseMetrics, kNumPhases>& phases,
                  std::ostream& out) {
   out << "{";
   bool first = true;
-  char buf[160];
+  char buf[288];
   for (int p = 0; p < kNumPhases; ++p) {
     const PhaseMetrics& pm = phases[static_cast<std::size_t>(p)];
     if (pm.count == 0) continue;
@@ -111,10 +128,22 @@ void json_phases(const std::array<PhaseMetrics, kNumPhases>& phases,
     first = false;
     std::snprintf(buf, sizeof buf,
                   "\"%s\":{\"seconds\":%.9f,\"count\":%" PRIu64
-                  ",\"bytes\":%" PRIu64 "}",
+                  ",\"bytes\":%" PRIu64,
                   phase_name(static_cast<Phase>(p)), pm.seconds, pm.count,
                   pm.bytes);
     out << buf;
+    // Counter block only when sampling actually happened: exports from
+    // counter-less runs stay byte-compatible with the previous schema.
+    if (pm.ctr.any()) {
+      std::snprintf(buf, sizeof buf,
+                    ",\"cycles\":%" PRIu64 ",\"instructions\":%" PRIu64
+                    ",\"cache_refs\":%" PRIu64 ",\"cache_misses\":%" PRIu64
+                    ",\"hw_flops\":%" PRIu64 ",\"flops\":%" PRIu64,
+                    pm.ctr.cycles, pm.ctr.instructions, pm.ctr.cache_refs,
+                    pm.ctr.cache_misses, pm.ctr.hw_flops, pm.ctr.flops);
+      out << buf;
+    }
+    out << "}";
   }
   out << "}";
 }

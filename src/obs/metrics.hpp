@@ -15,6 +15,7 @@
 
 #include "comm/communicator.hpp"
 #include "obs/events.hpp"
+#include "obs/hwcounters.hpp"
 #include "obs/trace.hpp"
 
 namespace yy::obs {
@@ -23,6 +24,9 @@ struct PhaseMetrics {
   double seconds = 0.0;        ///< Σ span durations
   std::uint64_t count = 0;     ///< number of spans
   std::uint64_t bytes = 0;     ///< Σ attributed message bytes
+  /// Σ per-span performance-counter deltas (hwcounters.hpp): zero
+  /// unless the recording threads had counter groups bound.
+  CounterValues ctr{};
 };
 
 struct RankMetrics {

@@ -97,6 +97,7 @@ StepAgg aggregate_step(const std::vector<StepStats>& per_rank) {
       }
       pa.sum_s += v;
       pa.bytes += s.bytes[static_cast<std::size_t>(p)];
+      pa.ctr += s.ctr[static_cast<std::size_t>(p)];
     }
     const double comp = s.compute_seconds();
     const double wait = s.wait_seconds();
@@ -134,6 +135,15 @@ void pack_step_stats(const StepStats& s, double* out) {
     out[k++] = s.seconds[static_cast<std::size_t>(p)];
   for (int p = 0; p < kNumPhases; ++p)
     out[k++] = static_cast<double>(s.bytes[static_cast<std::size_t>(p)]);
+  for (int p = 0; p < kNumPhases; ++p) {
+    const CounterValues& c = s.ctr[static_cast<std::size_t>(p)];
+    out[k++] = static_cast<double>(c.cycles);
+    out[k++] = static_cast<double>(c.instructions);
+    out[k++] = static_cast<double>(c.cache_refs);
+    out[k++] = static_cast<double>(c.cache_misses);
+    out[k++] = static_cast<double>(c.hw_flops);
+    out[k++] = static_cast<double>(c.flops);
+  }
   for (int e = 0; e < kNumEvents; ++e)
     out[k++] = static_cast<double>(s.event_delta[static_cast<std::size_t>(e)]);
 }
@@ -151,6 +161,15 @@ StepStats unpack_step_stats(const double* in) {
   for (int p = 0; p < kNumPhases; ++p)
     s.bytes[static_cast<std::size_t>(p)] =
         static_cast<std::uint64_t>(in[k++]);
+  for (int p = 0; p < kNumPhases; ++p) {
+    CounterValues& c = s.ctr[static_cast<std::size_t>(p)];
+    c.cycles = static_cast<std::uint64_t>(in[k++]);
+    c.instructions = static_cast<std::uint64_t>(in[k++]);
+    c.cache_refs = static_cast<std::uint64_t>(in[k++]);
+    c.cache_misses = static_cast<std::uint64_t>(in[k++]);
+    c.hw_flops = static_cast<std::uint64_t>(in[k++]);
+    c.flops = static_cast<std::uint64_t>(in[k++]);
+  }
   for (int e = 0; e < kNumEvents; ++e)
     s.event_delta[static_cast<std::size_t>(e)] =
         static_cast<std::uint64_t>(in[k++]);

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "obs/events.hpp"
+#include "obs/hwcounters.hpp"
 #include "obs/trace.hpp"
 
 namespace yy::obs {
@@ -41,6 +42,9 @@ struct StepStats {
   double wall_seconds = 0.0;  ///< step wall clock, begin_step..end_step
   std::array<double, kNumPhases> seconds{};
   std::array<std::uint64_t, kNumPhases> bytes{};
+  /// Per-phase performance-counter deltas this step (hwcounters.hpp);
+  /// all zero when the rank thread has no counter group bound.
+  std::array<CounterValues, kNumPhases> ctr{};
   /// Delta of the process-global event counters (events.hpp) observed
   /// by this rank across the step.  The counters are shared by all
   /// ranks, so cross-rank aggregation takes the max, not the sum.
@@ -85,6 +89,7 @@ struct PhaseAgg {
   double sum_s = 0.0;
   int argmax_rank = -1;       ///< world rank attaining max_s
   std::uint64_t bytes = 0;    ///< Σ over ranks
+  CounterValues ctr{};        ///< Σ counter deltas over ranks
 };
 
 /// Cross-rank view of one step.
@@ -117,9 +122,12 @@ struct StepAgg {
 StepAgg aggregate_step(const std::vector<StepStats>& per_rank);
 
 /// Fixed-length flat encoding for the telemetry gather (one double per
-/// field; integers round-trip exactly up to 2^53).
+/// field; integers round-trip exactly up to 2^53 — counter values on a
+/// multi-GHz core stay under that for runs of ~3 months).  The six
+/// trailing blocks per phase are the CounterValues fields.
+inline constexpr std::size_t kCounterDoubles = 6;
 inline constexpr std::size_t kStepStatsDoubles =
-    5 + 2 * static_cast<std::size_t>(kNumPhases) +
+    5 + (2 + kCounterDoubles) * static_cast<std::size_t>(kNumPhases) +
     static_cast<std::size_t>(kNumEvents);
 void pack_step_stats(const StepStats& s, double* out);
 StepStats unpack_step_stats(const double* in);

@@ -64,7 +64,9 @@ void RunManifest::write_json(std::ostream& out) const {
                 heartbeat_interval);
   out << buf;
   out << "\"build_type\":\"" << json_escape(build_type)
-      << "\",\"sanitizer\":\"" << json_escape(sanitizer) << "\",\"extra\":{";
+      << "\",\"sanitizer\":\"" << json_escape(sanitizer)
+      << "\",\"counter_backend\":\"" << json_escape(counter_backend)
+      << "\",\"extra\":{";
   bool first = true;
   for (const auto& [k, v] : extra) {
     if (!first) out << ",";
@@ -89,6 +91,7 @@ void RunManifest::write_csv_comments(std::ostream& out) const {
   out << buf;
   out << "# build_type=" << build_type << " sanitizer=" << sanitizer
       << " trace_level=" << trace_level
+      << " counter_backend=" << counter_backend
       << " heartbeat_interval=" << heartbeat_interval << "\n";
   for (const auto& [k, v] : extra) out << "# " << k << "=" << v << "\n";
 }
@@ -134,20 +137,26 @@ void TelemetrySink::on_window(const std::vector<StepAgg>& steps) {
 void TelemetrySink::write_csv(std::ostream& out) const {
   manifest_.write_csv_comments(out);
   out << "# columns(phase rows): "
-         "step,dt,phase,min_s,mean_s,max_s,sum_s,argmax_rank,bytes\n";
+         "step,dt,phase,min_s,mean_s,max_s,sum_s,argmax_rank,bytes,"
+         "cycles,instructions,cache_refs,cache_misses,hw_flops,flops\n";
   out << "# columns(STEP rows): step,dt,STEP,imbalance,compute_mean_s,"
          "wait_mean_s,wall_max_s,straggler,spans_dropped\n";
-  out << "step,dt,phase,min_s,mean_s,max_s,sum_s,argmax_rank,bytes\n";
-  char buf[256];
+  out << "step,dt,phase,min_s,mean_s,max_s,sum_s,argmax_rank,bytes,"
+         "cycles,instructions,cache_refs,cache_misses,hw_flops,flops\n";
+  char buf[384];
   for (const StepAgg& a : series_) {
     for (int p = 0; p < kNumPhases; ++p) {
       const PhaseAgg& pa = a.phase[static_cast<std::size_t>(p)];
       if (pa.sum_s == 0.0 && pa.bytes == 0) continue;
       std::snprintf(buf, sizeof buf,
-                    "%lld,%.9e,%s,%.9e,%.9e,%.9e,%.9e,%d,%" PRIu64 "\n",
+                    "%lld,%.9e,%s,%.9e,%.9e,%.9e,%.9e,%d,%" PRIu64 ",%" PRIu64
+                    ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                    "\n",
                     static_cast<long long>(a.step), a.dt,
                     phase_name(static_cast<Phase>(p)), pa.min_s, pa.mean_s,
-                    pa.max_s, pa.sum_s, pa.argmax_rank, pa.bytes);
+                    pa.max_s, pa.sum_s, pa.argmax_rank, pa.bytes,
+                    pa.ctr.cycles, pa.ctr.instructions, pa.ctr.cache_refs,
+                    pa.ctr.cache_misses, pa.ctr.hw_flops, pa.ctr.flops);
       out << buf;
     }
     std::snprintf(buf, sizeof buf,
@@ -160,7 +169,9 @@ void TelemetrySink::write_csv(std::ostream& out) const {
 }
 
 void TelemetrySink::write_json(std::ostream& out) const {
-  out << "{\"schema\":\"yy-telemetry-1\",\"manifest\":";
+  // Schema rev 2: manifest gained counter_backend, phase objects gained
+  // the performance-counter block (present only when counters sampled).
+  out << "{\"schema\":\"yy-telemetry-2\",\"manifest\":";
   manifest_.write_json(out);
   out << ",\"steps\":[";
   char buf[320];
@@ -188,10 +199,20 @@ void TelemetrySink::write_json(std::ostream& out) const {
       first = false;
       std::snprintf(buf, sizeof buf,
                     "\"%s\":{\"min_s\":%.9e,\"mean_s\":%.9e,\"max_s\":%.9e,"
-                    "\"sum_s\":%.9e,\"argmax_rank\":%d,\"bytes\":%" PRIu64 "}",
+                    "\"sum_s\":%.9e,\"argmax_rank\":%d,\"bytes\":%" PRIu64,
                     phase_name(static_cast<Phase>(p)), pa.min_s, pa.mean_s,
                     pa.max_s, pa.sum_s, pa.argmax_rank, pa.bytes);
       out << buf;
+      if (pa.ctr.any()) {
+        std::snprintf(buf, sizeof buf,
+                      ",\"cycles\":%" PRIu64 ",\"instructions\":%" PRIu64
+                      ",\"cache_refs\":%" PRIu64 ",\"cache_misses\":%" PRIu64
+                      ",\"hw_flops\":%" PRIu64 ",\"flops\":%" PRIu64,
+                      pa.ctr.cycles, pa.ctr.instructions, pa.ctr.cache_refs,
+                      pa.ctr.cache_misses, pa.ctr.hw_flops, pa.ctr.flops);
+        out << buf;
+      }
+      out << "}";
     }
     out << "},\"events\":{";
     first = true;
@@ -271,6 +292,7 @@ void RankTelemetry::end_step() {
       const auto p = static_cast<std::size_t>(s.phase);
       cur_.seconds[p] += static_cast<double>(s.t1_ns - s.t0_ns) / 1e9;
       cur_.bytes[p] += s.bytes;
+      cur_.ctr[p] += s.ctr;
     }
     cur_.spans_dropped = evicted - evicted_at_begin_;
   }

@@ -47,6 +47,11 @@ struct RunManifest {
   int trace_level = YY_TRACE_LEVEL;
   std::string build_type;  ///< CMAKE_BUILD_TYPE baked in at compile time
   std::string sanitizer;   ///< "none", "thread" or "address"
+  /// Performance-counter source actually used by the run ("off",
+  /// "software", "perf_event" — hwcounters.hpp), reported honestly so a
+  /// measured-MPIPROGINF artifact always says where its numbers came
+  /// from.  Callers set it from CounterGroup::backend().
+  std::string counter_backend = "off";
   int heartbeat_interval = 0;  ///< telemetry window (0 = telemetry off)
   /// Free-form additions ("steps", "seed", ...), exported verbatim.
   std::vector<std::pair<std::string, std::string>> extra;

@@ -32,6 +32,8 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/hwcounters.hpp"
+
 #ifndef YY_TRACE_LEVEL
 #define YY_TRACE_LEVEL 1
 #endif
@@ -76,6 +78,9 @@ struct Span {
   std::int64_t t1_ns = 0;       ///< end, ns since recorder epoch
   std::int64_t step = -1;       ///< solver step at record time (-1 none)
   std::uint64_t bytes = 0;      ///< message bytes attributed to the span
+  /// Performance-counter delta across the span (hwcounters.hpp): all
+  /// zero unless the recording thread had a ScopedCounterBind active.
+  CounterValues ctr{};
 };
 
 class TraceRecorder;
@@ -94,8 +99,13 @@ class RankTrace {
 
   void record(Phase phase, std::int64_t t0_ns, std::int64_t t1_ns,
               std::uint64_t bytes) {
+    record(phase, t0_ns, t1_ns, bytes, CounterValues{});
+  }
+
+  void record(Phase phase, std::int64_t t0_ns, std::int64_t t1_ns,
+              std::uint64_t bytes, const CounterValues& ctr) {
     if (budget_ != 0 && spans_.size() >= budget_) evict_oldest();
-    spans_.push_back({phase, t0_ns, t1_ns, step_, bytes});
+    spans_.push_back({phase, t0_ns, t1_ns, step_, bytes, ctr});
     ++recorded_total_;
   }
 
@@ -179,18 +189,27 @@ inline void set_current_step(std::int64_t step) {
 }
 
 /// RAII leaf span: opens at construction, records at destruction.
-/// All methods are no-ops on unbound threads.
+/// All methods are no-ops on unbound threads.  When the thread also has
+/// a ScopedCounterBind active, the span additionally carries the
+/// counter delta (cycles, instructions, cache traffic, charged flops)
+/// accumulated while it was open — the "measured MPIPROGINF" raw data.
 class PhaseScope {
  public:
   explicit PhaseScope(Phase phase) : trace_(detail::current_trace()) {
     if (trace_ != nullptr) {
+      ctrs_ = detail::current_counters();
       phase_ = phase;
-      t0_ns_ = now_ns();
+      if (ctrs_ != nullptr) c0_ = ctrs_->sample();
+      t0_ns_ = now_ns();  // last: keep the sampling cost out of the span
     }
   }
   ~PhaseScope() {
-    if (trace_ != nullptr)
-      trace_->record(phase_, t0_ns_, now_ns(), bytes_);
+    if (trace_ != nullptr) {
+      const std::int64_t t1 = now_ns();
+      trace_->record(phase_, t0_ns_, t1, bytes_,
+                     ctrs_ != nullptr ? ctrs_->sample() - c0_
+                                      : CounterValues{});
+    }
   }
   PhaseScope(const PhaseScope&) = delete;
   PhaseScope& operator=(const PhaseScope&) = delete;
@@ -202,9 +221,11 @@ class PhaseScope {
 
  private:
   RankTrace* trace_;
+  CounterGroup* ctrs_ = nullptr;
   Phase phase_ = Phase::other;
   std::int64_t t0_ns_ = 0;
   std::uint64_t bytes_ = 0;
+  CounterValues c0_{};
 };
 
 /// Drop-in stand-in for PhaseScope when tracing is compiled out.

@@ -1,0 +1,81 @@
+#include "perf/roofline.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace yy::perf {
+
+RooflineReport RooflineReport::build(const obs::MetricsSummary& m,
+                                     obs::CounterBackend backend,
+                                     std::uint64_t global_flops) {
+  RooflineReport rep;
+  rep.backend = backend;
+  rep.total.label = "TOTAL";
+  for (int p = 0; p < obs::kNumPhases; ++p) {
+    const obs::PhaseMetrics& pm = m.total[static_cast<std::size_t>(p)];
+    if (pm.count == 0) continue;
+    RooflineRow row;
+    row.phase = static_cast<obs::Phase>(p);
+    row.label = obs::phase_name(row.phase);
+    row.seconds = pm.seconds;
+    row.charged_flops = pm.ctr.flops;
+    row.hw_flops = pm.ctr.hw_flops;
+    row.cycles = pm.ctr.cycles;
+    row.instructions = pm.ctr.instructions;
+    row.cache_refs = pm.ctr.cache_refs;
+    row.cache_misses = pm.ctr.cache_misses;
+    rep.total.seconds += row.seconds;
+    rep.total.charged_flops += row.charged_flops;
+    rep.total.hw_flops += row.hw_flops;
+    rep.total.cycles += row.cycles;
+    rep.total.instructions += row.instructions;
+    rep.total.cache_refs += row.cache_refs;
+    rep.total.cache_misses += row.cache_misses;
+    rep.rows.push_back(std::move(row));
+  }
+  if (global_flops > rep.total.charged_flops)
+    rep.unattributed_flops = global_flops - rep.total.charged_flops;
+  return rep;
+}
+
+namespace {
+
+void format_row(std::string& out, const RooflineRow& r) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "  %-14s %10.4f %12.4f %12.4f %8.3f %6.2f %8.2f %7.3f\n",
+                r.label.c_str(), r.seconds,
+                static_cast<double>(r.charged_flops) / 1e9,
+                static_cast<double>(r.measured_flops()) / 1e9,
+                r.achieved_gflops(), r.ipc(), r.dram_gbs(),
+                r.flops_per_byte());
+  out += buf;
+}
+
+}  // namespace
+
+std::string RooflineReport::format() const {
+  std::string out;
+  out += "Roofline attribution (counter backend: ";
+  out += obs::counter_backend_name(backend);
+  out += ")\n";
+  if (backend == obs::CounterBackend::software)
+    out +=
+        "  note: software backend — the measured flop column is the\n"
+        "  analytic charge itself; IPC/DRAM columns need perf_event.\n";
+  out +=
+      "  phase             seconds   charged-GF  measured-GF   GF/s"
+      "    IPC     GB/s     F/B\n";
+  for (const RooflineRow& r : rows) format_row(out, r);
+  format_row(out, total);
+  if (unattributed_flops > 0) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "  unattributed charge (outside spans): %.4f GF\n",
+                  static_cast<double>(unattributed_flops) / 1e9);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace yy::perf

@@ -1,0 +1,95 @@
+/// \file roofline.hpp
+/// Measured-vs-charged roofline attribution: the join between the
+/// analytic flop charges (common/flops.hpp, the quantities behind the
+/// emulated List-1 MPIPROGINF) and the per-phase performance-counter
+/// deltas the obs layer measured (obs/hwcounters.hpp).
+///
+/// Each row pairs one phase's measured seconds and counters with its
+/// charged flops, yielding achieved GFlop/s, IPC, estimated DRAM
+/// bandwidth (cache-miss lines x 64 B) and arithmetic intensity — the
+/// "measured MPIPROGINF" next to the emulated one in
+/// bench/list1_proginf.  The report says which backend produced the
+/// numbers: under the software fallback the measured flop column *is*
+/// the charge (exact by construction); only perf_event gives an
+/// independent hardware measurement.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/hwcounters.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace yy::perf {
+
+/// One phase's (or the whole run's) measured/charged joined view.
+struct RooflineRow {
+  obs::Phase phase = obs::Phase::other;
+  std::string label;             ///< phase name or "TOTAL"
+  double seconds = 0.0;          ///< Σ measured span seconds
+  std::uint64_t charged_flops = 0;  ///< analytic charge (flops.hpp)
+  std::uint64_t hw_flops = 0;       ///< raw FP-ops counter (0: not opened)
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_refs = 0;
+  std::uint64_t cache_misses = 0;
+
+  /// Hardware count when a FP-ops event was open, else the charge.
+  std::uint64_t measured_flops() const {
+    return hw_flops != 0 ? hw_flops : charged_flops;
+  }
+  double achieved_gflops() const {
+    return seconds > 0.0
+               ? static_cast<double>(measured_flops()) / seconds / 1e9
+               : 0.0;
+  }
+  double ipc() const {
+    return cycles > 0 ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+  }
+  /// DRAM traffic estimate: each cache miss moves one 64 B line.
+  double dram_gbs() const {
+    return seconds > 0.0
+               ? static_cast<double>(cache_misses) * 64.0 / seconds / 1e9
+               : 0.0;
+  }
+  /// Arithmetic intensity against the miss-traffic estimate.
+  double flops_per_byte() const {
+    return cache_misses > 0 ? static_cast<double>(measured_flops()) /
+                                  (static_cast<double>(cache_misses) * 64.0)
+                            : 0.0;
+  }
+  /// measured/charged flop ratio (1.0 exactly under software fallback).
+  double efficiency_vs_charge() const {
+    return charged_flops > 0 ? static_cast<double>(measured_flops()) /
+                                   static_cast<double>(charged_flops)
+                             : 0.0;
+  }
+};
+
+/// Per-phase roofline attribution for one run, plus the all-phase total
+/// and the unattributed residual (flops charged outside any span:
+/// initialization, stable-dt probes, inter-span gaps).
+struct RooflineReport {
+  obs::CounterBackend backend = obs::CounterBackend::off;
+  std::vector<RooflineRow> rows;  ///< phases with activity, enum order
+  RooflineRow total;              ///< Σ over rows
+  /// Global charged flops not attributed to any phase row; only known
+  /// when the caller passes the run's flops::global_count() to build().
+  std::uint64_t unattributed_flops = 0;
+
+  /// Joins the per-phase totals of `m` (seconds + counter deltas).
+  /// `global_flops` (flops::global_count() at collection time, 0 =
+  /// unknown) sets unattributed_flops = global - Σ charged.
+  static RooflineReport build(const obs::MetricsSummary& m,
+                              obs::CounterBackend backend,
+                              std::uint64_t global_flops = 0);
+
+  /// Fixed-width text table, one row per phase + TOTAL, headed by the
+  /// backend stamp.
+  std::string format() const;
+};
+
+}  // namespace yy::perf

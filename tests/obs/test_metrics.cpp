@@ -57,7 +57,9 @@ TEST(Metrics, CsvHasHeaderRankRowsAndTotals) {
   std::istringstream is(csv);
   std::string line;
   ASSERT_TRUE(std::getline(is, line));
-  EXPECT_EQ(line, "rank,phase,seconds,count,bytes");
+  EXPECT_EQ(line,
+            "rank,phase,seconds,count,bytes,cycles,instructions,cache_refs,"
+            "cache_misses,hw_flops,flops");
   int rank_rows = 0, total_rows = 0;
   while (std::getline(is, line)) {
     if (line.rfind("TOTAL,", 0) == 0)

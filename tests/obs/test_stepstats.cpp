@@ -63,6 +63,13 @@ TEST(StepStats, PackUnpackRoundTrip) {
   for (int p = 0; p < kNumPhases; ++p) {
     s.seconds[static_cast<std::size_t>(p)] = 0.001 * (p + 1);
     s.bytes[static_cast<std::size_t>(p)] = 1000u * (p + 7);
+    CounterValues& c = s.ctr[static_cast<std::size_t>(p)];
+    c.cycles = 1000000u * (p + 1) + 1;
+    c.instructions = 2000000u * (p + 1) + 3;
+    c.cache_refs = 30000u * (p + 1);
+    c.cache_misses = 4000u * (p + 1);
+    c.hw_flops = 500000u * (p + 1);
+    c.flops = 600000u * (p + 1) + 7;
   }
   for (int e = 0; e < kNumEvents; ++e)
     s.event_delta[static_cast<std::size_t>(e)] = 10u * e + 1;
@@ -78,6 +85,16 @@ TEST(StepStats, PackUnpackRoundTrip) {
   EXPECT_EQ(r.seconds, s.seconds);
   EXPECT_EQ(r.bytes, s.bytes);
   EXPECT_EQ(r.event_delta, s.event_delta);
+  for (int p = 0; p < kNumPhases; ++p) {
+    const CounterValues& a = r.ctr[static_cast<std::size_t>(p)];
+    const CounterValues& b = s.ctr[static_cast<std::size_t>(p)];
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cache_refs, b.cache_refs);
+    EXPECT_EQ(a.cache_misses, b.cache_misses);
+    EXPECT_EQ(a.hw_flops, b.hw_flops);
+    EXPECT_EQ(a.flops, b.flops);
+  }
 }
 
 TEST(StepStatsRing, RetainsNewestOnceFull) {
@@ -217,10 +234,11 @@ TEST(EnumSync, EventNamesDistinctAndValid) {
 }
 
 TEST(EnumSync, PackedWidthMatchesTaxonomies) {
-  // The gather payload layout depends on both enum sizes; a change to
-  // either must revisit pack_step_stats/unpack_step_stats.
+  // The gather payload layout depends on both enum sizes and the
+  // CounterValues width; a change to any must revisit
+  // pack_step_stats/unpack_step_stats.
   EXPECT_EQ(kStepStatsDoubles,
-            5u + 2u * static_cast<std::size_t>(kNumPhases) +
+            5u + (2u + kCounterDoubles) * static_cast<std::size_t>(kNumPhases) +
                 static_cast<std::size_t>(kNumEvents));
 }
 

@@ -151,7 +151,8 @@ TEST(Telemetry, JsonSchemaValidates) {
   run_synthetic(2, 4, 2, sink);
 
   const auto doc = testjson::parse(sink.json());
-  EXPECT_EQ(doc->at("schema").str, "yy-telemetry-1");
+  EXPECT_EQ(doc->at("schema").str, "yy-telemetry-2");
+  EXPECT_EQ(doc->at("manifest").at("counter_backend").str, "off");
   EXPECT_EQ(doc->at("manifest").at("app").str, "test_telemetry");
   const auto& steps = doc->at("steps");
   ASSERT_EQ(steps.kind, testjson::Value::Kind::array);
@@ -178,7 +179,8 @@ TEST(Telemetry, CsvSchemaValidates) {
   const std::string csv = sink.csv();
   EXPECT_EQ(csv.rfind("# app=test_telemetry", 0), 0u);
   EXPECT_NE(csv.find("step,dt,phase,min_s,mean_s,max_s,sum_s,argmax_rank,"
-                     "bytes\n"),
+                     "bytes,cycles,instructions,cache_refs,cache_misses,"
+                     "hw_flops,flops\n"),
             std::string::npos);
   // One STEP summary row per aggregated step, plus the column-doc line.
   int step_rows = 0, phase_rows = 0, comments = 0;

@@ -22,7 +22,14 @@ cmake --build "${build}" -j "$(nproc)" --target baseline_runner > /dev/null
 
 out=$(mktemp -d)
 trap 'rm -rf "${out}"' EXIT
-"./${build}/bench/baseline_runner" --out "${out}"
+# Run the bench explicitly guarded: under `set -e` a bare invocation
+# would exit the script on failure without saying which stage died,
+# and a later `cp` in record mode could then canonize partial output.
+if "./${build}/bench/baseline_runner" --out "${out}"; then :; else
+  rc=$?
+  echo "FAIL  baseline_runner exited ${rc}; no baselines ${mode}ed" >&2
+  exit "${rc}"
+fi
 
 if [ "${mode}" = record ]; then
   cp "${out}"/BENCH_*.json .

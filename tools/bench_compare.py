@@ -3,7 +3,12 @@
 
 Usage:
     tools/bench_compare.py BASELINE.json CURRENT.json
+    tools/bench_compare.py --report BASELINE.json CURRENT.json
     tools/bench_compare.py --selftest
+
+--report renders the same comparison as a markdown table (metric,
+baseline, current, delta, band verdict) for pasting into a PR or log;
+the exit status is the same as the plain comparison.
 
 Each baseline metric carries its own tolerance band, recorded when the
 baseline was written (see bench/bench_json.hpp):
@@ -71,6 +76,33 @@ def compare(baseline, current):
     return failures
 
 
+def report(baseline, current):
+    """Markdown table of metric deltas; returns (text, failures)."""
+    failures = 0
+    lines = [f"### {baseline.get('name')}: current vs baseline", "",
+             "| metric | baseline | current | delta | direction | status |",
+             "|---|---:|---:|---:|---|---|"]
+    cur_metrics = current.get("metrics", {})
+    for name, base in baseline.get("metrics", {}).items():
+        value = base["value"]
+        direction = base.get("direction", "band")
+        if name not in cur_metrics:
+            lines.append(f"| {name} | {value:.6g} | - | - | "
+                         f"{direction} | MISSING |")
+            failures += 1
+            continue
+        cur = cur_metrics[name]["value"]
+        ok, _ = check_metric(name, base, cur)
+        delta = cur - value
+        pct = f" ({100.0 * delta / value:+.1f}%)" if value else ""
+        lines.append(f"| {name} | {value:.6g} | {cur:.6g} | "
+                     f"{delta:+.6g}{pct} | {direction} | "
+                     f"{'ok' if ok else 'FAIL'} |")
+        if not ok:
+            failures += 1
+    return "\n".join(lines), failures
+
+
 def selftest():
     """Exercises every direction both ways without touching the disk."""
     base = {
@@ -111,6 +143,26 @@ def selftest():
     if compare(base, missing) != 2:
         print("selftest: missing metrics must fail")
         return 1
+
+    # --report mode: the same verdicts rendered as a markdown table.
+    text, fails = report(base, current(89.0, 2.4, 0.80))
+    if fails != 1:
+        print(f"selftest: report expected 1 failure, got {fails}")
+        return 1
+    if "| rate | 100 | 89 |" not in text or "FAIL" not in text:
+        print("selftest: report table missing the failing rate row:\n" + text)
+        return 1
+    if text.count("| ok |") != 2:
+        print("selftest: report must mark the two passing metrics ok:\n"
+              + text)
+        return 1
+    if not text.splitlines()[2].startswith("| metric |"):
+        print("selftest: report header malformed:\n" + text)
+        return 1
+    text, fails = report(base, missing)
+    if fails != 2 or "MISSING" not in text:
+        print("selftest: report must flag missing metrics:\n" + text)
+        return 1
     print("selftest ok")
     return 0
 
@@ -118,15 +170,20 @@ def selftest():
 def main(argv):
     if len(argv) == 2 and argv[1] == "--selftest":
         return selftest()
-    if len(argv) != 3:
+    as_report = len(argv) == 4 and argv[1] == "--report"
+    if not as_report and len(argv) != 3:
         print(__doc__.strip())
         return 2
     try:
-        baseline = load(argv[1])
-        current = load(argv[2])
+        baseline = load(argv[-2])
+        current = load(argv[-1])
     except (OSError, ValueError, json.JSONDecodeError) as e:
         print(f"FAIL  {e}")
         return 1
+    if as_report:
+        text, failures = report(baseline, current)
+        print(text)
+        return 1 if failures else 0
     print(f"== {baseline.get('name')}: {argv[2]} vs baseline {argv[1]}")
     failures = compare(baseline, current)
     print(f"{'REGRESSION' if failures else 'ok'}: "

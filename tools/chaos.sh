@@ -23,8 +23,19 @@ fail=0
 for death in 3 7 13; do
   echo "== chaos drill: 8 ranks, rank death after step ${death}/${steps} =="
   rm -rf yy_checkpoints
-  out="$("${bin}" 2 2 "${steps}" --chaos "rank-death:${death}")"
-  echo "${out}" | grep -E "run control|rank loss|relative difference"
+  # Explicit capture: under `set -e` a bare out=$(...) would kill the
+  # whole script on a nonzero inner exit with no diagnostic and no
+  # remaining drills; instead record the failure and keep drilling.
+  # The display grep gets `|| true` so an output with none of the
+  # expected lines cannot abort the script either — the -q checks
+  # below are what decide pass/fail.
+  if ! out="$("${bin}" 2 2 "${steps}" --chaos "rank-death:${death}")"; then
+    echo "FAIL  parallel_dynamo exited nonzero (death step ${death})" >&2
+    fail=1
+    echo
+    continue
+  fi
+  echo "${out}" | grep -E "run control|rank loss|relative difference" || true
   echo "${out}" | grep -q "run control: completed" || fail=1
   echo "${out}" | grep -q "rank loss survived: 1 shrink" || fail=1
   echo "${out}" | grep -q "(trajectories match)" || fail=1

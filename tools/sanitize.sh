@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Builds the sanitizer-labelled test suites under ThreadSanitizer and
 # AddressSanitizer+UBSan and runs `ctest -L sanitize` in each tree
-# (this includes the `resilience` fault-injection/recovery suite, which
-# is double-labelled sanitize;resilience).
+# (this includes the `resilience` fault-injection/recovery suite and
+# the `counters` hwcounter/roofline suite, which are double-labelled
+# with sanitize).  YY_COUNTERS=software keeps the counter tests on the
+# portable fallback under the sanitizers: the interceptors make
+# perf_event syscall timing meaningless, and the fallback path is the
+# one whose exactness is load-bearing.
 # Usage: tools/sanitize.sh [thread|address]...   (default: both)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -16,6 +20,9 @@ for mode in "${modes[@]}"; do
   cmake -B "${build}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DYY_SANITIZE="${mode}" > /dev/null
   cmake --build "${build}" -j "$(nproc)" --target \
-    test_comm test_core test_obs test_resilience test_overlap test_rhs_fused > /dev/null
-  (cd "${build}" && ctest -L 'sanitize|resilience' --output-on-failure)
+    test_comm test_core test_obs test_counters test_resilience test_overlap \
+    test_rhs_fused > /dev/null
+  (cd "${build}" &&
+    YY_COUNTERS=software ctest -L 'sanitize|resilience|counters' \
+      --output-on-failure)
 done
