@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "common/flops.hpp"
+#include "common/simd.hpp"
 #include "core/serial_solver.hpp"
 #include "obs/hwcounters.hpp"
 #include "obs/metrics.hpp"
@@ -65,5 +66,19 @@ int main() {
               RooflineReport::build(m, ctrs.backend(), global_flops)
                   .format()
                   .c_str());
+
+  // List 1's vector columns, closed measured: the ES model's modeled
+  // Average Vector Length / Vector Operation Ratio against the lane
+  // utilization the SIMD backend actually achieved on this host.
+  const KernelProfile simd_prof =
+      KernelProfile::measure(17, 13, 37, mhd::RhsBackend::simd);
+  MeasuredLaneProfile lanes;
+  lanes.width = simd_prof.simd_width;
+  lanes.avg_vector_length = simd_prof.simd_avg_vector_length;
+  lanes.vector_coverage = simd_prof.simd_vector_coverage;
+  std::printf("== Vector columns: modeled vs measured (simd backend, %s) ======\n\n",
+              simd::compiled_isa());
+  std::printf("%s\n",
+              format_lane_report(model, kTable2Configs[0], lanes).c_str());
   return 0;
 }

@@ -10,7 +10,7 @@
 /// Simulator performance model's predicted phase split.
 ///
 /// Usage: parallel_dynamo [pt pp steps [mode]] [--heartbeat N] [--overlap]
-///                        [--fused-rhs] [--counters]
+///                        [--fused-rhs] [--simd-rhs] [--counters]
 ///                        [--chaos rank-death:<step>]
 ///        (default 2 x 2, 10 steps)
 ///
@@ -40,6 +40,14 @@
 /// reference chain.  Bitwise-identical trajectories
 /// (tests/mhd/test_rhs_fused.cpp), so the serial cross-check still
 /// matches exactly; composes with --overlap.
+///
+/// --simd-rhs evaluates the RHS with the lane-widened fused sweep
+/// (DESIGN.md §14): the same pencil sweep with its radial inner loops
+/// running in SIMD packs at the build's native width (override with
+/// YY_SIMD=scalar|1|2|4|8; the manifest records width and ISA).
+/// Bitwise-identical trajectories (tests/mhd/test_rhs_simd.cpp), so
+/// the serial cross-check still matches exactly; composes with
+/// --overlap and takes precedence over --fused-rhs.
 ///
 /// --counters samples per-phase performance counters on every rank
 /// (obs/hwcounters.hpp): each rank thread opens its own CounterGroup —
@@ -73,6 +81,7 @@
 
 #include "comm/fault.hpp"
 #include "comm/runtime.hpp"
+#include "common/simd.hpp"
 #include "common/timer.hpp"
 #include "core/distributed_solver.hpp"
 #include "core/serial_solver.hpp"
@@ -92,6 +101,7 @@ int main(int argc, char** argv) {
   int heartbeat = 0;
   bool overlap = false;
   bool fused_rhs = false;
+  bool simd_rhs = false;
   bool counters = false;
   long long chaos_death_step = -1;
   std::vector<const char*> pos;
@@ -102,6 +112,8 @@ int main(int argc, char** argv) {
       overlap = true;
     } else if (std::strcmp(argv[i], "--fused-rhs") == 0) {
       fused_rhs = true;
+    } else if (std::strcmp(argv[i], "--simd-rhs") == 0) {
+      simd_rhs = true;
     } else if (std::strcmp(argv[i], "--counters") == 0) {
       counters = true;
     } else if (std::strcmp(argv[i], "--chaos") == 0 && i + 1 < argc) {
@@ -146,11 +158,12 @@ int main(int argc, char** argv) {
   cfg.ic.seed_b_amp = 1e-4;
   cfg.overlap = overlap;
   cfg.fused_rhs = fused_rhs;
+  cfg.simd_rhs = simd_rhs;
 
   const int world = 2 * pt * pp;
   std::printf("== Distributed yycore: %d ranks = 2 panels x (%d x %d)%s%s ====\n\n",
               world, pt, pp, overlap ? "  [overlapped]" : "",
-              fused_rhs ? "  [fused rhs]" : "");
+              simd_rhs ? "  [simd rhs]" : (fused_rhs ? "  [fused rhs]" : ""));
 
   mhd::EnergyBudget dist_energy;
   double dist_dt = 0.0;
@@ -184,7 +197,11 @@ int main(int argc, char** argv) {
   man.counter_backend = obs::counter_backend_name(ctr_backend);
   man.extra.emplace_back("steps", std::to_string(steps));
   man.extra.emplace_back("overlap", overlap ? "1" : "0");
-  man.extra.emplace_back("rhs_backend", fused_rhs ? "fused" : "reference");
+  man.extra.emplace_back("rhs_backend", mhd::backend_name(cfg.rhs_backend()));
+  if (simd_rhs) {
+    man.extra.emplace_back("simd_width", std::to_string(simd::active_width()));
+    man.extra.emplace_back("simd_isa", simd::compiled_isa());
+  }
   if (chaos_death_step > 0)
     man.extra.emplace_back("chaos",
                            "rank-death:" + std::to_string(chaos_death_step));

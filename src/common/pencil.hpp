@@ -119,6 +119,16 @@ class PlaneRing {
   double& at(int ir, int it, int ip) { return data_[index(ir, it, ip)]; }
   double at(int ir, int it, int ip) const { return data_[index(ir, it, ip)]; }
 
+  /// Address of (ir, it, ip) inside the resident plane.  The radial
+  /// index is unit-stride within a plane, so W consecutive doubles from
+  /// lane_at(ir, …) are the values at ir … ir+W−1 — the load/store hook
+  /// of the SIMD sweep (mhd/rhs_simd.cpp).  The caller must keep
+  /// ir+W−1 inside the covered radial extent.
+  double* lane_at(int ir, int it, int ip) { return &data_[index(ir, it, ip)]; }
+  const double* lane_at(int ir, int it, int ip) const {
+    return &data_[index(ir, it, ip)];
+  }
+
   /// Accessor with the Field3 call signature, for the shared per-point
   /// stencils of grid/fd_stencils.hpp.
   struct View {

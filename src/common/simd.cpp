@@ -1,0 +1,90 @@
+/// \file simd.cpp
+/// Width policy + lane statistics for the SIMD backend.  This TU (and
+/// mhd/rhs_simd.cpp) is the only code compiled with the native ISA
+/// flags, so the ISA test macros below reflect what the kernels were
+/// actually built for — the rest of the tree keeps the portable
+/// baseline flags and stays bitwise-identical to the seed build.
+#include "common/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace yy::simd {
+
+int compiled_max_width() {
+#if defined(YY_SIMD_DISABLED)
+  return 1;
+#elif defined(__AVX512F__)
+  return 8;
+#elif defined(__AVX2__)
+  return 4;
+#elif defined(__SSE2__) || defined(__x86_64__)
+  return 2;
+#else
+  return 1;
+#endif
+}
+
+const char* compiled_isa() {
+#if defined(YY_SIMD_DISABLED)
+  return "off";
+#elif defined(__AVX512F__)
+  return "avx512";
+#elif defined(__AVX2__)
+  return "avx2";
+#elif defined(__SSE2__) || defined(__x86_64__)
+  return "sse2";
+#else
+  return "scalar";
+#endif
+}
+
+int parse_width_override(const char* value, int max_width) {
+  if (value == nullptr || value[0] == '\0') return max_width;
+  if (std::strcmp(value, "scalar") == 0) return 1;
+  const int w = std::atoi(value);
+  if (w != 1 && w != 2 && w != 4 && w != 8) return max_width;
+  return w < max_width ? w : max_width;
+}
+
+namespace {
+std::atomic<int> g_forced_width{0};
+std::atomic<std::uint64_t> g_iterations{0};
+std::atomic<std::uint64_t> g_vector_points{0};
+std::atomic<std::uint64_t> g_points{0};
+}  // namespace
+
+int active_width() {
+  const int forced = g_forced_width.load(std::memory_order_relaxed);
+  if (forced > 0) return forced;
+  static const int from_env =
+      parse_width_override(std::getenv("YY_SIMD"), compiled_max_width());
+  return from_env;
+}
+
+void force_active_width(int w) {
+  g_forced_width.store(w, std::memory_order_relaxed);
+}
+
+void lane_stats_add(const LaneStats& s) {
+  g_iterations.fetch_add(s.iterations, std::memory_order_relaxed);
+  g_vector_points.fetch_add(s.vector_points, std::memory_order_relaxed);
+  g_points.fetch_add(s.points, std::memory_order_relaxed);
+}
+
+LaneStats lane_stats_total() {
+  LaneStats s;
+  s.iterations = g_iterations.load(std::memory_order_relaxed);
+  s.vector_points = g_vector_points.load(std::memory_order_relaxed);
+  s.points = g_points.load(std::memory_order_relaxed);
+  return s;
+}
+
+void lane_stats_reset() {
+  g_iterations.store(0, std::memory_order_relaxed);
+  g_vector_points.store(0, std::memory_order_relaxed);
+  g_points.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace yy::simd

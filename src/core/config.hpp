@@ -39,6 +39,18 @@ struct SimulationConfig {
   /// fused cache-blocked pencil sweep (bitwise-identical trajectories;
   /// see DESIGN.md §11).  Composes with `overlap`.
   bool fused_rhs = false;
+
+  /// SIMD RHS backend: the fused sweep with radial lane packs
+  /// (bitwise-identical trajectories; see DESIGN.md §14).  Takes
+  /// precedence over `fused_rhs`; composes with `overlap`.  Lane width
+  /// comes from the build's ISA, overridable with YY_SIMD=scalar|1|2|4|8.
+  bool simd_rhs = false;
+
+  /// The backend the two flags above select (simd > fused > reference).
+  mhd::RhsBackend rhs_backend() const {
+    if (simd_rhs) return mhd::RhsBackend::simd;
+    return fused_rhs ? mhd::RhsBackend::fused : mhd::RhsBackend::reference;
+  }
 };
 
 }  // namespace yy::core

@@ -74,7 +74,7 @@ DistributedSolver::DistributedSolver(const SimulationConfig& cfg,
   ws_ = std::make_unique<mhd::Workspace>(*grid_);
   integrator_ = std::make_unique<mhd::Integrator>(
       cfg.scheme, std::vector<const SphericalGrid*>{grid_.get()},
-      cfg.fused_rhs ? mhd::RhsBackend::fused : mhd::RhsBackend::reference);
+      cfg.rhs_backend());
   weights_ = std::make_unique<mhd::ColumnWeights>(
       ownership_weights(geom_, *grid_, extent_.t0, extent_.p0));
 }
@@ -331,7 +331,7 @@ void DistributedSolver::rebuild(const comm::Communicator& new_world,
   ws_ = std::make_unique<mhd::Workspace>(*grid_);
   integrator_ = std::make_unique<mhd::Integrator>(
       cfg_.scheme, std::vector<const SphericalGrid*>{grid_.get()},
-      cfg_.fused_rhs ? mhd::RhsBackend::fused : mhd::RhsBackend::reference);
+      cfg_.rhs_backend());
   weights_ = std::make_unique<mhd::ColumnWeights>(
       ownership_weights(geom_, *grid_, extent_.t0, extent_.p0));
   eq_ = panel == Panel::yin ? cfg_.eq : cfg_.eq.for_partner_panel();

@@ -24,9 +24,7 @@ SerialYinYangSolver::SerialYinYangSolver(const SimulationConfig& cfg)
       yin_(grid_),
       yang_(grid_),
       ws_(grid_),
-      integrator_(cfg.scheme, {&grid_, &grid_},
-                  cfg.fused_rhs ? mhd::RhsBackend::fused
-                                : mhd::RhsBackend::reference),
+      integrator_(cfg.scheme, {&grid_, &grid_}, cfg.rhs_backend()),
       weights_(ownership_weights(geom_, grid_, 0, 0)) {}
 
 void SerialYinYangSolver::initialize() {

@@ -84,6 +84,11 @@ class SphericalGrid {
   double sin_p(int ip) const { return sin_p_[idx(ip, Np())]; }
   double cos_p(int ip) const { return cos_p_[idx(ip, Np())]; }
 
+  /// Base of the 1/r table (indexed by patch ir, length Nr()).  The
+  /// SIMD sweep loads W consecutive entries from here — 1/r is the only
+  /// lane-varying metric factor; every θ/φ factor broadcasts.
+  const double* inv_r_data() const { return inv_r_.data(); }
+
   /// The interior (owned, non-ghost) region.
   IndexBox interior() const {
     const int g = spec_.ghost;

@@ -43,10 +43,13 @@ namespace yy::mhd {
 enum class RhsBackend {
   reference,  ///< operator-at-a-time fd::* chain (the oracle)
   fused,      ///< cache-blocked pencil sweep (bitwise-equal, faster)
+  simd,       ///< fused sweep with radial lane packs (bitwise-equal, fastest)
 };
 
 constexpr const char* backend_name(RhsBackend b) {
-  return b == RhsBackend::fused ? "fused" : "reference";
+  return b == RhsBackend::simd
+             ? "simd"
+             : (b == RhsBackend::fused ? "fused" : "reference");
 }
 
 /// Preallocated temporaries for one reference-path RHS evaluation
@@ -169,6 +172,43 @@ void compute_rhs_parallel_fused(const SphericalGrid& g,
                                 Fields& rhs,
                                 std::vector<PencilWorkspace>& pw_pool,
                                 const IndexBox& box, int nthreads);
+
+/// The SIMD backend: the fused pencil sweep with its radial inner loops
+/// widened to `width`-lane packs (common/simd.hpp) plus a width-1 tail
+/// for the remainder points.  Per-point expression trees are the shared
+/// grid/fd_stencils.hpp templates instantiated over lane packs, whose
+/// arithmetic is strictly elementwise with FMA contraction pinned off —
+/// so the result is bitwise identical to compute_rhs_fused (and the
+/// reference chain) for every width.  Charges the same flop count and
+/// additionally records lane statistics (simd::lane_stats_add), the
+/// measured counterpart of the ES model's vector columns.
+/// `width` must be 1, 2, 4, or 8.
+void compute_rhs_simd_width(int width, const SphericalGrid& g,
+                            const EquationParams& eq, const Fields& state,
+                            Fields& rhs, PencilWorkspace& pw,
+                            const IndexBox& box);
+
+/// compute_rhs_simd_width at simd::active_width() — what the
+/// integrators call when RhsBackend::simd is selected.
+void compute_rhs_simd(const SphericalGrid& g, const EquationParams& eq,
+                      const Fields& state, Fields& rhs, PencilWorkspace& pw,
+                      const IndexBox& box);
+
+/// The SIMD analogue of compute_rhs_parallel_fused: identical φ-slab
+/// partition (phi_slab), one PencilWorkspace per slab, bitwise
+/// identical to the monolithic sweep for any thread count and width.
+void compute_rhs_parallel_simd_width(int width, const SphericalGrid& g,
+                                     const EquationParams& eq,
+                                     const Fields& state, Fields& rhs,
+                                     std::vector<PencilWorkspace>& pw_pool,
+                                     const IndexBox& box, int nthreads);
+
+/// compute_rhs_parallel_simd_width at simd::active_width().
+void compute_rhs_parallel_simd(const SphericalGrid& g,
+                               const EquationParams& eq, const Fields& state,
+                               Fields& rhs,
+                               std::vector<PencilWorkspace>& pw_pool,
+                               const IndexBox& box, int nthreads);
 
 /// Pointwise-combination flop cost per grid point (the FD operators
 /// charge separately); documented for the perf model's cross-check.

@@ -43,10 +43,13 @@ void Rk4::step(const std::vector<PatchDef>& patches, double dt,
 
   const int nthreads = overlap ? common::env_threads() : 1;
 
-  // Backend dispatch: the two paths are bitwise equivalent (rhs.hpp),
-  // they differ only in scratch shape and sweep structure.
+  // Backend dispatch: the three paths are bitwise equivalent (rhs.hpp),
+  // they differ only in scratch shape and sweep structure.  The simd
+  // backend shares the fused path's pencil workspaces.
   auto rhs_box = [&](std::size_t i, const Fields& src, const IndexBox& box) {
-    if (backend_ == RhsBackend::fused) {
+    if (backend_ == RhsBackend::simd) {
+      compute_rhs_simd(*grids_[i], patches[i].eq, src, k_[i], pw_[i], box);
+    } else if (backend_ == RhsBackend::fused) {
       compute_rhs_fused(*grids_[i], patches[i].eq, src, k_[i], pw_[i], box);
     } else {
       compute_rhs(*grids_[i], patches[i].eq, src, k_[i], ws_[i], box);
@@ -54,7 +57,10 @@ void Rk4::step(const std::vector<PatchDef>& patches, double dt,
   };
   auto rhs_box_parallel = [&](std::size_t i, const Fields& src,
                               const IndexBox& box) {
-    if (backend_ == RhsBackend::fused) {
+    if (backend_ == RhsBackend::simd) {
+      compute_rhs_parallel_simd(*grids_[i], patches[i].eq, src, k_[i],
+                                pw_pool_[i], box, nthreads);
+    } else if (backend_ == RhsBackend::fused) {
       compute_rhs_parallel_fused(*grids_[i], patches[i].eq, src, k_[i],
                                  pw_pool_[i], box, nthreads);
     } else {

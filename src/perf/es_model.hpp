@@ -90,6 +90,22 @@ struct ModelResult {
   bool fits_node_memory = true;  ///< 8 processes/node vs 16 GB (Table I)
 };
 
+/// Measured lane utilization of the SIMD RHS backend on *this*
+/// workstation (simd::LaneStats reduced over a timed step, see
+/// KernelProfile) — the measured counterpart of ModelResult's
+/// avg_vector_length / vec_op_ratio columns.  The ES pipelines 256-wide
+/// vector registers where the workstation packs 2–8 doubles, so the
+/// absolute lengths differ by construction; what transfers is the
+/// *structure*: both are set by the radial loop extent against the
+/// hardware lane width, and both degrade the same way when lines leave
+/// remainder tails (perf/proginf.hpp format_lane_report renders the
+/// comparison).
+struct MeasuredLaneProfile {
+  int width = 1;                  ///< active lane width of the timed run
+  double avg_vector_length = 0.0; ///< points per inner-loop trip
+  double vector_coverage = 0.0;   ///< share of points in full-width packs
+};
+
 class EsPerformanceModel {
  public:
   /// `flops_per_point_per_step` should come from

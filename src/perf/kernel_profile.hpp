@@ -4,6 +4,8 @@
 /// hardware counter supplied in the paper.
 #pragma once
 
+#include "mhd/rhs.hpp"
+
 namespace yy::perf {
 
 struct KernelProfile {
@@ -11,14 +13,30 @@ struct KernelProfile {
   double seconds_per_point_per_step = 0.0;  ///< on *this* workstation
   double local_gflops = 0.0;  ///< sustained on this workstation
 
+  /// Lane utilization of the timed step (simd backend only; width 1 and
+  /// zeros otherwise) — the *measured* workstation counterpart of the
+  /// ES model's Average Vector Length / Vector Operation Ratio columns
+  /// (simd::LaneStats; see perf/es_model.hpp MeasuredLaneProfile).
+  int simd_width = 1;
+  double simd_avg_vector_length = 0.0;
+  double simd_vector_coverage = 0.0;
+
   /// Runs one RK4 step of a small serial Yin-Yang dynamo and reads the
   /// software flop counter.  Flops per point are resolution-independent
   /// up to ghost-fraction effects, so a small grid suffices; the
   /// (nr, nt, np) arguments allow convergence checks of that claim.
-  /// `fused_rhs` selects the RHS backend — both charge identical flops,
-  /// so only the seconds/gflops figures move.
+  /// `backend` selects the RHS evaluation — all three charge identical
+  /// flops, so only the seconds/gflops (and lane) figures move.
+  static KernelProfile measure(int nr, int nt_core, int np_core,
+                               mhd::RhsBackend backend);
+
+  /// Legacy bool form: false = reference, true = fused.
   static KernelProfile measure(int nr = 17, int nt_core = 13, int np_core = 37,
-                               bool fused_rhs = false);
+                               bool fused_rhs = false) {
+    return measure(nr, nt_core, np_core,
+                   fused_rhs ? mhd::RhsBackend::fused
+                             : mhd::RhsBackend::reference);
+  }
 };
 
 }  // namespace yy::perf

@@ -253,4 +253,33 @@ std::string format_phase_report(const obs::MetricsSummary& m,
   return out;
 }
 
+std::string format_lane_report(const EsPerformanceModel& model,
+                               const RunConfig& rc,
+                               const MeasuredLaneProfile& measured) {
+  const ModelResult r = model.predict(rc);
+  const double es_width =
+      static_cast<double>(model.spec().vector_register_length);
+  const double meas_width = static_cast<double>(
+      measured.width > 0 ? measured.width : 1);
+  std::string out;
+  out += "Vector columns: es_model (modeled) vs SIMD lanes (measured)\n";
+  out += "===========================================================\n";
+  out += "  column                      modeled (ES)   measured (this host)\n";
+  char buf[192];
+  std::snprintf(buf, sizeof buf, "  hardware lane width      %13.0f %22.0f\n",
+                es_width, meas_width);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  average vector length    %13.1f %22.2f\n",
+                r.avg_vector_length, measured.avg_vector_length);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  normalized length (/w)   %12.1f%% %21.1f%%\n",
+                100.0 * r.avg_vector_length / es_width,
+                100.0 * measured.avg_vector_length / meas_width);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  vector operation ratio   %12.1f%% %21.1f%%\n",
+                100.0 * r.vec_op_ratio, 100.0 * measured.vector_coverage);
+  out += buf;
+  return out;
+}
+
 }  // namespace yy::perf

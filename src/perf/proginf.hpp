@@ -60,4 +60,14 @@ std::string format_phase_report(const obs::MetricsSummary& m,
                                 const EsPerformanceModel& model,
                                 const RunConfig& rc);
 
+/// Vector-column cross-check: the ES model's predicted Average Vector
+/// Length / Vector Operation Ratio (256-wide pipelines, List 1's rows)
+/// against the *measured* lane utilization of the SIMD backend on this
+/// workstation (MeasuredLaneProfile).  Absolute lengths differ by the
+/// hardware width; the normalized columns (length/width, coverage) are
+/// directly comparable.
+std::string format_lane_report(const EsPerformanceModel& model,
+                               const RunConfig& rc,
+                               const MeasuredLaneProfile& measured);
+
 }  // namespace yy::perf

@@ -6,83 +6,19 @@
 /// interior sweep and axpy updates to the serial results.
 #include <gtest/gtest.h>
 
-#include <cmath>
-#include <mutex>
-#include <vector>
+#include <utility>
 
-#include "comm/runtime.hpp"
-#include "core/distributed_solver.hpp"
+#include "support/equivalence.hpp"
 
 namespace yy::core {
 namespace {
 
-using yinyang::Panel;
+// Shared run/compare helpers: tests/support/equivalence.hpp.
+using testsupport::expect_bitwise_equal;
+using testsupport::run_case;
+using testsupport::RunResult;
 
-SimulationConfig overlap_config() {
-  SimulationConfig cfg;
-  cfg.nr = 9;
-  cfg.nt_core = 13;
-  cfg.np_core = 37;
-  cfg.eq.mu = 3e-3;
-  cfg.eq.kappa = 3e-3;
-  cfg.eq.eta = 3e-3;
-  cfg.eq.g0 = 2.0;
-  cfg.eq.omega = {0.0, 0.0, 8.0};
-  cfg.ic.perturb_amp = 1e-2;
-  cfg.ic.seed_b_amp = 1e-4;
-  return cfg;
-}
-
-/// Gathered end-state of one run: a few representative fields (ρ, f_r,
-/// p, A_r) from both panels, plus the global energy budget and dt.
-struct RunResult {
-  std::vector<Field3> fields;  // [panel][field] flattened, see run_case
-  mhd::EnergyBudget energy{};
-  double dt = 0.0;
-};
-
-constexpr int kFieldIndices[] = {0, 1, 4, 5};
-
-RunResult run_case(const SimulationConfig& cfg, int pt, int pp, int steps) {
-  RunResult result;
-  std::mutex mu;
-  comm::Runtime rt(2 * pt * pp);
-  rt.run([&](comm::Communicator& w) {
-    DistributedSolver solver(cfg, w, pt, pp);
-    solver.initialize();
-    const double dt = solver.stable_dt();
-    for (int i = 0; i < steps; ++i) solver.step(dt);
-    const mhd::EnergyBudget e = solver.energies();
-    std::vector<Field3> fields;
-    for (Panel p : {Panel::yin, Panel::yang})
-      for (int fi : kFieldIndices)
-        fields.push_back(solver.gather_field(fi, p));
-    if (w.rank() == 0) {
-      std::lock_guard lock(mu);
-      result.fields = std::move(fields);
-      result.energy = e;
-      result.dt = dt;
-    }
-  });
-  return result;
-}
-
-void expect_bitwise_equal(const RunResult& sync, const RunResult& over) {
-  ASSERT_EQ(sync.fields.size(), over.fields.size());
-  ASSERT_EQ(sync.dt, over.dt);
-  for (std::size_t f = 0; f < sync.fields.size(); ++f) {
-    ASSERT_TRUE(sync.fields[f].same_shape(over.fields[f]));
-    std::size_t diffs = 0;
-    for (std::size_t i = 0; i < sync.fields[f].size(); ++i)
-      if (sync.fields[f].flat()[i] != over.fields[f].flat()[i]) ++diffs;
-    EXPECT_EQ(diffs, 0u) << "gathered field slot " << f;
-  }
-  // Energies are reductions of identical states in identical order.
-  EXPECT_EQ(sync.energy.mass, over.energy.mass);
-  EXPECT_EQ(sync.energy.kinetic, over.energy.kinetic);
-  EXPECT_EQ(sync.energy.magnetic, over.energy.magnetic);
-  EXPECT_EQ(sync.energy.thermal, over.energy.thermal);
-}
+SimulationConfig overlap_config() { return testsupport::small_trajectory_config(); }
 
 class OverlapEquivalence
     : public ::testing::TestWithParam<std::pair<int, int>> {};

@@ -13,19 +13,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
-#include <mutex>
 #include <vector>
 
-#include "comm/runtime.hpp"
 #include "common/flops.hpp"
-#include "core/distributed_solver.hpp"
 #include "grid/analytic_fields.hpp"
+#include "support/equivalence.hpp"
 
 namespace yy::mhd {
 namespace {
 
 using testutil::test_grid;
-using yinyang::Panel;
 
 void fill_smooth(const SphericalGrid& g, Fields& s) {
   testutil::fill_scalar(g, s.rho, [](const Vec3& x) {
@@ -268,78 +265,20 @@ INSTANTIATE_TEST_SUITE_P(ManufacturedSolutions, FusedConvergence,
 // the synchronous and the overlapped stepping mode, at 1, 2 and 4
 // ranks per panel.  (With YY_THREADS=2 from the ctest registration the
 // overlapped runs also exercise the threaded fused φ-slab sweep.)
+// Helpers shared with the overlap/SIMD/rank-death suites:
+// tests/support/equivalence.hpp.
 // ---------------------------------------------------------------------
 
-core::SimulationConfig trajectory_config() {
-  core::SimulationConfig cfg;
-  cfg.nr = 9;
-  cfg.nt_core = 13;
-  cfg.np_core = 37;
-  cfg.eq.mu = 3e-3;
-  cfg.eq.kappa = 3e-3;
-  cfg.eq.eta = 3e-3;
-  cfg.eq.g0 = 2.0;
-  cfg.eq.omega = {0.0, 0.0, 8.0};
-  cfg.ic.perturb_amp = 1e-2;
-  cfg.ic.seed_b_amp = 1e-4;
-  return cfg;
-}
-
-struct RunResult {
-  std::vector<Field3> fields;  // [panel][field], see run_case
-  mhd::EnergyBudget energy{};
-  double dt = 0.0;
-};
-
-constexpr int kFieldIndices[] = {0, 1, 4, 5};  // rho, f_r, p, A_r
-
-RunResult run_case(const core::SimulationConfig& cfg, int pt, int pp,
-                   int steps) {
-  RunResult result;
-  std::mutex mu;
-  comm::Runtime rt(2 * pt * pp);
-  rt.run([&](comm::Communicator& w) {
-    core::DistributedSolver solver(cfg, w, pt, pp);
-    solver.initialize();
-    const double dt = solver.stable_dt();
-    for (int i = 0; i < steps; ++i) solver.step(dt);
-    const mhd::EnergyBudget e = solver.energies();
-    std::vector<Field3> fields;
-    for (Panel p : {Panel::yin, Panel::yang})
-      for (int fi : kFieldIndices)
-        fields.push_back(solver.gather_field(fi, p));
-    if (w.rank() == 0) {
-      std::lock_guard lock(mu);
-      result.fields = std::move(fields);
-      result.energy = e;
-      result.dt = dt;
-    }
-  });
-  return result;
-}
-
-void expect_bitwise_equal(const RunResult& a, const RunResult& b) {
-  ASSERT_EQ(a.fields.size(), b.fields.size());
-  ASSERT_EQ(a.dt, b.dt);
-  for (std::size_t f = 0; f < a.fields.size(); ++f) {
-    ASSERT_TRUE(a.fields[f].same_shape(b.fields[f]));
-    std::size_t diffs = 0;
-    for (std::size_t i = 0; i < a.fields[f].size(); ++i)
-      if (a.fields[f].flat()[i] != b.fields[f].flat()[i]) ++diffs;
-    EXPECT_EQ(diffs, 0u) << "gathered field slot " << f;
-  }
-  EXPECT_EQ(a.energy.mass, b.energy.mass);
-  EXPECT_EQ(a.energy.kinetic, b.energy.kinetic);
-  EXPECT_EQ(a.energy.magnetic, b.energy.magnetic);
-  EXPECT_EQ(a.energy.thermal, b.energy.thermal);
-}
+using testsupport::expect_bitwise_equal;
+using testsupport::run_case;
+using testsupport::RunResult;
 
 class FusedTrajectory : public ::testing::TestWithParam<std::pair<int, int>> {};
 
 TEST_P(FusedTrajectory, BitwiseEqualToReferenceInSyncAndOverlapModes) {
   const auto [pt, pp] = GetParam();
   const int steps = 10;
-  core::SimulationConfig cfg = trajectory_config();
+  core::SimulationConfig cfg = testsupport::small_trajectory_config();
 
   cfg.fused_rhs = false;
   cfg.overlap = false;

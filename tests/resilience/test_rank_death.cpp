@@ -26,22 +26,18 @@
 #include "core/distributed_solver.hpp"
 #include "obs/events.hpp"
 #include "resilience/resilient_runner.hpp"
+#include "support/equivalence.hpp"
 
 namespace yy::resilience {
 namespace {
 
+// Shared state-flattening/diff helpers: tests/support/equivalence.hpp.
+using testsupport::count_diffs;
+using testsupport::field_data;
+using testsupport::flatten;
+
 core::SimulationConfig death_config(bool overlap = false) {
-  core::SimulationConfig cfg;
-  cfg.nr = 9;
-  cfg.nt_core = 13;
-  cfg.np_core = 37;
-  cfg.eq.mu = 3e-3;
-  cfg.eq.kappa = 3e-3;
-  cfg.eq.eta = 3e-3;
-  cfg.eq.g0 = 2.0;
-  cfg.eq.omega = {0.0, 0.0, 8.0};
-  cfg.ic.perturb_amp = 1e-2;
-  cfg.ic.seed_b_amp = 1e-4;
+  core::SimulationConfig cfg = testsupport::small_trajectory_config();
   cfg.overlap = overlap;
   return cfg;
 }
@@ -53,17 +49,6 @@ std::string fresh_dir(const std::string& name) {
                           "." + std::to_string(::getpid());
   std::filesystem::remove_all(dir);
   return dir;
-}
-
-std::vector<double> flatten(const mhd::Fields& s) {
-  std::vector<double> out;
-  for (const Field3* f : s.all())
-    out.insert(out.end(), f->flat().begin(), f->flat().end());
-  return out;
-}
-
-std::vector<double> field_data(const Field3& f) {
-  return {f.flat().begin(), f.flat().end()};
 }
 
 TEST(RankDeath, RetiredPeerFailsReceivesFastButPreDeathSendsSurvive) {
@@ -243,13 +228,10 @@ void expect_shrink_to_survive_bitwise(int victim, bool overlap) {
     ASSERT_EQ(got[static_cast<std::size_t>(nr)].size(),
               want[static_cast<std::size_t>(nr)].size())
         << "new rank " << nr;
-    std::size_t diffs = 0;
-    for (std::size_t i = 0; i < got[static_cast<std::size_t>(nr)].size();
-         ++i)
-      if (got[static_cast<std::size_t>(nr)][i] !=
-          want[static_cast<std::size_t>(nr)][i])
-        ++diffs;
-    EXPECT_EQ(diffs, 0u) << "new rank " << nr;
+    EXPECT_EQ(count_diffs(got[static_cast<std::size_t>(nr)],
+                          want[static_cast<std::size_t>(nr)]),
+              0u)
+        << "new rank " << nr;
   }
   for (int p = 0; p < 2; ++p)
     EXPECT_EQ(got_panel[static_cast<std::size_t>(p)],

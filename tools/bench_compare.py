@@ -37,9 +37,18 @@ def load(path):
     return doc
 
 
+def metric_value(name, entry, origin):
+    """The metric's recorded value, or ValueError with a diagnostic
+    naming the document and metric instead of a bare KeyError."""
+    if not isinstance(entry, dict) or "value" not in entry:
+        raise ValueError(f"{origin} metric {name!r} is malformed: expected "
+                         f"an object with a 'value' key, got {entry!r}")
+    return entry["value"]
+
+
 def check_metric(name, base, cur_value):
     """Returns (ok, description)."""
-    value = base["value"]
+    value = metric_value(name, base, "baseline")
     allowed = max(base.get("tol_abs", 0.0),
                   abs(value) * base.get("tol_rel", 0.0))
     direction = base.get("direction", "band")
@@ -69,7 +78,13 @@ def compare(baseline, current):
             print(f"FAIL  {name}: missing from current result")
             failures += 1
             continue
-        ok, desc = check_metric(name, base, cur_metrics[name]["value"])
+        try:
+            cur = metric_value(name, cur_metrics[name], "current")
+            ok, desc = check_metric(name, base, cur)
+        except ValueError as e:
+            print(f"FAIL  {e}")
+            failures += 1
+            continue
         print(("ok    " if ok else "FAIL  ") + desc)
         if not ok:
             failures += 1
@@ -84,14 +99,26 @@ def report(baseline, current):
              "|---|---:|---:|---:|---|---|"]
     cur_metrics = current.get("metrics", {})
     for name, base in baseline.get("metrics", {}).items():
-        value = base["value"]
         direction = base.get("direction", "band")
+        try:
+            value = metric_value(name, base, "baseline")
+        except ValueError:
+            lines.append(f"| {name} | malformed | - | - | "
+                         f"{direction} | MALFORMED |")
+            failures += 1
+            continue
         if name not in cur_metrics:
             lines.append(f"| {name} | {value:.6g} | - | - | "
                          f"{direction} | MISSING |")
             failures += 1
             continue
-        cur = cur_metrics[name]["value"]
+        try:
+            cur = metric_value(name, cur_metrics[name], "current")
+        except ValueError:
+            lines.append(f"| {name} | {value:.6g} | malformed | - | "
+                         f"{direction} | MALFORMED |")
+            failures += 1
+            continue
         ok, _ = check_metric(name, base, cur)
         delta = cur - value
         pct = f" ({100.0 * delta / value:+.1f}%)" if value else ""
@@ -144,6 +171,29 @@ def selftest():
         print("selftest: missing metrics must fail")
         return 1
 
+    # A metric present but without a "value" key (truncated or
+    # hand-edited result) must fail with a diagnostic, not a KeyError.
+    malformed = {"schema": SCHEMA, "name": "selftest",
+                 "metrics": {"rate": {"val": 100.0},
+                             "cost": "2.0",
+                             "share": {"value": 0.80}}}
+    try:
+        if compare(base, malformed) != 2:
+            print("selftest: malformed current metrics must fail")
+            return 1
+    except KeyError:
+        print("selftest: malformed current metric raised KeyError")
+        return 1
+    bad_base = {"schema": SCHEMA, "name": "selftest",
+                "metrics": {"rate": {"tol_rel": 0.1, "direction": "min"}}}
+    try:
+        if compare(bad_base, current(100.0, 2.0, 0.80)) != 1:
+            print("selftest: malformed baseline metric must fail")
+            return 1
+    except KeyError:
+        print("selftest: malformed baseline metric raised KeyError")
+        return 1
+
     # --report mode: the same verdicts rendered as a markdown table.
     text, fails = report(base, current(89.0, 2.4, 0.80))
     if fails != 1:
@@ -162,6 +212,10 @@ def selftest():
     text, fails = report(base, missing)
     if fails != 2 or "MISSING" not in text:
         print("selftest: report must flag missing metrics:\n" + text)
+        return 1
+    text, fails = report(base, malformed)
+    if fails != 2 or "MALFORMED" not in text:
+        print("selftest: report must flag malformed metrics:\n" + text)
         return 1
     print("selftest ok")
     return 0

@@ -21,8 +21,20 @@ for mode in "${modes[@]}"; do
     -DYY_SANITIZE="${mode}" > /dev/null
   cmake --build "${build}" -j "$(nproc)" --target \
     test_comm test_core test_obs test_counters test_resilience test_overlap \
-    test_rhs_fused > /dev/null
+    test_rhs_fused test_rhs_simd test_config_fuzz > /dev/null
   (cd "${build}" &&
     YY_COUNTERS=software ctest -L 'sanitize|resilience|counters' \
       --output-on-failure)
 done
+
+# Scalar-fallback leg: the tree with -DYY_SIMD=OFF (no native ISA flags,
+# compiled_max_width() == 1) must still pass the kernel equivalence
+# suites — the SIMD backend has to stay functional, not just disabled,
+# when the lanes are compiled out.
+build=build-nosimd
+echo "== YY_SIMD=OFF scalar fallback -> ${build} =="
+cmake -B "${build}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DYY_SIMD=OFF > /dev/null
+cmake --build "${build}" -j "$(nproc)" --target \
+  test_rhs_fused test_rhs_simd test_config_fuzz > /dev/null
+(cd "${build}" && ctest -L kernels --output-on-failure)
