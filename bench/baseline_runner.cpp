@@ -36,6 +36,7 @@
 #include "perf/kernel_profile.hpp"
 #include "perf/proginf.hpp"
 #include "perf/roofline.hpp"
+#include "resilience/sdc_audit.hpp"
 
 #include "bench_json.hpp"
 
@@ -134,6 +135,46 @@ double skewed_wait_per_step(bool overlap, int steps) {
   });
   rt.install_fault_plan(nullptr);
   return wait_total / steps;
+}
+
+/// Relative per-step cost of the SDC audit tier (DESIGN.md §15) on the
+/// bench layout: the steady-state tax is the slab-CRC reference
+/// refresh on audit-cadence steps plus the collective audit itself —
+/// the same pattern ResilientRunner executes.  Measured additively
+/// inside ONE run (audit seconds over pure stepping seconds) so
+/// machine noise between two separate runs cannot masquerade as
+/// overhead.
+double sdc_audit_overhead(int steps) {
+  const core::SimulationConfig cfg = bench_config();
+  const int world = 2 * kPt * kPp;
+  comm::Runtime rt(world);
+  double overhead = 0.0;
+  std::mutex mu;
+  rt.run([&](comm::Communicator& w) {
+    core::DistributedSolver solver(cfg, w, kPt, kPp);
+    solver.initialize();
+    const double dt = solver.stable_dt();
+    resilience::SdcPolicy pol;
+    pol.audit_interval = 5;
+    resilience::SdcAuditor auditor(pol);
+    auditor.refresh(solver);
+    WallTimer loop;
+    double audit_s = 0.0;
+    for (int i = 0; i < steps; ++i) {
+      solver.step(dt);
+      if (!auditor.due(solver.steps_taken())) continue;
+      WallTimer t;
+      auditor.refresh(solver);
+      auditor.audit(solver);
+      audit_s += t.seconds();
+    }
+    const double wall = loop.seconds();
+    if (w.rank() == 0) {
+      std::lock_guard lock(mu);
+      overhead = wall > audit_s ? audit_s / (wall - audit_s) : 0.0;
+    }
+  });
+  return overhead;
 }
 
 bool run_solver_bench(const std::string& out_dir, int steps) {
@@ -235,11 +276,19 @@ bool run_solver_bench(const std::string& out_dir, int steps) {
   metrics.push_back({"overlap_wait_ratio", wait_ratio, 0.0,
                      std::max(0.05, 0.95 - wait_ratio), "max"});
 
+  // SDC-audit overhead gate: the tol_abs pins the failure bound at 2%
+  // (or recorded + 0.3 points once the recorded value nears the bound),
+  // so the audit tier silently growing past its budget always fails.
+  const double audit_tax = sdc_audit_overhead(steps);
+  metrics.push_back({"sdc_audit_overhead", audit_tax, 0.0,
+                     std::max(0.003, 0.02 - audit_tax), "max"});
+
   std::printf("solver: %.2f steps/s, imbalance %.2f, compute %.0f%%\n",
               steps / loop_wall, imbalance_mean,
               100.0 * (traced > 0.0 ? comp / traced : 0.0));
   std::printf("skewed wait/step: sync %.1f ms, overlap %.1f ms (ratio %.2f)\n",
               1e3 * wait_sync, 1e3 * wait_over, wait_ratio);
+  std::printf("sdc audit overhead: %.2f%% of step time\n", 100.0 * audit_tax);
   return write_doc(out_dir + "/BENCH_solver.json", "solver", man, metrics);
 }
 

@@ -11,7 +11,7 @@
 ///
 /// Usage: parallel_dynamo [pt pp steps [mode]] [--heartbeat N] [--overlap]
 ///                        [--fused-rhs] [--simd-rhs] [--counters]
-///                        [--chaos rank-death:<step>]
+///                        [--chaos rank-death:<step>|bitflip:<step>[:<cadence>]]
 ///        (default 2 x 2, 10 steps)
 ///
 /// mode selects the run-control layer:
@@ -68,6 +68,17 @@
 /// still matches exactly because the restored trajectory is bitwise
 /// the shrunk-layout trajectory.  Needs at least 2 ranks per panel so
 /// each panel keeps a survivor (the default 2 x 2 works).
+///
+/// --chaos bitflip:<step>[:<cadence>] XORs one mantissa bit of one A_r
+/// value in world rank 1's resident state after it completes step
+/// <step> — silent data corruption no magnitude probe can see.  Forces
+/// resilient mode with the SDC audit on (DESIGN.md §15, cadence
+/// default 4; <step> must be a multiple of the cadence so the flip
+/// lands on an audited boundary): the slab-CRC sweep catches the flip
+/// at the next audit, every rank restores its patch from the diskless
+/// buddy images and the short window since the last clean audit is
+/// replayed.  The serial cross-check still matches exactly because the
+/// flip never reaches a committed snapshot.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -104,6 +115,8 @@ int main(int argc, char** argv) {
   bool simd_rhs = false;
   bool counters = false;
   long long chaos_death_step = -1;
+  long long chaos_flip_step = -1;
+  long long chaos_flip_cadence = 4;
   std::vector<const char*> pos;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--heartbeat") == 0 && i + 1 < argc) {
@@ -120,10 +133,25 @@ int main(int argc, char** argv) {
       const char* spec = argv[++i];
       if (std::strncmp(spec, "rank-death:", 11) == 0) {
         chaos_death_step = std::atoll(spec + 11);
+      } else if (std::strncmp(spec, "bitflip:", 8) == 0) {
+        chaos_flip_step = std::atoll(spec + 8);
+        if (const char* colon = std::strchr(spec + 8, ':'))
+          chaos_flip_cadence = std::atoll(colon + 1);
       }
-      if (chaos_death_step <= 0) {
-        std::fprintf(stderr, "bad chaos spec '%s' (rank-death:<step>)\n",
+      if (chaos_death_step <= 0 && chaos_flip_step <= 0) {
+        std::fprintf(stderr,
+                     "bad chaos spec '%s' (rank-death:<step> | "
+                     "bitflip:<step>[:<cadence>])\n",
                      spec);
+        return 1;
+      }
+      if (chaos_flip_step > 0 &&
+          (chaos_flip_cadence <= 0 ||
+           chaos_flip_step % chaos_flip_cadence != 0)) {
+        std::fprintf(stderr,
+                     "bad chaos spec '%s': bitflip step must be a positive "
+                     "multiple of the audit cadence (%lld)\n",
+                     spec, chaos_flip_cadence);
         return 1;
       }
     } else {
@@ -147,6 +175,8 @@ int main(int argc, char** argv) {
       heartbeat = 0;
     }
   }
+  if (chaos_flip_step > 0 && mode == "plain")
+    mode = "resilient";  // the SDC audit lives in the runner
 
   core::SimulationConfig cfg;
   cfg.nr = 13;
@@ -205,6 +235,10 @@ int main(int argc, char** argv) {
   if (chaos_death_step > 0)
     man.extra.emplace_back("chaos",
                            "rank-death:" + std::to_string(chaos_death_step));
+  if (chaos_flip_step > 0)
+    man.extra.emplace_back("chaos",
+                           "bitflip:" + std::to_string(chaos_flip_step) + ":" +
+                               std::to_string(chaos_flip_cadence));
   obs::TelemetrySink sink(man, heartbeat > 0 ? &std::cout : nullptr);
 
   std::shared_ptr<comm::FaultPlan> plan;
@@ -229,6 +263,18 @@ int main(int argc, char** argv) {
     std::printf("chaos: world rank %d stops responding after step %lld; "
                 "the survivors shrink around it\n\n",
                 kChaosVictim, chaos_death_step);
+  }
+  if (chaos_flip_step > 0) {
+    if (!plan) plan = std::make_shared<comm::FaultPlan>();
+    comm::FaultPlan::ComputeFault flip;
+    flip.field = 5;  // A_r
+    flip.elem = 1234;
+    flip.byte = 0;   // low mantissa bit: invisible to magnitude probes
+    flip.mask = 0x01;
+    plan->schedule_bitflip(kChaosVictim, chaos_flip_step, flip);
+    std::printf("chaos: one A_r mantissa bit flips in memory on world "
+                "rank %d after step %lld (audit cadence %lld)\n\n",
+                kChaosVictim, chaos_flip_step, chaos_flip_cadence);
   }
   if (plan) rt.install_fault_plan(plan);
 
@@ -266,6 +312,8 @@ int main(int argc, char** argv) {
       policy.store = {"yy_checkpoints", "dynamo", 2};
       policy.checkpoint_interval = std::max(1, steps / 4);
       policy.take_deadline_ms = 5000;
+      if (chaos_flip_step > 0)
+        policy.sdc.audit_interval = chaos_flip_cadence;
       resilience::ResilientRunner runner(solver, policy);
       rep = runner.run(steps, dt);
     }
@@ -298,6 +346,10 @@ int main(int argc, char** argv) {
       std::printf("rank loss survived: %d shrink(s), world %d -> %d "
                   "surviving ranks\n",
                   report.shrinks, world, report.final_world_size);
+    if (report.sdc_restores > 0)
+      std::printf("sdc defense: bit flip detected and repaired from buddy "
+                  "replicas (%d restore(s), no disk rewind)\n",
+                  report.sdc_restores);
     if (!report.failure.empty())
       std::printf("failure: %s\n", report.failure.c_str());
   }

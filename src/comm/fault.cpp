@@ -24,6 +24,48 @@ FaultPlan::IoFault FaultPlan::take_io_fault(long long step, int world_rank) {
   return f;
 }
 
+void FaultPlan::schedule_bitflip(int world_rank, long long step,
+                                 const ComputeFault& f) {
+  std::lock_guard lock(mu_);
+  compute_schedule_[{step, world_rank}].push_back(f);
+}
+
+std::vector<FaultPlan::ComputeFault> FaultPlan::take_compute_faults(
+    int world_rank, long long step) {
+  std::lock_guard lock(mu_);
+  const auto it = compute_schedule_.find({step, world_rank});
+  if (it == compute_schedule_.end()) return {};
+  std::vector<ComputeFault> out = std::move(it->second);
+  compute_schedule_.erase(it);
+  compute_fired_.fetch_add(out.size(), std::memory_order_relaxed);
+  return out;
+}
+
+std::uint64_t FaultPlan::compute_faults_fired() const {
+  return compute_fired_.load(std::memory_order_relaxed);
+}
+
+void FaultPlan::schedule_replica_rot(int world_rank, long long step,
+                                     ReplicaTarget t) {
+  std::lock_guard lock(mu_);
+  rot_schedule_[{step, world_rank}].push_back(t);
+}
+
+std::vector<FaultPlan::ReplicaTarget> FaultPlan::take_replica_rot(
+    int world_rank, long long step) {
+  std::lock_guard lock(mu_);
+  const auto it = rot_schedule_.find({step, world_rank});
+  if (it == rot_schedule_.end()) return {};
+  std::vector<ReplicaTarget> out = std::move(it->second);
+  rot_schedule_.erase(it);
+  rot_fired_.fetch_add(out.size(), std::memory_order_relaxed);
+  return out;
+}
+
+std::uint64_t FaultPlan::replica_rots_fired() const {
+  return rot_fired_.load(std::memory_order_relaxed);
+}
+
 void FaultPlan::schedule_rank_death(int world_rank, long long step) {
   std::lock_guard lock(mu_);
   death_schedule_[world_rank] = step;

@@ -75,6 +75,37 @@ class FaultPlan {
   void note_step(long long step);
   long long step() const { return step_.load(std::memory_order_relaxed); }
 
+  /// Compute-fault schedule: silent data corruption in resident field
+  /// state.  A scheduled bit flip XORs `mask` into one byte of one
+  /// element of one field of `world_rank`'s in-memory state; the
+  /// resilience runner applies due flips at the top of its loop once
+  /// the rank has completed `step` steps — between two steps, while
+  /// the state is at rest, which is exactly when the SDC audit's
+  /// reference checksums can catch it.  Like the I/O schedule, a taken
+  /// entry is erased, so a rewound re-run of the same step is not
+  /// re-flipped (the recovered trajectory is the unfaulted one).
+  struct ComputeFault {
+    int field = 0;              ///< mhd::Fields::all() index (mod count)
+    long long elem = 0;         ///< flat element index (mod field size)
+    int byte = 0;               ///< byte within the double (0 = low mantissa)
+    unsigned char mask = 0x01;  ///< XOR mask for that byte
+  };
+  void schedule_bitflip(int world_rank, long long step, const ComputeFault& f);
+  std::vector<ComputeFault> take_compute_faults(int world_rank,
+                                                long long step);
+  std::uint64_t compute_faults_fired() const;
+
+  /// Replica-rot schedule: bit rot in a diskless buddy replica
+  /// (resilience::BuddyStore).  `ward` rots the replica `world_rank`
+  /// holds for its ring ward; `own` rots the rank's own resident
+  /// image.  Applied by the resilience runner at the top of its loop
+  /// (erase-on-take); the replica scrubber's re-CRC pass is what must
+  /// catch it before a restore trips over it.
+  enum class ReplicaTarget : int { ward = 0, own = 1 };
+  void schedule_replica_rot(int world_rank, long long step, ReplicaTarget t);
+  std::vector<ReplicaTarget> take_replica_rot(int world_rank, long long step);
+  std::uint64_t replica_rots_fired() const;
+
   /// Rank-death schedule: `world_rank` permanently stops participating
   /// once it has completed `step` solver steps.  The resilient runner
   /// polls rank_death_step() at the top of its loop, retires the rank
@@ -102,6 +133,12 @@ class FaultPlan {
   std::vector<int> matched_;  // per rule: envelopes matched so far
   std::vector<int> fired_;    // per rule: times fired
   std::map<std::pair<long long, int>, IoFault> io_schedule_;
+  std::map<std::pair<long long, int>, std::vector<ComputeFault>>
+      compute_schedule_;
+  std::map<std::pair<long long, int>, std::vector<ReplicaTarget>>
+      rot_schedule_;
+  std::atomic<std::uint64_t> compute_fired_{0};
+  std::atomic<std::uint64_t> rot_fired_{0};
   std::map<int, long long> death_schedule_;  // world rank -> death step
   std::map<int, bool> death_fired_;
   std::atomic<std::uint64_t> deaths_fired_{0};

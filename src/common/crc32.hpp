@@ -12,19 +12,26 @@ namespace yy {
 
 namespace detail {
 
-constexpr std::array<std::uint32_t, 256> make_crc32_table() {
-  std::array<std::uint32_t, 256> table{};
+/// Slicing-by-8 tables: table[0] is the classic byte-at-a-time table;
+/// table[j][b] advances byte b through j additional zero bytes, so one
+/// iteration can fold eight input bytes with eight independent lookups.
+/// The resulting CRC values are bit-identical to the bytewise loop.
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_crc32_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k)
       c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    table[i] = c;
+    t[0][i] = c;
   }
-  return table;
+  for (std::size_t j = 1; j < 8; ++j)
+    for (std::uint32_t i = 0; i < 256; ++i)
+      t[j][i] = (t[j - 1][i] >> 8) ^ t[0][t[j - 1][i] & 0xFFu];
+  return t;
 }
 
-inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
-    make_crc32_table();
+inline constexpr std::array<std::array<std::uint32_t, 256>, 8> kCrc32Tables =
+    make_crc32_tables();
 
 }  // namespace detail
 
@@ -32,9 +39,28 @@ inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
 /// finish) with crc32_init()/crc32_final(), or use crc32() for one shot.
 inline std::uint32_t crc32_update(std::uint32_t state, const void* data,
                                   std::size_t n) {
+  const auto& t = detail::kCrc32Tables;
   const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < n; ++i)
-    state = detail::kCrc32Table[(state ^ p[i]) & 0xFFu] ^ (state >> 8);
+  // The explicit byte assembly is the little-endian load the slicing
+  // formulation assumes, and is endian-safe on any host.
+  while (n >= 8) {
+    const std::uint32_t lo =
+        state ^ (static_cast<std::uint32_t>(p[0]) |
+                 static_cast<std::uint32_t>(p[1]) << 8 |
+                 static_cast<std::uint32_t>(p[2]) << 16 |
+                 static_cast<std::uint32_t>(p[3]) << 24);
+    const std::uint32_t hi = static_cast<std::uint32_t>(p[4]) |
+                             static_cast<std::uint32_t>(p[5]) << 8 |
+                             static_cast<std::uint32_t>(p[6]) << 16 |
+                             static_cast<std::uint32_t>(p[7]) << 24;
+    state = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+            t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^
+            t[2][(hi >> 8) & 0xFFu] ^ t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  for (; n > 0; --n, ++p)
+    state = t[0][(state ^ *p) & 0xFFu] ^ (state >> 8);
   return state;
 }
 

@@ -13,7 +13,10 @@ constexpr const char* kEventNames[] = {
     "comm_timeout",     "comm_corruption",        "health_check",
     "health_nonfinite", "health_blowup",          "health_cfl_collapse",
     "rank_death_detected", "world_shrunk",        "buddy_restore",
-    "dt_reramp",        "run_failed",
+    "dt_reramp",        "stale_tmp_swept",        "health_denormal",
+    "sdc_audit",        "sdc_mismatch",           "sdc_invariant_trip",
+    "sdc_detected",     "sdc_restore",            "replica_scrubbed",
+    "replica_rot_detected", "replica_refetched",  "run_failed",
 };
 static_assert(std::size(kEventNames) == static_cast<std::size_t>(kNumEvents),
               "event_name table and kNumEvents are out of sync");

@@ -31,10 +31,20 @@ enum class Event : int {
   world_shrunk,             ///< the world shrank to the survivor set
   buddy_restore,            ///< a dead rank's patch restored from replica
   dt_reramp,                ///< dt grown back toward the CFL-stable dt
+  stale_tmp_swept,          ///< orphaned checkpoint *.tmp removed at startup
+  health_denormal,          ///< denormal flood detected in the state
+  sdc_audit,                ///< collective SDC audits performed (rank 0)
+  sdc_mismatch,             ///< a slab checksum diverged from its reference
+  sdc_invariant_trip,       ///< a physics invariant probe breached its bound
+  sdc_detected,             ///< collective SDC verdict was not clean (rank 0)
+  sdc_restore,              ///< state restored from buddy replicas after SDC
+  replica_scrubbed,         ///< buddy-replica scrub rounds completed (rank 0)
+  replica_rot_detected,     ///< a held buddy replica failed its re-CRC
+  replica_refetched,        ///< a fresh replica re-fetched from the partner
   run_failed,               ///< resilient run gave up (structured failure)
 };
 
-inline constexpr int kNumEvents = 17;
+inline constexpr int kNumEvents = 27;
 
 // A new Event must bump kNumEvents (and the name table in events.cpp,
 // pinned by its own static_assert) before it compiles.

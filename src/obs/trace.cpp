@@ -14,7 +14,7 @@ constexpr const char* kPhaseNames[] = {
     "rhs",      "rk4_stage",    "halo_wait",    "overset_wait",
     "boundary", "reduce",       "io",           "halo_overlap",
     "interior_rhs", "rim_rhs",  "shrink",       "buddy_restore",
-    "other",
+    "sdc_audit", "scrub",       "other",
 };
 static_assert(std::size(kPhaseNames) == static_cast<std::size_t>(kNumPhases),
               "phase_name table and kNumPhases are out of sync");

@@ -58,10 +58,12 @@ enum class Phase : int {
                  ///< the exchanges finish
   shrink,        ///< rebuilding the communicator over the survivors
   buddy_restore, ///< redistribution/restore from buddy replicas
+  sdc_audit,     ///< silent-data-corruption audit (slab CRCs + probes)
+  scrub,         ///< background buddy-replica scrubbing round
   other,         ///< anything else worth a span
 };
 
-inline constexpr int kNumPhases = 13;
+inline constexpr int kNumPhases = 15;
 
 // A new Phase must bump kNumPhases (and the name table in trace.cpp,
 // whose size is pinned by its own static_assert) before it compiles.

@@ -3,12 +3,23 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "obs/events.hpp"
 
 namespace yy::resilience {
 
 namespace {
 constexpr int tag_buddy_hdr = 410;
 constexpr int tag_buddy_payload = 411;
+// Scrub round: need flag + refetched replica (holder -> me direction
+// is the *reverse* of refresh: the ward re-serves its own image).
+constexpr int tag_scrub_need = 414;
+constexpr int tag_scrub_hdr = 415;
+constexpr int tag_scrub_payload = 416;
+// Restore round: a rank whose own image rotted pulls its replica back
+// from its holder.
+constexpr int tag_restore_need = 417;
+constexpr int tag_restore_hdr = 418;
+constexpr int tag_restore_payload = 419;
 
 CheckpointMetaV2 meta_for(const core::DistributedSolver& s, double dt) {
   const Field3& a = *s.local_state().all()[0];
@@ -104,6 +115,138 @@ bool BuddyStore::load(int w, mhd::Fields& out) const {
   CheckpointMetaV2 m;
   return decode_checkpoint_v2(img.data(), img.size(), m, &out, nullptr) ==
          LoadStatus::ok;
+}
+
+bool BuddyStore::validate(int w) const {
+  const std::vector<unsigned char>* img = nullptr;
+  if (w == my_rank_ && my_rank_ >= 0) {
+    img = &own_;
+  } else if (w == ward_rank_ && ward_rank_ >= 0) {
+    img = &ward_;
+  } else {
+    return false;
+  }
+  if (img->empty()) return false;
+  CheckpointMetaV2 m;
+  return validate_checkpoint_image(img->data(), img->size(), &m) ==
+             LoadStatus::ok &&
+         m.world_rank == w && m.step == own_meta_.step;
+}
+
+bool BuddyStore::repair_ward(const comm::Communicator& world,
+                             int deadline_ms) {
+  const int n = world.size();
+  if (n < 2 || own_.empty()) return true;
+
+  const int holder = holder_of(my_rank_, n);
+  const bool ward_ok = validate(ward_rank_);
+  if (!ward_ok) obs::count_event(obs::Event::replica_rot_detected);
+
+  const auto bounded_recv = [&](int src, int tag, std::span<double> buf) {
+    if (deadline_ms > 0)
+      world.recv(src, tag, buf, deadline_ms);
+    else
+      world.recv(src, tag, buf);
+  };
+
+  // Everyone flags its ward (the image owner) and answers its holder;
+  // buffered sends never block, and every rank receives exactly one
+  // flag, so the round cannot deadlock.
+  const double need[1] = {ward_ok ? 0.0 : 1.0};
+  world.send(ward_rank_, tag_scrub_need, need);
+  double holder_needs[1] = {0.0};
+  bounded_recv(holder, tag_scrub_need, holder_needs);
+  if (holder_needs[0] != 0.0) {
+    const double own_len[1] = {static_cast<double>(own_.size())};
+    world.send(holder, tag_scrub_hdr, own_len);
+    world.send(holder, tag_scrub_payload, pack_bytes(own_));
+  }
+  if (ward_ok) return true;
+
+  double len[1] = {0.0};
+  bounded_recv(ward_rank_, tag_scrub_hdr, len);
+  const auto nbytes = static_cast<std::size_t>(len[0]);
+  std::vector<double> packed((nbytes + 7) / 8);
+  bounded_recv(ward_rank_, tag_scrub_payload, packed);
+  std::vector<unsigned char> img(nbytes);
+  if (nbytes != 0) std::memcpy(img.data(), packed.data(), nbytes);
+
+  CheckpointMetaV2 m;
+  const bool ok = validate_checkpoint_image(img.data(), img.size(), &m) ==
+                      LoadStatus::ok &&
+                  m.world_rank == ward_rank_ && m.world_size == n &&
+                  m.step == own_meta_.step;
+  if (ok) {
+    ward_ = std::move(img);
+    ward_meta_ = m;
+    armed_ = !own_.empty();
+    obs::count_event(obs::Event::replica_refetched);
+  }
+  return ok;
+}
+
+bool BuddyStore::restore_own(mhd::Fields& out, const comm::Communicator& world,
+                             int deadline_ms) {
+  const int n = world.size();
+  if (own_.empty()) return false;
+
+  bool own_ok = validate(my_rank_);
+  if (!own_ok) obs::count_event(obs::Event::replica_rot_detected);
+
+  if (n >= 2) {
+    const auto bounded_recv = [&](int src, int tag, std::span<double> buf) {
+      if (deadline_ms > 0)
+        world.recv(src, tag, buf, deadline_ms);
+      else
+        world.recv(src, tag, buf);
+    };
+
+    // Mirror image of the scrub round: my fresh copy lives on my
+    // *holder*, and the flag I answer comes from my *ward* (whose
+    // replica I hold).
+    const int holder = holder_of(my_rank_, n);
+    const double need[1] = {own_ok ? 0.0 : 1.0};
+    world.send(holder, tag_restore_need, need);
+    double ward_needs[1] = {0.0};
+    bounded_recv(ward_rank_, tag_restore_need, ward_needs);
+    if (ward_needs[0] != 0.0) {
+      const double ward_len[1] = {static_cast<double>(ward_.size())};
+      world.send(ward_rank_, tag_restore_hdr, ward_len);
+      world.send(ward_rank_, tag_restore_payload, pack_bytes(ward_));
+    }
+    if (!own_ok) {
+      double len[1] = {0.0};
+      bounded_recv(holder, tag_restore_hdr, len);
+      const auto nbytes = static_cast<std::size_t>(len[0]);
+      std::vector<double> packed((nbytes + 7) / 8);
+      bounded_recv(holder, tag_restore_payload, packed);
+      std::vector<unsigned char> img(nbytes);
+      if (nbytes != 0) std::memcpy(img.data(), packed.data(), nbytes);
+
+      CheckpointMetaV2 m;
+      own_ok = validate_checkpoint_image(img.data(), img.size(), &m) ==
+                   LoadStatus::ok &&
+               m.world_rank == my_rank_ && m.world_size == n &&
+               m.step == own_meta_.step;
+      if (own_ok) {
+        own_ = std::move(img);
+        obs::count_event(obs::Event::replica_refetched);
+      }
+    }
+  }
+  if (!own_ok) return false;
+
+  CheckpointMetaV2 m;
+  return decode_checkpoint_v2(own_.data(), own_.size(), m, &out, nullptr) ==
+         LoadStatus::ok;
+}
+
+void BuddyStore::corrupt_image(int w, unsigned char mask) {
+  std::vector<unsigned char>* img =
+      w == my_rank_ ? &own_ : (w == ward_rank_ ? &ward_ : nullptr);
+  if (img == nullptr || img->empty()) return;
+  // Two thirds in lands well past the header, in field payload bytes.
+  (*img)[img->size() * 2 / 3] ^= mask;
 }
 
 void BuddyStore::reset() {

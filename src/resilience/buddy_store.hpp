@@ -63,6 +63,34 @@ class BuddyStore {
   /// image fails validation.
   bool load(int w, mhd::Fields& out) const;
 
+  /// Full local verdict on a held image: CRC/structural sweep plus the
+  /// identity check (right rank, current snapshot step).  Unlike
+  /// can_serve(), this re-reads every byte — it is what the scrubber
+  /// and the SDC restore tier use to notice rot *after* adoption.
+  bool validate(int w) const;
+
+  /// Collective scrub round over the solver's world (tags 414-416):
+  /// re-validates my ward's replica and, on a failed verdict,
+  /// re-fetches a fresh copy from the ward (which still holds the
+  /// authoritative own image) instead of discovering the rot at
+  /// restore time.  Also heals a replica whose original refresh was
+  /// rejected.  Every rank with a non-empty own image after a refresh
+  /// must participate.  Returns true when my ward replica is valid
+  /// after the round (or there is no buddy to hold one for).
+  bool repair_ward(const comm::Communicator& world, int deadline_ms = 0);
+
+  /// Collective restore round (tags 417-419): validates my own image
+  /// and, when it fails, re-fetches my replica from my holder; then
+  /// decodes the image into `out` (shaped as my patch full arrays).
+  /// Returns false when my patch cannot be served validated.
+  bool restore_own(mhd::Fields& out, const comm::Communicator& world,
+                   int deadline_ms = 0);
+
+  /// Fault-injection hook (comm::FaultPlan replica-rot schedule): XORs
+  /// `mask` into one payload byte of the image held for rank `w` (this
+  /// rank or its ward).  No-op when no such image is held.
+  void corrupt_image(int w, unsigned char mask = 0x01);
+
   /// Drops everything (ring identities change after a shrink; the
   /// store must be reset and refreshed on the new world).
   void reset();

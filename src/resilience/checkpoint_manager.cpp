@@ -20,6 +20,22 @@ CheckpointManager::CheckpointManager(Options opt) : opt_(std::move(opt)) {
   YY_REQUIRE(opt_.keep_last >= 1);
   std::error_code ec;
   fs::create_directories(opt_.dir, ec);
+
+  // Crash hygiene: a death between temp-write and atomic rename leaves
+  // a `<basename>.*.tmp` orphan that no manifest references and no
+  // rotation ever reclaims.  Sweep them at startup; committed sets are
+  // untouched and a concurrently-sweeping sibling rank losing the
+  // remove race is fine (only the winner counts the event).
+  const std::string prefix = opt_.basename + ".";
+  const auto end = fs::directory_iterator{};
+  for (auto it = fs::directory_iterator(opt_.dir, ec);
+       !ec && it != end; it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (!name.ends_with(".tmp") || name.rfind(prefix, 0) != 0) continue;
+    std::error_code rm_ec;
+    if (fs::remove(it->path(), rm_ec) && !rm_ec)
+      obs::count_event(obs::Event::stale_tmp_swept);
+  }
 }
 
 std::string CheckpointManager::patch_path(long long step,

@@ -1,6 +1,7 @@
 #include "resilience/health.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 #include "obs/events.hpp"
@@ -13,8 +14,9 @@ namespace {
 // Severity codes fed to allreduce-max; higher = worse.
 constexpr double kHealthy = 0.0;
 constexpr double kCfl = 1.0;
-constexpr double kBlowup = 2.0;
-constexpr double kNonfinite = 3.0;
+constexpr double kDenormal = 2.0;
+constexpr double kBlowup = 3.0;
+constexpr double kNonfinite = 4.0;
 
 }  // namespace
 
@@ -22,6 +24,7 @@ const char* verdict_name(HealthVerdict v) {
   switch (v) {
     case HealthVerdict::healthy: return "healthy";
     case HealthVerdict::cfl_collapse: return "cfl_collapse";
+    case HealthVerdict::denormal_flood: return "denormal_flood";
     case HealthVerdict::blowup: return "blowup";
     case HealthVerdict::nonfinite: return "nonfinite";
   }
@@ -42,15 +45,22 @@ HealthVerdict HealthMonitor::check(const core::DistributedSolver& s,
   double code = kHealthy;
   if (policy_.min_dt > 0.0 && dt < policy_.min_dt) code = kCfl;
   for (const Field3* fld : s.local_state().all()) {
+    long long denormals = 0;
     for (double v : fld->flat()) {
-      if (!std::isfinite(v)) {
+      if (!std::isfinite(v)) {  // catches NaN and ±Inf alike
         code = kNonfinite;
         break;
       }
-      if (std::fabs(v) > policy_.blowup_threshold && code < kBlowup)
-        code = kBlowup;
+      const double m = std::fabs(v);
+      if (m > policy_.blowup_threshold && code < kBlowup) code = kBlowup;
+      if (v != 0.0 && m < std::numeric_limits<double>::min()) ++denormals;
     }
     if (code == kNonfinite) break;
+    if (policy_.denormal_flood_fraction > 0.0 && code < kDenormal &&
+        static_cast<double>(denormals) >
+            policy_.denormal_flood_fraction *
+                static_cast<double>(fld->size()))
+      code = kDenormal;
   }
   {
     YY_TRACE_SCOPE(obs::Phase::reduce);
@@ -67,11 +77,14 @@ HealthVerdict HealthMonitor::check(const core::DistributedSolver& s,
       obs::count_event(obs::Event::health_nonfinite);
     else if (code >= kBlowup)
       obs::count_event(obs::Event::health_blowup);
+    else if (code >= kDenormal)
+      obs::count_event(obs::Event::health_denormal);
     else if (code >= kCfl)
       obs::count_event(obs::Event::health_cfl_collapse);
   }
   if (code >= kNonfinite) return HealthVerdict::nonfinite;
   if (code >= kBlowup) return HealthVerdict::blowup;
+  if (code >= kDenormal) return HealthVerdict::denormal_flood;
   if (code >= kCfl) return HealthVerdict::cfl_collapse;
   return HealthVerdict::healthy;
 }

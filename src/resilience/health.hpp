@@ -18,6 +18,10 @@ struct HealthPolicy {
   int check_interval = 5;          ///< scan every N steps (>= 1)
   double blowup_threshold = 1e6;   ///< max |field| before "blow-up"
   double min_dt = 0.0;             ///< dt below this = CFL collapse (0 = off)
+  /// A field whose nonzero-denormal share exceeds this fraction is a
+  /// flood: physically meaningless magnitudes that also fall off any
+  /// hardware fast path.  <= 0 disables the probe.
+  double denormal_flood_fraction = 0.05;
   /// Deadline for the verdict collective's internal receives (ms).  A
   /// dead or hung peer then surfaces as a comm timeout on every rank
   /// instead of wedging the health sweep forever (<= 0 = fabric
@@ -27,9 +31,10 @@ struct HealthPolicy {
 
 enum class HealthVerdict {
   healthy,
-  cfl_collapse,  ///< timestep fell below policy.min_dt
-  blowup,        ///< finite but beyond policy.blowup_threshold
-  nonfinite,     ///< NaN or Inf somewhere in the state
+  cfl_collapse,    ///< timestep fell below policy.min_dt
+  denormal_flood,  ///< a field drowned in subnormal magnitudes
+  blowup,          ///< finite but beyond policy.blowup_threshold
+  nonfinite,       ///< NaN or ±Inf somewhere in the state
 };
 
 const char* verdict_name(HealthVerdict v);

@@ -27,7 +27,23 @@ struct DeadlineGuard {
 RunPolicy with_inherited_deadlines(RunPolicy p) {
   if (p.health.verdict_deadline_ms <= 0)
     p.health.verdict_deadline_ms = p.take_deadline_ms;
+  if (p.sdc.verdict_deadline_ms <= 0)
+    p.sdc.verdict_deadline_ms = p.take_deadline_ms;
   return p;
+}
+
+/// Applies one scheduled in-memory bit flip to the resident state.
+/// Indices are taken modulo the live shapes so a plan written for one
+/// layout stays applicable after a shrink.
+void apply_bitflip(mhd::Fields& st, const comm::FaultPlan::ComputeFault& f) {
+  const int nf = mhd::Fields::kNumFields;
+  Field3& fld = *st.all()[static_cast<std::size_t>(((f.field % nf) + nf) % nf)];
+  const std::span<double> flat = fld.flat();
+  if (flat.empty()) return;
+  double& v = flat[static_cast<std::size_t>(f.elem < 0 ? -f.elem : f.elem) %
+                   flat.size()];
+  auto* bytes = reinterpret_cast<unsigned char*>(&v);
+  bytes[((f.byte % 8) + 8) % 8] ^= f.mask;
 }
 
 }  // namespace
@@ -37,7 +53,9 @@ ResilientRunner::ResilientRunner(core::DistributedSolver& solver,
     : solver_(solver),
       policy_(with_inherited_deadlines(std::move(policy))),
       ckpt_(policy_.store),
-      health_(policy_.health) {
+      health_(policy_.health),
+      auditor_(policy_.sdc),
+      scrubber_(ScrubPolicy{policy_.scrub_interval, policy_.take_deadline_ms}) {
   YY_REQUIRE(policy_.checkpoint_interval >= 1);
   YY_REQUIRE(policy_.max_recoveries >= 0);
   YY_REQUIRE(policy_.dt_backoff > 0.0 && policy_.dt_backoff <= 1.0);
@@ -45,6 +63,10 @@ ResilientRunner::ResilientRunner(core::DistributedSolver& solver,
   YY_REQUIRE(policy_.dt_growth >= 1.0);
   YY_REQUIRE(policy_.dt_ramp_fraction > 0.0 &&
              policy_.dt_ramp_fraction <= 1.0);
+  YY_REQUIRE(policy_.sdc.audit_interval >= 0);
+  YY_REQUIRE(policy_.sdc.slabs_per_field >= 1);
+  YY_REQUIRE(policy_.scrub_interval >= 0);
+  YY_REQUIRE(policy_.max_sdc_restores >= 0);
 }
 
 RunReport ResilientRunner::fail(RunReport r, const std::string& why) {
@@ -82,6 +104,10 @@ bool ResilientRunner::recover(RunReport& r, double& dt, bool blowup_local) {
       if (world.rank() == 0) obs::count_event(obs::Event::dt_backoff);
     }
     if (ckpt_.restore_newest(solver_) < 0) solver_.initialize();
+    // The state jumped trajectories: stale audit references would read
+    // as corruption on the rewound run.
+    auditor_.disarm();
+    auditor_.refresh(solver_);
     if (world.rank() == 0) obs::count_event(obs::Event::recovery_rewind);
     // The buddy ring must snapshot the rewound trajectory: a stale
     // replica would restore a state the run never reaches again.
@@ -126,7 +152,10 @@ bool ResilientRunner::recover_from_rank_death(RunReport& r, double& dt) {
   const int n_old = world.size();
   core::DistributedSolver::RebuildSource src;
   src.holder_of.resize(static_cast<std::size_t>(n_old));
-  bool ok = buddy_.can_serve(world.rank());
+  // validate() re-CRCs every byte about to be decoded, so a replica
+  // that rotted after its refresh turns the recovery down in the vote
+  // below instead of failing mid-rebuild.
+  bool ok = buddy_.can_serve(world.rank()) && buddy_.validate(world.rank());
   for (int w = 0; w < n_old; ++w) {
     if (!std::binary_search(dead.begin(), dead.end(), w)) {
       src.holder_of[static_cast<std::size_t>(w)] = w;
@@ -135,7 +164,8 @@ bool ResilientRunner::recover_from_rank_death(RunReport& r, double& dt) {
     const int h = BuddyStore::holder_of(w, n_old);
     src.holder_of[static_cast<std::size_t>(w)] = h;
     if (std::binary_search(dead.begin(), dead.end(), h)) ok = false;
-    if (h == world.rank()) ok = ok && buddy_.can_serve(w);
+    if (h == world.rank())
+      ok = ok && buddy_.can_serve(w) && buddy_.validate(w);
   }
 
   // Collective agreement on both serveability and the snapshot step: a
@@ -167,7 +197,46 @@ bool ResilientRunner::recover_from_rank_death(RunReport& r, double& dt) {
   // the next transient fault must find a set saved by this layout.
   buddy_.reset();
   buddy_.refresh(solver_, dt, dl);
+  auditor_.disarm();
+  auditor_.refresh(solver_);
   if (ckpt_.save(solver_, dt, nullptr)) ++r.checkpoints_saved;
+  return true;
+}
+
+bool ResilientRunner::recover_from_sdc(RunReport& r, double& dt) {
+  const comm::Communicator world = solver_.runner().world();
+  const int dl = policy_.take_deadline_ms > 0 ? policy_.take_deadline_ms : 0;
+
+  ++r.sdc_restores;
+  if (!policy_.buddy_checkpoints || r.sdc_restores > policy_.max_sdc_restores)
+    return false;
+
+  // Collective agreement on the snapshot step every patch rewinds to;
+  // a rank that missed a refresh turns the tier down symmetrically and
+  // the verdict escalates to the checkpoint rewind.
+  const double vote =
+      buddy_.can_serve(world.rank()) ? static_cast<double>(buddy_.snapshot_step())
+                                     : -1.0;
+  const double lo = world.allreduce_min(vote, dl);
+  const double hi = world.allreduce_max(vote, dl);
+  if (lo < 0.0 || lo != hi) return false;
+
+  // Every rank restores its own patch — corruption localized to one
+  // rank at detection time may already have crossed a halo exchange,
+  // and a local replica decode costs less than proving it has not.
+  mhd::Fields scratch(solver_.local_grid());
+  bool ok = false;
+  {
+    YY_TRACE_SCOPE(obs::Phase::buddy_restore);
+    ok = buddy_.restore_own(scratch, world, dl);
+  }
+  if (world.allreduce_min(ok ? 1.0 : 0.0, dl) < 0.5) return false;
+  solver_.restore_state(scratch, buddy_.snapshot_time(),
+                        buddy_.snapshot_step());
+  dt = buddy_.snapshot_dt();  // no backoff: corruption is not instability
+  auditor_.disarm();
+  auditor_.refresh(solver_);
+  if (world.rank() == 0) obs::count_event(obs::Event::sdc_restore);
   return true;
 }
 
@@ -200,6 +269,20 @@ RunReport ResilientRunner::run(long long target_steps, double dt) {
           world.retire();
           return fail(std::move(r), "rank death injected by fault plan");
         }
+        // Scheduled silent corruption lands here, between steps with
+        // the state at rest — after the audit references were taken,
+        // before the audit that should catch it.  Erase-on-take keeps
+        // a rewound re-run of the step unfaulted.
+        const long long now = solver_.steps_taken();
+        for (const comm::FaultPlan::ComputeFault& cf :
+             plan->take_compute_faults(me_w, now))
+          apply_bitflip(solver_.local_state(), cf);
+        for (const comm::FaultPlan::ReplicaTarget t :
+             plan->take_replica_rot(me_w, now))
+          buddy_.corrupt_image(
+              t == comm::FaultPlan::ReplicaTarget::own
+                  ? world.rank()
+                  : BuddyStore::ward_of(world.rank(), world.size()));
         // Advance the fault clock so min_step-gated rules arm exactly
         // at the step whose communication they should hit.
         plan->note_step(solver_.steps_taken() + 1);
@@ -209,11 +292,36 @@ RunReport ResilientRunner::run(long long target_steps, double dt) {
         // Arm the buddy ring on the entry state, so even a death
         // before the first checkpoint cadence can be survived.
         buddy_.refresh(solver_, dt, policy_.take_deadline_ms);
+        auditor_.refresh(solver_);
         need_arm = false;
       }
 
+      if (auditor_.due(solver_.steps_taken())) {
+        const SdcVerdict sv = auditor_.audit(solver_);
+        if (sv != SdcVerdict::clean) {
+          if (world.rank() == 0) obs::count_event(obs::Event::sdc_detected);
+          if (!recover_from_sdc(r, dt))
+            throw Error(Error::Kind::numeric,
+                        std::string("sdc audit verdict: ") +
+                            sdc_verdict_name(sv));
+          continue;  // re-enter the loop at the restored step
+        }
+        // A clean audit certifies this step: move the buddy snapshot
+        // forward so the SDC tier's rewind window is one audit cadence,
+        // not a whole checkpoint cadence.
+        if (policy_.buddy_checkpoints)
+          buddy_.refresh(solver_, dt, policy_.take_deadline_ms);
+      }
+      if (policy_.buddy_checkpoints && scrubber_.due(solver_.steps_taken()))
+        scrubber_.scrub(buddy_, world);
+
       solver_.step(dt);
       const long long step = solver_.steps_taken();
+      // References are only ever consulted by the next loop-top audit,
+      // so they are taken solely on steps that audit will examine — a
+      // flip on any other step bakes into the next reference either
+      // way, and the per-step full-state CRC would buy no detection.
+      if (auditor_.due(step)) auditor_.refresh(solver_);
 
       if (health_.due(step)) {
         const HealthVerdict v = health_.check(solver_, dt);

@@ -23,6 +23,17 @@
 /// bitwise what a run launched directly on the shrunk layout holds at
 /// the snapshot step, so the post-shrink trajectory is exactly the
 /// shrunk-layout trajectory.
+///
+/// Silent data corruption gets a third tier between those two: the
+/// SdcAuditor checksums the resident state after every accepted step
+/// and verifies on a cadence; a dirty collective verdict restores every
+/// rank's patch from the diskless buddy images (ring-refetching any
+/// rotted one) and rewinds only the short window since the last clean
+/// audit — cheaper than a disk rewind and, because the audited flip
+/// never reached a committed snapshot, still bitwise-identical to the
+/// unfaulted run.  A ReplicaScrubber re-CRCs the held replicas on its
+/// own cadence so the images this tier leans on have not rotted in
+/// place.
 #pragma once
 
 #include <string>
@@ -31,6 +42,8 @@
 #include "resilience/buddy_store.hpp"
 #include "resilience/checkpoint_manager.hpp"
 #include "resilience/health.hpp"
+#include "resilience/scrubber.hpp"
+#include "resilience/sdc_audit.hpp"
 
 namespace yy::resilience {
 
@@ -49,6 +62,17 @@ struct RunPolicy {
   /// min(run-entry dt, dt_ramp_fraction × current CFL-stable dt).
   double dt_growth = 1.25;
   double dt_ramp_fraction = 0.95;
+  /// Silent-data-corruption auditing (off by default: audit_interval 0
+  /// keeps byte-for-byte the pre-SDC run loop).  When on, references
+  /// are refreshed after every accepted step and verified each
+  /// sdc.audit_interval steps; a dirty collective verdict triggers the
+  /// buddy-replica restore tier below.
+  SdcPolicy sdc;
+  /// Background replica scrub cadence in steps (0 = off).
+  long long scrub_interval = 0;
+  /// SDC buddy restores before the verdict escalates to a full
+  /// checkpoint rewind / clean failure.
+  int max_sdc_restores = 3;
 };
 
 struct RunReport {
@@ -58,6 +82,7 @@ struct RunReport {
   int recoveries = 0;         ///< rewinds performed
   int checkpoints_saved = 0;  ///< committed sets during this run
   int shrinks = 0;            ///< rank-death shrink recoveries performed
+  int sdc_restores = 0;       ///< buddy-tier restores after SDC verdicts
   int final_world_size = 0;   ///< world size when the run ended
   std::string failure;        ///< empty when completed
 };
@@ -84,12 +109,19 @@ class ResilientRunner {
   RunReport fail(RunReport r, const std::string& why);
   bool recover(RunReport& r, double& dt, bool blowup_local);
   bool recover_from_rank_death(RunReport& r, double& dt);
+  /// Third recovery tier: on a dirty SDC verdict, every rank restores
+  /// its own patch from the diskless buddy images (ring-refetching any
+  /// rotted one) and rewinds only the short window since the last
+  /// clean audit — no disk, no dt backoff, no world change.
+  bool recover_from_sdc(RunReport& r, double& dt);
 
   core::DistributedSolver& solver_;
   RunPolicy policy_;
   CheckpointManager ckpt_;
   HealthMonitor health_;
   BuddyStore buddy_;
+  SdcAuditor auditor_;
+  ReplicaScrubber scrubber_;
   double dt_entry_ = 0.0;     ///< dt the current run() was entered with
   bool dt_reduced_ = false;   ///< a backoff is in effect; re-ramp allowed
 };

@@ -1,0 +1,17 @@
+#include "resilience/scrubber.hpp"
+
+#include "obs/events.hpp"
+#include "obs/trace.hpp"
+
+namespace yy::resilience {
+
+bool ReplicaScrubber::scrub(BuddyStore& store,
+                            const comm::Communicator& world) {
+  YY_TRACE_SCOPE(obs::Phase::scrub);
+  const bool ok = store.repair_ward(world, policy_.deadline_ms);
+  ++rounds_;
+  if (world.rank() == 0) obs::count_event(obs::Event::replica_scrubbed);
+  return ok;
+}
+
+}  // namespace yy::resilience

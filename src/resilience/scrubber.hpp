@@ -1,0 +1,50 @@
+/// \file scrubber.hpp
+/// Background scrubbing of diskless buddy replicas.
+///
+/// A buddy replica is CRC-validated once, at the refresh that ships it
+/// — after that it sits in memory for a whole checkpoint cadence, and
+/// on large machines that is exactly where bit rot accumulates.  The
+/// scrubber re-runs the full CRC/identity validation over the held
+/// replica on its own cadence and, on a mismatch, re-fetches a fresh
+/// copy from the partner (which still holds the authoritative image)
+/// via BuddyStore::repair_ward — so a rotten replica is healed in the
+/// background instead of being discovered at restore time, when the
+/// original may already be gone with its rank.
+#pragma once
+
+#include "comm/communicator.hpp"
+#include "resilience/buddy_store.hpp"
+
+namespace yy::resilience {
+
+struct ScrubPolicy {
+  /// Scrub cadence in accepted steps; 0 disables scrubbing.
+  long long interval = 0;
+  /// Deadline for the scrub-round receives (<= 0 = fabric default).
+  int deadline_ms = 0;
+};
+
+class ReplicaScrubber {
+ public:
+  explicit ReplicaScrubber(ScrubPolicy policy) : policy_(policy) {}
+
+  bool enabled() const { return policy_.interval > 0; }
+  bool due(long long step) const {
+    return enabled() && step > 0 && step % policy_.interval == 0;
+  }
+
+  /// Collective: one scrub generation over the store.  All ranks of
+  /// `world` must call together (the guard inside — store armed with a
+  /// non-empty own image — is uniform across ranks after a collective
+  /// refresh).  Returns this rank's local verdict: replica valid after
+  /// the round.
+  bool scrub(BuddyStore& store, const comm::Communicator& world);
+
+  std::uint64_t rounds() const { return rounds_; }
+
+ private:
+  ScrubPolicy policy_;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace yy::resilience

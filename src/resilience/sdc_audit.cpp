@@ -1,0 +1,146 @@
+#include "resilience/sdc_audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/crc32.hpp"
+#include "grid/fd_ops.hpp"
+#include "mhd/derived.hpp"
+#include "obs/events.hpp"
+#include "obs/trace.hpp"
+
+namespace yy::resilience {
+
+const char* sdc_verdict_name(SdcVerdict v) {
+  switch (v) {
+    case SdcVerdict::clean:
+      return "clean";
+    case SdcVerdict::invariant_breach:
+      return "invariant_breach";
+    case SdcVerdict::checksum_mismatch:
+      return "checksum_mismatch";
+  }
+  return "?";
+}
+
+SdcAuditor::SdcAuditor(SdcPolicy policy) : policy_(policy) {}
+
+std::vector<std::uint32_t> SdcAuditor::slab_crcs(const mhd::Fields& s) const {
+  const int slabs = std::max(1, policy_.slabs_per_field);
+  std::vector<std::uint32_t> out;
+  out.reserve(static_cast<std::size_t>(mhd::Fields::kNumFields) *
+              static_cast<std::size_t>(slabs));
+  for (const Field3* f : s.all()) {
+    const std::span<const double> flat = f->flat();
+    const std::size_t n = flat.size();
+    for (int k = 0; k < slabs; ++k) {
+      const std::size_t lo = n * static_cast<std::size_t>(k) /
+                             static_cast<std::size_t>(slabs);
+      const std::size_t hi = n * static_cast<std::size_t>(k + 1) /
+                             static_cast<std::size_t>(slabs);
+      out.push_back(crc32(flat.data() + lo, (hi - lo) * sizeof(double)));
+    }
+  }
+  return out;
+}
+
+void SdcAuditor::refresh(const core::DistributedSolver& s) {
+  if (!enabled() || !policy_.checksums) return;
+  ref_ = slab_crcs(s.local_state());
+  armed_ = true;
+}
+
+void SdcAuditor::disarm() {
+  armed_ = false;
+  probes_armed_ = false;
+  suspect_local_ = false;
+  ref_.clear();
+}
+
+double SdcAuditor::max_divb(const core::DistributedSolver& s) {
+  const mhd::Fields& st = s.local_state();
+  const Field3& a = st.ar;
+  // B needs A on boxB.grown(1) and ∇·B needs B on boxD.grown(1); with a
+  // 2-cell margin both stay inside the stored array.
+  if (a.nr() < 5 || a.nt() < 5 || a.np() < 5) return 0.0;
+  const IndexBox boxB{1, a.nr() - 1, 1, a.nt() - 1, 1, a.np() - 1};
+  const IndexBox boxD{2, a.nr() - 2, 2, a.nt() - 2, 2, a.np() - 2};
+  if (br_.nr() != a.nr() || br_.nt() != a.nt() || br_.np() != a.np()) {
+    br_ = Field3(a.nr(), a.nt(), a.np());
+    bt_ = Field3(a.nr(), a.nt(), a.np());
+    bp_ = Field3(a.nr(), a.nt(), a.np());
+    divb_ = Field3(a.nr(), a.nt(), a.np());
+  }
+  const SphericalGrid& g = s.local_grid();
+  mhd::magnetic_field(g, st, br_, bt_, bp_, boxB);
+  fd::div(g, br_, bt_, bp_, divb_, boxD);
+  double m = 0.0;
+  for (int ip = boxD.p0; ip < boxD.p1; ++ip)
+    for (int it = boxD.t0; it < boxD.t1; ++it)
+      for (int ir = boxD.r0; ir < boxD.r1; ++ir)
+        m = std::max(m, std::fabs(divb_(ir, it, ip)));
+  return m;
+}
+
+SdcVerdict SdcAuditor::audit(core::DistributedSolver& s) {
+  // Severity folded across detectors and ranks: 0 clean, 1 invariant
+  // breach, 2 checksum mismatch (the more specific evidence wins).
+  double code = 0.0;
+  suspect_local_ = false;
+  bool probe_trip = false;
+
+  // The energy budget is a collective with its own reduce span, so it
+  // runs outside the audit span (spans are leaf-level, non-nesting).
+  if (policy_.max_energy_rate > 0.0) {
+    const mhd::EnergyBudget e = s.energies();
+    const double total = e.kinetic + e.magnetic + e.thermal;
+    if (probes_armed_) {
+      const long long dsteps =
+          std::max<long long>(1, s.steps_taken() - ref_energy_step_);
+      const double scale = std::max(std::fabs(ref_energy_), 1e-300);
+      const double rate =
+          std::fabs(total - ref_energy_) / (scale * static_cast<double>(dsteps));
+      // Negated comparison so a NaN energy also trips.
+      if (!(rate <= policy_.max_energy_rate)) probe_trip = true;
+    }
+    ref_energy_ = total;
+    ref_energy_step_ = s.steps_taken();
+  }
+
+  {
+    YY_TRACE_SCOPE(obs::Phase::sdc_audit);
+    if (policy_.checksums && armed_ &&
+        slab_crcs(s.local_state()) != ref_) {
+      code = 2.0;
+      suspect_local_ = true;
+      obs::count_event(obs::Event::sdc_mismatch);
+    }
+    if (policy_.max_divb_drift > 0.0) {
+      const double d = max_divb(s);
+      if (probes_armed_) {
+        if (!(d - ref_divb_ <= policy_.max_divb_drift)) probe_trip = true;
+      } else {
+        ref_divb_ = d;  // discretization floor, measured not assumed
+      }
+    }
+  }
+  probes_armed_ = true;
+
+  if (probe_trip) {
+    obs::count_event(obs::Event::sdc_invariant_trip);
+    code = std::max(code, 1.0);
+  }
+
+  const comm::Communicator& world = s.runner().world();
+  double verdict_code = 0.0;
+  {
+    YY_TRACE_SCOPE(obs::Phase::reduce);
+    verdict_code = world.allreduce_max(code, policy_.verdict_deadline_ms);
+  }
+  if (world.rank() == 0) obs::count_event(obs::Event::sdc_audit);
+  if (verdict_code >= 2.0) return SdcVerdict::checksum_mismatch;
+  if (verdict_code >= 1.0) return SdcVerdict::invariant_breach;
+  return SdcVerdict::clean;
+}
+
+}  // namespace yy::resilience

@@ -4,10 +4,14 @@
 
 #include <unistd.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
+
+#include "common/crc32.hpp"
 
 namespace yy::resilience {
 namespace {
@@ -211,6 +215,91 @@ TEST(CheckpointV2, TrailingGarbageIsRejected) {
   CheckpointMetaV2 back;
   EXPECT_EQ(load_checkpoint_v2(path, back, &t, nullptr),
             LoadStatus::bad_payload);
+}
+
+/// Targeted header-field fuzz: unlike the blind every-byte sweep above,
+/// each case corrupts one *semantic* header field — magic, the header
+/// length, the format version, the dims, the panel (section) count, a
+/// section length — and where the field sits under the header CRC, the
+/// CRC is re-patched so the corrupted value itself reaches the
+/// validation logic.  Every case must fail the load cleanly with the
+/// right status and leave a sentinel-filled target bitwise untouched.
+TEST(CheckpointV2, HeaderFieldFuzzFailsCleanWithoutPartialApply) {
+  SphericalGrid g = tiny_grid();
+  mhd::Fields s(g);
+  fill_pattern(s, 0.001);
+  const std::string path = temp_path("v2_hdr.yyc2");
+  ASSERT_TRUE(save_checkpoint_v2(path, meta_for_grid(g, 1), &s, nullptr));
+  const std::string good = read_file(path);
+
+  // Layout: magic [0,8); u32 header length H [8,12); header [12,12+H)
+  // starting with u32 version, then i32 nr/nt/np/panels; u32 header CRC
+  // [12+H,12+H+4); u64 payload length [12+H+4, ...).
+  std::uint32_t hlen = 0;
+  for (int i = 0; i < 4; ++i)
+    hlen |= static_cast<std::uint32_t>(
+                static_cast<unsigned char>(good[8 + static_cast<std::size_t>(i)]))
+            << (8 * i);
+  ASSERT_GE(hlen, 56u);
+  ASSERT_LT(12 + hlen + 4, good.size());
+  const std::size_t crc_at = 12 + hlen;
+  const std::size_t payload_len_at = crc_at + 4;
+
+  // Recompute the header CRC so a fuzzed header *field* (not a stray
+  // bit the CRC would mask) is what the semantic checks see.
+  const auto patch_header_crc = [&](std::string& img) {
+    const std::uint32_t crc = crc32(img.data() + 12, hlen);
+    for (int i = 0; i < 4; ++i)
+      img[crc_at + static_cast<std::size_t>(i)] =
+          static_cast<char>((crc >> (8 * i)) & 0xFFu);
+  };
+
+  struct Case {
+    const char* what;
+    std::size_t at;       ///< byte offset to XOR
+    unsigned char mask;
+    bool repatch_crc;     ///< field lives under the header CRC
+    LoadStatus want;
+  };
+  std::vector<Case> cases;
+  for (std::size_t i = 0; i < 8; ++i)  // every magic byte
+    cases.push_back({"magic", i, 0xFF, false, LoadStatus::bad_magic});
+  for (std::size_t i = 8; i < 12; ++i)  // header length u32
+    cases.push_back({"hlen", i, 0x01, false, LoadStatus::bad_header});
+  for (std::size_t i = 12; i < 16; ++i)  // version u32 (CRC re-patched)
+    cases.push_back({"version", i, 0x01, true, LoadStatus::bad_header});
+  cases.push_back({"nr", 16, 0x02, true, LoadStatus::bad_shape});
+  cases.push_back({"nt", 20, 0x02, true, LoadStatus::bad_shape});
+  cases.push_back({"np", 24, 0x02, true, LoadStatus::bad_shape});
+  // panels: 1 -> 3 is structurally invalid; 1 -> 0 is too.
+  cases.push_back({"panels", 28, 0x02, true, LoadStatus::bad_header});
+  cases.push_back({"panels", 28, 0x01, true, LoadStatus::bad_header});
+  for (std::size_t i = 0; i < 8; ++i)  // section length u64
+    cases.push_back({"payload_len", payload_len_at + i, 0x01, false,
+                     LoadStatus::bad_payload});
+
+  const std::string victim = temp_path("v2_hdr_victim.yyc2");
+  for (const Case& c : cases) {
+    std::string bad = good;
+    bad[c.at] = static_cast<char>(bad[c.at] ^ c.mask);
+    if (c.repatch_crc) patch_header_crc(bad);
+    write_file(victim, bad);
+
+    mhd::Fields t(g);
+    fill_pattern(t, 99.5);  // sentinel: must survive bitwise
+    mhd::Fields want_t(g);
+    fill_pattern(want_t, 99.5);
+    CheckpointMetaV2 back;
+    const LoadStatus st = load_checkpoint_v2(victim, back, &t, nullptr);
+    EXPECT_EQ(st, c.want) << c.what << " byte " << c.at << " -> "
+                          << load_status_name(st);
+    for (int fi = 0; fi < mhd::Fields::kNumFields; ++fi) {
+      auto a = t.all()[static_cast<std::size_t>(fi)]->flat();
+      auto b = want_t.all()[static_cast<std::size_t>(fi)]->flat();
+      for (std::size_t j = 0; j < a.size(); ++j)
+        ASSERT_EQ(a[j], b[j]) << c.what << ": partial apply at field " << fi;
+    }
+  }
 }
 
 TEST(CheckpointV2, FailBeforeCommitPreservesPreviousFile) {

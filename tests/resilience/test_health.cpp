@@ -66,6 +66,69 @@ TEST(HealthMonitor, HugeValueYieldsCollectiveBlowupVerdict) {
       }));
 }
 
+TEST(HealthMonitor, NegativeInfinityYieldsCollectiveNonfiniteVerdict) {
+  // The blow-up probe must trip on ±Inf exactly like NaN: a magnitude
+  // threshold alone would pass -Inf < threshold comparisons silently.
+  EXPECT_TRUE(all_ranks_see(
+      HealthPolicy{}, 1e-4, HealthVerdict::nonfinite,
+      +[](core::DistributedSolver& s, int rank) {
+        if (rank == 3)
+          s.local_state().ft(1, 1, 1) =
+              -std::numeric_limits<double>::infinity();
+      }));
+}
+
+TEST(HealthMonitor, DenormalFloodYieldsCollectiveVerdict) {
+  // A handful of denormals is numerically routine; a *flood* of them
+  // (here: all of f_r on one rank) means the solution is collapsing
+  // toward underflow and every FLOP is running at trap-to-microcode
+  // speed — the monitor must call it out before the timestep ramp does.
+  EXPECT_TRUE(all_ranks_see(
+      HealthPolicy{}, 1e-4, HealthVerdict::denormal_flood,
+      +[](core::DistributedSolver& s, int rank) {
+        if (rank == 1)
+          for (double& v : s.local_state().fr.flat())
+            v = std::numeric_limits<double>::denorm_min();
+      }));
+}
+
+TEST(HealthMonitor, SparseDenormalsStayHealthy) {
+  HealthPolicy policy;  // default flood fraction 0.05
+  EXPECT_TRUE(all_ranks_see(
+      policy, 1e-4, HealthVerdict::healthy,
+      +[](core::DistributedSolver& s, int rank) {
+        if (rank == 2)
+          s.local_state().fr(1, 1, 1) =
+              std::numeric_limits<double>::denorm_min();
+      }));
+}
+
+TEST(HealthMonitor, DenormalFloodIsCountedAsEvent) {
+  obs::EventCounters::global().reset();
+  ASSERT_TRUE(all_ranks_see(
+      HealthPolicy{}, 1e-4, HealthVerdict::denormal_flood,
+      +[](core::DistributedSolver& s, int rank) {
+        if (rank == 0)
+          for (double& v : s.local_state().ap.flat())
+            v = std::numeric_limits<double>::denorm_min();
+      }));
+  EXPECT_EQ(obs::EventCounters::global().count(obs::Event::health_denormal),
+            1u);
+}
+
+TEST(HealthMonitor, NonfiniteOutranksDenormalFlood) {
+  EXPECT_TRUE(all_ranks_see(
+      HealthPolicy{}, 1e-4, HealthVerdict::nonfinite,
+      +[](core::DistributedSolver& s, int rank) {
+        if (rank == 1)
+          for (double& v : s.local_state().fr.flat())
+            v = std::numeric_limits<double>::denorm_min();
+        if (rank == 2)
+          s.local_state().p(1, 1, 1) =
+              std::numeric_limits<double>::infinity();
+      }));
+}
+
 TEST(HealthMonitor, TinyTimestepYieldsCflCollapseVerdict) {
   HealthPolicy policy;
   policy.min_dt = 1.0;

@@ -5,11 +5,13 @@
 #include <unistd.h>
 
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "comm/fault.hpp"
 #include "comm/runtime.hpp"
+#include "obs/events.hpp"
 
 namespace yy::resilience {
 namespace {
@@ -136,6 +138,55 @@ TEST(CheckpointManager, RotationKeepsLastK) {
   EXPECT_EQ(committed[0], 3);
   EXPECT_EQ(committed[1], 4);
   EXPECT_EQ(on_disk, (std::vector<int>{0, 0, 1, 1}));
+}
+
+/// Satellite: crash hygiene.  A death between temp-write and rename
+/// leaves `<basename>.*.tmp` orphans nothing ever reclaims; the
+/// manager's constructor must sweep exactly those (counted in the obs
+/// events), leave committed sets and foreign files alone, and rotation
+/// must behave identically afterwards.
+TEST(CheckpointManager, StartupSweepsStaleTmpFilesButNotCommittedSets) {
+  namespace fs = std::filesystem;
+  const core::SimulationConfig cfg = restart_config();
+  const std::string dir = fresh_dir("tmp_sweep");
+  fs::create_directories(dir);
+  const auto touch = [&](const std::string& name) {
+    std::ofstream(dir + "/" + name) << "leftover";
+  };
+  touch("rot.step7.r0.yyc2.tmp");       // torn patch commit
+  touch("rot.step7.manifest.tmp");      // torn manifest commit
+  touch("other.step3.r1.yyc2.tmp");     // foreign basename: keep
+  touch("rot.step3.r1.yyc2");           // committed-looking: keep
+  obs::EventCounters::global().reset();
+
+  comm::Runtime rt(2);
+  std::vector<long long> committed;
+  rt.run([&](comm::Communicator& w) {
+    core::DistributedSolver s(cfg, w, 1, 1);
+    s.initialize();
+    const double dt = s.stable_dt();
+    CheckpointManager mgr({dir, "rot", 2});
+    if (w.rank() == 0) {
+      EXPECT_FALSE(fs::exists(dir + "/rot.step7.r0.yyc2.tmp"));
+      EXPECT_FALSE(fs::exists(dir + "/rot.step7.manifest.tmp"));
+      EXPECT_TRUE(fs::exists(dir + "/other.step3.r1.yyc2.tmp"));
+      EXPECT_TRUE(fs::exists(dir + "/rot.step3.r1.yyc2"));
+    }
+    w.barrier();  // both managers finish sweeping before the saves
+    for (int i = 0; i < 4; ++i) {
+      s.step(dt);
+      ASSERT_TRUE(mgr.save(s, dt));
+    }
+    if (w.rank() == 0) committed = mgr.committed_steps();
+  });
+  // The rotation regression: the sweep must not have disturbed keep_last
+  // accounting (2 newest sets committed, exactly as without the sweep).
+  ASSERT_EQ(committed.size(), 2u);
+  EXPECT_EQ(committed[0], 3);
+  EXPECT_EQ(committed[1], 4);
+  // Two orphans, each swept once (whichever rank's sweep won the race).
+  EXPECT_EQ(obs::EventCounters::global().count(obs::Event::stale_tmp_swept),
+            2u);
 }
 
 TEST(CheckpointManager, RestoreSkipsTornNewestSet) {

@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
-# Scripted rank-death chaos drill: runs parallel_dynamo with an
-# injected mid-run rank death at several points of the run (early,
-# after the first checkpoint, late) and verifies each run survives the
-# loss — shrinks the world, restores the dead rank's patch from its
-# buddy's diskless replica, completes, and still matches the serial
-# reference trajectory.  Runs in a scratch directory so checkpoint sets
-# and trace/metrics artifacts never pollute the repo.
+# Scripted chaos drills: runs parallel_dynamo with injected faults and
+# verifies each run survives.
+#  * rank-death sweep: a mid-run rank death at several points of the
+#    run (early, after the first checkpoint, late); the survivors must
+#    shrink the world, restore the dead rank's patch from its buddy's
+#    diskless replica, complete, and still match the serial reference.
+#  * SDC sweep: a silent in-memory bit flip at varying steps x audit
+#    cadences; each run must detect the flip within one audit cadence,
+#    repair from the buddy replicas with no disk rewind, and complete
+#    bitwise equal to the unfaulted trajectory (the serial cross-check
+#    is exactly that assertion).
+# Runs in a scratch directory so checkpoint sets and trace/metrics
+# artifacts never pollute the repo.
 # Usage: tools/chaos.sh [build-dir]   (default: build)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -47,3 +53,34 @@ if [ "${fail}" -ne 0 ]; then
   exit 1
 fi
 echo "chaos drill passed: every rank death was survived with a shrink"
+echo
+
+# ---- SDC sweep: bitflip step x audit cadence.  The flip step must be
+# a multiple of the cadence so the corruption lands on an audited
+# boundary (an unaligned flip is baked into the next reference refresh
+# and only the physics probes could see it — the binary rejects such
+# specs outright).
+for spec in 4:2 6:3 8:4; do
+  flip="${spec%%:*}"
+  cadence="${spec##*:}"
+  echo "== chaos drill: 8 ranks, bit flip after step ${flip}/${steps}," \
+       "audit cadence ${cadence} =="
+  rm -rf yy_checkpoints
+  if ! out="$("${bin}" 2 2 "${steps}" --chaos "bitflip:${spec}")"; then
+    echo "FAIL  parallel_dynamo exited nonzero (bitflip ${spec})" >&2
+    fail=1
+    echo
+    continue
+  fi
+  echo "${out}" | grep -E "run control|sdc defense|relative difference" || true
+  echo "${out}" | grep -q "run control: completed" || fail=1
+  echo "${out}" | grep -q "sdc defense: bit flip detected and repaired" || fail=1
+  echo "${out}" | grep -q "(trajectories match)" || fail=1
+  echo
+done
+
+if [ "${fail}" -ne 0 ]; then
+  echo "CHAOS DRILL FAILED: a run did not repair its bit flip" >&2
+  exit 1
+fi
+echo "chaos drill passed: every bit flip was detected and repaired"
